@@ -1,0 +1,49 @@
+// Shared plumbing for the table/figure benches.
+//
+// Every bench prints the paper-shaped table to stdout.  By default the
+// benches run at a reduced scale so the whole suite finishes in minutes;
+// set TOLERANCE_BENCH_FULL=1 to run at the paper's scale (20 seeds,
+// smax = 2048, M = 25,000 samples, ...).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "tolerance/pomdp/node_model.hpp"
+#include "tolerance/pomdp/observation_model.hpp"
+#include "tolerance/util/table.hpp"
+
+namespace tolerance::bench {
+
+inline bool full_scale() {
+  const char* env = std::getenv("TOLERANCE_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline int scaled(int quick, int full) { return full_scale() ? full : quick; }
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(reproduces " << paper_ref << "; "
+            << (full_scale() ? "full scale" : "quick scale — set "
+                               "TOLERANCE_BENCH_FULL=1 for paper scale")
+            << ")\n\n";
+}
+
+/// Table 8 node parameters used across the solver experiments.
+inline pomdp::NodeParams paper_node_params(double p_attack = 0.1) {
+  pomdp::NodeParams p;
+  p.p_attack = p_attack;
+  p.p_crash_healthy = 1e-5;
+  p.p_crash_compromised = 1e-3;
+  p.p_update = 2e-2;
+  p.eta = 2.0;
+  return p;
+}
+
+inline pomdp::BetaBinObservationModel paper_observation_model() {
+  return pomdp::BetaBinObservationModel::paper_default(10);
+}
+
+}  // namespace tolerance::bench

@@ -1,0 +1,38 @@
+// Fig. 11: empirical distributions Z-hat of priority-weighted IDS alerts per
+// container (Table 4), under intrusion and no intrusion, estimated from
+// M = 25,000 samples per container.  Prints summary statistics and a coarse
+// histogram per container.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/emulation/estimation.hpp"
+#include "tolerance/stats/summary.hpp"
+
+int main() {
+  using namespace tolerance;
+  bench::header("Fig. 11 — empirical alert distributions Z-hat", "Fig. 11");
+  const int samples = bench::scaled(4000, 25000);
+  Rng rng(2024);
+  ConsoleTable table({"container", "vulnerability", "mean |H", "p95 |H",
+                      "mean |C", "p95 |C", "KL(H||C)"});
+  for (const auto& profile : emulation::container_catalog()) {
+    auto s = emulation::collect_alert_samples(profile, samples, 80.0, rng);
+    Rng fit_rng(static_cast<std::uint64_t>(profile.replica_id));
+    const auto detector =
+        emulation::fit_detector(profile, samples, 11, 80.0, fit_rng);
+    table.add_row({std::to_string(profile.replica_id),
+                   profile.vulnerabilities.front(),
+                   ConsoleTable::num(stats::mean(s.healthy), 0),
+                   ConsoleTable::num(stats::quantile(s.healthy, 0.95), 0),
+                   ConsoleTable::num(stats::mean(s.compromised), 0),
+                   ConsoleTable::num(stats::quantile(s.compromised, 0.95), 0),
+                   ConsoleTable::num(detector.kl_healthy_compromised, 2)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nExpected shape (Fig. 11): intrusion distributions shifted far right "
+      "of the\nno-intrusion ones; brute-force containers (1-3, 9, 10) reach "
+      "the largest alert\ncounts (the paper's ftp/ssh/telnet panel extends "
+      "to ~20000).\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Fig. 14: the optimal recovery cost J* as a function of the intrusion
+// detection model's quality.
+//  Left panel:  sweep the true channel separation D_KL(Z(.|H) || Z(.|C)).
+//  Right panel: model mismatch — the controller updates beliefs with a
+//               corrupted estimate Z-hat while observations come from Z;
+//               x-axis is D_KL(Z(.|C) || Z-hat(.|C)).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/pomdp/belief.hpp"
+#include "tolerance/solvers/objective.hpp"
+#include "tolerance/stats/empirical.hpp"
+
+namespace {
+
+using namespace tolerance;
+
+// Best constant-threshold cost under (possibly mismatched) belief updates.
+double best_threshold_cost(const pomdp::NodeModel& model,
+                           const pomdp::ObservationModel& true_obs,
+                           const pomdp::ObservationModel& believed_obs,
+                           int episodes) {
+  const pomdp::NodeSimulator simulator(model, true_obs);
+  const pomdp::BeliefUpdater updater(model, believed_obs);
+  double best = 1e18;
+  for (double alpha = 0.05; alpha <= 0.95; alpha += 0.05) {
+    Rng rng(123);
+    double total = 0.0;
+    for (int e = 0; e < episodes; ++e) {
+      // Manual rollout: belief filtered through `believed_obs`.
+      pomdp::NodeState s = rng.bernoulli(model.params().p_attack)
+                               ? pomdp::NodeState::Compromised
+                               : pomdp::NodeState::Healthy;
+      double b = model.params().p_attack;
+      const int horizon = 200;
+      for (int t = 0; t < horizon; ++t) {
+        const auto a = b >= alpha ? pomdp::NodeAction::Recover
+                                  : pomdp::NodeAction::Wait;
+        total += model.cost(s, a) / horizon;
+        const double u = rng.uniform();
+        const double to_crash =
+            model.transition(s, a, pomdp::NodeState::Crashed);
+        const double to_h = model.transition(s, a, pomdp::NodeState::Healthy);
+        if (u < to_crash) {
+          s = rng.bernoulli(model.params().p_attack)
+                  ? pomdp::NodeState::Compromised
+                  : pomdp::NodeState::Healthy;
+          b = model.params().p_attack;
+          continue;
+        }
+        s = u < to_crash + to_h ? pomdp::NodeState::Healthy
+                                : pomdp::NodeState::Compromised;
+        const int o =
+            true_obs.sample(s == pomdp::NodeState::Compromised, rng);
+        b = updater.update(b, a, o);
+      }
+    }
+    best = std::min(best, total / episodes);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tolerance;
+  bench::header("Fig. 14 — optimal cost vs detector quality", "Fig. 14");
+  const pomdp::NodeModel model(bench::paper_node_params(0.1));
+  const int episodes = bench::scaled(60, 300);
+
+  std::cout << "left panel: sweep the channel separation (beta_C of "
+               "Z(.|C) = BetaBin(10, 1, beta_C)):\n";
+  ConsoleTable left({"DKL(Z(.|H)||Z(.|C))", "J*"});
+  for (double beta_c : {3.0, 2.0, 1.4, 1.0, 0.7, 0.4}) {
+    const pomdp::BetaBinObservationModel obs(
+        stats::BetaBinomial(10, 0.7, 3.0), stats::BetaBinomial(10, 1.0, beta_c));
+    const double kl = obs.kl(false, true);
+    const double cost = best_threshold_cost(model, obs, obs, episodes);
+    left.add_row({ConsoleTable::num(kl, 2), ConsoleTable::num(cost, 3)});
+  }
+  left.print(std::cout);
+
+  std::cout << "\nright panel: model mismatch — Z-hat(.|C) drifts towards "
+               "Z(.|H) with weight rho\n(the detector increasingly mistakes "
+               "intrusion traffic for background noise):\n";
+  ConsoleTable right({"rho", "DKL(Z(.|C)||Zhat(.|C))", "J*"});
+  const auto truth = bench::paper_observation_model();
+  for (double rho : {0.0, 0.2, 0.4, 0.6, 0.8, 0.95}) {
+    // Corrupt the compromised-state pmf towards the healthy one.
+    auto pmf_c = truth.pmf(true);
+    const auto pmf_h = truth.pmf(false);
+    for (std::size_t i = 0; i < pmf_c.size(); ++i) {
+      pmf_c[i] = (1.0 - rho) * pmf_c[i] + rho * pmf_h[i];
+    }
+    std::vector<std::int64_t> counts;
+    for (double p : pmf_c) {
+      counts.push_back(static_cast<std::int64_t>(p * 1e6));
+    }
+    const pomdp::EmpiricalObservationModel believed(
+        stats::EmpiricalPmf::from_counts(
+            [&] {
+              std::vector<std::int64_t> h;
+              for (double p : truth.pmf(false)) {
+                h.push_back(static_cast<std::int64_t>(p * 1e6));
+              }
+              return h;
+            }(),
+            1.0),
+        stats::EmpiricalPmf::from_counts(counts, 1.0));
+    const double kl =
+        stats::kl_divergence(truth.pmf(true), believed.pmf(true));
+    const double cost = best_threshold_cost(model, truth, believed, episodes);
+    right.add_row({ConsoleTable::num(rho, 2), ConsoleTable::num(kl, 3),
+                   ConsoleTable::num(cost, 3)});
+  }
+  right.print(std::cout);
+  std::cout << "\nExpected shape (Fig. 14): J* decreases as the channel "
+               "separation grows (left);\nJ* increases as the controller's "
+               "model drifts from the truth (right).\n";
+  return 0;
+}

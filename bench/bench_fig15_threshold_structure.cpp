@@ -1,0 +1,39 @@
+// Fig. 15: (a) threshold structure of the optimal recovery strategy and
+// (b) the thresholds alpha*_t as a function of t within a DeltaR = 100
+// recovery cycle — non-decreasing, as proved in Corollary 1.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/solvers/incremental_pruning.hpp"
+
+int main() {
+  using namespace tolerance;
+  bench::header("Fig. 15 — threshold structure and Cor. 1 monotonicity",
+                "Fig. 15");
+  const pomdp::NodeModel model(bench::paper_node_params(0.01));
+  const auto obs = bench::paper_observation_model();
+  const int delta_r = 100;
+  const auto result =
+      solvers::IncrementalPruning::solve_cycle(model, obs, delta_r);
+
+  ConsoleTable table({"t (cycle position)", "alpha*_t"});
+  double prev = 0.0;
+  bool monotone = true;
+  const std::vector<int> grid{1,  10, 20, 30, 40, 50, 60, 70,
+                              80, 90, 95, 96, 97, 98, 99};
+  for (int t : grid) {
+    const double th = solvers::IncrementalPruning::recovery_threshold(
+        result.value_functions[static_cast<std::size_t>(t - 1)]);
+    table.add_row({std::to_string(t), ConsoleTable::num(th, 4)});
+    // Tolerance absorbs the bounded-error pruning noise (~1e-4).
+    if (th + 1e-3 < prev) monotone = false;
+    prev = th;
+  }
+  table.print(std::cout);
+  std::cout << "\nthresholds non-decreasing in t (Cor. 1): "
+            << (monotone ? "YES" : "NO") << '\n'
+            << "Expected shape: alpha*_t rises towards 1 as the forced "
+               "periodic recovery approaches\n(recovering voluntarily just "
+               "before a scheduled recovery wastes a recovery).\n";
+  return 0;
+}

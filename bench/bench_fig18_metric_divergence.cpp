@@ -1,0 +1,64 @@
+// Fig. 18 (Appendix H): KL divergence between the intrusion and no-intrusion
+// distributions of each candidate metric.  The IDS alert metric carries the
+// most information — which is why TOLERANCE's node controllers consume it.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/emulation/ids.hpp"
+#include "tolerance/stats/empirical.hpp"
+
+int main() {
+  using namespace tolerance;
+  using emulation::kMetricNames;
+  using emulation::kNumMetrics;
+  bench::header("Fig. 18 — per-metric KL divergence", "Fig. 18 / Appendix H");
+  const int samples = bench::scaled(20000, 100000);
+  Rng rng(5);
+
+  std::vector<std::vector<double>> healthy(kNumMetrics), intrusion(kNumMetrics);
+  for (const auto& profile : emulation::container_catalog()) {
+    const emulation::IdsModel ids(profile);
+    for (int i = 0; i < samples / 10; ++i) {
+      const auto sh = ids.sample(nullptr, false, 8.0, rng);
+      const bool during = rng.bernoulli(0.5);
+      const emulation::IntrusionStep* step =
+          during ? &profile.intrusion_steps[static_cast<std::size_t>(
+                       rng.uniform_int(static_cast<int>(
+                           profile.intrusion_steps.size())))]
+                 : nullptr;
+      const auto sc = ids.sample(step, !during, 8.0, rng);
+      for (int m = 0; m < kNumMetrics; ++m) {
+        healthy[static_cast<std::size_t>(m)].push_back(
+            emulation::metric_value(sh, m));
+        intrusion[static_cast<std::size_t>(m)].push_back(
+            emulation::metric_value(sc, m));
+      }
+    }
+  }
+
+  ConsoleTable table({"metric", "KL(no-intrusion || intrusion)"});
+  for (int m = 0; m < kNumMetrics; ++m) {
+    std::vector<double> pooled = healthy[static_cast<std::size_t>(m)];
+    pooled.insert(pooled.end(), intrusion[static_cast<std::size_t>(m)].begin(),
+                  intrusion[static_cast<std::size_t>(m)].end());
+    const auto binner = stats::QuantileBinner::fit(std::move(pooled), 25);
+    std::vector<int> hb, cb;
+    for (double v : healthy[static_cast<std::size_t>(m)]) {
+      hb.push_back(binner.bin(v));
+    }
+    for (double v : intrusion[static_cast<std::size_t>(m)]) {
+      cb.push_back(binner.bin(v));
+    }
+    const auto ph =
+        stats::EmpiricalPmf::from_samples(hb, binner.num_bins(), 0.5);
+    const auto pc =
+        stats::EmpiricalPmf::from_samples(cb, binner.num_bins(), 0.5);
+    table.add_row({kMetricNames[m],
+                   ConsoleTable::num(stats::kl_divergence(ph, pc), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected ordering (Fig. 18): alerts (~0.49) >> blocks "
+               "written (~0.12) > failed logins (~0.07)\n> processes ~ tcp "
+               "(~0.01) > blocks read (~0).\n";
+  return 0;
+}

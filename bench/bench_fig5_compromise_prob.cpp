@@ -1,0 +1,67 @@
+// Fig. 5: probability that a node is compromised or crashed by time-step t
+// when no recoveries occur, for pA in {0.1, 0.05, 0.025, 0.01}.
+// The failure time is geometric with rate 1 - (1-pA)(1-pC1) (§V-A); we print
+// both the closed form and a Monte-Carlo check through kernel (2).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/pomdp/node_simulator.hpp"
+#include "tolerance/stats/distributions.hpp"
+
+int main() {
+  using namespace tolerance;
+  bench::header("Fig. 5 — P[compromised or crashed by t], no recoveries",
+                "Fig. 5");
+  const double p_attacks[] = {0.1, 0.05, 0.025, 0.01};
+  ConsoleTable table({"t", "pA=0.1", "pA=0.05", "pA=0.025", "pA=0.01",
+                      "pA=0.1 (sim)"});
+
+  // Monte-Carlo check for the first curve through the full kernel (2).
+  const int horizon = 100;
+  const int episodes = bench::scaled(2000, 20000);
+  std::vector<double> failed_by(static_cast<std::size_t>(horizon) + 1, 0.0);
+  {
+    pomdp::NodeParams params = bench::paper_node_params(0.1);
+    params.p_update = 0.0;  // Fig. 5 hyperparameters: pU = 0
+    const pomdp::NodeModel model(params);
+    Rng rng(1);
+    for (int e = 0; e < episodes; ++e) {
+      pomdp::NodeState s = pomdp::NodeState::Healthy;
+      for (int t = 1; t <= horizon; ++t) {
+        if (s == pomdp::NodeState::Healthy) {
+          const double u = rng.uniform();
+          const double to_crash =
+              model.transition(s, pomdp::NodeAction::Wait,
+                               pomdp::NodeState::Crashed);
+          const double to_healthy =
+              model.transition(s, pomdp::NodeAction::Wait,
+                               pomdp::NodeState::Healthy);
+          if (u < to_crash) {
+            s = pomdp::NodeState::Crashed;
+          } else if (u >= to_crash + to_healthy) {
+            s = pomdp::NodeState::Compromised;
+          }
+        }
+        if (s != pomdp::NodeState::Healthy) {
+          failed_by[static_cast<std::size_t>(t)] += 1.0;
+        }
+      }
+    }
+  }
+
+  for (int t = 10; t <= horizon; t += 10) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (double pa : p_attacks) {
+      const double p_fail = 1.0 - (1.0 - pa) * (1.0 - 1e-5);
+      row.push_back(
+          ConsoleTable::num(stats::GeometricDist(p_fail).cdf(t), 4));
+    }
+    row.push_back(ConsoleTable::num(
+        failed_by[static_cast<std::size_t>(t)] / episodes, 4));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: curves rise with t; higher pA rises"
+               " faster (geometric failure time).\n";
+  return 0;
+}

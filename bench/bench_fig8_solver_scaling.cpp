@@ -1,0 +1,54 @@
+// Fig. 8: mean compute time to solve Prob. 1 versus DeltaR per algorithm.
+// The paper's shape: Incremental Pruning's time explodes with DeltaR (it is
+// exact DP over a growing horizon) while the Alg. 1 optimizers grow mildly.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/solvers/bayesopt.hpp"
+#include "tolerance/solvers/cem.hpp"
+#include "tolerance/solvers/de.hpp"
+#include "tolerance/solvers/incremental_pruning.hpp"
+#include "tolerance/solvers/objective.hpp"
+#include "tolerance/solvers/spsa.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+int main() {
+  using namespace tolerance;
+  bench::header("Fig. 8 — compute time vs DeltaR", "Fig. 8");
+  const pomdp::NodeModel model(bench::paper_node_params(0.1));
+  const auto obs = bench::paper_observation_model();
+  const long budget = bench::scaled(300, 2000);
+
+  ConsoleTable table({"dR", "CEM (s)", "DE (s)", "BO (s)", "SPSA (s)",
+                      "IP (s)"});
+  for (int dr : {5, 10, 15, 20, 25}) {
+    solvers::RecoveryObjective::Options opts;
+    opts.episodes = 50;
+    opts.horizon = std::max(100, 4 * dr);
+    opts.seed = 3;
+    const solvers::RecoveryObjective objective(model, obs, dr, opts);
+    std::vector<std::string> row{std::to_string(dr)};
+    const solvers::CrossEntropyMethod cem;
+    const solvers::DifferentialEvolution de;
+    const solvers::BayesianOptimization bo;
+    const solvers::Spsa spsa;
+    const std::vector<const solvers::ParametricOptimizer*> opts_list{
+        &cem, &de, &bo, &spsa};
+    for (const auto* opt : opts_list) {
+      Rng rng(17);
+      Stopwatch clock;
+      const long b = opt->name() == "bo" ? std::min<long>(budget, 50) : budget;
+      opt->optimize(objective, objective.dimension(), b, rng);
+      row.push_back(ConsoleTable::num(clock.elapsed_seconds(), 2));
+    }
+    Stopwatch ip_clock;
+    solvers::IncrementalPruning::solve_cycle(model, obs, dr);
+    row.push_back(ConsoleTable::num(ip_clock.elapsed_seconds(), 3));
+    table.add_row(row);
+  }
+  table.print(std::cout);
+  std::cout << "\nExpected shape: IP time grows superlinearly with DeltaR; "
+               "the Alg. 1 optimizers scale mildly\n(their per-evaluation "
+               "cost grows only linearly in the simulated horizon).\n";
+  return 0;
+}

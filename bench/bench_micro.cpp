@@ -1,0 +1,118 @@
+// Hot-path microbenchmarks (google-benchmark): belief updates, crypto
+// primitives, simplex solves, IP backups, simulator steps, consensus rounds.
+#include <benchmark/benchmark.h>
+
+#include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/crypto/hmac.hpp"
+#include "tolerance/crypto/sha256.hpp"
+#include "tolerance/crypto/usig.hpp"
+#include "tolerance/emulation/testbed.hpp"
+#include "tolerance/pomdp/belief.hpp"
+#include "tolerance/solvers/cmdp_lp.hpp"
+#include "tolerance/solvers/incremental_pruning.hpp"
+
+namespace {
+
+using namespace tolerance;
+
+pomdp::NodeParams params() {
+  pomdp::NodeParams p;
+  p.p_attack = 0.1;
+  p.p_crash_healthy = 1e-5;
+  p.p_crash_compromised = 1e-3;
+  p.p_update = 2e-2;
+  return p;
+}
+
+void BM_BeliefUpdate(benchmark::State& state) {
+  const pomdp::NodeModel model(params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  const pomdp::BeliefUpdater updater(model, obs);
+  double b = 0.1;
+  int o = 0;
+  for (auto _ : state) {
+    b = updater.update(b, pomdp::NodeAction::Wait, o);
+    o = (o + 3) % 11;
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_BeliefUpdate);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_HmacSign(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256("key", "a service request"));
+  }
+}
+BENCHMARK(BM_HmacSign);
+
+void BM_UsigCreateVerify(benchmark::State& state) {
+  auto registry = std::make_shared<crypto::KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(1 + crypto::kUsigPrincipalOffset, 7);
+  crypto::Usig usig(1, secret);
+  const auto digest = crypto::Sha256::hash("op");
+  for (auto _ : state) {
+    const auto ui = usig.create(digest);
+    benchmark::DoNotOptimize(crypto::Usig::verify(*registry, digest, ui));
+  }
+}
+BENCHMARK(BM_UsigCreateVerify);
+
+void BM_ReplicationLp(benchmark::State& state) {
+  const auto cmdp = pomdp::SystemCmdp::parametric(
+      static_cast<int>(state.range(0)), 3, 0.9, 0.95, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solvers::solve_replication_lp(cmdp));
+  }
+}
+BENCHMARK(BM_ReplicationLp)->Arg(16)->Arg(64);
+
+void BM_IncrementalPruningCycle(benchmark::State& state) {
+  const pomdp::NodeModel model(params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solvers::IncrementalPruning::solve_cycle(
+        model, obs, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_IncrementalPruningCycle)->Arg(5)->Arg(25);
+
+void BM_TestbedStep(benchmark::State& state) {
+  emulation::TestbedConfig config;
+  config.initial_nodes = 9;
+  emulation::Testbed testbed(config, 3);
+  for (auto _ : state) {
+    testbed.step();
+    benchmark::DoNotOptimize(testbed.failed_count());
+  }
+}
+BENCHMARK(BM_TestbedStep);
+
+void BM_MinBftRequestRound(benchmark::State& state) {
+  consensus::MinBftConfig cfg;
+  cfg.f = 1;
+  net::LinkConfig link;
+  link.loss = 0.0;
+  link.jitter = 0.0;
+  consensus::MinBftCluster cluster(3, cfg, 5, link);
+  auto& client = cluster.add_client();
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster.submit_and_run(client, "op" + std::to_string(i++)));
+  }
+}
+BENCHMARK(BM_MinBftRequestRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

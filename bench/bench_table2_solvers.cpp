@@ -1,0 +1,155 @@
+// Table 2: solving Prob. 1 (optimal intrusion recovery) with Algorithm 1
+// (CEM, DE, BO, SPSA) against the PPO and Incremental Pruning baselines, for
+// DeltaR in {5, 15, 25, inf}.  Columns: compute time and average cost J_i.
+//
+// The paper's headline shape: the Thm.-1-based parameterizations (CEM/DE/BO)
+// find near-optimal strategies for all DeltaR; SPSA with the Table 8 gains
+// fails to converge; PPO lands slightly above; IP matches the optimum but
+// its cost blows up with the horizon.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "tolerance/solvers/bayesopt.hpp"
+#include "tolerance/solvers/cem.hpp"
+#include "tolerance/solvers/de.hpp"
+#include "tolerance/solvers/incremental_pruning.hpp"
+#include "tolerance/solvers/objective.hpp"
+#include "tolerance/solvers/ppo.hpp"
+#include "tolerance/solvers/spsa.hpp"
+#include "tolerance/stats/summary.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace {
+
+using namespace tolerance;
+
+struct Cell {
+  stats::MeanCi time_s;
+  stats::MeanCi cost;
+};
+
+solvers::RecoveryObjective make_objective(const pomdp::NodeModel& model,
+                                          const pomdp::ObservationModel& obs,
+                                          int delta_r, std::uint64_t seed) {
+  solvers::RecoveryObjective::Options opts;
+  opts.episodes = 50;  // M, Table 8
+  opts.horizon = delta_r > 0 ? std::max(100, 4 * delta_r) : 200;
+  opts.seed = seed;
+  return solvers::RecoveryObjective(model, obs, delta_r, opts);
+}
+
+Cell run_optimizer(const solvers::ParametricOptimizer& optimizer,
+                   const pomdp::NodeModel& model,
+                   const pomdp::ObservationModel& obs, int delta_r, int seeds,
+                   long budget) {
+  std::vector<double> times, costs;
+  for (int seed = 0; seed < seeds; ++seed) {
+    const auto objective =
+        make_objective(model, obs, delta_r, 1000 + static_cast<std::uint64_t>(seed));
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+    Stopwatch clock;
+    const auto result =
+        optimizer.optimize(objective, objective.dimension(), budget, rng);
+    times.push_back(clock.elapsed_seconds());
+    // Re-evaluate the returned strategy on a fresh seed (honest estimate).
+    const auto eval =
+        make_objective(model, obs, delta_r, 9000 + static_cast<std::uint64_t>(seed));
+    costs.push_back(eval(result.best_x));
+  }
+  return {stats::mean_ci(times), stats::mean_ci(costs)};
+}
+
+Cell run_ppo(const pomdp::NodeModel& model, const pomdp::ObservationModel& obs,
+             int delta_r, int seeds, int iterations) {
+  std::vector<double> times, costs;
+  for (int seed = 0; seed < seeds; ++seed) {
+    solvers::PpoSolver::Options opts;
+    opts.iterations = iterations;
+    opts.learning_rate = 3e-4;  // the Table 8 1e-5 needs hours; see README
+    solvers::PpoSolver ppo(model, obs, delta_r, opts);
+    Rng rng(static_cast<std::uint64_t>(seed) * 31 + 7);
+    Stopwatch clock;
+    ppo.train(rng);
+    times.push_back(clock.elapsed_seconds());
+    const auto eval =
+        make_objective(model, obs, delta_r, 9000 + static_cast<std::uint64_t>(seed));
+    pomdp::NodeSimulator sim(model, obs);
+    Rng eval_rng(4242 + static_cast<std::uint64_t>(seed));
+    costs.push_back(
+        sim.run_many(ppo.policy(), delta_r > 0 ? 4 * delta_r : 200, 50,
+                     eval_rng)
+            .avg_cost);
+  }
+  return {stats::mean_ci(times), stats::mean_ci(costs)};
+}
+
+Cell run_ip(const pomdp::NodeModel& model, const pomdp::ObservationModel& obs,
+            int delta_r) {
+  Stopwatch clock;
+  solvers::IncrementalPruning::Result result;
+  if (delta_r > 0) {
+    result = solvers::IncrementalPruning::solve_cycle(model, obs, delta_r);
+  } else {
+    result = solvers::IncrementalPruning::solve_discounted(model, obs, 0.999,
+                                                           1e-7, 20000);
+  }
+  Cell cell;
+  cell.time_s.mean = clock.elapsed_seconds();
+  cell.cost.mean = result.average_cost;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tolerance;
+  bench::header("Table 2 — solver comparison on Prob. 1", "Table 2");
+  const pomdp::NodeModel model(bench::paper_node_params(0.1));
+  const auto obs = bench::paper_observation_model();
+  const int seeds = bench::scaled(3, 20);
+  const long budget = bench::scaled(400, 2000);
+
+  const std::vector<int> delta_rs{5, 15, 25, solvers::kNoBtr};
+  auto dr_name = [](int dr) {
+    return dr > 0 ? "dR=" + std::to_string(dr) : std::string("dR=inf");
+  };
+
+  ConsoleTable table({"Method", "dR", "Time (s)", "Cost Ji (5)"});
+  const solvers::CrossEntropyMethod cem;
+  const solvers::DifferentialEvolution de;
+  const solvers::BayesianOptimization bo;
+  const solvers::Spsa spsa;  // Table 8 gains: reproduces the failure
+
+  for (int dr : delta_rs) {
+    struct Named {
+      std::string name;
+      Cell cell;
+    };
+    std::vector<Named> rows;
+    rows.push_back({"CEM", run_optimizer(cem, model, obs, dr, seeds, budget)});
+    rows.push_back({"DE", run_optimizer(de, model, obs, dr, seeds, budget)});
+    rows.push_back(
+        {"BO", run_optimizer(bo, model, obs, dr, seeds,
+                             std::min<long>(budget, bench::scaled(60, 150)))});
+    rows.push_back(
+        {"SPSA", run_optimizer(spsa, model, obs, dr, seeds, budget)});
+    rows.push_back(
+        {"PPO", run_ppo(model, obs, dr, seeds, bench::scaled(8, 40))});
+    rows.push_back({"IP (optimal)", run_ip(model, obs, dr)});
+    for (const auto& r : rows) {
+      table.add_row({r.name, dr_name(dr),
+                     ConsoleTable::mean_pm(r.cell.time_s.mean,
+                                           r.cell.time_s.half_width, 2),
+                     ConsoleTable::mean_pm(r.cell.cost.mean,
+                                           r.cell.cost.half_width, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nExpected shape (Table 2): CEM/DE/BO match IP's optimal cost for "
+      "every DeltaR;\nSPSA (Table 8 gains, c=10) lands above them; PPO is "
+      "slightly worse than CEM/DE/BO;\nIP compute time grows steeply with "
+      "DeltaR while Alg. 1 stays cheap.\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Table 7 / Fig. 12: TOLERANCE versus the baseline control strategies of
+// §VIII-B — average availability T(A), average time-to-recovery T(R) and
+// recovery frequency F(R), across DeltaR in {5, 15, 25, inf} and
+// N1 in {3, 6, 9}, with 20 random seeds and horizon 10^3 (60 s steps).
+//
+// Pipeline exactly as §VIII-A: fit the detector Z-hat from labeled samples,
+// solve the replication CMDP with Algorithm 2, then run the emulation.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "tolerance/core/tolerance_system.hpp"
+#include "tolerance/solvers/cmdp_lp.hpp"
+#include "tolerance/stats/summary.hpp"
+
+namespace {
+
+using namespace tolerance;
+
+struct Row {
+  stats::MeanCi availability;
+  stats::MeanCi ttr;
+  stats::MeanCi freq;
+};
+
+Row evaluate(const core::Evaluator& evaluator, int seeds) {
+  std::vector<double> avail, ttr, freq;
+  for (int seed = 0; seed < seeds; ++seed) {
+    const auto r = evaluator.run(static_cast<std::uint64_t>(seed) + 1);
+    avail.push_back(r.availability);
+    ttr.push_back(r.time_to_recovery);
+    freq.push_back(r.recovery_frequency);
+  }
+  return {stats::mean_ci(avail), stats::mean_ci(ttr), stats::mean_ci(freq)};
+}
+
+}  // namespace
+
+int main() {
+  using namespace tolerance;
+  bench::header("Table 7 / Fig. 12 — TOLERANCE vs baselines",
+                "Table 7 and Fig. 12");
+  const int seeds = bench::scaled(5, 20);
+  const int horizon = bench::scaled(500, 1000);
+
+  // Training phase (§VIII-A): detector + replication strategy.
+  Rng fit_rng(99);
+  const auto detector = emulation::fit_pooled_detector(
+      bench::scaled(2000, 25000) / 10, 11, 80.0, fit_rng);
+  std::cout << "fitted detector: KL(Zhat(.|H) || Zhat(.|C)) = "
+            << ConsoleTable::num(detector.kl_healthy_compromised, 2) << "\n";
+
+  ConsoleTable table({"N1", "dR", "Strategy", "T(A)", "T(R)", "F(R)"});
+  for (int n1 : {3, 6, 9}) {
+    const int f = std::min((n1 - 1) / 2, 2);  // §VIII hyperparameters
+    const auto cmdp = pomdp::SystemCmdp::parametric(13, f, 0.9, 0.95, 0.3);
+    auto replication = solvers::solve_replication_lp(cmdp);
+    for (int dr : {5, 15, 25, 0}) {
+      for (const auto strategy :
+           {core::StrategyKind::Tolerance, core::StrategyKind::NoRecovery,
+            core::StrategyKind::Periodic,
+            core::StrategyKind::PeriodicAdaptive}) {
+        core::EvaluationConfig config;
+        config.strategy = strategy;
+        config.initial_nodes = n1;
+        config.delta_r = dr;
+        config.horizon = horizon;
+        config.f = f;
+        config.max_nodes = 13;
+        config.recovery_threshold = 0.76;  // alpha*, Fig. 13b
+        config.node_params = bench::paper_node_params(0.1);
+        config.testbed.attacker.start_probability = 0.1;
+        // No spontaneous healing in the testbed: Table 7's NO-RECOVERY rows
+        // report T(R) = horizon exactly.
+        config.testbed.p_update = 0.0;
+        const core::Evaluator evaluator(
+            config, detector,
+            replication.status == lp::LpStatus::Optimal
+                ? std::optional<solvers::CmdpSolution>(replication)
+                : std::nullopt);
+        const Row row = evaluate(evaluator, seeds);
+        table.add_row(
+            {std::to_string(n1), dr > 0 ? std::to_string(dr) : "inf",
+             core::to_string(strategy),
+             ConsoleTable::mean_pm(row.availability.mean,
+                                   row.availability.half_width),
+             ConsoleTable::mean_pm(row.ttr.mean, row.ttr.half_width),
+             ConsoleTable::mean_pm(row.freq.mean, row.freq.half_width, 3)});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nExpected shape (Table 7 / Fig. 12):\n"
+      " * TOLERANCE: T(A) ~ 1.0, T(R) of a few steps, F(R) ~ 0.05-0.1 — "
+      "identical across DeltaR\n   (the belief threshold fires before the "
+      "BTR deadline).\n"
+      " * NO-RECOVERY: T(A) far below 1, T(R) = horizon, F(R) = 0; "
+      "availability roughly doubles from N1=3 to N1=9.\n"
+      " * PERIODIC(-ADAPTIVE): close to TOLERANCE at small DeltaR, degrade "
+      "towards NO-RECOVERY as DeltaR -> inf;\n   T(R) an order of magnitude "
+      "above TOLERANCE at DeltaR >= 15.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Global-level deep dive (Prob. 2, the inventory-replenishment problem):
+// build the system kernel f_S two ways (parametric and estimated from node
+// simulations), solve the CMDP with Algorithm 2, inspect the
+// threshold-mixture structure (Thm. 2), and validate by rollout.
+#include <iostream>
+
+#include "tolerance/pomdp/assumptions.hpp"
+#include "tolerance/solvers/cmdp_lp.hpp"
+#include "tolerance/solvers/threshold_policy.hpp"
+
+int main() {
+  using namespace tolerance;
+  const int smax = 13, f = 3;
+  const double eps_a = 0.9;
+
+  // Kernel route 1: parametric binomial survival/recovery, in a crash-heavy
+  // regime where additions are genuinely needed (§VIII-D finding iii).
+  const auto parametric =
+      pomdp::SystemCmdp::parametric(smax, f, eps_a, 0.88, 0.02);
+  // Kernel route 2: estimated from simulations of Prob. 1 (the paper's way).
+  pomdp::NodeParams params;
+  params.p_attack = 0.1;
+  params.p_update = 2e-2;
+  params.p_crash_healthy = 1e-5;
+  params.p_crash_compromised = 1e-3;
+  const pomdp::NodeModel model(params);
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  Rng rng(3);
+  const auto estimated = pomdp::SystemCmdp::estimate_from_node_simulation(
+      smax, f, eps_a, model, obs,
+      solvers::ThresholdPolicy::constant(0.76).as_policy(),
+      /*episodes=*/10, /*horizon=*/2000, rng);
+
+  for (const auto* cmdp : {&parametric, &estimated}) {
+    const bool is_param = cmdp == &parametric;
+    std::cout << (is_param ? "\n== parametric kernel ==\n"
+                           : "\n== kernel estimated from Prob. 1 ==\n");
+    const auto check = pomdp::check_theorem2(*cmdp);
+    std::cout << "Thm. 2 assumptions B/C/D: " << check.b_full_support << '/'
+              << check.c_monotone << '/' << check.d_tail_supermodular
+              << "  (Alg. 2 is exact regardless — §VI)\n";
+    const auto sol = solvers::solve_replication_lp(*cmdp);
+    if (sol.status != lp::LpStatus::Optimal) {
+      std::cout << "LP infeasible — raise smax or lower epsilon_A\n";
+      continue;
+    }
+    std::cout << "pi(add|s): ";
+    for (double p : sol.add_probability) std::cout << p << ' ';
+    std::cout << "\nthresholds beta1=" << sol.beta1 << " beta2=" << sol.beta2
+              << " kappa=" << sol.kappa
+              << " randomized states=" << sol.num_randomized_states
+              << "\nE[cost]=" << sol.average_cost
+              << " availability=" << sol.availability << '\n';
+
+    // Rollout validation: the long-run empirical availability matches the
+    // LP's stationary prediction.
+    Rng roll(11);
+    int s = smax;
+    long available = 0;
+    const int horizon = 100000;
+    for (int t = 0; t < horizon; ++t) {
+      if (cmdp->available(s)) ++available;
+      s = cmdp->step(s, sol.act(s, roll), roll);
+    }
+    std::cout << "rollout availability over " << horizon
+              << " steps: " << static_cast<double>(available) / horizon
+              << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// MinBFT client (§VII-B): broadcasts signed requests to all replicas and
+// accepts a result once f+1 replicas return identical, correctly signed
+// replies — a quorum is required because the client cannot tell which
+// replicas are compromised (Prop. 1).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "tolerance/consensus/minbft_messages.hpp"
+
+namespace tolerance::consensus {
+
+class MinBftClient {
+ public:
+  using CompletionHandler =
+      std::function<void(std::uint64_t request_id, const std::string& result,
+                         double latency_seconds)>;
+
+  MinBftClient(ClientId id, int f, std::vector<ReplicaId> replicas,
+               MinBftNet& net, std::shared_ptr<crypto::KeyRegistry> registry,
+               std::uint64_t key_seed, double retry_timeout = 30.0);
+
+  ClientId id() const { return id_; }
+
+  /// Update the replica set after a reconfiguration.
+  void set_replicas(std::vector<ReplicaId> replicas);
+
+  /// Submit an operation; `on_complete` fires when f+1 matching replies
+  /// arrive.  Returns the request id.
+  std::uint64_t submit(const std::string& operation,
+                       CompletionHandler on_complete);
+
+  /// Wire to the network.
+  void on_message(net::NodeId from, const MinBftMsg& msg);
+
+  std::uint64_t completed_count() const { return completed_; }
+
+ private:
+  struct Pending {
+    Request request;
+    std::map<std::string, std::set<ReplicaId>> votes;  // result -> replicas
+    CompletionHandler on_complete;
+    double submitted_at = 0.0;
+    std::uint64_t retry_timer = 0;
+  };
+
+  void transmit(const Request& request);
+  void arm_retry(std::uint64_t request_id);
+
+  ClientId id_;
+  int f_;
+  std::vector<ReplicaId> replicas_;
+  MinBftNet* net_;
+  std::shared_ptr<crypto::KeyRegistry> registry_;
+  crypto::Signer signer_;
+  double retry_timeout_;
+  std::uint64_t next_request_id_ = 0;
+  std::uint64_t completed_ = 0;
+  std::map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace tolerance::consensus

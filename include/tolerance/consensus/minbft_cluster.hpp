@@ -1,0 +1,66 @@
+// Harness that wires MinBFT replicas and clients onto a simulated network,
+// and drives the reconfiguration flows of Fig. 17 (join, evict, recover).
+// Used by the consensus tests, the Fig. 10 throughput bench, and the
+// full-stack emulation example.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "tolerance/consensus/minbft_client.hpp"
+#include "tolerance/consensus/minbft_replica.hpp"
+
+namespace tolerance::consensus {
+
+class MinBftCluster {
+ public:
+  MinBftCluster(int num_replicas, MinBftConfig config, std::uint64_t seed,
+                net::LinkConfig link = net::LinkConfig{});
+
+  MinBftNet& network() { return net_; }
+  MinBftReplica& replica(ReplicaId id);
+  bool has_replica(ReplicaId id) const;
+  std::vector<ReplicaId> replica_ids() const;
+  int f() const { return config_.f; }
+
+  /// Create a client (ids start at 10000 to avoid clashing with replicas).
+  MinBftClient& add_client();
+
+  /// Submit through a client and run the network until completion or the
+  /// event budget is exhausted; returns the result if completed.
+  std::optional<std::string> submit_and_run(MinBftClient& client,
+                                            const std::string& op,
+                                            std::size_t max_events = 2000000);
+
+  /// System-controller entry points (§VII-C): ordered via consensus.
+  /// `join` spins up the replica object, orders "join:<id>", and triggers
+  /// state transfer; `evict` orders "evict:<id>" and detaches the replica.
+  ReplicaId join_new_replica();
+  void evict_replica(ReplicaId id);
+
+  /// Replace the container of a compromised replica (Fig. 17d): fresh
+  /// replica object, same id, state transfer from peers.
+  void recover_replica(ReplicaId id);
+
+  /// Crash a replica (stops handling messages permanently until recovered).
+  void crash_replica(ReplicaId id);
+
+  /// Run the network for a simulated duration.
+  void run_for(double seconds);
+
+ private:
+  void wire_replica(ReplicaId id, std::vector<ReplicaId> membership);
+  std::vector<ReplicaId> current_membership() const;
+
+  MinBftConfig config_;
+  std::uint64_t seed_;
+  MinBftNet net_;
+  std::shared_ptr<crypto::KeyRegistry> registry_;
+  std::map<ReplicaId, std::unique_ptr<MinBftReplica>> replicas_;
+  std::vector<std::unique_ptr<MinBftClient>> clients_;
+  std::unique_ptr<MinBftClient> controller_client_;  ///< issues join/evict
+  ReplicaId next_replica_id_ = 0;
+  ClientId next_client_id_ = 10000;
+};
+
+}  // namespace tolerance::consensus

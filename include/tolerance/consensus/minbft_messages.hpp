@@ -1,0 +1,125 @@
+// Message vocabulary of the (reconfigurable) MinBFT protocol, Appendix G /
+// Fig. 17 of the paper: REQUEST, PREPARE, COMMIT, REPLY, CHECKPOINT,
+// REQ-VIEW-CHANGE, VIEW-CHANGE, NEW-VIEW, plus the JOIN/EVICT reconfiguration
+// operations which TOLERANCE's system controller drives through consensus.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tolerance/crypto/keys.hpp"
+#include "tolerance/crypto/usig.hpp"
+#include "tolerance/net/sim_network.hpp"
+
+namespace tolerance::consensus {
+
+using ReplicaId = net::NodeId;
+using ClientId = net::NodeId;
+using View = std::uint64_t;
+using SeqNum = std::uint64_t;
+
+/// A client operation.  Reconfiguration requests are ordinary operations with
+/// a reserved prefix ("join:<id>" / "evict:<id>") issued by the system
+/// controller, so membership changes are totally ordered with the workload
+/// (the approach of dynamic-BFT reconfiguration, §VII-C).
+struct Request {
+  ClientId client = 0;
+  std::uint64_t request_id = 0;
+  std::string operation;
+  crypto::Signature signature;  ///< client's signature over the request
+
+  std::string payload() const;
+  crypto::Digest digest() const;
+};
+
+struct Prepare {
+  View view = 0;
+  SeqNum seq = 0;  ///< equals the leader's USIG counter value
+  Request request;
+  crypto::UniqueIdentifier ui;  ///< leader's UI over the prepare digest
+
+  crypto::Digest body_digest() const;
+};
+
+struct Commit {
+  View view = 0;
+  SeqNum seq = 0;
+  ReplicaId replica = 0;           ///< the committing replica
+  crypto::Digest request_digest{}; ///< digest of the prepared request
+  crypto::UniqueIdentifier leader_ui;  ///< copied from the PREPARE
+  crypto::UniqueIdentifier ui;     ///< committer's own UI
+
+  crypto::Digest body_digest() const;
+};
+
+struct Reply {
+  ReplicaId replica = 0;
+  ClientId client = 0;
+  std::uint64_t request_id = 0;
+  std::string result;
+  crypto::Signature signature;
+
+  std::string payload() const;
+};
+
+struct Checkpoint {
+  ReplicaId replica = 0;
+  SeqNum last_executed = 0;
+  crypto::Digest state_digest{};
+  crypto::UniqueIdentifier ui;
+
+  crypto::Digest body_digest() const;
+};
+
+struct ReqViewChange {
+  ReplicaId replica = 0;
+  View from_view = 0;
+  View to_view = 0;
+};
+
+/// A prepared-but-possibly-undecided entry carried in view changes.
+struct PreparedProof {
+  Prepare prepare;
+};
+
+struct ViewChange {
+  ReplicaId replica = 0;
+  View to_view = 0;
+  SeqNum stable_seq = 0;
+  std::vector<PreparedProof> prepared;  ///< log suffix above the checkpoint
+  crypto::UniqueIdentifier ui;
+
+  crypto::Digest body_digest() const;
+};
+
+struct NewView {
+  ReplicaId leader = 0;
+  View view = 0;
+  std::vector<ViewChange> proofs;   ///< f+1 view-change messages
+  std::vector<Prepare> reproposed;  ///< undecided entries, re-prepared
+  crypto::UniqueIdentifier ui;
+
+  crypto::Digest body_digest() const;
+};
+
+/// State-transfer for recovered or joining replicas (Fig. 17 d-e).
+struct StateRequest {
+  ReplicaId replica = 0;
+};
+
+struct StateResponse {
+  ReplicaId replica = 0;
+  SeqNum last_executed = 0;
+  std::vector<std::string> log;  ///< executed operations in order
+  crypto::Digest state_digest{};
+};
+
+using MinBftMsg =
+    std::variant<Request, Prepare, Commit, Reply, Checkpoint, ReqViewChange,
+                 ViewChange, NewView, StateRequest, StateResponse>;
+
+using MinBftNet = net::SimNetwork<MinBftMsg>;
+
+}  // namespace tolerance::consensus

@@ -1,0 +1,146 @@
+// A MinBFT replica (Veronese et al. [43, §4.2], as used by TOLERANCE).
+//
+// MinBFT is PBFT restructured around a trusted monotonic counter (USIG):
+// two communication steps (PREPARE, COMMIT), f = (N-1)/2 resilience under
+// the hybrid failure model, FIFO ordering per leader enforced by counter
+// contiguity, equivocation impossible because a counter value can be bound
+// to only one message.  This implementation adds the reconfiguration
+// operations (join/evict) of §VII-C and state transfer for new replicas.
+//
+// Byzantine behaviour for experiments is injected via ByzantineMode: the
+// protocol logic below is the honest logic; a compromised replica either
+// goes silent, or emits garbage COMMITs/REPLYs — but its USIG still refuses
+// to equivocate, which is exactly the hybrid-failure assumption.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "tolerance/consensus/minbft_messages.hpp"
+
+namespace tolerance::consensus {
+
+/// Post-compromise behaviours from §VIII-A: (a) participate correctly,
+/// (b) stop participating, (c) participate with random messages.
+enum class ByzantineMode { Honest, Silent, Random };
+
+struct MinBftConfig {
+  int f = 1;                       ///< tolerated faults; N = 2f + 1 minimum
+  SeqNum checkpoint_period = 100;  ///< cp in Table 8
+  SeqNum log_watermark = 1000;     ///< L in Table 8
+  double view_change_timeout = 280.0;  ///< Tvc in Table 8 (seconds)
+  double request_retry_timeout = 30.0; ///< Texec in Table 8
+  double crypto_cost_sign = crypto::KeyRegistry::kSignCost;
+  double crypto_cost_verify = crypto::KeyRegistry::kVerifyCost;
+  /// CPU cost per outgoing message (marshalling + per-link MAC); dominates
+  /// the O(N^2) message complexity that bends the Fig. 10 throughput curve.
+  double cpu_cost_per_send = 0.0;
+};
+
+/// The replicated state machine: an append-only operation log with a chained
+/// digest (sufficient for the paper's read/write web service, §VII-B).
+class ReplicatedService {
+ public:
+  std::string execute(const std::string& operation);
+  const std::vector<std::string>& log() const { return log_; }
+  crypto::Digest state_digest() const { return digest_; }
+  void install(std::vector<std::string> log, crypto::Digest digest);
+
+ private:
+  std::vector<std::string> log_;
+  crypto::Digest digest_{};
+};
+
+class MinBftReplica {
+ public:
+  MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
+                MinBftConfig config, MinBftNet& net,
+                std::shared_ptr<crypto::KeyRegistry> registry,
+                std::uint64_t key_seed);
+
+  ReplicaId id() const { return id_; }
+  View view() const { return view_; }
+  ReplicaId current_leader() const;
+  bool is_leader() const { return current_leader() == id_; }
+  const std::vector<ReplicaId>& membership() const { return membership_; }
+  SeqNum last_executed() const { return last_executed_; }
+  const ReplicatedService& service() const { return service_; }
+  ByzantineMode mode() const { return mode_; }
+
+  /// Fault injection for experiments (§VIII-A behaviours).
+  void set_mode(ByzantineMode mode) { mode_ = mode; }
+
+  /// Handle any protocol message (wired to the network by MinBftCluster).
+  void on_message(net::NodeId from, const MinBftMsg& msg);
+
+  /// Ask peers for the current state (recovery / join, Fig. 17 d-e).
+  void request_state_transfer();
+
+  /// Number of executed operations (for tests/benches).
+  std::size_t executed_count() const { return service_.log().size(); }
+
+ private:
+  struct PendingEntry {
+    Prepare prepare;
+    std::set<ReplicaId> commits;  ///< distinct committers (incl. leader)
+    bool executed = false;
+  };
+
+  void handle_request(const Request& req);
+  void handle_prepare(const Prepare& p);
+  void handle_commit(const Commit& c);
+  void handle_checkpoint(const Checkpoint& c);
+  void handle_req_view_change(const ReqViewChange& r);
+  void handle_view_change(const ViewChange& vc);
+  void handle_new_view(const NewView& nv);
+  void handle_state_request(net::NodeId from, const StateRequest& r);
+  void handle_state_response(const StateResponse& r);
+
+  void lead_request(const Request& req);
+  void try_execute();
+  void execute_entry(PendingEntry& entry);
+  void apply_reconfiguration(const std::string& op);
+  void emit_checkpoint();
+  void garbage_collect(SeqNum stable);
+  void start_view_change(View to_view);
+  void arm_view_change_timer();
+  void disarm_view_change_timer();
+  void send_commit(const Prepare& p);
+  void broadcast(const MinBftMsg& msg);
+
+  bool verify_request(const Request& req) const;
+
+  ReplicaId id_;
+  std::vector<ReplicaId> membership_;
+  MinBftConfig config_;
+  MinBftNet* net_;
+  std::shared_ptr<crypto::KeyRegistry> registry_;
+  crypto::Signer signer_;
+  crypto::Usig usig_;
+  ReplicatedService service_;
+  ByzantineMode mode_ = ByzantineMode::Honest;
+
+  View view_ = 0;
+  SeqNum last_executed_ = 0;      ///< highest contiguously executed seq
+  SeqNum stable_checkpoint_ = 0;
+  std::map<SeqNum, PendingEntry> log_;
+  std::map<ReplicaId, std::uint64_t> last_counter_;  ///< FIFO per replica
+  std::set<std::pair<ClientId, std::uint64_t>> executed_requests_;
+  std::map<SeqNum, std::map<crypto::Digest, std::set<ReplicaId>,
+                            std::less<crypto::Digest>>>
+      checkpoint_votes_;
+  std::map<View, std::set<ReplicaId>> view_change_requests_;
+  std::map<View, std::vector<ViewChange>> view_changes_;
+  bool in_view_change_ = false;
+  std::uint64_t vc_timer_ = 0;
+  bool vc_timer_armed_ = false;
+  std::map<ClientId, std::uint64_t> last_replied_;
+  std::map<crypto::Digest, std::set<ReplicaId>> state_votes_;
+  std::map<crypto::Digest, StateResponse> pending_state_;
+};
+
+}  // namespace tolerance::consensus

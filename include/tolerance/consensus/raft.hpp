@@ -1,0 +1,171 @@
+// Raft (Ongaro & Ousterhout) — the crash-tolerant consensus substrate on
+// which the TOLERANCE system controller runs (§IV: "it can be deployed on a
+// standard crash-tolerant system, e.g., a RAFT-based system").
+//
+// Implements leader election, log replication and commitment over the
+// simulated network.  Nodes fail only by crashing (the privileged-domain
+// assumption), so no authentication beyond node ids is required here.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "tolerance/net/sim_network.hpp"
+
+namespace tolerance::consensus::raft {
+
+using NodeId = net::NodeId;
+using Term = std::uint64_t;
+using Index = std::uint64_t;  // 1-based log indexing
+
+struct LogEntry {
+  Term term = 0;
+  std::string command;
+};
+
+struct RequestVote {
+  Term term = 0;
+  NodeId candidate = 0;
+  Index last_log_index = 0;
+  Term last_log_term = 0;
+};
+
+struct VoteReply {
+  Term term = 0;
+  NodeId voter = 0;
+  bool granted = false;
+};
+
+struct AppendEntries {
+  Term term = 0;
+  NodeId leader = 0;
+  Index prev_log_index = 0;
+  Term prev_log_term = 0;
+  std::vector<LogEntry> entries;
+  Index leader_commit = 0;
+};
+
+struct AppendReply {
+  Term term = 0;
+  NodeId follower = 0;
+  bool success = false;
+  Index match_index = 0;
+};
+
+using RaftMsg = std::variant<RequestVote, VoteReply, AppendEntries, AppendReply>;
+using RaftNet = net::SimNetwork<RaftMsg>;
+
+enum class Role { Follower, Candidate, Leader };
+
+struct RaftConfig {
+  double election_timeout_min = 0.15;
+  double election_timeout_max = 0.30;
+  double heartbeat_interval = 0.05;
+};
+
+class RaftNode {
+ public:
+  using ApplyHandler = std::function<void(Index, const std::string&)>;
+
+  RaftNode(NodeId id, std::vector<NodeId> peers, RaftConfig config,
+           RaftNet& net, Rng rng);
+
+  NodeId id() const { return id_; }
+  Role role() const { return role_; }
+  Term term() const { return term_; }
+  Index commit_index() const { return commit_index_; }
+  const std::vector<LogEntry>& log() const { return log_; }
+  bool crashed() const { return crashed_; }
+
+  void set_apply_handler(ApplyHandler handler) { apply_ = std::move(handler); }
+
+  /// Client entry point: returns the assigned index if this node is leader.
+  std::optional<Index> propose(const std::string& command);
+
+  void on_message(NodeId from, const RaftMsg& msg);
+
+  /// Crash-stop / restart (volatile state reset; log kept, as with stable
+  /// storage).
+  void crash();
+  void restart();
+
+  /// Start the election timer; call once after construction.
+  void start();
+
+ private:
+  void become_follower(Term term);
+  void become_candidate();
+  void become_leader();
+  void reset_election_timer();
+  void send_heartbeats();
+  void replicate_to(NodeId peer);
+  void advance_commit();
+  void apply_committed();
+
+  Term last_log_term() const {
+    return log_.empty() ? 0 : log_.back().term;
+  }
+  Index last_log_index() const { return static_cast<Index>(log_.size()); }
+  int majority() const {
+    return static_cast<int>((peers_.size() + 1) / 2 + 1);
+  }
+
+  NodeId id_;
+  std::vector<NodeId> peers_;
+  RaftConfig config_;
+  RaftNet* net_;
+  Rng rng_;
+  ApplyHandler apply_;
+
+  Role role_ = Role::Follower;
+  Term term_ = 0;
+  std::optional<NodeId> voted_for_;
+  std::vector<LogEntry> log_;
+  Index commit_index_ = 0;
+  Index last_applied_ = 0;
+  bool crashed_ = false;
+
+  // Leader state.
+  std::map<NodeId, Index> next_index_;
+  std::map<NodeId, Index> match_index_;
+  int votes_ = 0;
+
+  std::uint64_t election_timer_ = 0;
+  bool election_timer_armed_ = false;
+  std::uint64_t heartbeat_timer_ = 0;
+  bool heartbeat_timer_armed_ = false;
+};
+
+/// Convenience harness: a Raft cluster on a simulated network.
+class RaftCluster {
+ public:
+  RaftCluster(int num_nodes, RaftConfig config, std::uint64_t seed,
+              net::LinkConfig link = net::LinkConfig{});
+
+  RaftNet& network() { return net_; }
+  RaftNode& node(NodeId id);
+  std::vector<NodeId> node_ids() const;
+
+  /// Current leader if exactly one non-crashed node believes it leads in the
+  /// highest term.
+  std::optional<NodeId> leader() const;
+
+  /// Run the network for a simulated duration.
+  void run_for(double seconds);
+
+  /// Run until a leader is elected (or the time budget is exhausted).
+  std::optional<NodeId> await_leader(double max_seconds = 30.0);
+
+ private:
+  RaftConfig config_;
+  RaftNet net_;
+  std::map<NodeId, std::unique_ptr<RaftNode>> nodes_;
+};
+
+}  // namespace tolerance::consensus::raft

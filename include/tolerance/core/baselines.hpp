@@ -1,0 +1,24 @@
+// The control strategies compared in §VIII-B:
+//  * TOLERANCE          — belief-threshold recovery + CMDP replication.
+//  * NO-RECOVERY        — never recovers, never adds (RAMPART, SECURE-RING).
+//  * PERIODIC           — recovers every DeltaR steps, never adds (PBFT,
+//                         VM-FIT, WORM-IT, PRRW, SCIT, BFT-SMART, ...).
+//  * PERIODIC-ADAPTIVE  — periodic recovery + adds a node when the alert
+//                         volume exceeds twice its mean (SITAR, ITUA, ITSI).
+#pragma once
+
+#include <string>
+
+namespace tolerance::core {
+
+enum class StrategyKind { Tolerance, NoRecovery, Periodic, PeriodicAdaptive };
+
+std::string to_string(StrategyKind kind);
+
+/// Staggered periodic-recovery schedule: node slot `i` is due for recovery
+/// at time t when (t - i*stagger) mod DeltaR == 0, which spreads recoveries
+/// so at most ~one node recovers per step (the k = 1 constraint of Prop. 1).
+/// DeltaR <= 0 (infinity) means never due.
+bool periodic_recovery_due(int node_slot, int t, int delta_r, int num_nodes);
+
+}  // namespace tolerance::core

@@ -1,0 +1,73 @@
+// The local control level of TOLERANCE (§IV, Fig. 1): one node controller
+// per node, running in the privileged domain.  It consumes the IDS alert
+// stream, maintains the belief state b_{i,t} = P[compromised] via the
+// recursion of Appendix A, and decides when to recover the replica with a
+// threshold strategy (Thm. 1) under the BTR constraint (6b).
+//
+// The control step is split into three phases because at most k nodes may
+// recover simultaneously (Prop. 1) and the arbitration happens outside the
+// controller:
+//   observe()  — fold this step's IDS output into the belief;
+//   decide()   — the action the strategy wants;
+//   commit()   — what actually happened (the granted action), which is what
+//                the belief filter must condition on next step.
+#pragma once
+
+#include <memory>
+
+#include "tolerance/emulation/estimation.hpp"
+#include "tolerance/pomdp/belief.hpp"
+#include "tolerance/solvers/threshold_policy.hpp"
+
+namespace tolerance::core {
+
+class NodeController {
+ public:
+  /// `detector` supplies both the alert binning and the estimated channel Ẑ;
+  /// `model` supplies the kernel (2) parameters for the belief prediction.
+  NodeController(pomdp::NodeModel model,
+                 emulation::FittedDetector detector,
+                 solvers::ThresholdPolicy policy);
+
+  /// Phase 1: consume one time-step of IDS output (raw priority-weighted
+  /// alerts).  Returns the updated belief.
+  double observe(double raw_alerts);
+
+  /// Phase 2: the strategy's desired action at the current belief.
+  pomdp::NodeAction decide() const;
+
+  /// True when the BTR constraint (6b) is what forces recovery this step —
+  /// such recoveries outrank belief-triggered ones in the k = 1 arbitration.
+  bool btr_due() const;
+
+  /// Phase 3: record the action that was actually applied to the replica.
+  /// A committed recovery resets the belief to the fresh-node prior b_1 = pA.
+  void commit(pomdp::NodeAction applied);
+
+  /// Convenience for single-node use: observe + decide + commit(decide()).
+  pomdp::NodeAction step(double raw_alerts);
+
+  /// The node was replaced by the global level: same effect as a recovery.
+  void reset();
+
+  double belief() const { return belief_; }
+  /// The filtered belief as it stood when the last decision was taken —
+  /// before any recovery reset it to pA.
+  double pre_decision_belief() const { return pre_decision_belief_; }
+  int steps_since_recovery() const { return steps_since_recovery_; }
+  const solvers::ThresholdPolicy& policy() const { return policy_; }
+
+ private:
+  // Note: no stored BeliefUpdater — it holds references into this object and
+  // would dangle under copy/move (controllers live in vectors); observe()
+  // constructs the (trivially cheap) updater on the fly instead.
+  pomdp::NodeModel model_;
+  emulation::FittedDetector detector_;
+  solvers::ThresholdPolicy policy_;
+  double belief_;
+  double pre_decision_belief_;
+  int steps_since_recovery_ = 0;
+  pomdp::NodeAction last_applied_ = pomdp::NodeAction::Wait;
+};
+
+}  // namespace tolerance::core

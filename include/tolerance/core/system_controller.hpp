@@ -1,0 +1,45 @@
+// The global control level of TOLERANCE (§IV-V): receives the belief states
+// from all node controllers, evicts nodes that stop reporting (crashed), and
+// decides when to add a node using the CMDP strategy pi*(a|s) computed by
+// Algorithm 2, where the state s_t = floor(sum_i (1 - b_{i,t})) is the
+// expected number of healthy nodes (8).
+//
+// The controller itself runs on a crash-tolerant substrate; see
+// tolerance/consensus/raft.hpp and the emulated_cluster example.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tolerance/solvers/cmdp_lp.hpp"
+
+namespace tolerance::core {
+
+struct SystemDecision {
+  std::vector<int> evict;  ///< node indices to evict (crashed)
+  bool add_node = false;   ///< increase the replication factor
+  int state = 0;           ///< the aggregated state s_t used for the decision
+};
+
+class SystemController {
+ public:
+  /// `strategy` from Algorithm 2; pass std::nullopt for a static replication
+  /// factor (the NO-RECOVERY / PERIODIC baselines).
+  SystemController(std::optional<solvers::CmdpSolution> strategy, int max_nodes,
+                   std::uint64_t seed);
+
+  /// One control step.  `beliefs[i]` is node i's reported belief;
+  /// `reported[i]` is false when the node failed to report (=> crashed, it
+  /// is evicted and N_t decremented, §V-B).
+  SystemDecision step(const std::vector<double>& beliefs,
+                      const std::vector<bool>& reported);
+
+  bool adaptive() const { return strategy_.has_value(); }
+
+ private:
+  std::optional<solvers::CmdpSolution> strategy_;
+  int max_nodes_;
+  Rng rng_;
+};
+
+}  // namespace tolerance::core

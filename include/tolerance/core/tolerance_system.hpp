@@ -1,0 +1,57 @@
+// End-to-end evaluation harness: wires the emulated testbed, the per-node
+// controllers and the system controller together and measures the §III-C
+// metrics — average availability T(A), average time-to-recovery T(R) and
+// recovery frequency F(R) — exactly as Table 7 / Fig. 12 report them
+// (horizon 10^3 steps; unresolved compromises contribute T(R) = horizon).
+#pragma once
+
+#include <optional>
+
+#include "tolerance/core/baselines.hpp"
+#include "tolerance/core/node_controller.hpp"
+#include "tolerance/core/system_controller.hpp"
+#include "tolerance/emulation/testbed.hpp"
+
+namespace tolerance::core {
+
+struct EvaluationConfig {
+  StrategyKind strategy = StrategyKind::Tolerance;
+  int initial_nodes = 3;   ///< N1
+  int delta_r = 0;         ///< DeltaR; <= 0 means infinity
+  int horizon = 1000;      ///< evaluation steps (60 s each in the paper)
+  int f = 1;               ///< tolerance threshold (Prop. 1)
+  int max_nodes = 13;      ///< hardware pool (Table 3)
+  double recovery_threshold = 0.76;  ///< alpha* for TOLERANCE (Fig. 13b)
+  pomdp::NodeParams node_params;     ///< belief-model parameters (Table 8)
+  emulation::TestbedConfig testbed;  ///< environment parameters
+};
+
+struct EvaluationResult {
+  double availability = 0.0;        ///< T(A)
+  double time_to_recovery = 0.0;    ///< T(R)
+  double recovery_frequency = 0.0;  ///< F(R), recoveries per node-step
+  double avg_nodes = 0.0;           ///< mean N_t (operational cost)
+  int recoveries = 0;
+  int compromises = 0;
+  int crashes = 0;
+  int additions = 0;
+  int evictions = 0;
+};
+
+class Evaluator {
+ public:
+  /// `replication` is the Algorithm 2 strategy (TOLERANCE only; ignored by
+  /// the baselines, which use a static replication factor except for
+  /// PERIODIC-ADAPTIVE's heuristic rule).
+  Evaluator(EvaluationConfig config, emulation::FittedDetector detector,
+            std::optional<solvers::CmdpSolution> replication);
+
+  EvaluationResult run(std::uint64_t seed) const;
+
+ private:
+  EvaluationConfig config_;
+  emulation::FittedDetector detector_;
+  std::optional<solvers::CmdpSolution> replication_;
+};
+
+}  // namespace tolerance::core

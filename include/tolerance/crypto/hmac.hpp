@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104).  Used for message authentication on network links
+// and as the "signature" primitive: under the paper's threat model the
+// attacker cannot forge signatures (Prop. 1(a)), which a keyed MAC with a
+// registry of pre-shared keys models faithfully in a closed system.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tolerance/crypto/sha256.hpp"
+
+namespace tolerance::crypto {
+
+Digest hmac_sha256(std::string_view key, std::string_view message);
+
+/// Convenience: tag equality check (constant time).
+bool hmac_verify(std::string_view key, std::string_view message,
+                 const Digest& tag);
+
+}  // namespace tolerance::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.  Message digests underpin
+// the authenticated channels, "digital signatures" (HMAC-based, valid under
+// the paper's no-forgery assumption (a) of Prop. 1) and the USIG certificates
+// of MinBFT.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tolerance::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Incremental interface.
+  void update(const std::uint8_t* data, std::size_t len);
+  void update(std::string_view s);
+  Digest finalize();
+
+  /// One-shot helpers.
+  static Digest hash(std::string_view s);
+  static Digest hash(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// Lowercase hex encoding of a digest.
+std::string to_hex(const Digest& d);
+
+/// Constant-time digest comparison.
+bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace tolerance::crypto

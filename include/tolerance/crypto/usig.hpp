@@ -1,0 +1,57 @@
+// USIG — Unique Sequential Identifier Generator (Veronese et al.), the
+// trusted component that lets MinBFT tolerate f = (N-1)/2 hybrid faults.
+//
+// The USIG lives in the privileged domain (provided by the virtualization
+// layer in TOLERANCE, §IV / Appendix G): even on a compromised replica it
+// keeps assigning strictly monotonic counter values and certifying them,
+// which prevents equivocation — a replica cannot assign the same counter to
+// two different messages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "tolerance/crypto/keys.hpp"
+#include "tolerance/crypto/sha256.hpp"
+
+namespace tolerance::crypto {
+
+/// A unique identifier: (counter, certificate) bound to a message digest.
+struct UniqueIdentifier {
+  PrincipalId replica = 0;
+  std::uint64_t counter = 0;
+  Digest certificate{};
+};
+
+/// USIG secrets live in a separate key namespace from replica signing keys;
+/// principal id of replica r's USIG = r + kUsigPrincipalOffset.
+inline constexpr PrincipalId kUsigPrincipalOffset = 1000000u;
+
+class Usig {
+ public:
+  Usig(PrincipalId replica, std::string secret)
+      : replica_(replica), secret_(std::move(secret)) {}
+
+  PrincipalId replica() const { return replica_; }
+  std::uint64_t last_counter() const { return counter_; }
+
+  /// createUI: assign the next counter value to the digest and certify it.
+  UniqueIdentifier create(const Digest& message_digest);
+
+  /// verifyUI: check the certificate against the registry-managed secret of
+  /// the issuing replica.  Stateless: callers enforce counter contiguity.
+  static bool verify(const KeyRegistry& registry, const Digest& message_digest,
+                     const UniqueIdentifier& ui);
+
+ private:
+  static std::string certificate_payload(PrincipalId replica,
+                                         std::uint64_t counter,
+                                         const Digest& digest);
+
+  PrincipalId replica_;
+  std::string secret_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace tolerance::crypto

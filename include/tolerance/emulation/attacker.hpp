@@ -1,0 +1,63 @@
+// The attacker of §II / §VIII-A: intrudes through the gateways, executes the
+// per-container intrusion steps of Table 6 (scan, then brute force or CVE
+// exploit), and after compromising a replica picks one of three behaviours:
+// (a) participate in the consensus protocol, (b) not participate, or
+// (c) participate with randomly selected messages.
+//
+// The attacker works on one target at a time (it wants to avoid detection);
+// each Table 6 step occupies one 60-second evaluation time-step and produces
+// its alert signature on the target node.
+#pragma once
+
+#include <optional>
+
+#include "tolerance/emulation/profiles.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::emulation {
+
+enum class CompromisedBehavior { Participate, Silent, RandomMessages };
+
+class Attacker {
+ public:
+  struct Config {
+    /// Probability per time-step of starting an intrusion against a healthy
+    /// node when idle (drives the compromise rate; the pA analogue).
+    double start_probability = 0.1;
+  };
+
+  explicit Attacker(Config config) : config_(config) {}
+
+  /// Is an intrusion currently in progress against `node_index`?
+  bool attacking(int node_index) const {
+    return target_.has_value() && *target_ == node_index;
+  }
+
+  /// The Table 6 step executing against the target this time-step, if any.
+  const IntrusionStep* current_step(const ContainerProfile& profile) const;
+
+  /// Called each step while idle: decide whether to engage `node_index`.
+  bool maybe_engage(int node_index, Rng& rng);
+
+  /// Advance the intrusion by one step; returns true when the final step
+  /// completed, i.e. the target is now compromised.
+  bool advance(const ContainerProfile& profile);
+
+  /// The target was recovered/evicted mid-intrusion: abort.
+  void abort(int node_index);
+
+  /// Reset after a successful compromise (move on to the next victim).
+  void on_compromised();
+
+  /// Behaviour choice after compromise (uniform among a/b/c, §VIII-A).
+  static CompromisedBehavior choose_behavior(Rng& rng);
+
+  std::optional<int> target() const { return target_; }
+
+ private:
+  Config config_;
+  std::optional<int> target_;
+  std::size_t step_index_ = 0;
+};
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,32 @@
+// Background client population of §VIII-A: clients arrive with Poisson rate
+// lambda = 20 and hold sessions with exponentially distributed durations of
+// mean mu = 4 time-steps (an M/M/inf queue).  The instantaneous load drives
+// the baseline levels of every IDS metric.
+#pragma once
+
+#include <vector>
+
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::emulation {
+
+class BackgroundWorkload {
+ public:
+  BackgroundWorkload(double arrival_rate, double mean_session_steps)
+      : arrival_rate_(arrival_rate), mean_session_(mean_session_steps) {}
+
+  /// Advance one time-step; returns the load (active sessions) after it.
+  int step(Rng& rng);
+
+  int load() const { return static_cast<int>(remaining_.size()); }
+
+  /// Long-run expected load (Little's law: lambda * mu).
+  double expected_load() const { return arrival_rate_ * mean_session_; }
+
+ private:
+  double arrival_rate_;
+  double mean_session_;
+  std::vector<double> remaining_;  ///< residual session durations
+};
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,44 @@
+// Detector fitting — the training phase of §VIII-A: collect M = 25,000
+// labeled metric samples per container, bin the raw priority-weighted alert
+// counts into the observation alphabet O by quantiles, and estimate the
+// empirical channel Ẑ by maximum likelihood (Fig. 11).  By Glivenko-Cantelli
+// Ẑ -> Z almost surely as M grows.
+#pragma once
+
+#include <memory>
+
+#include "tolerance/emulation/profiles.hpp"
+#include "tolerance/pomdp/observation_model.hpp"
+#include "tolerance/stats/empirical.hpp"
+
+namespace tolerance::emulation {
+
+struct FittedDetector {
+  stats::QuantileBinner binner;                      ///< raw alerts -> O
+  std::shared_ptr<pomdp::EmpiricalObservationModel> model;  ///< Ẑ over O
+  double kl_healthy_compromised = 0.0;  ///< DKL(Ẑ(.|H) || Ẑ(.|C)), Fig. 14/18
+
+  /// Map a raw alert count to an observation symbol.
+  int observe(double raw_alerts) const { return binner.bin(raw_alerts); }
+};
+
+/// Fit a detector for one container profile.
+FittedDetector fit_detector(const ContainerProfile& profile, int samples,
+                            int num_bins, double background_load, Rng& rng);
+
+/// Fit a pooled detector across the whole Table 4 catalog — what the node
+/// controllers use in the evaluation (recoveries draw random containers, so
+/// the controller cannot specialize per container).
+FittedDetector fit_pooled_detector(int samples_per_container, int num_bins,
+                                   double background_load, Rng& rng);
+
+/// Raw (unbinned) alert samples for a container — Fig. 11's histograms.
+struct AlertSamples {
+  std::vector<double> healthy;
+  std::vector<double> compromised;
+};
+AlertSamples collect_alert_samples(const ContainerProfile& profile,
+                                   int samples, double background_load,
+                                   Rng& rng);
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,42 @@
+// Container profiles of the paper's testbed: operating systems and
+// vulnerabilities (Table 4), background services (Table 5) and the attacker's
+// intrusion steps (Table 6).  The alert-signature parameters are calibrated
+// so that the empirical alert distributions reproduce the shapes of Fig. 11
+// (scans and brute-force steps generate thousands of priority-weighted
+// alerts; CVE exploits generate moderate bursts).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tolerance::emulation {
+
+/// One attacker action from Table 6 (e.g. "TCP SYN scan", "SSH brute force",
+/// "exploit of CVE-2017-7494").  While the step executes, the IDS observes a
+/// burst of alerts with the given gamma-distributed intensity.
+struct IntrusionStep {
+  std::string name;
+  double alert_burst_mean = 0.0;   ///< mean priority-weighted alerts
+  double alert_burst_shape = 2.0;  ///< gamma shape (dispersion control)
+};
+
+struct ContainerProfile {
+  int replica_id = 0;  ///< 1..10, matching Table 4
+  std::string os;
+  std::vector<std::string> vulnerabilities;
+  std::vector<std::string> background_services;  ///< Table 5
+  std::vector<IntrusionStep> intrusion_steps;    ///< Table 6
+  /// Baseline priority-weighted alerts per step caused by background
+  /// clients (per unit of load).
+  double baseline_alerts_per_load = 2.0;
+  /// Residual alert intensity while compromised (post-intrusion C2 traffic).
+  double compromised_alert_mean = 900.0;
+};
+
+/// The ten containers of Table 4.
+const std::vector<ContainerProfile>& container_catalog();
+
+/// Lookup by replica id (1-based, as in the paper).
+const ContainerProfile& container(int replica_id);
+
+}  // namespace tolerance::emulation

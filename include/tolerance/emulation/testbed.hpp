@@ -1,0 +1,85 @@
+// The emulated testbed of §VIII-A: N_t nodes running randomly-drawn
+// containers from Table 4, a background-client population, an attacker
+// executing Table 6 intrusions, per-node IDS metric streams, and the
+// response actions of §II: recover, evict, add.
+//
+// Evaluation runs evolve in 60-second time-steps with horizon 10^3 and the
+// node dynamics of kernel (2): crashes with pC1/pC2, software updates with
+// pU, compromises driven by the attacker.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tolerance/emulation/attacker.hpp"
+#include "tolerance/emulation/background.hpp"
+#include "tolerance/emulation/ids.hpp"
+#include "tolerance/emulation/profiles.hpp"
+#include "tolerance/pomdp/node_model.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::emulation {
+
+struct TestbedConfig {
+  int initial_nodes = 3;                 ///< N1
+  int max_nodes = 13;                    ///< smax (the Table 3 pool size)
+  double p_crash_healthy = 1e-5;         ///< pC1
+  double p_crash_compromised = 1e-3;     ///< pC2
+  double p_update = 2e-2;                ///< pU
+  Attacker::Config attacker;             ///< intrusion-start rate
+  double background_arrival_rate = 20.0; ///< lambda (Poisson)
+  double background_mean_session = 4.0;  ///< mu (exponential, in steps)
+};
+
+struct EmulatedNode {
+  int id = 0;               ///< stable identity (grows monotonically)
+  int container_id = 0;     ///< index into Table 4
+  pomdp::NodeState state = pomdp::NodeState::Healthy;
+  CompromisedBehavior behavior = CompromisedBehavior::Participate;
+  bool under_attack = false;       ///< Table 6 steps in progress
+  int compromised_since = -1;      ///< time-step of compromise, -1 if healthy
+  MetricSample last_metrics;       ///< this step's IDS observation
+};
+
+class Testbed {
+ public:
+  Testbed(TestbedConfig config, std::uint64_t seed);
+
+  const TestbedConfig& config() const { return config_; }
+  const std::vector<EmulatedNode>& nodes() const { return nodes_; }
+  int time() const { return time_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// Advance the environment by one time-step: background load, attacker
+  /// progress, crashes, software updates, IDS sampling.
+  void step();
+
+  /// Response action (i): replace the node's container with a fresh one
+  /// drawn at random from Table 4 (§VIII-A); aborts in-progress intrusions.
+  void recover(int node_index);
+
+  /// Response action (ii): evict a node (typically crashed).
+  void evict(int node_index);
+
+  /// Response action (iii): add a new node (fresh random container), if the
+  /// hardware pool (Table 3) has capacity.  Returns the new node's index.
+  std::optional<int> add_node();
+
+  int healthy_count() const;
+  /// Number of compromised or crashed nodes (the Prop. 1 budget).
+  int failed_count() const;
+  int background_load() const { return background_.load(); }
+
+ private:
+  EmulatedNode make_node();
+
+  TestbedConfig config_;
+  Rng rng_;
+  BackgroundWorkload background_;
+  Attacker attacker_;
+  std::vector<EmulatedNode> nodes_;
+  int time_ = 0;
+  int next_node_id_ = 0;
+};
+
+}  // namespace tolerance::emulation

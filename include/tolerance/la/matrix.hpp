@@ -1,0 +1,58 @@
+// Small dense linear algebra used by the Markov-chain analysis (Appendix F),
+// the Gaussian-process surrogate in Bayesian optimization, and the simplex
+// solver.  Row-major, value-semantic, bounds-checked via TOL_ENSURE.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::la {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    TOL_ENSURE(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    TOL_ENSURE(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  /// Raw row access (contiguous) for hot loops.
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  Matrix transpose() const;
+
+  /// True if every row sums to 1 (within tol) and entries are in [0,1].
+  bool is_row_stochastic(double tol = 1e-9) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = M x
+std::vector<double> matvec(const Matrix& m, const std::vector<double>& x);
+
+/// y = x^T M  (row vector times matrix), returned as a vector.
+std::vector<double> vecmat(const std::vector<double>& x, const Matrix& m);
+
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace tolerance::la

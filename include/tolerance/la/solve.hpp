@@ -1,0 +1,25 @@
+// Dense linear solvers: Gaussian elimination with partial pivoting (MTTF
+// hitting-time systems, Appendix F) and Cholesky factorization (Gaussian
+// process regression inside Bayesian optimization).
+#pragma once
+
+#include <vector>
+
+#include "tolerance/la/matrix.hpp"
+
+namespace tolerance::la {
+
+/// Solve A x = b; throws std::invalid_argument if A is (numerically) singular.
+std::vector<double> gauss_solve(Matrix a, std::vector<double> b);
+
+/// Matrix inverse via Gauss-Jordan; throws if singular.
+Matrix invert(const Matrix& a);
+
+/// Cholesky factor L (lower triangular) with A = L L^T; throws if A is not
+/// positive definite.
+Matrix cholesky(const Matrix& a);
+
+/// Solve A x = b given the Cholesky factor L of A (forward + back substitution).
+std::vector<double> cholesky_solve(const Matrix& l, std::vector<double> b);
+
+}  // namespace tolerance::la

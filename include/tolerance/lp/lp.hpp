@@ -1,0 +1,36 @@
+// Linear-program representation.  Variables are non-negative; the objective
+// is minimized.  This is exactly the form of the occupancy-measure LP (14)
+// that Algorithm 2 of the paper solves (the paper uses CBC; we ship our own
+// exact simplex, see simplex.hpp).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace tolerance::lp {
+
+enum class Relation { LessEq, Eq, GreaterEq };
+
+struct Constraint {
+  /// Sparse row: (variable index, coefficient) pairs.
+  std::vector<std::pair<int, double>> terms;
+  Relation relation = Relation::Eq;
+  double rhs = 0.0;
+};
+
+struct LinearProgram {
+  explicit LinearProgram(int num_vars)
+      : num_vars(num_vars), objective(num_vars, 0.0) {}
+
+  int num_vars = 0;
+  /// Minimized: sum_j objective[j] * x[j].
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  void add_constraint(std::vector<std::pair<int, double>> terms, Relation rel,
+                      double rhs) {
+    constraints.push_back({std::move(terms), rel, rhs});
+  }
+};
+
+}  // namespace tolerance::lp

@@ -1,0 +1,39 @@
+// Two-phase primal simplex over a dense tableau.
+//
+// Exact (up to floating point) LP solutions are all Algorithm 2 needs; the
+// solver uses Dantzig pricing with an automatic switch to Bland's rule when
+// degeneracy stalls progress, which guarantees termination.
+#pragma once
+
+#include <vector>
+
+#include "tolerance/lp/lp.hpp"
+
+namespace tolerance::lp {
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
+
+struct LpSolution {
+  LpStatus status = LpStatus::IterationLimit;
+  std::vector<double> x;      ///< primal values for the original variables
+  double objective = 0.0;     ///< c^T x at the solution
+  long iterations = 0;        ///< total pivots across both phases
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    long max_iterations = 200000;
+    double eps = 1e-9;  ///< pivot / feasibility tolerance
+  };
+
+  SimplexSolver() : options_() {}
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  LpSolution solve(const LinearProgram& lp) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tolerance::lp

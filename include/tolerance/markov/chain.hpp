@@ -1,0 +1,52 @@
+// Finite discrete-time Markov chain analysis (Appendix F of the paper):
+// mean hitting times (MTTF), reliability curves R(t) = P[T_F > t], stationary
+// distributions and trajectory simulation.
+#pragma once
+
+#include <vector>
+
+#include "tolerance/la/matrix.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::markov {
+
+class MarkovChain {
+ public:
+  /// `transition` must be row-stochastic.
+  explicit MarkovChain(la::Matrix transition);
+
+  std::size_t num_states() const { return p_.rows(); }
+  const la::Matrix& transition() const { return p_; }
+
+  /// Mean hitting time of the target set from every state (Appendix F):
+  /// h_i = 0 for i in target, else h_i = 1 + sum_j P_ij h_j, solved exactly
+  /// by Gaussian elimination.  States that cannot reach the target get
+  /// +infinity.
+  std::vector<double> mean_hitting_times(const std::vector<bool>& target) const;
+
+  /// Distribution after `t` steps starting from `init` (row vector * P^t).
+  std::vector<double> distribution_after(std::vector<double> init, int t) const;
+
+  /// Reliability curve: R(t) = P[T_failed > t | init] for t = 0..horizon,
+  /// computed on the chain with `failed` made absorbing (eq. (18)).
+  std::vector<double> reliability_curve(const std::vector<double>& init,
+                                        const std::vector<bool>& failed,
+                                        int horizon) const;
+
+  /// Stationary distribution by power iteration (requires aperiodic unichain
+  /// for convergence; callers assert via the returned residual if needed).
+  std::vector<double> stationary_distribution(int max_iters = 100000,
+                                              double tol = 1e-12) const;
+
+  int step(int state, Rng& rng) const;
+
+ private:
+  la::Matrix p_;
+};
+
+/// Chain over the number of healthy nodes {0..n} when each healthy node
+/// independently survives a time-step with probability `p_survive` and no
+/// recoveries occur (the Fig. 5 / Fig. 6 setting).
+MarkovChain binomial_survival_chain(int n, double p_survive);
+
+}  // namespace tolerance::markov

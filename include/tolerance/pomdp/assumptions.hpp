@@ -1,0 +1,46 @@
+// Checkers for the structural-result assumptions:
+//  * Theorem 1 (threshold recovery strategies), assumptions A-E on the node
+//    model and observation channel;
+//  * Theorem 2 (threshold-mixture replication strategies), assumptions B-D
+//    on the system kernel (A — feasibility — is certified by the LP solver).
+//
+// The benches report these so a user can tell when the threshold structure
+// is *guaranteed* versus merely empirically near-optimal (§V discussion).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tolerance/pomdp/node_model.hpp"
+#include "tolerance/pomdp/observation_model.hpp"
+#include "tolerance/pomdp/system_model.hpp"
+
+namespace tolerance::pomdp {
+
+struct Theorem1Report {
+  bool a_probabilities_interior = false;  ///< pA, pU, pC1, pC2 in (0,1)
+  bool b_attack_update_bounded = false;   ///< pA + pU <= 1
+  bool c_crash_gap = false;               ///< inequality (C) on pC2
+  bool d_observations_positive = false;   ///< Z(o|s) > 0 everywhere
+  bool e_tp2 = false;                     ///< Z is TP-2
+  bool all() const {
+    return a_probabilities_interior && b_attack_update_bounded &&
+           c_crash_gap && d_observations_positive && e_tp2;
+  }
+  std::vector<std::string> violations() const;
+};
+
+Theorem1Report check_theorem1(const NodeModel& model,
+                              const ObservationModel& obs);
+
+struct Theorem2Report {
+  bool b_full_support = false;        ///< f_S(s'|s,a) > 0
+  bool c_monotone = false;            ///< first-order stochastic dominance in s
+  bool d_tail_supermodular = false;   ///< tail-sum difference increasing
+  bool all() const { return b_full_support && c_monotone && d_tail_supermodular; }
+  std::vector<std::string> violations() const;
+};
+
+Theorem2Report check_theorem2(const SystemCmdp& cmdp, double tol = 1e-9);
+
+}  // namespace tolerance::pomdp

@@ -1,0 +1,34 @@
+// Belief-state recursion of Appendix A.
+//
+// The belief b_t = P[S_t = C | history] is a sufficient statistic for the
+// node POMDP.  Because a crash is observable (the node stops responding and
+// is evicted, §V-B), the recursion runs on the two-state kernel conditioned
+// on survival; BeliefUpdater implements exactly the recursion (e) of
+// Appendix A restricted to {H, C}.
+#pragma once
+
+#include "tolerance/pomdp/node_model.hpp"
+#include "tolerance/pomdp/observation_model.hpp"
+
+namespace tolerance::pomdp {
+
+class BeliefUpdater {
+ public:
+  BeliefUpdater(const NodeModel& model, const ObservationModel& obs)
+      : model_(&model), obs_(&obs) {}
+
+  /// Prediction step: m(C) = P[S_{t+1} = C | b_t, a_t, no crash].
+  double predict(double belief, NodeAction a) const;
+
+  /// Full Bayes update b_{t+1} = P[C | b_t, a_t, o_{t+1}] (Appendix A (e)).
+  double update(double belief, NodeAction a, int observation) const;
+
+  const NodeModel& model() const { return *model_; }
+  const ObservationModel& observation_model() const { return *obs_; }
+
+ private:
+  const NodeModel* model_;
+  const ObservationModel* obs_;
+};
+
+}  // namespace tolerance::pomdp

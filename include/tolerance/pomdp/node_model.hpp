@@ -1,0 +1,60 @@
+// The local control level: node state model of §V-A.
+//
+// A node is Healthy (H), Compromised (C) or Crashed (∅); the node controller
+// chooses Wait (W) or Recover (R).  The Markovian transition kernel f_{N,i}
+// is eq. (2) of the paper and the per-step cost c_N is eq. (5):
+//
+//   c_N(s, a) = eta*s - a*eta*s + a      with H, C = 0, 1 and W, R = 0, 1,
+//
+// i.e. waiting while compromised costs eta and every recovery costs 1.
+#pragma once
+
+#include "tolerance/la/matrix.hpp"
+
+namespace tolerance::pomdp {
+
+enum class NodeState { Healthy = 0, Compromised = 1, Crashed = 2 };
+enum class NodeAction { Wait = 0, Recover = 1 };
+
+/// Parameters of kernel (2).  Defaults follow Table 8 (Appendix E).
+struct NodeParams {
+  double p_attack = 0.1;               ///< pA: compromise prob per step
+  double p_crash_healthy = 1e-5;       ///< pC1: crash prob while healthy
+  double p_crash_compromised = 1e-3;   ///< pC2: crash prob while compromised
+  double p_update = 2e-2;              ///< pU: software-update prob per step
+  double eta = 2.0;                    ///< cost weight between T(R) and F(R)
+};
+
+class NodeModel {
+ public:
+  explicit NodeModel(NodeParams params);
+
+  const NodeParams& params() const { return params_; }
+
+  /// Transition probability f_N(next | s, a), eq. (2).
+  double transition(NodeState s, NodeAction a, NodeState next) const;
+
+  /// Full 3x3 transition matrix for an action (rows H, C, ∅).
+  la::Matrix transition_matrix(NodeAction a) const;
+
+  /// Probability of crashing this step from state s (eqs. (2a)-(2c)).
+  double crash_prob(NodeState s) const;
+
+  /// Transition among {H, C} conditioned on not crashing; this is the kernel
+  /// that drives the belief recursion because a crash is observable (the node
+  /// stops sending belief reports and is evicted, §V-B).
+  double conditional_transition(bool from_compromised, NodeAction a,
+                                bool to_compromised) const;
+
+  /// Per-step cost c_N(s, a), eq. (5).  Crashed nodes cost nothing (they are
+  /// evicted and handled by the global level).
+  double cost(NodeState s, NodeAction a) const;
+
+  /// Expected immediate cost under belief b = P[S = C].
+  double expected_cost(double belief, NodeAction a) const;
+
+ private:
+  NodeParams params_;
+};
+
+}  // namespace tolerance::pomdp

@@ -1,0 +1,58 @@
+// Monte-Carlo simulator for the node POMDP (Prob. 1).  Drives kernel (2),
+// observation channel (3) and the belief recursion under an arbitrary
+// recovery policy and reports the metrics of §III-C: average cost J_i (5),
+// average time-to-recovery T(R) and recovery frequency F(R).
+#pragma once
+
+#include <functional>
+
+#include "tolerance/pomdp/belief.hpp"
+#include "tolerance/pomdp/node_model.hpp"
+#include "tolerance/pomdp/observation_model.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::pomdp {
+
+/// A recovery policy maps (belief, absolute time step t = 1, 2, ...) to an
+/// action.  The BTR constraint (6b) forces recovery at the periodic times
+/// t = k*DeltaR and is the policy's responsibility (the ThresholdPolicy in
+/// tolerance/solvers enforces it from t).
+using NodePolicy = std::function<NodeAction(double belief, int t)>;
+
+struct NodeRunStats {
+  double avg_cost = 0.0;           ///< J_i estimate, eq. (5)
+  double avg_time_to_recovery = 0.0;  ///< T(R): compromise -> recovery start
+  double recovery_frequency = 0.0;    ///< F(R): recoveries per time-step
+  double availability = 0.0;       ///< fraction of steps spent healthy
+  int steps = 0;
+  int num_compromises = 0;
+  int num_recoveries = 0;
+  int num_crashes = 0;
+};
+
+class NodeSimulator {
+ public:
+  NodeSimulator(NodeModel model, const ObservationModel& obs)
+      : model_(model), updater_(model_, obs), obs_(&obs) {}
+
+  /// Run one trajectory of `horizon` steps.  A crashed node is replaced by a
+  /// fresh node (state resampled from the initial distribution b_1 = pA, the
+  /// paper's convention in §V-A).  Compromises that are never recovered
+  /// contribute the remaining horizon to T(R), matching how Table 7 reports
+  /// T(R) = 10^3 for NO-RECOVERY with horizon 10^3.
+  NodeRunStats run(const NodePolicy& policy, int horizon, Rng& rng) const;
+
+  /// Average of `episodes` independent runs (objective evaluation in Alg. 1).
+  NodeRunStats run_many(const NodePolicy& policy, int horizon, int episodes,
+                        Rng& rng) const;
+
+  const NodeModel& model() const { return model_; }
+  const BeliefUpdater& updater() const { return updater_; }
+
+ private:
+  NodeModel model_;
+  BeliefUpdater updater_;
+  const ObservationModel* obs_;
+};
+
+}  // namespace tolerance::pomdp

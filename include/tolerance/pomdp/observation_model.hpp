@@ -1,0 +1,83 @@
+// Observation channel Z (eq. (3)): the distribution of (priority-weighted)
+// IDS-alert observations given the hidden node state.
+//
+// Two implementations:
+//  * BetaBinObservationModel — the parametric family of Table 8,
+//    Z(.|H) = BetaBin(n, 0.7, 3), Z(.|C) = BetaBin(n, 1, 0.7).
+//  * EmpiricalObservationModel — Ẑ estimated from samples (Fig. 11), the
+//    path used by the emulated testbed (§VIII-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tolerance/stats/distributions.hpp"
+#include "tolerance/stats/empirical.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::pomdp {
+
+class ObservationModel {
+ public:
+  virtual ~ObservationModel() = default;
+
+  virtual int num_observations() const = 0;
+  /// Z(o | s) with s encoded as compromised?  (H = false, C = true).
+  virtual double prob(int observation, bool compromised) const = 0;
+  virtual int sample(bool compromised, Rng& rng) const = 0;
+
+  /// Assumption D of Thm. 1: Z(o|s) > 0 for all o, s.
+  bool all_positive() const;
+  /// Assumption E of Thm. 1: Z is TP-2, i.e. the likelihood ratio
+  /// Z(o|C)/Z(o|H) is non-decreasing in o.
+  bool is_tp2(double tol = 1e-12) const;
+  /// D_KL(Z(.|a) || Z(.|b)); used by Fig. 14 and Appendix H.
+  double kl(bool from_compromised, bool to_compromised) const;
+
+  std::vector<double> pmf(bool compromised) const;
+};
+
+class BetaBinObservationModel final : public ObservationModel {
+ public:
+  BetaBinObservationModel(stats::BetaBinomial healthy,
+                          stats::BetaBinomial compromised);
+
+  /// The Table 8 instantiation: BetaBin(n,0.7,3) / BetaBin(n,1,0.7) on
+  /// O = {0,...,n}.
+  static BetaBinObservationModel paper_default(int n = 10);
+
+  int num_observations() const override;
+  double prob(int observation, bool compromised) const override;
+  int sample(bool compromised, Rng& rng) const override;
+
+  const stats::BetaBinomial& healthy() const { return healthy_; }
+  const stats::BetaBinomial& compromised() const { return compromised_; }
+
+ private:
+  stats::BetaBinomial healthy_;
+  stats::BetaBinomial compromised_;
+};
+
+class EmpiricalObservationModel final : public ObservationModel {
+ public:
+  /// Both pmfs must share a support size.
+  EmpiricalObservationModel(stats::EmpiricalPmf healthy,
+                            stats::EmpiricalPmf compromised);
+
+  /// MLE from labeled samples with additive smoothing (guarantees
+  /// assumption D when smoothing > 0).
+  static EmpiricalObservationModel estimate(
+      const std::vector<int>& healthy_samples,
+      const std::vector<int>& compromised_samples, int support_size,
+      double smoothing = 0.5);
+
+  int num_observations() const override;
+  double prob(int observation, bool compromised) const override;
+  int sample(bool compromised, Rng& rng) const override;
+
+ private:
+  stats::EmpiricalPmf healthy_;
+  stats::EmpiricalPmf compromised_;
+};
+
+}  // namespace tolerance::pomdp

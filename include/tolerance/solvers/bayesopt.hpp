@@ -1,0 +1,35 @@
+// Bayesian Optimization with a Gaussian-process surrogate.
+//
+// Table 8: Matern(2.5) kernel, lower-confidence-bound acquisition with
+// beta = 2.5.  The GP uses a fixed length scale (no hyperparameter
+// optimization) and a noise term sized for the Monte-Carlo objective;
+// candidates are drawn at random and around the incumbent.
+#pragma once
+
+#include "tolerance/solvers/optimizer.hpp"
+
+namespace tolerance::solvers {
+
+class BayesianOptimization final : public ParametricOptimizer {
+ public:
+  struct Options {
+    double beta = 2.5;          ///< LCB exploration weight
+    double length_scale = 0.25; ///< Matern-5/2 length scale (per unit cube)
+    double noise = 1e-2;        ///< observation noise variance
+    int initial_random = 8;     ///< random evaluations before fitting the GP
+    int candidates = 256;       ///< acquisition candidates per step
+    int max_gp_points = 300;    ///< cap on GP training points (O(n^3) fits)
+  };
+
+  BayesianOptimization() : options_() {}
+  explicit BayesianOptimization(Options options) : options_(options) {}
+
+  std::string name() const override { return "bo"; }
+  OptResult optimize(const ObjectiveFn& f, int dim, long max_evaluations,
+                     Rng& rng) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tolerance::solvers

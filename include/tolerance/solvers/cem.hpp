@@ -1,0 +1,31 @@
+// Cross-Entropy Method (Table 8: population K = 100, elite fraction
+// lambda = 0.15) — the optimizer the paper uses for the §VIII evaluation
+// (Appendix E: "PO = CEM in Alg. 1").
+#pragma once
+
+#include "tolerance/solvers/optimizer.hpp"
+
+namespace tolerance::solvers {
+
+class CrossEntropyMethod final : public ParametricOptimizer {
+ public:
+  struct Options {
+    int population = 100;       ///< K
+    double elite_fraction = 0.15;  ///< lambda
+    double init_mean = 0.5;
+    double init_stddev = 0.3;
+    double min_stddev = 1e-3;   ///< noise floor to avoid premature collapse
+  };
+
+  CrossEntropyMethod() : options_() {}
+  explicit CrossEntropyMethod(Options options) : options_(options) {}
+
+  std::string name() const override { return "cem"; }
+  OptResult optimize(const ObjectiveFn& f, int dim, long max_evaluations,
+                     Rng& rng) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tolerance::solvers

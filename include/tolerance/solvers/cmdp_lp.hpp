@@ -1,0 +1,52 @@
+// Algorithm 2 of the paper: the optimal replication strategy via the
+// occupancy-measure linear program (14) of the constrained MDP (Prob. 2).
+//
+//   minimize   sum_{s,a} s * rho(s,a)
+//   subject to rho >= 0,  sum rho = 1,
+//              sum_a rho(s,a) = sum_{s',a} rho(s',a) f_S(s | s', a)  for all s,
+//              sum_{s,a} rho(s,a) [s >= f+1] >= epsilon_A.
+//
+// The optimal policy pi*(a|s) = rho*(s,a) / sum_a rho*(s,a); by Theorem 2 it
+// is a randomized mixture of two threshold strategies, and the solution
+// object reports the extracted thresholds (beta1, beta2) and mixing
+// coefficient kappa.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "tolerance/lp/simplex.hpp"
+#include "tolerance/pomdp/system_model.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::solvers {
+
+struct CmdpSolution {
+  lp::LpStatus status = lp::LpStatus::Infeasible;
+  /// rho(s, a) occupancy measure.
+  std::vector<std::array<double, 2>> occupancy;
+  /// pi(a = 1 | s) — probability of adding a node in state s.  States never
+  /// visited under the optimal occupancy are filled in by threshold
+  /// extension (consistent with Thm. 2).
+  std::vector<double> add_probability;
+  double average_cost = 0.0;    ///< E[s] under the stationary distribution
+  double availability = 0.0;    ///< P[s >= f+1] under the stationary distribution
+  long lp_iterations = 0;
+
+  // Threshold-mixture decomposition (Thm. 2): pi = kappa*pi_{beta1} +
+  // (1-kappa)*pi_{beta2} with beta1 <= beta2.
+  int beta1 = -1;
+  int beta2 = -1;
+  double kappa = 1.0;
+  int num_randomized_states = 0;  ///< states with 0 < pi(1|s) < 1
+
+  /// Sample an action for state s.
+  int act(int s, Rng& rng) const;
+};
+
+/// Solve Prob. 2 exactly (Algorithm 2).
+CmdpSolution solve_replication_lp(
+    const pomdp::SystemCmdp& cmdp,
+    lp::SimplexSolver::Options lp_options = {});
+
+}  // namespace tolerance::solvers

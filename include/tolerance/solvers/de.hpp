@@ -1,0 +1,28 @@
+// Differential Evolution (Storn & Price), DE/rand/1/bin.  Table 8:
+// population K = 10, mutation step 0.2, recombination rate 0.7.
+#pragma once
+
+#include "tolerance/solvers/optimizer.hpp"
+
+namespace tolerance::solvers {
+
+class DifferentialEvolution final : public ParametricOptimizer {
+ public:
+  struct Options {
+    int population = 10;        ///< K
+    double mutate_step = 0.2;   ///< F (differential weight)
+    double recombination = 0.7; ///< CR (crossover probability)
+  };
+
+  DifferentialEvolution() : options_() {}
+  explicit DifferentialEvolution(Options options) : options_(options) {}
+
+  std::string name() const override { return "de"; }
+  OptResult optimize(const ObjectiveFn& f, int dim, long max_evaluations,
+                     Rng& rng) const override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,43 @@
+// Monte-Carlo objective J_{i,theta} of Algorithm 1 (line 7): the average
+// cost (5) of the threshold strategy pi_theta estimated from simulated
+// trajectories of the node POMDP.
+#pragma once
+
+#include <vector>
+
+#include "tolerance/pomdp/node_simulator.hpp"
+#include "tolerance/solvers/threshold_policy.hpp"
+
+namespace tolerance::solvers {
+
+class RecoveryObjective {
+ public:
+  struct Options {
+    int episodes = 50;     ///< M in Table 8
+    int horizon = 200;     ///< steps per episode (cycles repeat inside)
+    std::uint64_t seed = 1;
+  };
+
+  RecoveryObjective(const pomdp::NodeModel& model,
+                    const pomdp::ObservationModel& obs, int delta_r,
+                    Options options);
+
+  /// Dimension of theta for this DeltaR.
+  int dimension() const { return ThresholdPolicy::dimension(delta_r_); }
+
+  /// J(theta): average cost under pi_theta.  Uses common random numbers
+  /// (a fixed seed) so optimizers see a consistent noisy landscape.
+  double operator()(const std::vector<double>& theta) const;
+
+  /// Full run statistics for a parameter vector (for reporting).
+  pomdp::NodeRunStats evaluate(const std::vector<double>& theta) const;
+
+  int delta_r() const { return delta_r_; }
+
+ private:
+  pomdp::NodeSimulator simulator_;
+  int delta_r_;
+  Options options_;
+};
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,43 @@
+// Common interface for the black-box optimizers plugged into Algorithm 1
+// (PO in the paper's notation): CEM, Differential Evolution, SPSA and
+// Bayesian Optimization.  All minimize a noisy objective over a box.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::solvers {
+
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+/// One (wall-clock seconds, best objective so far) sample; used to draw the
+/// Fig. 7 convergence curves.
+struct OptProgressPoint {
+  double seconds = 0.0;
+  double best_value = 0.0;
+  long evaluations = 0;
+};
+
+struct OptResult {
+  std::vector<double> best_x;
+  double best_value = 0.0;
+  long evaluations = 0;
+  std::vector<OptProgressPoint> history;
+};
+
+class ParametricOptimizer {
+ public:
+  virtual ~ParametricOptimizer() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Minimize `f` over [lo, hi]^dim with at most `max_evaluations` calls.
+  virtual OptResult optimize(const ObjectiveFn& f, int dim,
+                             long max_evaluations, Rng& rng) const = 0;
+};
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,61 @@
+// Proximal Policy Optimization baseline for Prob. 1 (Table 2).
+//
+// Actor-critic over the belief MDP: input features are the belief and the
+// normalized position within the periodic-recovery cycle; output is a
+// Wait/Recover categorical.  Hyperparameters default to Table 8 (lr 1e-5,
+// batch 4000 steps, 4x64 ReLU, clip 0.2, GAE lambda 0.95, entropy 1e-4).
+// The learning rate of 1e-5 reproduces the paper's slow-but-steady PPO
+// column; pass a larger lr for practical use.
+#pragma once
+
+#include <memory>
+
+#include "tolerance/pomdp/node_simulator.hpp"
+#include "tolerance/solvers/nn.hpp"
+#include "tolerance/solvers/optimizer.hpp"
+
+namespace tolerance::solvers {
+
+class PpoSolver {
+ public:
+  struct Options {
+    double learning_rate = 1e-5;
+    int batch_steps = 4000;
+    int hidden_layers = 4;
+    int hidden_units = 64;
+    double clip = 0.2;
+    double gae_lambda = 0.95;
+    double entropy_coef = 1e-4;
+    double discount = 0.99;
+    int epochs_per_batch = 4;
+    int iterations = 50;       ///< number of collect+update cycles
+    int episode_length = 200;  ///< steps per simulated episode
+  };
+
+  struct Result {
+    double best_cost = 0.0;             ///< best evaluated average cost (5)
+    std::vector<OptProgressPoint> history;
+    long evaluations = 0;               ///< environment steps consumed
+  };
+
+  PpoSolver(const pomdp::NodeModel& model, const pomdp::ObservationModel& obs,
+            int delta_r, Options options);
+
+  /// Train and return progress (Fig. 7 curves / Table 2 row).
+  Result train(Rng& rng);
+
+  /// Greedy policy from the trained actor.
+  pomdp::NodePolicy policy() const;
+
+ private:
+  std::vector<double> features(double belief, int t) const;
+
+  pomdp::NodeModel model_;
+  const pomdp::ObservationModel* obs_;
+  int delta_r_;
+  Options options_;
+  std::shared_ptr<Mlp> actor_;
+  std::shared_ptr<Mlp> critic_;
+};
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,48 @@
+// Threshold-parameterized recovery strategies (Algorithm 1, line 6).
+//
+// Theorem 1 shows an optimal strategy recovers iff the belief exceeds a
+// threshold, and Corollary 1 shows the thresholds depend only on the position
+// within the periodic-recovery cycle (and are constant when DeltaR = inf).
+// Algorithm 1 therefore parameterizes the strategy with d = DeltaR - 1
+// thresholds theta_1..theta_d (a single theta when DeltaR = inf) and enforces
+// the BTR constraint (6b) by recovering at every cycle boundary.
+#pragma once
+
+#include <vector>
+
+#include "tolerance/pomdp/node_simulator.hpp"
+
+namespace tolerance::solvers {
+
+/// Sentinel for DeltaR = infinity (no periodic-recovery constraint).
+inline constexpr int kNoBtr = 0;
+
+class ThresholdPolicy {
+ public:
+  /// `delta_r` <= 0 means DeltaR = infinity.  `thresholds` must have
+  /// dimension(delta_r) entries in [0, 1].
+  ThresholdPolicy(std::vector<double> thresholds, int delta_r);
+
+  /// Number of thresholds Algorithm 1 optimizes for a given DeltaR.
+  static int dimension(int delta_r);
+
+  /// Convenience: a single constant threshold (the DeltaR = inf case).
+  static ThresholdPolicy constant(double threshold);
+
+  /// The strategy pi_theta(b, t): recover iff b >= theta_k with k the
+  /// position in the current cycle, or unconditionally at cycle boundaries
+  /// (BTR constraint (6b)).
+  pomdp::NodeAction action(double belief, int t) const;
+
+  /// Adapter for the simulator.
+  pomdp::NodePolicy as_policy() const;
+
+  const std::vector<double>& thresholds() const { return thresholds_; }
+  int delta_r() const { return delta_r_; }
+
+ private:
+  std::vector<double> thresholds_;
+  int delta_r_;
+};
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,66 @@
+// Empirical distributions and divergence measures.
+//
+// §VIII-A of the paper estimates the observation channel Z-hat from M=25,000
+// testbed samples per container (Fig. 11), and Appendix H ranks candidate
+// metrics by the Kullback-Leibler divergence between their intrusion and
+// no-intrusion distributions (Fig. 18).  EmpiricalPmf + kl_divergence +
+// QuantileBinner implement that pipeline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::stats {
+
+/// A probability mass function over {0, ..., K-1} estimated from counts.
+class EmpiricalPmf {
+ public:
+  /// Uniform pmf over `support_size` symbols.
+  explicit EmpiricalPmf(int support_size);
+
+  /// Build from raw counts with additive (Laplace) smoothing.
+  static EmpiricalPmf from_counts(const std::vector<std::int64_t>& counts,
+                                  double smoothing = 0.0);
+
+  /// Build from integer samples clamped to {0, ..., support_size-1}.
+  static EmpiricalPmf from_samples(const std::vector<int>& samples,
+                                   int support_size, double smoothing = 0.0);
+
+  int support_size() const { return static_cast<int>(p_.size()); }
+  double prob(int k) const;
+  const std::vector<double>& probs() const { return p_; }
+  double mean() const;
+  int sample(Rng& rng) const;
+
+ private:
+  explicit EmpiricalPmf(std::vector<double> p);
+  std::vector<double> p_;
+};
+
+/// KL divergence D(p || q) between two pmfs on the same support.  Terms with
+/// p_k = 0 contribute 0; a term with p_k > 0 and q_k = 0 yields +infinity.
+double kl_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q);
+double kl_divergence(const EmpiricalPmf& p, const EmpiricalPmf& q);
+
+/// Maps raw metric values (e.g. weighted IDS alert counts, which can reach
+/// thousands) onto a small observation alphabet O = {0, ..., bins-1} using
+/// quantile bin edges fitted on training samples.  This is how the emulated
+/// controllers turn SNORT-like alert counts into POMDP observations.
+class QuantileBinner {
+ public:
+  /// Fit `bins` bins whose edges are quantiles of the pooled samples.
+  static QuantileBinner fit(std::vector<double> samples, int bins);
+
+  int bin(double value) const;
+  int num_bins() const { return static_cast<int>(edges_.size()) + 1; }
+  const std::vector<double>& edges() const { return edges_; }
+
+ private:
+  explicit QuantileBinner(std::vector<double> edges);
+  std::vector<double> edges_;  // ascending; value <= edges_[i] => bin i
+};
+
+}  // namespace tolerance::stats

@@ -1,0 +1,29 @@
+// Special functions needed for the statistical substrate: regularized
+// incomplete beta (Student-t CDF), normal/Student-t quantiles, log-beta.
+// Implemented from scratch (no external dependencies).
+#pragma once
+
+namespace tolerance::stats {
+
+/// log Beta(a, b) = lgamma(a) + lgamma(b) - lgamma(a+b).
+double log_beta(double a, double b);
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1].
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// Standard normal CDF.
+double norm_cdf(double x);
+
+/// Standard normal quantile (inverse CDF) for p in (0, 1).
+double norm_quantile(double p);
+
+/// Student-t CDF with `df` degrees of freedom.
+double t_cdf(double x, double df);
+
+/// Student-t quantile with `df` degrees of freedom, p in (0, 1).
+double t_quantile(double p, double df);
+
+/// log n-choose-k via lgamma.
+double log_choose(int n, int k);
+
+}  // namespace tolerance::stats

@@ -1,0 +1,30 @@
+// Sample summaries and Student-t confidence intervals.  The paper reports
+// every number as "mean ± 95% CI based on the Student-t distribution"
+// (Appendix E); MeanCi reproduces that convention.
+#pragma once
+
+#include <vector>
+
+namespace tolerance::stats {
+
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+double sample_variance(const std::vector<double>& xs);
+
+double sample_stddev(const std::vector<double>& xs);
+
+struct MeanCi {
+  double mean = 0.0;
+  double half_width = 0.0;
+  double lo() const { return mean - half_width; }
+  double hi() const { return mean + half_width; }
+};
+
+/// Student-t confidence interval for the mean at the given confidence level.
+MeanCi mean_ci(const std::vector<double>& xs, double confidence = 0.95);
+
+/// Empirical quantile (linear interpolation between order statistics).
+double quantile(std::vector<double> xs, double q);
+
+}  // namespace tolerance::stats

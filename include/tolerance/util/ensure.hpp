@@ -1,0 +1,29 @@
+// Contract-checking helpers (C++ Core Guidelines I.6/I.8 style).
+//
+// TOL_ENSURE is used to validate preconditions on public API boundaries.  It
+// throws std::invalid_argument so that misuse is observable and testable
+// rather than undefined behaviour.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tolerance {
+
+[[noreturn]] inline void ensure_failed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace tolerance
+
+#define TOL_ENSURE(expr, msg)                                     \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::tolerance::ensure_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                             \
+  } while (false)

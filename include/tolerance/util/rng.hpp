@@ -1,0 +1,111 @@
+// Deterministic random-number generation for simulations and solvers.
+//
+// Every stochastic component in the library takes an explicit Rng& so that
+// experiments are reproducible from a single seed and sub-streams can be
+// split for independent components (nodes, attackers, optimizers).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance {
+
+class Rng {
+ public:
+  using engine_type = std::mt19937_64;
+
+  explicit Rng(std::uint64_t seed = 0) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    TOL_ENSURE(lo <= hi, "uniform bounds must be ordered");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in {0, ..., n-1}.
+  int uniform_int(int n) {
+    TOL_ENSURE(n > 0, "uniform_int requires n > 0");
+    return std::uniform_int_distribution<int>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in {lo, ..., hi} (inclusive).
+  int uniform_int(int lo, int hi) {
+    TOL_ENSURE(lo <= hi, "uniform_int bounds must be ordered");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  double exponential(double rate) {
+    TOL_ENSURE(rate > 0.0, "exponential rate must be positive");
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  int poisson(double mean) {
+    TOL_ENSURE(mean >= 0.0, "poisson mean must be non-negative");
+    if (mean == 0.0) return 0;
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  int binomial(int n, double p) {
+    TOL_ENSURE(n >= 0, "binomial n must be non-negative");
+    if (n == 0 || p <= 0.0) return 0;
+    if (p >= 1.0) return n;
+    return std::binomial_distribution<int>(n, p)(engine_);
+  }
+
+  double gamma(double shape, double scale = 1.0) {
+    TOL_ENSURE(shape > 0.0 && scale > 0.0, "gamma parameters must be positive");
+    return std::gamma_distribution<double>(shape, scale)(engine_);
+  }
+
+  /// Beta(a, b) sampled via two gamma draws.
+  double beta(double a, double b) {
+    const double x = gamma(a);
+    const double y = gamma(b);
+    return x / (x + y);
+  }
+
+  /// Sample an index proportional to the given non-negative weights.
+  int categorical(const std::vector<double>& weights) {
+    TOL_ENSURE(!weights.empty(), "categorical requires at least one weight");
+    double total = 0.0;
+    for (double w : weights) {
+      TOL_ENSURE(w >= 0.0, "categorical weights must be non-negative");
+      total += w;
+    }
+    TOL_ENSURE(total > 0.0, "categorical weights must not all be zero");
+    double u = uniform() * total;
+    for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+      u -= weights[i];
+      if (u < 0.0) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size() - 1);
+  }
+
+  /// Derive an independent sub-stream; deterministic given this stream state.
+  Rng split() { return Rng(engine_()); }
+
+  engine_type& engine() { return engine_; }
+
+ private:
+  engine_type engine_;
+};
+
+}  // namespace tolerance

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch used by solver benchmarks (compute-time columns).
+#pragma once
+
+#include <chrono>
+
+namespace tolerance {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_minutes() const { return elapsed_seconds() / 60.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tolerance

@@ -1,0 +1,34 @@
+// Fixed-width console tables for the benchmark harness.  Every table/figure
+// bench prints rows through this class so the output is uniform and easy to
+// diff against the paper.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tolerance {
+
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Append a row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with aligned columns and a separator under the header.
+  void print(std::ostream& os) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Format helper: fixed-precision double.
+  static std::string num(double v, int precision = 2);
+  /// Format helper: "mean ±hw" as used throughout the paper's tables.
+  static std::string mean_pm(double mean, double half_width, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tolerance

@@ -1,0 +1,80 @@
+#include "tolerance/consensus/minbft_client.hpp"
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::consensus {
+
+MinBftClient::MinBftClient(ClientId id, int f, std::vector<ReplicaId> replicas,
+                           MinBftNet& net,
+                           std::shared_ptr<crypto::KeyRegistry> registry,
+                           std::uint64_t key_seed, double retry_timeout)
+    : id_(id), f_(f), replicas_(std::move(replicas)), net_(&net),
+      registry_(std::move(registry)),
+      signer_(id, registry_->register_principal(id, key_seed)),
+      retry_timeout_(retry_timeout) {
+  TOL_ENSURE(f_ >= 0, "f must be non-negative");
+  TOL_ENSURE(!replicas_.empty(), "need at least one replica");
+}
+
+void MinBftClient::set_replicas(std::vector<ReplicaId> replicas) {
+  TOL_ENSURE(!replicas.empty(), "need at least one replica");
+  replicas_ = std::move(replicas);
+}
+
+std::uint64_t MinBftClient::submit(const std::string& operation,
+                                   CompletionHandler on_complete) {
+  Request req;
+  req.client = id_;
+  req.request_id = ++next_request_id_;
+  req.operation = operation;
+  net_->consume_cpu(id_, crypto::KeyRegistry::kSignCost);
+  req.signature = signer_.sign(req.payload());
+  Pending pending;
+  pending.request = req;
+  pending.on_complete = std::move(on_complete);
+  pending.submitted_at = net_->now();
+  pending_[req.request_id] = std::move(pending);
+  transmit(req);
+  arm_retry(req.request_id);
+  return req.request_id;
+}
+
+void MinBftClient::transmit(const Request& request) {
+  for (ReplicaId r : replicas_) {
+    net_->send(id_, r, MinBftMsg{request});
+  }
+}
+
+void MinBftClient::arm_retry(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  it->second.retry_timer = net_->schedule(retry_timeout_, [this, request_id]() {
+    const auto p = pending_.find(request_id);
+    if (p == pending_.end()) return;  // already completed
+    transmit(p->second.request);      // Texec retransmission (Table 8)
+    arm_retry(request_id);
+  });
+}
+
+void MinBftClient::on_message(net::NodeId, const MinBftMsg& msg) {
+  const Reply* reply = std::get_if<Reply>(&msg);
+  if (reply == nullptr || reply->client != id_) return;
+  const auto it = pending_.find(reply->request_id);
+  if (it == pending_.end()) return;
+  net_->consume_cpu(id_, crypto::KeyRegistry::kVerifyCost);
+  if (!registry_->verify(reply->payload(), reply->signature)) return;
+  auto& votes = it->second.votes[reply->result];
+  votes.insert(reply->replica);
+  if (static_cast<int>(votes.size()) >= f_ + 1) {
+    const double latency = net_->now() - it->second.submitted_at;
+    ++completed_;
+    net_->cancel(it->second.retry_timer);
+    auto handler = std::move(it->second.on_complete);
+    const std::string result = reply->result;
+    const std::uint64_t rid = reply->request_id;
+    pending_.erase(it);
+    if (handler) handler(rid, result, latency);
+  }
+}
+
+}  // namespace tolerance::consensus

@@ -1,0 +1,135 @@
+#include "tolerance/consensus/minbft_cluster.hpp"
+
+#include <sstream>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::consensus {
+
+MinBftCluster::MinBftCluster(int num_replicas, MinBftConfig config,
+                             std::uint64_t seed, net::LinkConfig link)
+    : config_(config), seed_(seed), net_(seed, link),
+      registry_(std::make_shared<crypto::KeyRegistry>()) {
+  TOL_ENSURE(num_replicas >= 2 * config.f + 1,
+             "MinBFT requires N >= 2f + 1 (hybrid failure model)");
+  std::vector<ReplicaId> membership;
+  for (int i = 0; i < num_replicas; ++i) {
+    membership.push_back(static_cast<ReplicaId>(i));
+  }
+  next_replica_id_ = static_cast<ReplicaId>(num_replicas);
+  for (ReplicaId id : membership) wire_replica(id, membership);
+  controller_client_ = std::make_unique<MinBftClient>(
+      9999, config_.f, membership, net_, registry_, seed ^ 0x9999,
+      config_.request_retry_timeout);
+  net_.register_host(9999, [this](net::NodeId from, const MinBftMsg& m) {
+    controller_client_->on_message(from, m);
+  });
+}
+
+void MinBftCluster::wire_replica(ReplicaId id,
+                                 std::vector<ReplicaId> membership) {
+  auto replica = std::make_unique<MinBftReplica>(
+      id, std::move(membership), config_, net_, registry_, seed_ ^ id);
+  MinBftReplica* raw = replica.get();
+  replicas_[id] = std::move(replica);
+  net_.register_host(id, [raw](net::NodeId from, const MinBftMsg& m) {
+    raw->on_message(from, m);
+  });
+}
+
+MinBftReplica& MinBftCluster::replica(ReplicaId id) {
+  const auto it = replicas_.find(id);
+  TOL_ENSURE(it != replicas_.end(), "unknown replica id");
+  return *it->second;
+}
+
+bool MinBftCluster::has_replica(ReplicaId id) const {
+  return replicas_.count(id) > 0;
+}
+
+std::vector<ReplicaId> MinBftCluster::replica_ids() const {
+  std::vector<ReplicaId> ids;
+  ids.reserve(replicas_.size());
+  for (const auto& [id, r] : replicas_) {
+    (void)r;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<ReplicaId> MinBftCluster::current_membership() const {
+  // Use an arbitrary live replica's view of the membership.
+  TOL_ENSURE(!replicas_.empty(), "cluster has no replicas");
+  return replicas_.begin()->second->membership();
+}
+
+MinBftClient& MinBftCluster::add_client() {
+  const ClientId id = next_client_id_++;
+  auto client = std::make_unique<MinBftClient>(
+      id, config_.f, current_membership(), net_, registry_, seed_ ^ id,
+      config_.request_retry_timeout);
+  MinBftClient* raw = client.get();
+  net_.register_host(id, [raw](net::NodeId from, const MinBftMsg& m) {
+    raw->on_message(from, m);
+  });
+  clients_.push_back(std::move(client));
+  return *clients_.back();
+}
+
+std::optional<std::string> MinBftCluster::submit_and_run(
+    MinBftClient& client, const std::string& op, std::size_t max_events) {
+  std::optional<std::string> result;
+  client.submit(op, [&result](std::uint64_t, const std::string& r, double) {
+    result = r;
+  });
+  std::size_t events = 0;
+  while (!result.has_value() && events < max_events && net_.step()) ++events;
+  return result;
+}
+
+ReplicaId MinBftCluster::join_new_replica() {
+  const ReplicaId id = next_replica_id_++;
+  // Spin up the replica with the membership it will have after the join so
+  // that it recognises itself as a member.
+  std::vector<ReplicaId> membership = current_membership();
+  membership.push_back(id);
+  wire_replica(id, membership);
+  std::ostringstream op;
+  op << "join:" << id;
+  controller_client_->set_replicas(current_membership());
+  const auto res = submit_and_run(*controller_client_, op.str());
+  TOL_ENSURE(res.has_value(), "join request did not complete");
+  replicas_[id]->request_state_transfer();
+  net_.run(200000);
+  return id;
+}
+
+void MinBftCluster::evict_replica(ReplicaId id) {
+  std::ostringstream op;
+  op << "evict:" << id;
+  controller_client_->set_replicas(current_membership());
+  const auto res = submit_and_run(*controller_client_, op.str());
+  TOL_ENSURE(res.has_value(), "evict request did not complete");
+  net_.unregister_host(id);
+  replicas_.erase(id);
+}
+
+void MinBftCluster::recover_replica(ReplicaId id) {
+  TOL_ENSURE(replicas_.count(id) > 0, "unknown replica id");
+  const std::vector<ReplicaId> membership = current_membership();
+  net_.unregister_host(id);
+  replicas_.erase(id);
+  wire_replica(id, membership);
+  replicas_[id]->request_state_transfer();
+  net_.run(200000);
+}
+
+void MinBftCluster::crash_replica(ReplicaId id) {
+  net_.unregister_host(id);
+}
+
+void MinBftCluster::run_for(double seconds) {
+  net_.run_until(net_.now() + seconds);
+}
+
+}  // namespace tolerance::consensus

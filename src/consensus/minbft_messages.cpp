@@ -1,0 +1,70 @@
+#include "tolerance/consensus/minbft_messages.hpp"
+
+#include <sstream>
+
+namespace tolerance::consensus {
+namespace {
+
+std::string hex(const crypto::Digest& d) { return crypto::to_hex(d); }
+
+}  // namespace
+
+std::string Request::payload() const {
+  std::ostringstream os;
+  os << "req|" << client << '|' << request_id << '|' << operation;
+  return os.str();
+}
+
+crypto::Digest Request::digest() const {
+  return crypto::Sha256::hash(payload());
+}
+
+crypto::Digest Prepare::body_digest() const {
+  std::ostringstream os;
+  os << "prepare|" << view << '|' << seq << '|' << hex(request.digest());
+  return crypto::Sha256::hash(os.str());
+}
+
+crypto::Digest Commit::body_digest() const {
+  std::ostringstream os;
+  os << "commit|" << view << '|' << seq << '|' << replica << '|'
+     << hex(request_digest) << '|' << leader_ui.replica << ':'
+     << leader_ui.counter;
+  return crypto::Sha256::hash(os.str());
+}
+
+std::string Reply::payload() const {
+  std::ostringstream os;
+  os << "reply|" << replica << '|' << client << '|' << request_id << '|'
+     << result;
+  return os.str();
+}
+
+crypto::Digest Checkpoint::body_digest() const {
+  std::ostringstream os;
+  os << "checkpoint|" << replica << '|' << last_executed << '|'
+     << hex(state_digest);
+  return crypto::Sha256::hash(os.str());
+}
+
+crypto::Digest ViewChange::body_digest() const {
+  std::ostringstream os;
+  os << "viewchange|" << replica << '|' << to_view << '|' << stable_seq << '|'
+     << prepared.size();
+  for (const PreparedProof& p : prepared) {
+    os << '|' << p.prepare.seq << ':' << hex(p.prepare.request.digest());
+  }
+  return crypto::Sha256::hash(os.str());
+}
+
+crypto::Digest NewView::body_digest() const {
+  std::ostringstream os;
+  os << "newview|" << leader << '|' << view << '|' << proofs.size() << '|'
+     << reproposed.size();
+  for (const Prepare& p : reproposed) {
+    os << '|' << p.seq << ':' << hex(p.request.digest());
+  }
+  return crypto::Sha256::hash(os.str());
+}
+
+}  // namespace tolerance::consensus

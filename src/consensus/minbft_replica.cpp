@@ -1,0 +1,474 @@
+#include "tolerance/consensus/minbft_replica.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::consensus {
+
+// ---------------------------------------------------------------------------
+// ReplicatedService
+// ---------------------------------------------------------------------------
+
+std::string ReplicatedService::execute(const std::string& operation) {
+  log_.push_back(operation);
+  // Chained digest: digest' = H(digest || op).
+  crypto::Sha256 h;
+  h.update(reinterpret_cast<const std::uint8_t*>(digest_.data()),
+           digest_.size());
+  h.update(operation);
+  digest_ = h.finalize();
+  // Result of the paper's web service: reads return state size, writes ack.
+  std::ostringstream os;
+  os << "ok:" << log_.size();
+  return os.str();
+}
+
+void ReplicatedService::install(std::vector<std::string> log,
+                                crypto::Digest digest) {
+  log_ = std::move(log);
+  digest_ = digest;
+}
+
+// ---------------------------------------------------------------------------
+// MinBftReplica
+// ---------------------------------------------------------------------------
+
+MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
+                             MinBftConfig config, MinBftNet& net,
+                             std::shared_ptr<crypto::KeyRegistry> registry,
+                             std::uint64_t key_seed)
+    : id_(id), membership_(std::move(membership)), config_(config), net_(&net),
+      registry_(std::move(registry)),
+      signer_(id, registry_->register_principal(id, key_seed)),
+      usig_(id, registry_->register_principal(id + crypto::kUsigPrincipalOffset,
+                                              key_seed ^ 0x5a5au)) {
+  TOL_ENSURE(!membership_.empty(), "membership must be non-empty");
+  std::sort(membership_.begin(), membership_.end());
+  TOL_ENSURE(std::find(membership_.begin(), membership_.end(), id_) !=
+                 membership_.end(),
+             "replica must be part of the membership");
+}
+
+ReplicaId MinBftReplica::current_leader() const {
+  return membership_[static_cast<std::size_t>(view_ % membership_.size())];
+}
+
+void MinBftReplica::broadcast(const MinBftMsg& msg) {
+  if (config_.cpu_cost_per_send > 0.0 && membership_.size() > 1) {
+    net_->consume_cpu(id_, config_.cpu_cost_per_send *
+                               static_cast<double>(membership_.size() - 1));
+  }
+  net_->broadcast(id_, membership_, msg);
+}
+
+bool MinBftReplica::verify_request(const Request& req) const {
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  return registry_->verify(req.payload(), req.signature);
+}
+
+void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
+  if (mode_ == ByzantineMode::Silent) return;  // behaviour (b) of §VIII-A
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Request>) {
+          handle_request(m);
+        } else if constexpr (std::is_same_v<T, Prepare>) {
+          handle_prepare(m);
+        } else if constexpr (std::is_same_v<T, Commit>) {
+          handle_commit(m);
+        } else if constexpr (std::is_same_v<T, Checkpoint>) {
+          handle_checkpoint(m);
+        } else if constexpr (std::is_same_v<T, ReqViewChange>) {
+          handle_req_view_change(m);
+        } else if constexpr (std::is_same_v<T, ViewChange>) {
+          handle_view_change(m);
+        } else if constexpr (std::is_same_v<T, NewView>) {
+          handle_new_view(m);
+        } else if constexpr (std::is_same_v<T, StateRequest>) {
+          handle_state_request(from, m);
+        } else if constexpr (std::is_same_v<T, StateResponse>) {
+          handle_state_response(m);
+        } else {
+          static_assert(std::is_same_v<T, Reply>, "unhandled message type");
+          // Replies are client-side; replicas ignore them.
+        }
+      },
+      msg);
+}
+
+void MinBftReplica::handle_request(const Request& req) {
+  if (executed_requests_.count({req.client, req.request_id}) > 0) return;
+  if (!verify_request(req)) return;
+  if (is_leader() && !in_view_change_) {
+    lead_request(req);
+  } else {
+    // Follower: watch for progress; if the request is not executed within
+    // Tvc the leader is suspected (Fig. 17b).
+    arm_view_change_timer();
+  }
+}
+
+void MinBftReplica::lead_request(const Request& req) {
+  // Deduplicate: skip if a pending entry already carries this request.
+  for (const auto& [seq, entry] : log_) {
+    if (entry.prepare.request.client == req.client &&
+        entry.prepare.request.request_id == req.request_id) {
+      return;
+    }
+  }
+  const SeqNum highest_logged = log_.empty() ? 0 : log_.rbegin()->first;
+  const SeqNum seq = std::max(last_executed_, highest_logged) + 1;
+  if (seq > stable_checkpoint_ + config_.log_watermark) {
+    return;  // outside the high watermark; client will retransmit (L, Table 8)
+  }
+  Prepare p;
+  p.view = view_;
+  p.seq = seq;
+  p.request = req;
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  p.ui = usig_.create(p.body_digest());
+  PendingEntry entry;
+  entry.prepare = p;
+  entry.commits.insert(id_);  // the leader's PREPARE doubles as its COMMIT
+  log_[seq] = std::move(entry);
+  broadcast(p);
+  try_execute();
+}
+
+void MinBftReplica::handle_prepare(const Prepare& p) {
+  if (p.view != view_ || in_view_change_) return;
+  const ReplicaId leader =
+      membership_[static_cast<std::size_t>(p.view % membership_.size())];
+  if (p.ui.replica != leader || leader == id_) return;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  if (!crypto::Usig::verify(*registry_, p.body_digest(), p.ui)) return;
+  // Monotonic counters prevent replay; the USIG guarantees uniqueness.
+  auto& last = last_counter_[leader];
+  if (p.ui.counter <= last) return;
+  last = p.ui.counter;
+  if (p.seq <= stable_checkpoint_) return;
+  const auto it = log_.find(p.seq);
+  if (it != log_.end()) {
+    const bool same = crypto::digest_equal(
+        it->second.prepare.request.digest(), p.request.digest());
+    if (!same) {
+      // A leader proposing two different requests at one sequence number is
+      // faulty: demand a view change.
+      const ReqViewChange rvc{id_, view_, view_ + 1};
+      broadcast(rvc);
+      handle_req_view_change(rvc);  // count our own vote
+      return;
+    }
+    it->second.commits.insert(leader);
+  } else {
+    PendingEntry entry;
+    entry.prepare = p;
+    entry.commits.insert(leader);
+    log_[p.seq] = std::move(entry);
+  }
+  send_commit(p);
+  arm_view_change_timer();
+  try_execute();
+}
+
+void MinBftReplica::send_commit(const Prepare& p) {
+  Commit c;
+  c.view = p.view;
+  c.seq = p.seq;
+  c.replica = id_;
+  c.request_digest = p.request.digest();
+  if (mode_ == ByzantineMode::Random) {
+    // Behaviour (c): participate with garbage — corrupt the digest.  The UI
+    // is still well-formed (the USIG cannot be bypassed).
+    c.request_digest[0] ^= 0xff;
+  }
+  c.leader_ui = p.ui;
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  c.ui = usig_.create(c.body_digest());
+  log_[p.seq].commits.insert(id_);
+  broadcast(c);
+}
+
+void MinBftReplica::handle_commit(const Commit& c) {
+  if (c.view != view_ || in_view_change_) return;
+  if (c.replica == id_) return;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  if (!crypto::Usig::verify(*registry_, c.body_digest(), c.ui)) return;
+  auto& last = last_counter_[c.replica];
+  if (c.ui.counter <= last) return;
+  last = c.ui.counter;
+  if (c.seq <= stable_checkpoint_) return;
+  const auto it = log_.find(c.seq);
+  if (it == log_.end()) return;  // commit precedes prepare; PREPARE rebroadcast
+                                 // or view change will resolve it
+  // Votes only count when they endorse the prepared request.
+  if (!crypto::digest_equal(it->second.prepare.request.digest(),
+                            c.request_digest)) {
+    return;
+  }
+  it->second.commits.insert(c.replica);
+  try_execute();
+}
+
+void MinBftReplica::try_execute() {
+  bool progressed = false;
+  while (true) {
+    const auto it = log_.find(last_executed_ + 1);
+    if (it == log_.end()) break;
+    if (static_cast<int>(it->second.commits.size()) < config_.f + 1) break;
+    if (!it->second.executed) {
+      execute_entry(it->second);
+      it->second.executed = true;
+      progressed = true;
+    }
+    ++last_executed_;
+    if (last_executed_ % config_.checkpoint_period == 0) emit_checkpoint();
+  }
+  if (progressed) {
+    // Progress observed: the leader is alive.
+    disarm_view_change_timer();
+  }
+}
+
+void MinBftReplica::execute_entry(PendingEntry& entry) {
+  const Request& req = entry.prepare.request;
+  executed_requests_.insert({req.client, req.request_id});
+  std::string result = service_.execute(req.operation);
+  apply_reconfiguration(req.operation);
+  if (mode_ == ByzantineMode::Random) result = "garbage";
+  Reply reply;
+  reply.replica = id_;
+  reply.client = req.client;
+  reply.request_id = req.request_id;
+  reply.result = std::move(result);
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  reply.signature = signer_.sign(reply.payload());
+  net_->send(id_, req.client, MinBftMsg{reply});
+  last_replied_[req.client] = req.request_id;
+}
+
+void MinBftReplica::apply_reconfiguration(const std::string& op) {
+  // join:<id> / evict:<id> — ordered through consensus (§VII-C), so every
+  // correct replica applies the same membership change at the same sequence
+  // number, which is what makes the protocol reconfigurable.
+  if (op.rfind("join:", 0) == 0) {
+    const ReplicaId node = static_cast<ReplicaId>(std::stoul(op.substr(5)));
+    if (std::find(membership_.begin(), membership_.end(), node) ==
+        membership_.end()) {
+      membership_.push_back(node);
+      std::sort(membership_.begin(), membership_.end());
+    }
+  } else if (op.rfind("evict:", 0) == 0) {
+    const ReplicaId node = static_cast<ReplicaId>(std::stoul(op.substr(6)));
+    membership_.erase(
+        std::remove(membership_.begin(), membership_.end(), node),
+        membership_.end());
+  }
+}
+
+void MinBftReplica::emit_checkpoint() {
+  Checkpoint cp;
+  cp.replica = id_;
+  cp.last_executed = last_executed_;
+  cp.state_digest = service_.state_digest();
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  cp.ui = usig_.create(cp.body_digest());
+  checkpoint_votes_[cp.last_executed][cp.state_digest].insert(id_);
+  broadcast(cp);
+}
+
+void MinBftReplica::handle_checkpoint(const Checkpoint& c) {
+  if (c.last_executed <= stable_checkpoint_) return;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  if (!crypto::Usig::verify(*registry_, c.body_digest(), c.ui)) return;
+  auto& votes = checkpoint_votes_[c.last_executed][c.state_digest];
+  votes.insert(c.replica);
+  if (static_cast<int>(votes.size()) >= config_.f + 1) {
+    garbage_collect(c.last_executed);
+  }
+}
+
+void MinBftReplica::garbage_collect(SeqNum stable) {
+  if (stable <= stable_checkpoint_) return;
+  stable_checkpoint_ = stable;
+  log_.erase(log_.begin(), log_.lower_bound(stable + 1));
+  checkpoint_votes_.erase(checkpoint_votes_.begin(),
+                          checkpoint_votes_.lower_bound(stable + 1));
+  // A replica that fell behind the stable checkpoint catches up via state
+  // transfer rather than replay (Fig. 17d).
+  if (last_executed_ < stable) request_state_transfer();
+}
+
+void MinBftReplica::arm_view_change_timer() {
+  if (vc_timer_armed_) return;
+  vc_timer_armed_ = true;
+  vc_timer_ = net_->schedule(config_.view_change_timeout, [this]() {
+    vc_timer_armed_ = false;
+    if (mode_ == ByzantineMode::Silent) return;
+    // No progress within Tvc: ask everyone to move to the next view.
+    const ReqViewChange rvc{id_, view_, view_ + 1};
+    broadcast(rvc);
+    arm_view_change_timer();
+    handle_req_view_change(rvc);  // count our own vote
+  });
+}
+
+void MinBftReplica::disarm_view_change_timer() {
+  if (!vc_timer_armed_) return;
+  net_->cancel(vc_timer_);
+  vc_timer_armed_ = false;
+}
+
+void MinBftReplica::handle_req_view_change(const ReqViewChange& r) {
+  if (r.to_view <= view_) return;
+  auto& votes = view_change_requests_[r.to_view];
+  votes.insert(r.replica);
+  if (static_cast<int>(votes.size()) >= config_.f + 1) {
+    start_view_change(r.to_view);
+  }
+}
+
+void MinBftReplica::start_view_change(View to_view) {
+  if (to_view <= view_) return;
+  in_view_change_ = true;
+  disarm_view_change_timer();
+  ViewChange vc;
+  vc.replica = id_;
+  vc.to_view = to_view;
+  vc.stable_seq = stable_checkpoint_;
+  for (const auto& [seq, entry] : log_) {
+    vc.prepared.push_back(PreparedProof{entry.prepare});
+  }
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  vc.ui = usig_.create(vc.body_digest());
+  const ReplicaId new_leader =
+      membership_[static_cast<std::size_t>(to_view % membership_.size())];
+  if (new_leader == id_) {
+    handle_view_change(vc);
+  } else {
+    net_->send(id_, new_leader, MinBftMsg{vc});
+  }
+}
+
+void MinBftReplica::handle_view_change(const ViewChange& vc) {
+  if (vc.to_view <= view_) return;
+  const ReplicaId expected_leader =
+      membership_[static_cast<std::size_t>(vc.to_view % membership_.size())];
+  if (expected_leader != id_) return;
+  if (vc.replica != id_) {
+    net_->consume_cpu(id_, config_.crypto_cost_verify);
+    if (!crypto::Usig::verify(*registry_, vc.body_digest(), vc.ui)) return;
+  }
+  auto& proofs = view_changes_[vc.to_view];
+  for (const ViewChange& existing : proofs) {
+    if (existing.replica == vc.replica) return;
+  }
+  proofs.push_back(vc);
+  if (static_cast<int>(proofs.size()) < config_.f + 1) return;
+
+  // Assemble the new view: adopt the highest stable checkpoint and re-propose
+  // every prepared entry above it (highest view wins per sequence number).
+  NewView nv;
+  nv.leader = id_;
+  nv.view = vc.to_view;
+  nv.proofs = proofs;
+  std::map<SeqNum, Prepare> chosen;
+  SeqNum max_stable = stable_checkpoint_;
+  for (const ViewChange& proof : proofs) {
+    max_stable = std::max(max_stable, proof.stable_seq);
+    for (const PreparedProof& p : proof.prepared) {
+      const auto it = chosen.find(p.prepare.seq);
+      if (it == chosen.end() || it->second.view < p.prepare.view) {
+        chosen[p.prepare.seq] = p.prepare;
+      }
+    }
+  }
+  view_ = nv.view;
+  in_view_change_ = false;
+  view_changes_.erase(nv.view);
+  view_change_requests_.erase(nv.view);
+  // Re-prepare undecided entries under the new view with fresh UIs.
+  log_.clear();
+  for (auto& [seq, prep] : chosen) {
+    if (seq <= max_stable) continue;
+    Prepare p;
+    p.view = nv.view;
+    p.seq = seq;
+    p.request = prep.request;
+    net_->consume_cpu(id_, config_.crypto_cost_sign);
+    p.ui = usig_.create(p.body_digest());
+    nv.reproposed.push_back(p);
+    PendingEntry entry;
+    entry.prepare = p;
+    entry.commits.insert(id_);
+    log_[seq] = std::move(entry);
+  }
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  nv.ui = usig_.create(nv.body_digest());
+  broadcast(nv);
+  try_execute();
+}
+
+void MinBftReplica::handle_new_view(const NewView& nv) {
+  if (nv.view <= view_ && !(in_view_change_ && nv.view == view_)) return;
+  const ReplicaId expected_leader =
+      membership_[static_cast<std::size_t>(nv.view % membership_.size())];
+  if (nv.leader != expected_leader) return;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  if (!crypto::Usig::verify(*registry_, nv.body_digest(), nv.ui)) return;
+  if (static_cast<int>(nv.proofs.size()) < config_.f + 1) return;
+  view_ = nv.view;
+  in_view_change_ = false;
+  disarm_view_change_timer();
+  log_.clear();
+  for (const Prepare& p : nv.reproposed) {
+    if (p.seq <= stable_checkpoint_) continue;
+    PendingEntry entry;
+    entry.prepare = p;
+    entry.commits.insert(nv.leader);
+    log_[p.seq] = std::move(entry);
+    send_commit(p);
+  }
+  try_execute();
+}
+
+void MinBftReplica::request_state_transfer() {
+  broadcast(StateRequest{id_});
+}
+
+void MinBftReplica::handle_state_request(net::NodeId from,
+                                         const StateRequest&) {
+  StateResponse resp;
+  resp.replica = id_;
+  resp.last_executed = last_executed_;
+  resp.log = service_.log();
+  resp.state_digest = service_.state_digest();
+  net_->send(id_, from, MinBftMsg{resp});
+}
+
+void MinBftReplica::handle_state_response(const StateResponse& r) {
+  if (r.last_executed <= last_executed_) return;
+  // The state is installed once f+1 replicas vouch for the same digest
+  // (§VII-C: "its state is initialized with the (identical) state from f+1
+  // other replicas").
+  state_votes_[r.state_digest].insert(r.replica);
+  if (static_cast<int>(state_votes_[r.state_digest].size()) <
+      config_.f + 1) {
+    pending_state_[r.state_digest] = r;
+    return;
+  }
+  const auto it = pending_state_.find(r.state_digest);
+  const StateResponse& adopt = it != pending_state_.end() ? it->second : r;
+  service_.install(adopt.log, adopt.state_digest);
+  last_executed_ = adopt.last_executed;
+  stable_checkpoint_ = std::max(stable_checkpoint_, adopt.last_executed);
+  for (const std::string& op : adopt.log) apply_reconfiguration(op);
+  log_.clear();
+  state_votes_.clear();
+  pending_state_.clear();
+}
+
+}  // namespace tolerance::consensus

@@ -1,0 +1,305 @@
+#include "tolerance/consensus/raft.hpp"
+
+#include <algorithm>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::consensus::raft {
+
+RaftNode::RaftNode(NodeId id, std::vector<NodeId> peers, RaftConfig config,
+                   RaftNet& net, Rng rng)
+    : id_(id), peers_(std::move(peers)), config_(config), net_(&net),
+      rng_(rng) {
+  peers_.erase(std::remove(peers_.begin(), peers_.end(), id_), peers_.end());
+}
+
+void RaftNode::start() { reset_election_timer(); }
+
+void RaftNode::crash() {
+  crashed_ = true;
+  if (election_timer_armed_) net_->cancel(election_timer_);
+  if (heartbeat_timer_armed_) net_->cancel(heartbeat_timer_);
+  election_timer_armed_ = false;
+  heartbeat_timer_armed_ = false;
+}
+
+void RaftNode::restart() {
+  TOL_ENSURE(crashed_, "restart requires a crashed node");
+  crashed_ = false;
+  // Volatile state resets; term/vote/log survive (stable storage).
+  role_ = Role::Follower;
+  commit_index_ = 0;
+  last_applied_ = 0;
+  reset_election_timer();
+}
+
+void RaftNode::reset_election_timer() {
+  if (election_timer_armed_) net_->cancel(election_timer_);
+  const double timeout = rng_.uniform(config_.election_timeout_min,
+                                      config_.election_timeout_max);
+  election_timer_armed_ = true;
+  election_timer_ = net_->schedule(timeout, [this]() {
+    election_timer_armed_ = false;
+    if (crashed_ || role_ == Role::Leader) return;
+    become_candidate();
+  });
+}
+
+void RaftNode::become_follower(Term term) {
+  role_ = Role::Follower;
+  if (term > term_) {
+    term_ = term;
+    voted_for_.reset();
+  }
+  if (heartbeat_timer_armed_) {
+    net_->cancel(heartbeat_timer_);
+    heartbeat_timer_armed_ = false;
+  }
+  reset_election_timer();
+}
+
+void RaftNode::become_candidate() {
+  role_ = Role::Candidate;
+  ++term_;
+  voted_for_ = id_;
+  votes_ = 1;
+  reset_election_timer();
+  RequestVote rv{term_, id_, last_log_index(), last_log_term()};
+  for (NodeId p : peers_) net_->send(id_, p, RaftMsg{rv});
+  if (majority() == 1) become_leader();  // single-node cluster
+}
+
+void RaftNode::become_leader() {
+  role_ = Role::Leader;
+  next_index_.clear();
+  match_index_.clear();
+  for (NodeId p : peers_) {
+    next_index_[p] = last_log_index() + 1;
+    match_index_[p] = 0;
+  }
+  if (election_timer_armed_) {
+    net_->cancel(election_timer_);
+    election_timer_armed_ = false;
+  }
+  send_heartbeats();
+}
+
+void RaftNode::send_heartbeats() {
+  if (crashed_ || role_ != Role::Leader) return;
+  for (NodeId p : peers_) replicate_to(p);
+  heartbeat_timer_armed_ = true;
+  heartbeat_timer_ = net_->schedule(config_.heartbeat_interval, [this]() {
+    heartbeat_timer_armed_ = false;
+    send_heartbeats();
+  });
+}
+
+void RaftNode::replicate_to(NodeId peer) {
+  const Index next = next_index_[peer];
+  AppendEntries ae;
+  ae.term = term_;
+  ae.leader = id_;
+  ae.prev_log_index = next - 1;
+  ae.prev_log_term =
+      ae.prev_log_index == 0 ? 0 : log_[ae.prev_log_index - 1].term;
+  for (Index i = next; i <= last_log_index(); ++i) {
+    ae.entries.push_back(log_[i - 1]);
+  }
+  ae.leader_commit = commit_index_;
+  net_->send(id_, peer, RaftMsg{ae});
+}
+
+std::optional<Index> RaftNode::propose(const std::string& command) {
+  if (crashed_ || role_ != Role::Leader) return std::nullopt;
+  log_.push_back({term_, command});
+  const Index index = last_log_index();
+  for (NodeId p : peers_) replicate_to(p);
+  if (majority() == 1) {
+    advance_commit();
+  }
+  return index;
+}
+
+void RaftNode::on_message(NodeId from, const RaftMsg& msg) {
+  if (crashed_) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, RequestVote>) {
+          if (m.term > term_) become_follower(m.term);
+          VoteReply reply{term_, id_, false};
+          const bool log_ok =
+              m.last_log_term > last_log_term() ||
+              (m.last_log_term == last_log_term() &&
+               m.last_log_index >= last_log_index());
+          if (m.term == term_ && log_ok &&
+              (!voted_for_.has_value() || *voted_for_ == m.candidate)) {
+            voted_for_ = m.candidate;
+            reply.granted = true;
+            reset_election_timer();
+          }
+          net_->send(id_, from, RaftMsg{reply});
+        } else if constexpr (std::is_same_v<T, VoteReply>) {
+          if (m.term > term_) {
+            become_follower(m.term);
+            return;
+          }
+          if (role_ == Role::Candidate && m.term == term_ && m.granted) {
+            if (++votes_ >= majority()) become_leader();
+          }
+        } else if constexpr (std::is_same_v<T, AppendEntries>) {
+          if (m.term > term_ ||
+              (m.term == term_ && role_ == Role::Candidate)) {
+            become_follower(m.term);
+          }
+          AppendReply reply{term_, id_, false, 0};
+          if (m.term == term_) {
+            reset_election_timer();
+            const bool prev_ok =
+                m.prev_log_index == 0 ||
+                (m.prev_log_index <= last_log_index() &&
+                 log_[m.prev_log_index - 1].term == m.prev_log_term);
+            if (prev_ok) {
+              // Append/overwrite entries (log-matching property).
+              Index idx = m.prev_log_index;
+              for (const LogEntry& e : m.entries) {
+                ++idx;
+                if (idx <= last_log_index()) {
+                  if (log_[idx - 1].term != e.term) {
+                    log_.resize(idx - 1);
+                    log_.push_back(e);
+                  }
+                } else {
+                  log_.push_back(e);
+                }
+              }
+              reply.success = true;
+              reply.match_index = m.prev_log_index + m.entries.size();
+              if (m.leader_commit > commit_index_) {
+                commit_index_ = std::min<Index>(m.leader_commit,
+                                                last_log_index());
+                apply_committed();
+              }
+            }
+          }
+          net_->send(id_, from, RaftMsg{reply});
+        } else {
+          static_assert(std::is_same_v<T, AppendReply>, "unhandled message");
+          if (m.term > term_) {
+            become_follower(m.term);
+            return;
+          }
+          if (role_ != Role::Leader || m.term != term_) return;
+          if (m.success) {
+            match_index_[m.follower] =
+                std::max(match_index_[m.follower], m.match_index);
+            next_index_[m.follower] = match_index_[m.follower] + 1;
+            advance_commit();
+          } else {
+            next_index_[m.follower] =
+                std::max<Index>(1, next_index_[m.follower] - 1);
+            replicate_to(m.follower);
+          }
+        }
+      },
+      msg);
+}
+
+void RaftNode::advance_commit() {
+  // Find the highest index replicated on a majority with an entry from the
+  // current term (Raft's commitment rule).
+  for (Index n = last_log_index(); n > commit_index_; --n) {
+    if (log_[n - 1].term != term_) continue;
+    int count = 1;  // self
+    for (const auto& [peer, match] : match_index_) {
+      (void)peer;
+      if (match >= n) ++count;
+    }
+    if (count >= majority()) {
+      commit_index_ = n;
+      apply_committed();
+      break;
+    }
+  }
+}
+
+void RaftNode::apply_committed() {
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    if (apply_) apply_(last_applied_, log_[last_applied_ - 1].command);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RaftCluster
+// ---------------------------------------------------------------------------
+
+RaftCluster::RaftCluster(int num_nodes, RaftConfig config, std::uint64_t seed,
+                         net::LinkConfig link)
+    : config_(config), net_(seed, link) {
+  TOL_ENSURE(num_nodes >= 1, "need at least one node");
+  std::vector<NodeId> ids;
+  for (int i = 0; i < num_nodes; ++i) ids.push_back(static_cast<NodeId>(i));
+  for (NodeId id : ids) {
+    auto node = std::make_unique<RaftNode>(id, ids, config_, net_,
+                                           Rng(seed ^ (id + 77)));
+    RaftNode* raw = node.get();
+    nodes_[id] = std::move(node);
+    net_.register_host(id, [raw](NodeId from, const RaftMsg& m) {
+      raw->on_message(from, m);
+    });
+  }
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    node->start();
+  }
+}
+
+RaftNode& RaftCluster::node(NodeId id) {
+  const auto it = nodes_.find(id);
+  TOL_ENSURE(it != nodes_.end(), "unknown node id");
+  return *it->second;
+}
+
+std::vector<NodeId> RaftCluster::node_ids() const {
+  std::vector<NodeId> ids;
+  for (const auto& [id, node] : nodes_) {
+    (void)node;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::optional<NodeId> RaftCluster::leader() const {
+  std::optional<NodeId> best;
+  Term best_term = 0;
+  int leaders_in_best_term = 0;
+  for (const auto& [id, node] : nodes_) {
+    if (node->crashed() || node->role() != Role::Leader) continue;
+    if (node->term() > best_term) {
+      best_term = node->term();
+      best = id;
+      leaders_in_best_term = 1;
+    } else if (node->term() == best_term) {
+      ++leaders_in_best_term;
+    }
+  }
+  if (leaders_in_best_term != 1) return std::nullopt;
+  return best;
+}
+
+void RaftCluster::run_for(double seconds) {
+  net_.run_until(net_.now() + seconds);
+}
+
+std::optional<NodeId> RaftCluster::await_leader(double max_seconds) {
+  const double deadline = net_.now() + max_seconds;
+  while (net_.now() < deadline) {
+    run_for(0.1);
+    const auto l = leader();
+    if (l.has_value()) return l;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tolerance::consensus::raft

@@ -1,0 +1,24 @@
+#include "tolerance/core/baselines.hpp"
+
+#include <algorithm>
+
+namespace tolerance::core {
+
+std::string to_string(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::Tolerance: return "TOLERANCE";
+    case StrategyKind::NoRecovery: return "NO-RECOVERY";
+    case StrategyKind::Periodic: return "PERIODIC";
+    case StrategyKind::PeriodicAdaptive: return "PERIODIC-ADAPTIVE";
+  }
+  return "?";
+}
+
+bool periodic_recovery_due(int node_slot, int t, int delta_r, int num_nodes) {
+  if (delta_r <= 0) return false;  // DeltaR = infinity: no periodic recovery
+  const int stagger = std::max(1, delta_r / std::max(1, num_nodes));
+  const int phase = (t - node_slot * stagger) % delta_r;
+  return phase == 0 && t >= 1;
+}
+
+}  // namespace tolerance::core

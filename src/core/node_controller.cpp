@@ -1,0 +1,57 @@
+#include "tolerance/core/node_controller.hpp"
+
+namespace tolerance::core {
+
+NodeController::NodeController(pomdp::NodeModel model,
+                               emulation::FittedDetector detector,
+                               solvers::ThresholdPolicy policy)
+    : model_(model), detector_(std::move(detector)), policy_(std::move(policy)),
+      belief_(model_.params().p_attack),
+      pre_decision_belief_(model_.params().p_attack) {}
+
+double NodeController::observe(double raw_alerts) {
+  // Filter: fold this step's observation into the belief, conditioning on
+  // the action that was actually applied last step (Appendix A).
+  const int observation = detector_.observe(raw_alerts);
+  const pomdp::BeliefUpdater updater(model_, *detector_.model);
+  belief_ = updater.update(belief_, last_applied_, observation);
+  pre_decision_belief_ = belief_;
+  return belief_;
+}
+
+pomdp::NodeAction NodeController::decide() const {
+  // The ThresholdPolicy indexes thresholds by the position within the
+  // recovery cycle, anchored at the last committed recovery.
+  return policy_.action(belief_, steps_since_recovery_ + 1);
+}
+
+bool NodeController::btr_due() const {
+  const int delta_r = policy_.delta_r();
+  if (delta_r <= 0) return false;
+  return ((steps_since_recovery_) % delta_r) + 1 == delta_r;
+}
+
+void NodeController::commit(pomdp::NodeAction applied) {
+  last_applied_ = applied;
+  if (applied == pomdp::NodeAction::Recover) {
+    belief_ = model_.params().p_attack;  // fresh node, b_1 = pA (§V-A)
+    steps_since_recovery_ = 0;
+  } else {
+    ++steps_since_recovery_;
+  }
+}
+
+pomdp::NodeAction NodeController::step(double raw_alerts) {
+  observe(raw_alerts);
+  const pomdp::NodeAction action = decide();
+  commit(action);
+  return action;
+}
+
+void NodeController::reset() {
+  belief_ = model_.params().p_attack;
+  steps_since_recovery_ = 0;
+  last_applied_ = pomdp::NodeAction::Recover;
+}
+
+}  // namespace tolerance::core

@@ -1,0 +1,42 @@
+#include "tolerance/core/system_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::core {
+
+SystemController::SystemController(
+    std::optional<solvers::CmdpSolution> strategy, int max_nodes,
+    std::uint64_t seed)
+    : strategy_(std::move(strategy)), max_nodes_(max_nodes), rng_(seed) {
+  TOL_ENSURE(max_nodes >= 1, "max_nodes must be positive");
+}
+
+SystemDecision SystemController::step(const std::vector<double>& beliefs,
+                                      const std::vector<bool>& reported) {
+  TOL_ENSURE(beliefs.size() == reported.size(),
+             "beliefs/reported size mismatch");
+  SystemDecision decision;
+  // Evict silent nodes (considered crashed, §V-B).
+  double expected_healthy = 0.0;
+  int live = 0;
+  for (std::size_t i = 0; i < beliefs.size(); ++i) {
+    if (!reported[i]) {
+      decision.evict.push_back(static_cast<int>(i));
+      continue;
+    }
+    ++live;
+    expected_healthy += 1.0 - beliefs[i];
+  }
+  decision.state = static_cast<int>(std::floor(expected_healthy));  // (8)
+  if (strategy_.has_value() && live < max_nodes_) {
+    const int s = std::min(decision.state,
+                           static_cast<int>(strategy_->add_probability.size()) - 1);
+    decision.add_node = strategy_->act(std::max(0, s), rng_) == 1;
+  }
+  return decision;
+}
+
+}  // namespace tolerance::core

@@ -1,0 +1,214 @@
+#include "tolerance/core/tolerance_system.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::core {
+
+using emulation::EmulatedNode;
+using emulation::Testbed;
+using pomdp::NodeState;
+
+Evaluator::Evaluator(EvaluationConfig config,
+                     emulation::FittedDetector detector,
+                     std::optional<solvers::CmdpSolution> replication)
+    : config_(std::move(config)), detector_(std::move(detector)),
+      replication_(std::move(replication)) {
+  TOL_ENSURE(config_.horizon > 0, "horizon must be positive");
+  TOL_ENSURE(config_.initial_nodes >= 1, "need at least one node");
+}
+
+EvaluationResult Evaluator::run(std::uint64_t seed) const {
+  emulation::TestbedConfig tb_config = config_.testbed;
+  tb_config.initial_nodes = config_.initial_nodes;
+  tb_config.max_nodes = config_.max_nodes;
+  Testbed testbed(tb_config, seed);
+  Rng rng(seed ^ 0xc0ffee);
+
+  const pomdp::NodeModel model(config_.node_params);
+  const int dim = solvers::ThresholdPolicy::dimension(config_.delta_r);
+  const solvers::ThresholdPolicy policy(
+      std::vector<double>(static_cast<std::size_t>(dim),
+                          config_.recovery_threshold),
+      config_.delta_r);
+
+  const bool uses_beliefs = config_.strategy == StrategyKind::Tolerance;
+  std::vector<NodeController> controllers;
+  if (uses_beliefs) {
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      controllers.emplace_back(model, detector_, policy);
+    }
+  }
+  SystemController system(
+      config_.strategy == StrategyKind::Tolerance ? replication_
+                                                  : std::nullopt,
+      config_.max_nodes, seed ^ 0xabcd);
+
+  EvaluationResult result;
+  // T(R) bookkeeping: per node id, the step its current compromise started.
+  std::map<int, int> open_compromise;
+  double total_ttr = 0.0;
+  int ttr_samples = 0;
+  long node_steps = 0;
+  long available_steps = 0;
+  double node_sum = 0.0;
+  // PERIODIC-ADAPTIVE's alert-mean estimate (adds a node when the alert
+  // volume exceeds 2 E[O], §VIII-B).
+  double alert_mean = 0.0;
+  long alert_count = 0;
+
+  auto close_compromise = [&](int node_id, int now) {
+    const auto it = open_compromise.find(node_id);
+    if (it == open_compromise.end()) return;
+    total_ttr += now - it->second;
+    ++ttr_samples;
+    ++result.compromises;
+    open_compromise.erase(it);
+  };
+
+  for (int t = 1; t <= config_.horizon; ++t) {
+    testbed.step();
+
+    // --- Track compromises / crashes from the environment. ---
+    for (const EmulatedNode& node : testbed.nodes()) {
+      if (node.state == NodeState::Compromised) {
+        open_compromise.emplace(node.id, node.compromised_since);
+      } else if (open_compromise.count(node.id) > 0) {
+        // Healed by software update or crashed this step.
+        close_compromise(node.id, t);
+      }
+    }
+
+    // --- Local level: recovery decisions.  Prop. 1 allows k simultaneous
+    // recoveries with N >= 2f + 1 + k; grant up to k = max(1, N - 2f - 1)
+    // slots per step, BTR-forced recoveries first, then by belief urgency.
+    const int k_slots =
+        std::max(1, testbed.num_nodes() - 2 * config_.f - 1);
+    std::vector<std::pair<double, int>> candidates;  // (priority, index)
+    switch (config_.strategy) {
+      case StrategyKind::Tolerance: {
+        for (int i = 0; i < testbed.num_nodes(); ++i) {
+          const auto idx = static_cast<std::size_t>(i);
+          const EmulatedNode& node = testbed.nodes()[idx];
+          if (node.state == NodeState::Crashed) continue;
+          controllers[idx].observe(node.last_metrics.alerts_weighted);
+          if (controllers[idx].decide() == pomdp::NodeAction::Recover) {
+            candidates.push_back(
+                {controllers[idx].btr_due() ? 2.0 : controllers[idx].belief(),
+                 i});
+          }
+        }
+        break;
+      }
+      case StrategyKind::NoRecovery:
+        break;
+      case StrategyKind::Periodic:
+      case StrategyKind::PeriodicAdaptive: {
+        for (int i = 0; i < testbed.num_nodes(); ++i) {
+          const EmulatedNode& node =
+              testbed.nodes()[static_cast<std::size_t>(i)];
+          if (node.state == NodeState::Crashed) continue;
+          if (periodic_recovery_due(i, t, config_.delta_r,
+                                    testbed.num_nodes())) {
+            candidates.push_back({1.0, i});
+          }
+        }
+        break;
+      }
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    if (static_cast<int>(candidates.size()) > k_slots) {
+      candidates.resize(static_cast<std::size_t>(k_slots));
+    }
+    std::vector<bool> granted(static_cast<std::size_t>(testbed.num_nodes()),
+                              false);
+    for (const auto& [priority, i] : candidates) {
+      (void)priority;
+      granted[static_cast<std::size_t>(i)] = true;
+    }
+    if (config_.strategy == StrategyKind::Tolerance) {
+      for (int i = 0; i < testbed.num_nodes(); ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (testbed.nodes()[idx].state == NodeState::Crashed) continue;
+        controllers[idx].commit(granted[idx] ? pomdp::NodeAction::Recover
+                                             : pomdp::NodeAction::Wait);
+      }
+    }
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      if (!granted[static_cast<std::size_t>(i)]) continue;
+      const EmulatedNode& node = testbed.nodes()[static_cast<std::size_t>(i)];
+      close_compromise(node.id, t);
+      testbed.recover(i);
+      ++result.recoveries;
+    }
+
+    // --- Global level. ---
+    if (config_.strategy == StrategyKind::Tolerance) {
+      std::vector<double> beliefs;
+      std::vector<bool> reported;
+      for (int i = 0; i < testbed.num_nodes(); ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const bool alive =
+            testbed.nodes()[idx].state != NodeState::Crashed;
+        reported.push_back(alive);
+        beliefs.push_back(alive ? controllers[idx].belief() : 1.0);
+      }
+      const SystemDecision decision = system.step(beliefs, reported);
+      // Evict from the back so indices stay valid.
+      for (auto it = decision.evict.rbegin(); it != decision.evict.rend();
+           ++it) {
+        const EmulatedNode& node =
+            testbed.nodes()[static_cast<std::size_t>(*it)];
+        close_compromise(node.id, t);
+        testbed.evict(*it);
+        controllers.erase(controllers.begin() + *it);
+        ++result.evictions;
+        ++result.crashes;
+      }
+      if (decision.add_node && testbed.add_node().has_value()) {
+        controllers.emplace_back(model, detector_, policy);
+        ++result.additions;
+      }
+    } else if (config_.strategy == StrategyKind::PeriodicAdaptive) {
+      // Heuristic replication: add when the alert volume spikes.
+      bool spike = false;
+      for (const EmulatedNode& node : testbed.nodes()) {
+        const double o = node.last_metrics.alerts_weighted;
+        ++alert_count;
+        alert_mean += (o - alert_mean) / static_cast<double>(alert_count);
+        if (alert_count > 20 && o >= 2.0 * alert_mean) spike = true;
+      }
+      if (spike && testbed.add_node().has_value()) ++result.additions;
+    }
+
+    // --- Metrics. ---
+    node_steps += testbed.num_nodes();
+    node_sum += testbed.num_nodes();
+    if (testbed.failed_count() <= config_.f) ++available_steps;
+  }
+
+  // Unresolved compromises at the horizon count as T(R) = horizon (the
+  // Table 7 convention giving NO-RECOVERY exactly 10^3).
+  for (const auto& [node_id, since] : open_compromise) {
+    (void)node_id;
+    (void)since;
+    total_ttr += config_.horizon;
+    ++ttr_samples;
+    ++result.compromises;
+  }
+
+  result.availability =
+      static_cast<double>(available_steps) / config_.horizon;
+  result.time_to_recovery =
+      ttr_samples > 0 ? total_ttr / ttr_samples : 0.0;
+  result.recovery_frequency =
+      node_steps > 0 ? static_cast<double>(result.recoveries) /
+                           static_cast<double>(node_steps)
+                     : 0.0;
+  result.avg_nodes = node_sum / config_.horizon;
+  return result;
+}
+
+}  // namespace tolerance::core

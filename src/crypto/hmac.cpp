@@ -1,0 +1,36 @@
+#include "tolerance/crypto/hmac.hpp"
+
+#include <array>
+
+namespace tolerance::crypto {
+
+Digest hmac_sha256(std::string_view key, std::string_view message) {
+  constexpr std::size_t kBlock = 64;
+  std::array<std::uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    const Digest kd = Sha256::hash(key);
+    std::copy(kd.begin(), kd.end(), k.begin());
+  } else {
+    std::copy(key.begin(), key.end(), k.begin());
+  }
+  std::array<std::uint8_t, kBlock> ipad{}, opad{};
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.update(ipad.data(), ipad.size());
+  inner.update(message);
+  const Digest inner_digest = inner.finalize();
+  Sha256 outer;
+  outer.update(opad.data(), opad.size());
+  outer.update(inner_digest.data(), inner_digest.size());
+  return outer.finalize();
+}
+
+bool hmac_verify(std::string_view key, std::string_view message,
+                 const Digest& tag) {
+  return digest_equal(hmac_sha256(key, message), tag);
+}
+
+}  // namespace tolerance::crypto

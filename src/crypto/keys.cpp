@@ -1,0 +1,31 @@
+#include "tolerance/crypto/keys.hpp"
+
+#include <sstream>
+
+namespace tolerance::crypto {
+
+std::string KeyRegistry::register_principal(PrincipalId id,
+                                            std::uint64_t seed) {
+  // Derive a secret deterministically from (id, seed) through the hash; the
+  // attacker model never has access to the registry, so predictability across
+  // runs is a feature (reproducible tests), not a weakness.
+  std::ostringstream material;
+  material << "tolerance-key|" << id << '|' << seed;
+  const Digest d = Sha256::hash(material.str());
+  std::string secret(reinterpret_cast<const char*>(d.data()), d.size());
+  secrets_[id] = secret;
+  return secret;
+}
+
+bool KeyRegistry::known(PrincipalId id) const {
+  return secrets_.find(id) != secrets_.end();
+}
+
+bool KeyRegistry::verify(std::string_view message,
+                         const Signature& sig) const {
+  const auto it = secrets_.find(sig.signer);
+  if (it == secrets_.end()) return false;
+  return hmac_verify(it->second, message, sig.tag);
+}
+
+}  // namespace tolerance::crypto

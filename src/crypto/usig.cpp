@@ -1,0 +1,37 @@
+#include "tolerance/crypto/usig.hpp"
+
+#include <sstream>
+
+namespace tolerance::crypto {
+
+std::string Usig::certificate_payload(PrincipalId replica,
+                                      std::uint64_t counter,
+                                      const Digest& digest) {
+  std::ostringstream os;
+  os << "usig|" << replica << '|' << counter << '|' << to_hex(digest);
+  return os.str();
+}
+
+UniqueIdentifier Usig::create(const Digest& message_digest) {
+  // The counter is strictly monotonic and never reused — the tamperproof
+  // property that prevents equivocation.
+  ++counter_;
+  UniqueIdentifier ui;
+  ui.replica = replica_;
+  ui.counter = counter_;
+  ui.certificate = hmac_sha256(
+      secret_, certificate_payload(replica_, counter_, message_digest));
+  return ui;
+}
+
+bool Usig::verify(const KeyRegistry& registry, const Digest& message_digest,
+                  const UniqueIdentifier& ui) {
+  // The registry models the trusted verification path of the USIG service:
+  // certificates are HMACs under the issuing replica's USIG secret, which is
+  // registered in its own key namespace.
+  const Signature sig{ui.replica + kUsigPrincipalOffset, ui.certificate};
+  return registry.verify(
+      certificate_payload(ui.replica, ui.counter, message_digest), sig);
+}
+
+}  // namespace tolerance::crypto

@@ -1,0 +1,48 @@
+#include "tolerance/emulation/attacker.hpp"
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::emulation {
+
+const IntrusionStep* Attacker::current_step(
+    const ContainerProfile& profile) const {
+  if (!target_.has_value()) return nullptr;
+  if (step_index_ >= profile.intrusion_steps.size()) return nullptr;
+  return &profile.intrusion_steps[step_index_];
+}
+
+bool Attacker::maybe_engage(int node_index, Rng& rng) {
+  if (target_.has_value()) return false;  // one intrusion at a time
+  if (!rng.bernoulli(config_.start_probability)) return false;
+  target_ = node_index;
+  step_index_ = 0;
+  return true;
+}
+
+bool Attacker::advance(const ContainerProfile& profile) {
+  TOL_ENSURE(target_.has_value(), "no intrusion in progress");
+  ++step_index_;
+  return step_index_ >= profile.intrusion_steps.size();
+}
+
+void Attacker::abort(int node_index) {
+  if (target_.has_value() && *target_ == node_index) {
+    target_.reset();
+    step_index_ = 0;
+  }
+}
+
+void Attacker::on_compromised() {
+  target_.reset();
+  step_index_ = 0;
+}
+
+CompromisedBehavior Attacker::choose_behavior(Rng& rng) {
+  switch (rng.uniform_int(3)) {
+    case 0: return CompromisedBehavior::Participate;
+    case 1: return CompromisedBehavior::Silent;
+    default: return CompromisedBehavior::RandomMessages;
+  }
+}
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,22 @@
+#include "tolerance/emulation/background.hpp"
+
+#include <algorithm>
+
+namespace tolerance::emulation {
+
+int BackgroundWorkload::step(Rng& rng) {
+  // Sessions age by one step; completed ones leave.
+  for (double& r : remaining_) r -= 1.0;
+  remaining_.erase(
+      std::remove_if(remaining_.begin(), remaining_.end(),
+                     [](double r) { return r <= 0.0; }),
+      remaining_.end());
+  // New arrivals with exponential session lengths.
+  const int arrivals = rng.poisson(arrival_rate_);
+  for (int i = 0; i < arrivals; ++i) {
+    remaining_.push_back(rng.exponential(1.0 / mean_session_));
+  }
+  return load();
+}
+
+}  // namespace tolerance::emulation

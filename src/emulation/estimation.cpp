@@ -1,0 +1,81 @@
+#include "tolerance/emulation/estimation.hpp"
+
+#include "tolerance/emulation/ids.hpp"
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::emulation {
+namespace {
+
+FittedDetector fit_from_samples(std::vector<double> healthy,
+                                std::vector<double> compromised,
+                                int num_bins) {
+  std::vector<double> pooled;
+  pooled.reserve(healthy.size() + compromised.size());
+  pooled.insert(pooled.end(), healthy.begin(), healthy.end());
+  pooled.insert(pooled.end(), compromised.begin(), compromised.end());
+  auto binner = stats::QuantileBinner::fit(std::move(pooled), num_bins);
+
+  std::vector<int> h_binned, c_binned;
+  h_binned.reserve(healthy.size());
+  c_binned.reserve(compromised.size());
+  for (double v : healthy) h_binned.push_back(binner.bin(v));
+  for (double v : compromised) c_binned.push_back(binner.bin(v));
+  auto model = std::make_shared<pomdp::EmpiricalObservationModel>(
+      pomdp::EmpiricalObservationModel::estimate(h_binned, c_binned,
+                                                 binner.num_bins(), 0.5));
+  FittedDetector detector{std::move(binner), std::move(model), 0.0};
+  detector.kl_healthy_compromised = detector.model->kl(false, true);
+  return detector;
+}
+
+}  // namespace
+
+AlertSamples collect_alert_samples(const ContainerProfile& profile,
+                                   int samples, double background_load,
+                                   Rng& rng) {
+  TOL_ENSURE(samples > 0, "need a positive sample budget");
+  const IdsModel ids(profile);
+  AlertSamples out;
+  out.healthy.reserve(static_cast<std::size_t>(samples));
+  out.compromised.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    // Healthy condition: background only.
+    out.healthy.push_back(
+        ids.sample(nullptr, false, background_load, rng).alerts_weighted);
+    // Intrusion condition: mix of attack steps and post-compromise noise, as
+    // in the testbed's labeled traces.
+    const bool during_attack = rng.bernoulli(0.5);
+    const IntrusionStep* step = nullptr;
+    if (during_attack && !profile.intrusion_steps.empty()) {
+      step = &profile.intrusion_steps[static_cast<std::size_t>(rng.uniform_int(
+          static_cast<int>(profile.intrusion_steps.size())))];
+    }
+    out.compromised.push_back(
+        ids.sample(step, !during_attack, background_load, rng)
+            .alerts_weighted);
+  }
+  return out;
+}
+
+FittedDetector fit_detector(const ContainerProfile& profile, int samples,
+                            int num_bins, double background_load, Rng& rng) {
+  auto s = collect_alert_samples(profile, samples, background_load, rng);
+  return fit_from_samples(std::move(s.healthy), std::move(s.compromised),
+                          num_bins);
+}
+
+FittedDetector fit_pooled_detector(int samples_per_container, int num_bins,
+                                   double background_load, Rng& rng) {
+  std::vector<double> healthy, compromised;
+  for (const ContainerProfile& profile : container_catalog()) {
+    auto s = collect_alert_samples(profile, samples_per_container,
+                                   background_load, rng);
+    healthy.insert(healthy.end(), s.healthy.begin(), s.healthy.end());
+    compromised.insert(compromised.end(), s.compromised.begin(),
+                       s.compromised.end());
+  }
+  return fit_from_samples(std::move(healthy), std::move(compromised),
+                          num_bins);
+}
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,76 @@
+#include "tolerance/emulation/ids.hpp"
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::emulation {
+
+double metric_value(const MetricSample& s, int metric_index) {
+  switch (metric_index) {
+    case 0: return s.alerts_weighted;
+    case 1: return s.failed_logins;
+    case 2: return s.new_processes;
+    case 3: return s.tcp_connections;
+    case 4: return s.blocks_written;
+    case 5: return s.blocks_read;
+    default:
+      TOL_ENSURE(false, "metric index out of range");
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Gamma-Poisson (negative-binomial) burst: heavy-tailed counts like the
+/// empirical SNORT histograms in Fig. 11.
+double burst(double mean, double shape, Rng& rng) {
+  if (mean <= 0.0) return 0.0;
+  const double intensity = rng.gamma(shape, mean / shape);
+  return static_cast<double>(rng.poisson(intensity));
+}
+
+}  // namespace
+
+MetricSample IdsModel::sample(const IntrusionStep* intrusion_step,
+                              bool compromised, double background_load,
+                              Rng& rng) const {
+  MetricSample s;
+  const double load = std::max(0.0, background_load);
+
+  // --- Priority-weighted IDS alerts (the strongest signal, KL ~ 0.49). ---
+  s.alerts_weighted =
+      burst(profile_->baseline_alerts_per_load * load, 4.0, rng);
+  if (intrusion_step != nullptr) {
+    s.alerts_weighted += burst(intrusion_step->alert_burst_mean,
+                               intrusion_step->alert_burst_shape, rng);
+  }
+  if (compromised) {
+    s.alerts_weighted += burst(profile_->compromised_alert_mean, 2.0, rng);
+  }
+
+  // --- Failed logins: spikes only during brute-force steps (KL ~ 0.07). ---
+  s.failed_logins = burst(0.5 * load, 2.0, rng);
+  if (intrusion_step != nullptr &&
+      intrusion_step->name.find("brute force") != std::string::npos) {
+    s.failed_logins += burst(120.0, 2.0, rng);
+  }
+
+  // --- New processes: weak signal (KL ~ 0.01). ---
+  s.new_processes = burst(5.0 * load, 3.0, rng);
+  if (compromised) s.new_processes += burst(6.0, 2.0, rng);
+
+  // --- New TCP connections: weak signal (KL ~ 0.01). ---
+  s.tcp_connections = burst(8.0 * load, 3.0, rng);
+  if (intrusion_step != nullptr) s.tcp_connections += burst(10.0, 2.0, rng);
+
+  // --- Blocks written: moderate signal (KL ~ 0.12), e.g. dropped tooling. ---
+  s.blocks_written = burst(6.0, 3.0, rng);
+  if (compromised || intrusion_step != nullptr) {
+    s.blocks_written += burst(14.0, 2.0, rng);
+  }
+
+  // --- Blocks read: no signal (KL ~ 0). ---
+  s.blocks_read = burst(12.0, 3.0, rng);
+  return s;
+}
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,77 @@
+#include "tolerance/emulation/profiles.hpp"
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::emulation {
+namespace {
+
+// Alert-burst calibration: brute-force attacks trip vastly more SNORT rules
+// than single-shot CVE exploits (cf. the x-axis ranges in Fig. 11: the
+// brute-force panel extends to ~20000 weighted alerts, CVE panels to ~8000).
+constexpr double kScanBurst = 1200.0;
+constexpr double kBruteForceBurst = 9000.0;
+constexpr double kExploitBurst = 3000.0;
+
+std::vector<ContainerProfile> build_catalog() {
+  std::vector<ContainerProfile> catalog;
+  auto add = [&](int id, std::string os, std::vector<std::string> vulns,
+                 std::vector<std::string> services,
+                 std::vector<IntrusionStep> steps) {
+    ContainerProfile p;
+    p.replica_id = id;
+    p.os = std::move(os);
+    p.vulnerabilities = std::move(vulns);
+    p.background_services = std::move(services);
+    p.intrusion_steps = std::move(steps);
+    catalog.push_back(std::move(p));
+  };
+  const IntrusionStep tcp_scan{"TCP SYN scan", kScanBurst, 2.0};
+  const IntrusionStep icmp_scan{"ICMP scan", kScanBurst * 0.6, 2.0};
+  auto brute = [](const std::string& svc) {
+    return IntrusionStep{svc + " brute force", kBruteForceBurst, 1.5};
+  };
+  auto exploit = [](const std::string& cve) {
+    return IntrusionStep{"exploit of " + cve, kExploitBurst, 2.0};
+  };
+
+  add(1, "UBUNTU 14", {"FTP weak password"},
+      {"FTP", "SSH", "MONGODB", "HTTP", "TEAMSPEAK"},
+      {tcp_scan, brute("FTP")});
+  add(2, "UBUNTU 20", {"SSH weak password"}, {"SSH", "DNS", "HTTP"},
+      {tcp_scan, brute("SSH")});
+  add(3, "UBUNTU 20", {"TELNET weak password"}, {"SSH", "TELNET", "HTTP"},
+      {tcp_scan, brute("TELNET")});
+  add(4, "DEBIAN 10.2", {"CVE-2017-7494"}, {"SSH", "SAMBA", "NTP"},
+      {icmp_scan, exploit("CVE-2017-7494")});
+  add(5, "UBUNTU 20", {"CVE-2014-6271"}, {"SSH"},
+      {icmp_scan, exploit("CVE-2014-6271")});
+  add(6, "DEBIAN 10.2", {"CWE-89 on DVWA"}, {"DVWA", "IRC", "SSH"},
+      {icmp_scan, exploit("CWE-89 on DVWA")});
+  add(7, "DEBIAN 10.2", {"CVE-2015-3306"}, {"SSH"},
+      {icmp_scan, exploit("CVE-2015-3306")});
+  add(8, "DEBIAN 10.2", {"CVE-2016-10033"}, {"SSH"},
+      {icmp_scan, exploit("CVE-2016-10033")});
+  add(9, "DEBIAN 10.2", {"CVE-2010-0426", "SSH weak password"},
+      {"TEAMSPEAK", "HTTP", "SSH"},
+      {icmp_scan, brute("SSH"), exploit("CVE-2010-0426")});
+  add(10, "DEBIAN 10.2", {"CVE-2015-5602", "SSH weak password"}, {"SSH"},
+      {icmp_scan, brute("SSH"), exploit("CVE-2015-5602")});
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<ContainerProfile>& container_catalog() {
+  static const std::vector<ContainerProfile> catalog = build_catalog();
+  return catalog;
+}
+
+const ContainerProfile& container(int replica_id) {
+  const auto& catalog = container_catalog();
+  TOL_ENSURE(replica_id >= 1 &&
+                 replica_id <= static_cast<int>(catalog.size()),
+             "replica id out of range (Table 4 has 10 containers)");
+  return catalog[static_cast<std::size_t>(replica_id - 1)];
+}
+
+}  // namespace tolerance::emulation

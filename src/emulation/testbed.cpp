@@ -1,0 +1,162 @@
+#include "tolerance/emulation/testbed.hpp"
+
+#include <algorithm>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::emulation {
+
+using pomdp::NodeState;
+
+Testbed::Testbed(TestbedConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed),
+      background_(config.background_arrival_rate,
+                  config.background_mean_session),
+      attacker_(config.attacker) {
+  TOL_ENSURE(config.initial_nodes >= 1, "need at least one node");
+  TOL_ENSURE(config.max_nodes >= config.initial_nodes,
+             "pool smaller than initial allocation");
+  for (int i = 0; i < config.initial_nodes; ++i) {
+    nodes_.push_back(make_node());
+  }
+}
+
+EmulatedNode Testbed::make_node() {
+  EmulatedNode node;
+  node.id = next_node_id_++;
+  node.container_id =
+      rng_.uniform_int(static_cast<int>(container_catalog().size())) + 1;
+  node.state = NodeState::Healthy;
+  return node;
+}
+
+void Testbed::step() {
+  ++time_;
+  background_.step(rng_);
+  const double load_per_node =
+      nodes_.empty() ? 0.0
+                     : static_cast<double>(background_.load()) /
+                           static_cast<double>(nodes_.size());
+
+  // --- Attacker: engage a new target or advance the current intrusion. ---
+  if (!attacker_.target().has_value()) {
+    // Pick a random healthy node to probe.
+    std::vector<int> healthy;
+    for (int i = 0; i < num_nodes(); ++i) {
+      if (nodes_[static_cast<std::size_t>(i)].state == NodeState::Healthy) {
+        healthy.push_back(i);
+      }
+    }
+    if (!healthy.empty()) {
+      const int candidate =
+          healthy[static_cast<std::size_t>(rng_.uniform_int(
+              static_cast<int>(healthy.size())))];
+      if (attacker_.maybe_engage(candidate, rng_)) {
+        nodes_[static_cast<std::size_t>(candidate)].under_attack = true;
+      }
+    }
+  }
+
+  // --- Node dynamics + IDS sampling. ---
+  for (int i = 0; i < num_nodes(); ++i) {
+    auto& node = nodes_[static_cast<std::size_t>(i)];
+    const ContainerProfile& profile = container(node.container_id);
+
+    const IntrusionStep* active_step = nullptr;
+    if (attacker_.attacking(i)) {
+      active_step = attacker_.current_step(profile);
+    }
+
+    // Crashes (2b)-(2c).
+    if (node.state != NodeState::Crashed) {
+      const double p_crash = node.state == NodeState::Healthy
+                                 ? config_.p_crash_healthy
+                                 : config_.p_crash_compromised;
+      if (rng_.bernoulli(p_crash)) {
+        node.state = NodeState::Crashed;
+        node.under_attack = false;
+        node.compromised_since = -1;
+        attacker_.abort(i);
+      }
+    }
+
+    // Software update heals a compromised node (2g).
+    if (node.state == NodeState::Compromised &&
+        rng_.bernoulli(config_.p_update)) {
+      node.state = NodeState::Healthy;
+      node.compromised_since = -1;
+      node.behavior = CompromisedBehavior::Participate;
+    }
+
+    // Attacker progress on this node.
+    if (attacker_.attacking(i) && node.state == NodeState::Healthy) {
+      if (attacker_.advance(profile)) {
+        node.state = NodeState::Compromised;
+        node.compromised_since = time_;
+        node.behavior = Attacker::choose_behavior(rng_);
+        node.under_attack = false;
+        attacker_.on_compromised();
+        active_step = nullptr;  // signature already emitted during the steps
+      }
+    } else if (attacker_.attacking(i)) {
+      // Target crashed or got compromised by other means; move on.
+      attacker_.abort(i);
+      node.under_attack = false;
+    }
+
+    // IDS metrics (crashed nodes emit nothing — they are dark).
+    if (node.state == NodeState::Crashed) {
+      node.last_metrics = MetricSample{};
+    } else {
+      IdsModel ids(profile);
+      node.last_metrics =
+          ids.sample(active_step, node.state == NodeState::Compromised,
+                     load_per_node, rng_);
+    }
+  }
+}
+
+void Testbed::recover(int node_index) {
+  TOL_ENSURE(node_index >= 0 && node_index < num_nodes(),
+             "node index out of range");
+  auto& node = nodes_[static_cast<std::size_t>(node_index)];
+  TOL_ENSURE(node.state != NodeState::Crashed,
+             "crashed nodes are evicted, not recovered");
+  attacker_.abort(node_index);
+  const int id = node.id;  // identity survives container replacement
+  node = make_node();
+  node.id = id;
+  --next_node_id_;  // make_node consumed an id we do not need
+}
+
+void Testbed::evict(int node_index) {
+  TOL_ENSURE(node_index >= 0 && node_index < num_nodes(),
+             "node index out of range");
+  attacker_.abort(node_index);
+  // Re-index the attacker's target if it pointed past the erased node.
+  const auto target = attacker_.target();
+  nodes_.erase(nodes_.begin() + node_index);
+  if (target.has_value() && *target > node_index) {
+    attacker_.abort(*target);  // conservative: restart targeting next step
+  }
+}
+
+std::optional<int> Testbed::add_node() {
+  if (num_nodes() >= config_.max_nodes) return std::nullopt;
+  nodes_.push_back(make_node());
+  return num_nodes() - 1;
+}
+
+int Testbed::healthy_count() const {
+  int count = 0;
+  for (const auto& node : nodes_) {
+    if (node.state == NodeState::Healthy) ++count;
+  }
+  return count;
+}
+
+int Testbed::failed_count() const {
+  return num_nodes() - healthy_count();
+}
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,82 @@
+#include "tolerance/la/matrix.hpp"
+
+#include <cmath>
+
+namespace tolerance::la {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+bool Matrix::is_row_stochastic(double tol) const {
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double v = (*this)(i, j);
+      if (v < -tol || v > 1.0 + tol) return false;
+      s += v;
+    }
+    if (std::fabs(s - 1.0) > tol) return false;
+  }
+  return true;
+}
+
+std::vector<double> matvec(const Matrix& m, const std::vector<double>& x) {
+  TOL_ENSURE(m.cols() == x.size(), "matvec dimension mismatch");
+  std::vector<double> y(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < m.cols(); ++j) s += r[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> vecmat(const std::vector<double>& x, const Matrix& m) {
+  TOL_ENSURE(m.rows() == x.size(), "vecmat dimension mismatch");
+  std::vector<double> y(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* r = m.row(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < m.cols(); ++j) y[j] += xi * r[j];
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  TOL_ENSURE(a.cols() == b.rows(), "matmul dimension mismatch");
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.row(k);
+      double* crow = c.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  TOL_ENSURE(a.size() == b.size(), "dot dimension mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace tolerance::la

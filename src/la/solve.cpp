@@ -1,0 +1,131 @@
+#include "tolerance/la/solve.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tolerance::la {
+
+std::vector<double> gauss_solve(Matrix a, std::vector<double> b) {
+  TOL_ENSURE(a.rows() == a.cols(), "gauss_solve requires a square matrix");
+  TOL_ENSURE(a.rows() == b.size(), "gauss_solve dimension mismatch");
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    double best = std::fabs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) {
+      throw std::invalid_argument("gauss_solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(col, j), a(pivot, j));
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv_p = 1.0 / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a(r, col) * inv_p;
+      if (factor == 0.0) continue;
+      a(r, col) = 0.0;
+      for (std::size_t j = col + 1; j < n; ++j) a(r, j) -= factor * a(col, j);
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= a(i, j) * x[j];
+    x[i] = s / a(i, i);
+  }
+  return x;
+}
+
+Matrix invert(const Matrix& a) {
+  TOL_ENSURE(a.rows() == a.cols(), "invert requires a square matrix");
+  const std::size_t n = a.rows();
+  // Gauss-Jordan on [A | I].
+  Matrix aug(n, 2 * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) aug(i, j) = a(i, j);
+    aug(i, n + i) = 1.0;
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::fabs(aug(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(aug(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) throw std::invalid_argument("invert: singular matrix");
+    if (pivot != col) {
+      for (std::size_t j = 0; j < 2 * n; ++j) std::swap(aug(col, j), aug(pivot, j));
+    }
+    const double inv_p = 1.0 / aug(col, col);
+    for (std::size_t j = 0; j < 2 * n; ++j) aug(col, j) *= inv_p;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double factor = aug(r, col);
+      if (factor == 0.0) continue;
+      for (std::size_t j = 0; j < 2 * n; ++j) aug(r, j) -= factor * aug(col, j);
+    }
+  }
+  Matrix inv(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) inv(i, j) = aug(i, n + j);
+  }
+  return inv;
+}
+
+Matrix cholesky(const Matrix& a) {
+  TOL_ENSURE(a.rows() == a.cols(), "cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (s <= 0.0) {
+          throw std::invalid_argument("cholesky: matrix not positive definite");
+        }
+        l(i, j) = std::sqrt(s);
+      } else {
+        l(i, j) = s / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> cholesky_solve(const Matrix& l, std::vector<double> b) {
+  TOL_ENSURE(l.rows() == l.cols(), "cholesky_solve requires square factor");
+  TOL_ENSURE(l.rows() == b.size(), "cholesky_solve dimension mismatch");
+  const std::size_t n = l.rows();
+  // Forward: L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * b[k];
+    b[i] = s / l(i, i);
+  }
+  // Backward: L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) s -= l(k, i) * b[k];
+    b[i] = s / l(i, i);
+  }
+  return b;
+}
+
+}  // namespace tolerance::la

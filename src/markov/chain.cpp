@@ -1,0 +1,223 @@
+#include "tolerance/markov/chain.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "tolerance/la/solve.hpp"
+#include "tolerance/stats/distributions.hpp"
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::markov {
+
+MarkovChain::MarkovChain(la::Matrix transition) : p_(std::move(transition)) {
+  TOL_ENSURE(p_.rows() == p_.cols(), "transition matrix must be square");
+  TOL_ENSURE(p_.is_row_stochastic(1e-8),
+             "transition matrix must be row-stochastic");
+}
+
+std::vector<double> MarkovChain::mean_hitting_times(
+    const std::vector<bool>& target) const {
+  const std::size_t n = num_states();
+  TOL_ENSURE(target.size() == n, "target mask size mismatch");
+
+  // Identify states that can reach the target (backward reachability);
+  // unreachable states have infinite hitting time and are excluded from the
+  // linear system to keep it non-singular.
+  std::vector<bool> can_reach = target;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (can_reach[i]) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (p_(i, j) > 0.0 && can_reach[j]) {
+          can_reach[i] = true;
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Transient (non-target, reachable) states form the linear system
+  // (I - Q) h = 1.
+  std::vector<std::size_t> transient;
+  std::vector<int> index(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!target[i] && can_reach[i]) {
+      index[i] = static_cast<int>(transient.size());
+      transient.push_back(i);
+    }
+  }
+  std::vector<double> h(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!can_reach[i]) h[i] = std::numeric_limits<double>::infinity();
+  }
+  if (transient.empty()) return h;
+
+  const std::size_t m = transient.size();
+  la::Matrix a(m, m, 0.0);
+  std::vector<double> b(m, 1.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const std::size_t i = transient[r];
+    for (std::size_t j = 0; j < n; ++j) {
+      const double pij = p_(i, j);
+      if (pij == 0.0) continue;
+      if (index[j] >= 0) {
+        a(r, static_cast<std::size_t>(index[j])) -= pij;
+      }
+      // Mass flowing to unreachable states would make the hitting time
+      // infinite; in that case this row's solution is meaningless, flag below.
+      if (!can_reach[j]) {
+        b[r] = std::numeric_limits<double>::infinity();
+      }
+    }
+    a(r, r) += 1.0;
+  }
+  // If any rhs is infinite the state can avoid the target forever with
+  // positive probability => infinite mean hitting time.
+  bool any_inf = false;
+  for (double v : b) {
+    if (std::isinf(v)) any_inf = true;
+  }
+  if (any_inf) {
+    // Mean hitting time is infinite for every state that can leak to an
+    // unreachable state (directly or transitively).  Conservatively mark all
+    // states that reach a leaking state as infinite via forward propagation.
+    std::vector<bool> leaks(n, false);
+    for (std::size_t r = 0; r < m; ++r) {
+      if (std::isinf(b[r])) leaks[transient[r]] = true;
+    }
+    bool ch = true;
+    while (ch) {
+      ch = false;
+      for (std::size_t r = 0; r < m; ++r) {
+        const std::size_t i = transient[r];
+        if (leaks[i]) continue;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (p_(i, j) > 0.0 && leaks[j]) {
+            leaks[i] = true;
+            ch = true;
+            break;
+          }
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (leaks[i]) h[i] = std::numeric_limits<double>::infinity();
+    }
+    // Solve the reduced system over the non-leaking transient states.
+    std::vector<std::size_t> keep;
+    std::vector<int> kidx(n, -1);
+    for (std::size_t i : transient) {
+      if (!leaks[i]) {
+        kidx[i] = static_cast<int>(keep.size());
+        keep.push_back(i);
+      }
+    }
+    if (keep.empty()) return h;
+    la::Matrix a2(keep.size(), keep.size(), 0.0);
+    std::vector<double> b2(keep.size(), 1.0);
+    for (std::size_t r = 0; r < keep.size(); ++r) {
+      const std::size_t i = keep[r];
+      for (std::size_t j = 0; j < n; ++j) {
+        const double pij = p_(i, j);
+        if (pij != 0.0 && kidx[j] >= 0) {
+          a2(r, static_cast<std::size_t>(kidx[j])) -= pij;
+        }
+      }
+      a2(r, r) += 1.0;
+    }
+    const auto sol = la::gauss_solve(a2, b2);
+    for (std::size_t r = 0; r < keep.size(); ++r) h[keep[r]] = sol[r];
+    return h;
+  }
+
+  const auto sol = la::gauss_solve(a, b);
+  for (std::size_t r = 0; r < m; ++r) h[transient[r]] = sol[r];
+  return h;
+}
+
+std::vector<double> MarkovChain::distribution_after(std::vector<double> init,
+                                                    int t) const {
+  TOL_ENSURE(init.size() == num_states(), "initial distribution size");
+  TOL_ENSURE(t >= 0, "horizon must be non-negative");
+  for (int step = 0; step < t; ++step) init = la::vecmat(init, p_);
+  return init;
+}
+
+std::vector<double> MarkovChain::reliability_curve(
+    const std::vector<double>& init, const std::vector<bool>& failed,
+    int horizon) const {
+  const std::size_t n = num_states();
+  TOL_ENSURE(init.size() == n, "initial distribution size");
+  TOL_ENSURE(failed.size() == n, "failed mask size");
+  TOL_ENSURE(horizon >= 0, "horizon must be non-negative");
+  // Make failure states absorbing so that mass in non-failed states at time t
+  // equals P[T_f > t] (eq. (18)).
+  la::Matrix q = p_;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!failed[i]) continue;
+    for (std::size_t j = 0; j < n; ++j) q(i, j) = 0.0;
+    q(i, i) = 1.0;
+  }
+  std::vector<double> dist = init;
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(horizon) + 1);
+  auto survive_mass = [&]() {
+    double s = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!failed[i]) s += dist[i];
+    }
+    return s;
+  };
+  curve.push_back(survive_mass());
+  for (int t = 1; t <= horizon; ++t) {
+    dist = la::vecmat(dist, q);
+    curve.push_back(survive_mass());
+  }
+  return curve;
+}
+
+std::vector<double> MarkovChain::stationary_distribution(int max_iters,
+                                                         double tol) const {
+  const std::size_t n = num_states();
+  std::vector<double> dist(n, 1.0 / static_cast<double>(n));
+  for (int it = 0; it < max_iters; ++it) {
+    auto next = la::vecmat(dist, p_);
+    double delta = 0.0;
+    for (std::size_t i = 0; i < n; ++i) delta += std::fabs(next[i] - dist[i]);
+    dist = std::move(next);
+    if (delta < tol) break;
+  }
+  return dist;
+}
+
+int MarkovChain::step(int state, Rng& rng) const {
+  TOL_ENSURE(state >= 0 && static_cast<std::size_t>(state) < num_states(),
+             "state out of range");
+  double u = rng.uniform();
+  const double* row = p_.row(static_cast<std::size_t>(state));
+  for (std::size_t j = 0; j + 1 < num_states(); ++j) {
+    u -= row[j];
+    if (u < 0.0) return static_cast<int>(j);
+  }
+  return static_cast<int>(num_states() - 1);
+}
+
+MarkovChain binomial_survival_chain(int n, double p_survive) {
+  TOL_ENSURE(n >= 0, "node count must be non-negative");
+  TOL_ENSURE(p_survive >= 0.0 && p_survive <= 1.0,
+             "survival probability in [0,1]");
+  la::Matrix p(static_cast<std::size_t>(n) + 1, static_cast<std::size_t>(n) + 1,
+               0.0);
+  for (int s = 0; s <= n; ++s) {
+    const stats::BinomialDist bin(s, p_survive);
+    for (int k = 0; k <= s; ++k) {
+      p(static_cast<std::size_t>(s), static_cast<std::size_t>(k)) = bin.pmf(k);
+    }
+  }
+  return MarkovChain(std::move(p));
+}
+
+}  // namespace tolerance::markov

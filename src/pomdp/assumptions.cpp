@@ -1,0 +1,97 @@
+#include "tolerance/pomdp/assumptions.hpp"
+
+namespace tolerance::pomdp {
+
+std::vector<std::string> Theorem1Report::violations() const {
+  std::vector<std::string> v;
+  if (!a_probabilities_interior) v.push_back("A: parameters not in (0,1)");
+  if (!b_attack_update_bounded) v.push_back("B: pA + pU > 1");
+  if (!c_crash_gap) v.push_back("C: crash-probability gap too small");
+  if (!d_observations_positive) v.push_back("D: Z has zero entries");
+  if (!e_tp2) v.push_back("E: Z is not TP-2");
+  return v;
+}
+
+Theorem1Report check_theorem1(const NodeModel& model,
+                              const ObservationModel& obs) {
+  const NodeParams& p = model.params();
+  Theorem1Report r;
+  auto interior = [](double x) { return x > 0.0 && x < 1.0; };
+  r.a_probabilities_interior = interior(p.p_attack) && interior(p.p_update) &&
+                               interior(p.p_crash_healthy) &&
+                               interior(p.p_crash_compromised);
+  r.b_attack_update_bounded = p.p_attack + p.p_update <= 1.0;
+  // Assumption C:
+  //   pC1 (pU - 1) / (pA (pC1 - 1) + pC1 (pU - 1)) <= pC2.
+  const double numerator = p.p_crash_healthy * (p.p_update - 1.0);
+  const double denominator = p.p_attack * (p.p_crash_healthy - 1.0) +
+                             p.p_crash_healthy * (p.p_update - 1.0);
+  r.c_crash_gap =
+      denominator != 0.0 && numerator / denominator <= p.p_crash_compromised;
+  r.d_observations_positive = obs.all_positive();
+  r.e_tp2 = obs.is_tp2();
+  return r;
+}
+
+std::vector<std::string> Theorem2Report::violations() const {
+  std::vector<std::string> v;
+  if (!b_full_support) v.push_back("B: kernel has zero entries");
+  if (!c_monotone) v.push_back("C: kernel not FOSD-monotone in s");
+  if (!d_tail_supermodular) v.push_back("D: tail sums not supermodular");
+  return v;
+}
+
+Theorem2Report check_theorem2(const SystemCmdp& cmdp, double tol) {
+  Theorem2Report r;
+  const int n = cmdp.num_states();
+
+  r.b_full_support = true;
+  for (int a = 0; a <= 1 && r.b_full_support; ++a) {
+    for (int s = 0; s < n && r.b_full_support; ++s) {
+      for (int next = 0; next < n; ++next) {
+        if (cmdp.trans(s, a, next) <= 0.0) {
+          r.b_full_support = false;
+          break;
+        }
+      }
+    }
+  }
+
+  // Tail sums T(s, shat, a) = sum_{s' >= s} f(s' | shat, a).
+  auto tail = [&](int s, int shat, int a) {
+    double t = 0.0;
+    for (int next = s; next < n; ++next) t += cmdp.trans(shat, a, next);
+    return t;
+  };
+
+  // C: tail(s, shat+1, a) >= tail(s, shat, a) for all s, shat, a.
+  r.c_monotone = true;
+  for (int a = 0; a <= 1 && r.c_monotone; ++a) {
+    for (int shat = 0; shat + 1 < n && r.c_monotone; ++shat) {
+      for (int s = 0; s < n; ++s) {
+        if (tail(s, shat + 1, a) + tol < tail(s, shat, a)) {
+          r.c_monotone = false;
+          break;
+        }
+      }
+    }
+  }
+
+  // D (tail-sum supermodularity, [63, eq. 9.6]): for every tail start s the
+  // advantage tail(s, shat, 1) - tail(s, shat, 0) is non-decreasing in shat.
+  r.d_tail_supermodular = true;
+  for (int s = 0; s < n && r.d_tail_supermodular; ++s) {
+    double prev = tail(s, 0, 1) - tail(s, 0, 0);
+    for (int shat = 1; shat < n; ++shat) {
+      const double cur = tail(s, shat, 1) - tail(s, shat, 0);
+      if (cur + tol < prev) {
+        r.d_tail_supermodular = false;
+        break;
+      }
+      prev = cur;
+    }
+  }
+  return r;
+}
+
+}  // namespace tolerance::pomdp

@@ -1,0 +1,31 @@
+#include "tolerance/pomdp/belief.hpp"
+
+#include <algorithm>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::pomdp {
+
+double BeliefUpdater::predict(double belief, NodeAction a) const {
+  TOL_ENSURE(belief >= 0.0 && belief <= 1.0, "belief must be in [0,1]");
+  const double from_c = model_->conditional_transition(true, a, true);
+  const double from_h = model_->conditional_transition(false, a, true);
+  return belief * from_c + (1.0 - belief) * from_h;
+}
+
+double BeliefUpdater::update(double belief, NodeAction a,
+                             int observation) const {
+  const double m_c = predict(belief, a);
+  const double m_h = 1.0 - m_c;
+  const double z_c = obs_->prob(observation, true);
+  const double z_h = obs_->prob(observation, false);
+  const double denom = z_c * m_c + z_h * m_h;
+  if (denom <= 0.0) {
+    // Observation impossible under the model (assumption D violated); keep
+    // the prediction rather than dividing by zero.
+    return std::clamp(m_c, 0.0, 1.0);
+  }
+  return std::clamp(z_c * m_c / denom, 0.0, 1.0);
+}
+
+}  // namespace tolerance::pomdp

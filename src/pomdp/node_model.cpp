@@ -1,0 +1,112 @@
+#include "tolerance/pomdp/node_model.hpp"
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::pomdp {
+
+NodeModel::NodeModel(NodeParams params) : params_(params) {
+  TOL_ENSURE(params.p_attack >= 0.0 && params.p_attack <= 1.0,
+             "pA must be a probability");
+  TOL_ENSURE(params.p_crash_healthy >= 0.0 && params.p_crash_healthy <= 1.0,
+             "pC1 must be a probability");
+  TOL_ENSURE(
+      params.p_crash_compromised >= 0.0 && params.p_crash_compromised <= 1.0,
+      "pC2 must be a probability");
+  TOL_ENSURE(params.p_update >= 0.0 && params.p_update <= 1.0,
+             "pU must be a probability");
+  TOL_ENSURE(params.eta >= 1.0, "eta must be >= 1 (eq. (5))");
+}
+
+double NodeModel::transition(NodeState s, NodeAction a, NodeState next) const {
+  const double pa = params_.p_attack;
+  const double pc1 = params_.p_crash_healthy;
+  const double pc2 = params_.p_crash_compromised;
+  const double pu = params_.p_update;
+  switch (s) {
+    case NodeState::Crashed:  // (2a): absorbing
+      return next == NodeState::Crashed ? 1.0 : 0.0;
+    case NodeState::Healthy:
+      switch (next) {
+        case NodeState::Crashed:  // (2b)
+          return pc1;
+        case NodeState::Healthy:  // (2d)-(2e)
+          return (1.0 - pa) * (1.0 - pc1);
+        case NodeState::Compromised:  // (2h)
+          return (1.0 - pc1) * pa;
+      }
+      break;
+    case NodeState::Compromised:
+      switch (next) {
+        case NodeState::Crashed:  // (2c)
+          return pc2;
+        case NodeState::Healthy:  // (2f)-(2g)
+          return a == NodeAction::Recover ? (1.0 - pa) * (1.0 - pc2)
+                                          : (1.0 - pc2) * pu;
+        case NodeState::Compromised:  // (2i)-(2j)
+          return a == NodeAction::Recover ? (1.0 - pc2) * pa
+                                          : (1.0 - pc2) * (1.0 - pu);
+      }
+      break;
+  }
+  return 0.0;
+}
+
+la::Matrix NodeModel::transition_matrix(NodeAction a) const {
+  la::Matrix m(3, 3, 0.0);
+  const NodeState states[] = {NodeState::Healthy, NodeState::Compromised,
+                              NodeState::Crashed};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      m(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) =
+          transition(states[i], a, states[j]);
+    }
+  }
+  return m;
+}
+
+double NodeModel::crash_prob(NodeState s) const {
+  switch (s) {
+    case NodeState::Healthy:
+      return params_.p_crash_healthy;
+    case NodeState::Compromised:
+      return params_.p_crash_compromised;
+    case NodeState::Crashed:
+      return 1.0;
+  }
+  return 0.0;
+}
+
+double NodeModel::conditional_transition(bool from_compromised, NodeAction a,
+                                         bool to_compromised) const {
+  const double pa = params_.p_attack;
+  const double pu = params_.p_update;
+  double to_c;
+  if (!from_compromised) {
+    // (2d)/(2h) conditioned on not crashing: H -> C with pA.
+    to_c = pa;
+  } else if (a == NodeAction::Recover) {
+    // (2f)/(2i) conditioned on not crashing: recovery resets to healthy,
+    // then the attacker may strike again within the same step.
+    to_c = pa;
+  } else {
+    // (2g)/(2j) conditioned on not crashing: only a software update heals.
+    to_c = 1.0 - pu;
+  }
+  return to_compromised ? to_c : 1.0 - to_c;
+}
+
+double NodeModel::cost(NodeState s, NodeAction a) const {
+  if (s == NodeState::Crashed) return 0.0;
+  const double sv = s == NodeState::Compromised ? 1.0 : 0.0;
+  const double av = a == NodeAction::Recover ? 1.0 : 0.0;
+  // Eq. (5): eta*s - a*eta*s + a.
+  return params_.eta * sv - av * params_.eta * sv + av;
+}
+
+double NodeModel::expected_cost(double belief, NodeAction a) const {
+  TOL_ENSURE(belief >= 0.0 && belief <= 1.0, "belief must be in [0,1]");
+  return belief * cost(NodeState::Compromised, a) +
+         (1.0 - belief) * cost(NodeState::Healthy, a);
+}
+
+}  // namespace tolerance::pomdp

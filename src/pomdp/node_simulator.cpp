@@ -1,0 +1,127 @@
+#include "tolerance/pomdp/node_simulator.hpp"
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::pomdp {
+namespace {
+
+NodeState sample_transition(const NodeModel& m, NodeState s, NodeAction a,
+                            Rng& rng) {
+  const double to_crash = m.transition(s, a, NodeState::Crashed);
+  const double to_healthy = m.transition(s, a, NodeState::Healthy);
+  const double u = rng.uniform();
+  if (u < to_crash) return NodeState::Crashed;
+  if (u < to_crash + to_healthy) return NodeState::Healthy;
+  return NodeState::Compromised;
+}
+
+}  // namespace
+
+NodeRunStats NodeSimulator::run(const NodePolicy& policy, int horizon,
+                                Rng& rng) const {
+  TOL_ENSURE(horizon > 0, "horizon must be positive");
+  NodeRunStats stats;
+  stats.steps = horizon;
+
+  const double p_attack = model_.params().p_attack;
+  // Initial distribution b_1 = pA (Prob. 1, eq. (6a)).
+  NodeState state = rng.bernoulli(p_attack) ? NodeState::Compromised
+                                            : NodeState::Healthy;
+  double belief = p_attack;
+  // Time at which the current (undetected) compromise started; -1 if none.
+  int compromise_start = state == NodeState::Compromised ? 0 : -1;
+  double total_cost = 0.0;
+  double total_ttr = 0.0;
+  int healthy_steps = 0;
+
+  for (int t = 0; t < horizon; ++t) {
+    if (state == NodeState::Healthy) ++healthy_steps;
+    const NodeAction action = policy(belief, t + 1);
+    total_cost += model_.cost(state, action);
+
+    if (action == NodeAction::Recover) {
+      ++stats.num_recoveries;
+      if (compromise_start >= 0) {
+        total_ttr += t - compromise_start;
+        ++stats.num_compromises;
+        compromise_start = -1;
+      }
+    }
+
+    const NodeState prev = state;
+    state = sample_transition(model_, prev, action, rng);
+
+    if (state == NodeState::Crashed) {
+      ++stats.num_crashes;
+      // An unrecovered compromise ends with the crash; the time until the
+      // crash counts as time-to-recovery (the node is gone afterwards).
+      if (compromise_start >= 0) {
+        total_ttr += (t + 1) - compromise_start;
+        ++stats.num_compromises;
+        compromise_start = -1;
+      }
+      // Replacement node, fresh initial distribution.
+      state = rng.bernoulli(p_attack) ? NodeState::Compromised
+                                      : NodeState::Healthy;
+      belief = p_attack;
+      if (state == NodeState::Compromised) compromise_start = t + 1;
+      continue;
+    }
+
+    if (prev != NodeState::Compromised && state == NodeState::Compromised &&
+        compromise_start < 0) {
+      compromise_start = t + 1;
+    }
+    if (state == NodeState::Healthy && compromise_start >= 0) {
+      // Healed without an explicit recovery (software update (2g)); the
+      // compromise episode ends here.
+      total_ttr += (t + 1) - compromise_start;
+      ++stats.num_compromises;
+      compromise_start = -1;
+    }
+
+    const int observation = obs_->sample(state == NodeState::Compromised, rng);
+    belief = updater_.update(belief, action, observation);
+  }
+
+  // Open compromise at the horizon: count the full remaining time, so a
+  // policy that never recovers reports T(R) ~= horizon.
+  if (compromise_start >= 0) {
+    total_ttr += horizon - compromise_start;
+    ++stats.num_compromises;
+  }
+
+  stats.avg_cost = total_cost / horizon;
+  stats.recovery_frequency =
+      static_cast<double>(stats.num_recoveries) / horizon;
+  stats.avg_time_to_recovery =
+      stats.num_compromises > 0
+          ? total_ttr / stats.num_compromises
+          : 0.0;
+  stats.availability = static_cast<double>(healthy_steps) / horizon;
+  return stats;
+}
+
+NodeRunStats NodeSimulator::run_many(const NodePolicy& policy, int horizon,
+                                     int episodes, Rng& rng) const {
+  TOL_ENSURE(episodes > 0, "episodes must be positive");
+  NodeRunStats agg;
+  for (int e = 0; e < episodes; ++e) {
+    const NodeRunStats s = run(policy, horizon, rng);
+    agg.avg_cost += s.avg_cost;
+    agg.avg_time_to_recovery += s.avg_time_to_recovery;
+    agg.recovery_frequency += s.recovery_frequency;
+    agg.availability += s.availability;
+    agg.num_compromises += s.num_compromises;
+    agg.num_recoveries += s.num_recoveries;
+    agg.num_crashes += s.num_crashes;
+    agg.steps += s.steps;
+  }
+  agg.avg_cost /= episodes;
+  agg.avg_time_to_recovery /= episodes;
+  agg.recovery_frequency /= episodes;
+  agg.availability /= episodes;
+  return agg;
+}
+
+}  // namespace tolerance::pomdp

@@ -1,0 +1,103 @@
+#include "tolerance/pomdp/observation_model.hpp"
+
+#include <limits>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::pomdp {
+
+bool ObservationModel::all_positive() const {
+  for (int o = 0; o < num_observations(); ++o) {
+    if (prob(o, false) <= 0.0 || prob(o, true) <= 0.0) return false;
+  }
+  return true;
+}
+
+bool ObservationModel::is_tp2(double tol) const {
+  // TP-2 for a 2-row channel == monotone likelihood ratio in o.
+  double prev_ratio = -1.0;
+  for (int o = 0; o < num_observations(); ++o) {
+    const double h = prob(o, false);
+    const double c = prob(o, true);
+    if (h <= 0.0) {
+      // Ratio jumps to +inf; remaining entries must keep it there.
+      prev_ratio = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    const double ratio = c / h;
+    if (ratio < prev_ratio - tol) return false;
+    prev_ratio = std::max(prev_ratio, ratio);
+  }
+  return true;
+}
+
+double ObservationModel::kl(bool from_compromised, bool to_compromised) const {
+  return stats::kl_divergence(pmf(from_compromised), pmf(to_compromised));
+}
+
+std::vector<double> ObservationModel::pmf(bool compromised) const {
+  std::vector<double> p(static_cast<std::size_t>(num_observations()));
+  for (int o = 0; o < num_observations(); ++o) {
+    p[static_cast<std::size_t>(o)] = prob(o, compromised);
+  }
+  return p;
+}
+
+BetaBinObservationModel::BetaBinObservationModel(
+    stats::BetaBinomial healthy, stats::BetaBinomial compromised)
+    : healthy_(healthy), compromised_(compromised) {
+  TOL_ENSURE(healthy.n() == compromised.n(),
+             "observation supports must match");
+}
+
+BetaBinObservationModel BetaBinObservationModel::paper_default(int n) {
+  return BetaBinObservationModel(stats::BetaBinomial(n, 0.7, 3.0),
+                                 stats::BetaBinomial(n, 1.0, 0.7));
+}
+
+int BetaBinObservationModel::num_observations() const {
+  return healthy_.n() + 1;
+}
+
+double BetaBinObservationModel::prob(int observation, bool compromised) const {
+  return compromised ? compromised_.pmf(observation)
+                     : healthy_.pmf(observation);
+}
+
+int BetaBinObservationModel::sample(bool compromised, Rng& rng) const {
+  return compromised ? compromised_.sample(rng) : healthy_.sample(rng);
+}
+
+EmpiricalObservationModel::EmpiricalObservationModel(
+    stats::EmpiricalPmf healthy, stats::EmpiricalPmf compromised)
+    : healthy_(std::move(healthy)), compromised_(std::move(compromised)) {
+  TOL_ENSURE(healthy_.support_size() == compromised_.support_size(),
+             "observation supports must match");
+}
+
+EmpiricalObservationModel EmpiricalObservationModel::estimate(
+    const std::vector<int>& healthy_samples,
+    const std::vector<int>& compromised_samples, int support_size,
+    double smoothing) {
+  return EmpiricalObservationModel(
+      stats::EmpiricalPmf::from_samples(healthy_samples, support_size,
+                                        smoothing),
+      stats::EmpiricalPmf::from_samples(compromised_samples, support_size,
+                                        smoothing));
+}
+
+int EmpiricalObservationModel::num_observations() const {
+  return healthy_.support_size();
+}
+
+double EmpiricalObservationModel::prob(int observation,
+                                       bool compromised) const {
+  return compromised ? compromised_.prob(observation)
+                     : healthy_.prob(observation);
+}
+
+int EmpiricalObservationModel::sample(bool compromised, Rng& rng) const {
+  return compromised ? compromised_.sample(rng) : healthy_.sample(rng);
+}
+
+}  // namespace tolerance::pomdp

@@ -1,0 +1,175 @@
+#include "tolerance/pomdp/system_model.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "tolerance/stats/distributions.hpp"
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::pomdp {
+namespace {
+
+void normalize_row(la::Matrix& m, std::size_t row) {
+  double total = 0.0;
+  for (std::size_t j = 0; j < m.cols(); ++j) total += m(row, j);
+  TOL_ENSURE(total > 0.0, "kernel row must have positive mass");
+  for (std::size_t j = 0; j < m.cols(); ++j) m(row, j) /= total;
+}
+
+}  // namespace
+
+SystemCmdp::SystemCmdp(int smax, int f, double epsilon_a,
+                       la::Matrix kernel_wait, la::Matrix kernel_add)
+    : smax_(smax), f_(f), epsilon_a_(epsilon_a) {
+  TOL_ENSURE(smax >= 1, "smax must be >= 1");
+  TOL_ENSURE(f >= 0 && f < smax, "need 0 <= f < smax");
+  TOL_ENSURE(epsilon_a >= 0.0 && epsilon_a <= 1.0,
+             "epsilon_A must be in [0,1]");
+  const auto n = static_cast<std::size_t>(smax + 1);
+  TOL_ENSURE(kernel_wait.rows() == n && kernel_wait.cols() == n,
+             "kernel_wait has wrong shape");
+  TOL_ENSURE(kernel_add.rows() == n && kernel_add.cols() == n,
+             "kernel_add has wrong shape");
+  TOL_ENSURE(kernel_wait.is_row_stochastic(1e-7),
+             "kernel_wait must be row-stochastic");
+  TOL_ENSURE(kernel_add.is_row_stochastic(1e-7),
+             "kernel_add must be row-stochastic");
+  kernel_[0] = std::move(kernel_wait);
+  kernel_[1] = std::move(kernel_add);
+}
+
+SystemCmdp SystemCmdp::parametric(int smax, int f, double epsilon_a,
+                                  double q_healthy, double q_recover,
+                                  double mix) {
+  TOL_ENSURE(q_healthy >= 0.0 && q_healthy <= 1.0, "q_healthy in [0,1]");
+  TOL_ENSURE(q_recover >= 0.0 && q_recover <= 1.0, "q_recover in [0,1]");
+  TOL_ENSURE(mix >= 0.0 && mix < 1.0, "mix in [0,1)");
+  const int n = smax + 1;
+  la::Matrix k0(static_cast<std::size_t>(n), static_cast<std::size_t>(n), 0.0);
+  la::Matrix k1 = k0;
+  for (int s = 0; s <= smax; ++s) {
+    const stats::BinomialDist survive(s, q_healthy);
+    const stats::BinomialDist recover(smax - s, q_recover);
+    const auto ps = survive.pmf_vector();
+    const auto pr = recover.pmf_vector();
+    for (int a = 0; a <= 1; ++a) {
+      la::Matrix& k = a == 0 ? k0 : k1;
+      for (int i = 0; i <= s; ++i) {
+        for (int j = 0; j <= smax - s; ++j) {
+          const int next = std::min(smax, i + j + a);
+          k(static_cast<std::size_t>(s), static_cast<std::size_t>(next)) +=
+              ps[static_cast<std::size_t>(i)] * pr[static_cast<std::size_t>(j)];
+        }
+      }
+      if (mix > 0.0) {
+        for (int next = 0; next <= smax; ++next) {
+          auto& cell =
+              k(static_cast<std::size_t>(s), static_cast<std::size_t>(next));
+          cell = (1.0 - mix) * cell + mix / n;
+        }
+      }
+      normalize_row(k, static_cast<std::size_t>(s));
+    }
+  }
+  return SystemCmdp(smax, f, epsilon_a, std::move(k0), std::move(k1));
+}
+
+SystemCmdp SystemCmdp::estimate_from_node_simulation(
+    int smax, int f, double epsilon_a, const NodeModel& model,
+    const ObservationModel& obs, const NodePolicy& policy, int episodes,
+    int horizon, Rng& rng, double smoothing) {
+  TOL_ENSURE(episodes > 0 && horizon > 1, "need at least one transition");
+  const int n = smax + 1;
+  la::Matrix counts(static_cast<std::size_t>(n), static_cast<std::size_t>(n),
+                    smoothing);
+
+  const BeliefUpdater updater(model, obs);
+  const double p_attack = model.params().p_attack;
+
+  for (int e = 0; e < episodes; ++e) {
+    // Population of smax nodes evolving under the local-level policy.
+    std::vector<NodeState> state(static_cast<std::size_t>(smax));
+    std::vector<double> belief(static_cast<std::size_t>(smax), p_attack);
+    for (auto& s : state) {
+      s = rng.bernoulli(p_attack) ? NodeState::Compromised
+                                  : NodeState::Healthy;
+    }
+    auto healthy_count = [&]() {
+      int c = 0;
+      for (const auto& s : state) c += s == NodeState::Healthy ? 1 : 0;
+      return c;
+    };
+    int prev = healthy_count();
+    for (int t = 0; t < horizon; ++t) {
+      for (int i = 0; i < smax; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const NodeAction a = policy(belief[idx], t + 1);
+        // Sample next state.
+        const double to_crash = model.transition(state[idx], a, NodeState::Crashed);
+        const double to_h = model.transition(state[idx], a, NodeState::Healthy);
+        const double u = rng.uniform();
+        if (u < to_crash) {
+          // Replacement node (the global level keeps the pool full here;
+          // the action effect is modeled by the +a shift below).
+          state[idx] = rng.bernoulli(p_attack) ? NodeState::Compromised
+                                               : NodeState::Healthy;
+          belief[idx] = p_attack;
+          continue;
+        }
+        state[idx] =
+            u < to_crash + to_h ? NodeState::Healthy : NodeState::Compromised;
+        const int o = obs.sample(state[idx] == NodeState::Compromised, rng);
+        belief[idx] = updater.update(belief[idx], a, o);
+      }
+      const int cur = healthy_count();
+      counts(static_cast<std::size_t>(prev), static_cast<std::size_t>(cur)) +=
+          1.0;
+      prev = cur;
+    }
+  }
+
+  la::Matrix k0(static_cast<std::size_t>(n), static_cast<std::size_t>(n), 0.0);
+  la::Matrix k1 = k0;
+  for (int s = 0; s <= smax; ++s) {
+    double total = 0.0;
+    for (int j = 0; j <= smax; ++j) {
+      total += counts(static_cast<std::size_t>(s), static_cast<std::size_t>(j));
+    }
+    for (int j = 0; j <= smax; ++j) {
+      const double p =
+          counts(static_cast<std::size_t>(s), static_cast<std::size_t>(j)) /
+          total;
+      k0(static_cast<std::size_t>(s), static_cast<std::size_t>(j)) = p;
+      // a = 1 shifts the outcome by one added node, clamped at smax.
+      const int shifted = std::min(smax, j + 1);
+      k1(static_cast<std::size_t>(s), static_cast<std::size_t>(shifted)) += p;
+    }
+  }
+  return SystemCmdp(smax, f, epsilon_a, std::move(k0), std::move(k1));
+}
+
+double SystemCmdp::trans(int s, int a, int next) const {
+  TOL_ENSURE(s >= 0 && s <= smax_, "state out of range");
+  TOL_ENSURE(next >= 0 && next <= smax_, "next state out of range");
+  TOL_ENSURE(a == 0 || a == 1, "action must be 0 or 1");
+  return kernel_[a](static_cast<std::size_t>(s), static_cast<std::size_t>(next));
+}
+
+const la::Matrix& SystemCmdp::kernel(int a) const {
+  TOL_ENSURE(a == 0 || a == 1, "action must be 0 or 1");
+  return kernel_[a];
+}
+
+int SystemCmdp::step(int s, int a, Rng& rng) const {
+  TOL_ENSURE(s >= 0 && s <= smax_, "state out of range");
+  TOL_ENSURE(a == 0 || a == 1, "action must be 0 or 1");
+  double u = rng.uniform();
+  const la::Matrix& k = kernel_[a];
+  for (int j = 0; j < smax_; ++j) {
+    u -= k(static_cast<std::size_t>(s), static_cast<std::size_t>(j));
+    if (u < 0.0) return j;
+  }
+  return smax_;
+}
+
+}  // namespace tolerance::pomdp

@@ -1,0 +1,146 @@
+#include "tolerance/solvers/bayesopt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tolerance/la/matrix.hpp"
+#include "tolerance/la/solve.hpp"
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace tolerance::solvers {
+namespace {
+
+double matern52(const std::vector<double>& a, const std::vector<double>& b,
+                double length_scale, double signal_var) {
+  double sq = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double diff = a[d] - b[d];
+    sq += diff * diff;
+  }
+  const double r = std::sqrt(sq) / length_scale;
+  const double s5r = std::sqrt(5.0) * r;
+  return signal_var * (1.0 + s5r + 5.0 * sq / (3.0 * length_scale * length_scale)) *
+         std::exp(-s5r);
+}
+
+}  // namespace
+
+OptResult BayesianOptimization::optimize(const ObjectiveFn& f, int dim,
+                                         long max_evaluations,
+                                         Rng& rng) const {
+  TOL_ENSURE(dim > 0, "dimension must be positive");
+  const Stopwatch clock;
+  OptResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+
+  std::vector<std::vector<double>> xs;
+  std::vector<double> ys;
+
+  auto record = [&](const std::vector<double>& x, double y) {
+    xs.push_back(x);
+    ys.push_back(y);
+    ++result.evaluations;
+    if (y < result.best_value) {
+      result.best_value = y;
+      result.best_x = x;
+    }
+    result.history.push_back(
+        {clock.elapsed_seconds(), result.best_value, result.evaluations});
+  };
+
+  // Initial space-filling random design.
+  const long n_init = std::min<long>(options_.initial_random, max_evaluations);
+  for (long i = 0; i < n_init; ++i) {
+    std::vector<double> x(static_cast<std::size_t>(dim));
+    for (auto& v : x) v = rng.uniform();
+    record(x, f(x));
+  }
+
+  while (result.evaluations < max_evaluations) {
+    // Fit GP on (a window of) the data.
+    const std::size_t n_all = xs.size();
+    const std::size_t n =
+        std::min<std::size_t>(n_all, static_cast<std::size_t>(options_.max_gp_points));
+    const std::size_t offset = n_all - n;
+
+    // Normalize targets for a stable prior.
+    double y_mean = 0.0;
+    for (std::size_t i = 0; i < n; ++i) y_mean += ys[offset + i];
+    y_mean /= static_cast<double>(n);
+    double y_var = 1e-6;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = ys[offset + i] - y_mean;
+      y_var += d * d;
+    }
+    y_var /= static_cast<double>(n);
+
+    la::Matrix gram(n, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double k =
+            matern52(xs[offset + i], xs[offset + j], options_.length_scale, y_var);
+        gram(i, j) = k;
+        gram(j, i) = k;
+      }
+      gram(i, i) += options_.noise + 1e-8;
+    }
+    la::Matrix chol_factor;
+    try {
+      chol_factor = la::cholesky(gram);
+    } catch (const std::invalid_argument&) {
+      // Numerical trouble: fall back to a random probe.
+      std::vector<double> x(static_cast<std::size_t>(dim));
+      for (auto& v : x) v = rng.uniform();
+      record(x, f(x));
+      continue;
+    }
+    std::vector<double> centered(n);
+    for (std::size_t i = 0; i < n; ++i) centered[i] = ys[offset + i] - y_mean;
+    const std::vector<double> alpha = la::cholesky_solve(chol_factor, centered);
+
+    auto posterior = [&](const std::vector<double>& x, double& mu,
+                         double& var) {
+      std::vector<double> kvec(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        kvec[i] = matern52(x, xs[offset + i], options_.length_scale, y_var);
+      }
+      mu = y_mean;
+      for (std::size_t i = 0; i < n; ++i) mu += kvec[i] * alpha[i];
+      // var = k(x,x) - k^T K^-1 k via the Cholesky solve.
+      const std::vector<double> v = la::cholesky_solve(chol_factor, kvec);
+      double reduction = 0.0;
+      for (std::size_t i = 0; i < n; ++i) reduction += kvec[i] * v[i];
+      var = std::max(1e-12, y_var - reduction);
+    };
+
+    // Acquisition: minimize LCB = mu - beta * sigma over random candidates
+    // plus perturbations of the incumbent.
+    std::vector<double> best_cand;
+    double best_acq = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < options_.candidates; ++c) {
+      std::vector<double> x(static_cast<std::size_t>(dim));
+      if (c % 4 == 0 && !result.best_x.empty()) {
+        for (int d = 0; d < dim; ++d) {
+          x[static_cast<std::size_t>(d)] = std::clamp(
+              result.best_x[static_cast<std::size_t>(d)] + rng.normal(0.0, 0.1),
+              0.0, 1.0);
+        }
+      } else {
+        for (auto& v : x) v = rng.uniform();
+      }
+      double mu, var;
+      posterior(x, mu, var);
+      const double acq = mu - options_.beta * std::sqrt(var);
+      if (acq < best_acq) {
+        best_acq = acq;
+        best_cand = std::move(x);
+      }
+    }
+    record(best_cand, f(best_cand));
+  }
+  return result;
+}
+
+}  // namespace tolerance::solvers

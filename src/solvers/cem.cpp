@@ -1,0 +1,79 @@
+#include "tolerance/solvers/cem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace tolerance::solvers {
+
+OptResult CrossEntropyMethod::optimize(const ObjectiveFn& f, int dim,
+                                       long max_evaluations, Rng& rng) const {
+  TOL_ENSURE(dim > 0, "dimension must be positive");
+  TOL_ENSURE(max_evaluations > 0, "evaluation budget must be positive");
+  const Stopwatch clock;
+  OptResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+
+  std::vector<double> mean(static_cast<std::size_t>(dim), options_.init_mean);
+  std::vector<double> stddev(static_cast<std::size_t>(dim),
+                             options_.init_stddev);
+  const int elites = std::max(
+      1, static_cast<int>(options_.population * options_.elite_fraction));
+
+  std::vector<std::vector<double>> population(
+      static_cast<std::size_t>(options_.population));
+  std::vector<double> values(static_cast<std::size_t>(options_.population));
+  std::vector<int> order(static_cast<std::size_t>(options_.population));
+
+  while (result.evaluations < max_evaluations) {
+    const int batch = static_cast<int>(
+        std::min<long>(options_.population, max_evaluations - result.evaluations));
+    for (int i = 0; i < batch; ++i) {
+      auto& x = population[static_cast<std::size_t>(i)];
+      x.assign(static_cast<std::size_t>(dim), 0.0);
+      for (int d = 0; d < dim; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        x[di] = std::clamp(rng.normal(mean[di], stddev[di]), 0.0, 1.0);
+      }
+      values[static_cast<std::size_t>(i)] = f(x);
+      ++result.evaluations;
+      if (values[static_cast<std::size_t>(i)] < result.best_value) {
+        result.best_value = values[static_cast<std::size_t>(i)];
+        result.best_x = x;
+      }
+    }
+    result.history.push_back(
+        {clock.elapsed_seconds(), result.best_value, result.evaluations});
+    if (batch < elites) break;  // not enough samples left to refit
+
+    std::iota(order.begin(), order.begin() + batch, 0);
+    std::partial_sort(order.begin(), order.begin() + elites,
+                      order.begin() + batch, [&](int a, int b) {
+                        return values[static_cast<std::size_t>(a)] <
+                               values[static_cast<std::size_t>(b)];
+                      });
+    for (int d = 0; d < dim; ++d) {
+      const auto di = static_cast<std::size_t>(d);
+      double m = 0.0;
+      for (int e = 0; e < elites; ++e) {
+        m += population[static_cast<std::size_t>(order[static_cast<std::size_t>(e)])][di];
+      }
+      m /= elites;
+      double var = 0.0;
+      for (int e = 0; e < elites; ++e) {
+        const double v =
+            population[static_cast<std::size_t>(order[static_cast<std::size_t>(e)])][di] - m;
+        var += v * v;
+      }
+      var /= elites;
+      mean[di] = m;
+      stddev[di] = std::max(options_.min_stddev, std::sqrt(var));
+    }
+  }
+  return result;
+}
+
+}  // namespace tolerance::solvers

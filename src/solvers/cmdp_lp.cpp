@@ -1,0 +1,132 @@
+#include "tolerance/solvers/cmdp_lp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::solvers {
+namespace {
+
+constexpr double kRandomizedEps = 1e-6;
+
+}  // namespace
+
+int CmdpSolution::act(int s, Rng& rng) const {
+  TOL_ENSURE(s >= 0 && s < static_cast<int>(add_probability.size()),
+             "state out of range");
+  return rng.bernoulli(add_probability[static_cast<std::size_t>(s)]) ? 1 : 0;
+}
+
+CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
+                                  lp::SimplexSolver::Options lp_options) {
+  const int n = cmdp.num_states();
+  // Variable layout: rho(s, a) at index 2*s + a.
+  lp::LinearProgram program(2 * n);
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < 2; ++a) {
+      program.objective[static_cast<std::size_t>(2 * s + a)] = cmdp.cost(s);
+    }
+  }
+  // Normalization (14c).
+  {
+    std::vector<std::pair<int, double>> terms;
+    terms.reserve(static_cast<std::size_t>(2 * n));
+    for (int j = 0; j < 2 * n; ++j) terms.push_back({j, 1.0});
+    program.add_constraint(std::move(terms), lp::Relation::Eq, 1.0);
+  }
+  // Flow balance (14d): sum_a rho(s,a) - sum_{s',a} rho(s',a) f(s|s',a) = 0.
+  // One of these rows is linearly dependent given (14c); the two-phase
+  // simplex handles the redundancy.
+  for (int s = 0; s < n; ++s) {
+    std::vector<std::pair<int, double>> terms;
+    for (int a = 0; a < 2; ++a) {
+      terms.push_back({2 * s + a, 1.0});
+    }
+    for (int sp = 0; sp < n; ++sp) {
+      for (int a = 0; a < 2; ++a) {
+        const double f = cmdp.trans(sp, a, s);
+        if (f != 0.0) {
+          // Merge with the diagonal term if sp == s.
+          terms.push_back({2 * sp + a, -f});
+        }
+      }
+    }
+    program.add_constraint(std::move(terms), lp::Relation::Eq, 0.0);
+  }
+  // Availability (14e).
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (int s = 0; s < n; ++s) {
+      if (!cmdp.available(s)) continue;
+      for (int a = 0; a < 2; ++a) terms.push_back({2 * s + a, 1.0});
+    }
+    program.add_constraint(std::move(terms), lp::Relation::GreaterEq,
+                           cmdp.epsilon_a());
+  }
+
+  const lp::SimplexSolver solver(lp_options);
+  const lp::LpSolution lp_solution = solver.solve(program);
+
+  CmdpSolution out;
+  out.status = lp_solution.status;
+  out.lp_iterations = lp_solution.iterations;
+  if (lp_solution.status != lp::LpStatus::Optimal) return out;
+
+  out.occupancy.assign(static_cast<std::size_t>(n), {0.0, 0.0});
+  out.add_probability.assign(static_cast<std::size_t>(n), 0.0);
+  for (int s = 0; s < n; ++s) {
+    for (int a = 0; a < 2; ++a) {
+      out.occupancy[static_cast<std::size_t>(s)][static_cast<std::size_t>(a)] =
+          std::max(0.0, lp_solution.x[static_cast<std::size_t>(2 * s + a)]);
+    }
+  }
+  out.average_cost = lp_solution.objective;
+  for (int s = 0; s < n; ++s) {
+    const auto& rho = out.occupancy[static_cast<std::size_t>(s)];
+    if (cmdp.available(s)) out.availability += rho[0] + rho[1];
+  }
+
+  // Policy extraction (Algorithm 2, line 4).
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  for (int s = 0; s < n; ++s) {
+    const auto& rho = out.occupancy[static_cast<std::size_t>(s)];
+    const double total = rho[0] + rho[1];
+    if (total > kRandomizedEps) {
+      visited[static_cast<std::size_t>(s)] = true;
+      out.add_probability[static_cast<std::size_t>(s)] = rho[1] / total;
+    }
+  }
+  // Threshold decomposition over visited states (Thm. 2 structure).
+  int beta2 = -1;  // largest s with pi(1|s) > 0
+  int beta1 = -1;  // largest s with pi(1|s) ~= 1
+  double kappa_mix = 0.0;
+  for (int s = 0; s < n; ++s) {
+    if (!visited[static_cast<std::size_t>(s)]) continue;
+    const double p = out.add_probability[static_cast<std::size_t>(s)];
+    if (p > kRandomizedEps) beta2 = std::max(beta2, s);
+    if (p >= 1.0 - kRandomizedEps) beta1 = std::max(beta1, s);
+    if (p > kRandomizedEps && p < 1.0 - kRandomizedEps) {
+      ++out.num_randomized_states;
+      kappa_mix = p;
+    }
+  }
+  out.beta1 = beta1;
+  out.beta2 = beta2;
+  out.kappa = out.num_randomized_states > 0 ? kappa_mix : 1.0;
+  // Fill unvisited states consistently with the threshold structure: add
+  // below beta1 (or below beta2 with prob kappa), never above beta2.
+  for (int s = 0; s < n; ++s) {
+    if (visited[static_cast<std::size_t>(s)]) continue;
+    double p = 0.0;
+    if (beta1 >= 0 && s <= beta1) {
+      p = 1.0;
+    } else if (beta2 >= 0 && s <= beta2) {
+      p = out.num_randomized_states > 0 ? out.kappa : 1.0;
+    }
+    out.add_probability[static_cast<std::size_t>(s)] = p;
+  }
+  return out;
+}
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,74 @@
+#include "tolerance/solvers/de.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace tolerance::solvers {
+
+OptResult DifferentialEvolution::optimize(const ObjectiveFn& f, int dim,
+                                          long max_evaluations,
+                                          Rng& rng) const {
+  TOL_ENSURE(dim > 0, "dimension must be positive");
+  TOL_ENSURE(options_.population >= 4,
+             "DE/rand/1 needs a population of at least 4");
+  const Stopwatch clock;
+  OptResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+
+  const auto k = static_cast<std::size_t>(options_.population);
+  std::vector<std::vector<double>> pop(k);
+  std::vector<double> value(k);
+  for (std::size_t i = 0; i < k && result.evaluations < max_evaluations; ++i) {
+    pop[i].assign(static_cast<std::size_t>(dim), 0.0);
+    for (auto& v : pop[i]) v = rng.uniform();
+    value[i] = f(pop[i]);
+    ++result.evaluations;
+    if (value[i] < result.best_value) {
+      result.best_value = value[i];
+      result.best_x = pop[i];
+    }
+  }
+  result.history.push_back(
+      {clock.elapsed_seconds(), result.best_value, result.evaluations});
+
+  std::vector<double> trial(static_cast<std::size_t>(dim));
+  while (result.evaluations < max_evaluations) {
+    for (std::size_t i = 0; i < k && result.evaluations < max_evaluations;
+         ++i) {
+      // Pick three distinct members a, b, c != i.
+      std::size_t a, b, c;
+      do { a = static_cast<std::size_t>(rng.uniform_int(options_.population)); } while (a == i);
+      do { b = static_cast<std::size_t>(rng.uniform_int(options_.population)); } while (b == i || b == a);
+      do { c = static_cast<std::size_t>(rng.uniform_int(options_.population)); } while (c == i || c == a || c == b);
+      const int forced = rng.uniform_int(dim);
+      for (int d = 0; d < dim; ++d) {
+        const auto di = static_cast<std::size_t>(d);
+        if (d == forced || rng.bernoulli(options_.recombination)) {
+          trial[di] = std::clamp(
+              pop[a][di] + options_.mutate_step * (pop[b][di] - pop[c][di]),
+              0.0, 1.0);
+        } else {
+          trial[di] = pop[i][di];
+        }
+      }
+      const double tv = f(trial);
+      ++result.evaluations;
+      if (tv <= value[i]) {
+        pop[i] = trial;
+        value[i] = tv;
+      }
+      if (tv < result.best_value) {
+        result.best_value = tv;
+        result.best_x = trial;
+      }
+    }
+    result.history.push_back(
+        {clock.elapsed_seconds(), result.best_value, result.evaluations});
+  }
+  return result;
+}
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,261 @@
+#include "tolerance/solvers/incremental_pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::solvers {
+namespace {
+
+using pomdp::NodeAction;
+using pomdp::NodeModel;
+using pomdp::NodeState;
+using pomdp::ObservationModel;
+
+// One DP backup: V_next given as alpha set; returns pruned alpha set for the
+// current stage over the allowed actions.
+std::vector<AlphaVector> backup(const NodeModel& model,
+                                const ObservationModel& obs,
+                                const std::vector<AlphaVector>& next,
+                                const std::vector<NodeAction>& actions,
+                                double discount) {
+  const int num_obs = obs.num_observations();
+  std::vector<AlphaVector> out;
+  for (const NodeAction a : actions) {
+    // Per-observation projected sets Gamma_{a,o}:
+    //   g(s) = discount * sum_{s' in {H,C}} f(s'|s,a) Z(o|s') alpha(s').
+    // The crash branch contributes 0 (value of a crashed node is 0).
+    std::vector<std::vector<AlphaVector>> gamma(
+        static_cast<std::size_t>(num_obs));
+    const double f_hh = model.transition(NodeState::Healthy, a, NodeState::Healthy);
+    const double f_hc = model.transition(NodeState::Healthy, a, NodeState::Compromised);
+    const double f_ch = model.transition(NodeState::Compromised, a, NodeState::Healthy);
+    const double f_cc = model.transition(NodeState::Compromised, a, NodeState::Compromised);
+    for (int o = 0; o < num_obs; ++o) {
+      const double z_h = obs.prob(o, false);
+      const double z_c = obs.prob(o, true);
+      auto& set = gamma[static_cast<std::size_t>(o)];
+      set.reserve(next.size());
+      for (const AlphaVector& alpha : next) {
+        AlphaVector g;
+        g.action = a;
+        g.v_healthy = discount * (f_hh * z_h * alpha.v_healthy +
+                                  f_hc * z_c * alpha.v_compromised);
+        g.v_compromised = discount * (f_ch * z_h * alpha.v_healthy +
+                                      f_cc * z_c * alpha.v_compromised);
+        set.push_back(g);
+      }
+      set = prune(std::move(set));
+    }
+    // Incremental cross-sum with pruning after each observation.
+    std::vector<AlphaVector> acc{{model.cost(NodeState::Healthy, a),
+                                  model.cost(NodeState::Compromised, a), a}};
+    for (int o = 0; o < num_obs; ++o) {
+      const auto& set = gamma[static_cast<std::size_t>(o)];
+      std::vector<AlphaVector> cross;
+      cross.reserve(acc.size() * set.size());
+      for (const AlphaVector& u : acc) {
+        for (const AlphaVector& v : set) {
+          cross.push_back(
+              {u.v_healthy + v.v_healthy, u.v_compromised + v.v_compromised, a});
+        }
+      }
+      acc = prune(std::move(cross));
+    }
+    out.insert(out.end(), acc.begin(), acc.end());
+  }
+  return prune(std::move(out));
+}
+
+}  // namespace
+
+double envelope_value(const std::vector<AlphaVector>& alphas, double belief) {
+  TOL_ENSURE(!alphas.empty(), "empty alpha set");
+  double best = std::numeric_limits<double>::infinity();
+  for (const AlphaVector& a : alphas) best = std::min(best, a.value(belief));
+  return best;
+}
+
+NodeAction envelope_action(const std::vector<AlphaVector>& alphas,
+                           double belief) {
+  TOL_ENSURE(!alphas.empty(), "empty alpha set");
+  double best = std::numeric_limits<double>::infinity();
+  NodeAction action = NodeAction::Wait;
+  for (const AlphaVector& a : alphas) {
+    const double v = a.value(belief);
+    if (v < best) {
+      best = v;
+      action = a.action;
+    }
+  }
+  return action;
+}
+
+std::vector<AlphaVector> prune(std::vector<AlphaVector> alphas, double eps) {
+  if (alphas.size() <= 1) return alphas;
+  // A line is useful iff it attains the lower envelope somewhere on [0,1].
+  // Treat each alpha as the line v(b) = v_H + (v_C - v_H) * b.  For the
+  // *minimum* envelope, as b increases the active line's slope decreases, so
+  // sort by slope descending (ties: lowest intercept first) and sweep.
+  std::sort(alphas.begin(), alphas.end(), [](const AlphaVector& x,
+                                             const AlphaVector& y) {
+    const double sx = x.v_compromised - x.v_healthy;
+    const double sy = y.v_compromised - y.v_healthy;
+    if (sx != sy) return sx > sy;
+    return x.v_healthy < y.v_healthy;
+  });
+  // Deduplicate parallel lines (keep the lowest intercept, i.e. first).
+  std::vector<AlphaVector> unique;
+  for (const AlphaVector& a : alphas) {
+    if (!unique.empty()) {
+      const double s_prev =
+          unique.back().v_compromised - unique.back().v_healthy;
+      const double s_cur = a.v_compromised - a.v_healthy;
+      if (std::fabs(s_prev - s_cur) <= eps) continue;
+    }
+    unique.push_back(a);
+  }
+  // Sweep: keep lines forming the lower envelope restricted to b in [0,1].
+  std::vector<AlphaVector> hull;
+  std::vector<double> start;  // belief where each hull line becomes active
+  for (const AlphaVector& line : unique) {
+    double x_start = 0.0;
+    while (!hull.empty()) {
+      const AlphaVector& top = hull.back();
+      const double s_top = top.v_compromised - top.v_healthy;
+      const double s_new = line.v_compromised - line.v_healthy;
+      // s_top > s_new after the descending sort; the new line is lower for
+      // all b greater than the intersection point.
+      const double x = (line.v_healthy - top.v_healthy) / (s_top - s_new);
+      if (x <= start.back() + eps) {
+        hull.pop_back();
+        start.pop_back();
+        continue;
+      }
+      x_start = x;
+      break;
+    }
+    if (hull.empty()) {
+      x_start = 0.0;
+    } else if (x_start >= 1.0 - eps) {
+      continue;  // active only beyond the belief simplex
+    }
+    hull.push_back(line);
+    start.push_back(x_start);
+  }
+  // The exact envelope can accumulate many micro-segments whose contribution
+  // is below solver noise; cap the set with grid-based pruning (keep the
+  // argmin line at each grid point).  This is the standard bounded-error
+  // refinement used by practical POMDP solvers.
+  constexpr std::size_t kMaxAlpha = 64;
+  if (hull.size() > kMaxAlpha) {
+    std::vector<AlphaVector> kept;
+    std::size_t last = hull.size();  // sentinel
+    const int grid = 2 * static_cast<int>(kMaxAlpha);
+    for (int g = 0; g <= grid; ++g) {
+      const double b = static_cast<double>(g) / grid;
+      std::size_t best = 0;
+      double best_v = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < hull.size(); ++i) {
+        const double v = hull[i].value(b);
+        if (v < best_v) {
+          best_v = v;
+          best = i;
+        }
+      }
+      if (best != last) {
+        kept.push_back(hull[best]);
+        last = best;
+      }
+    }
+    return kept;
+  }
+  return hull;
+}
+
+IncrementalPruning::Result IncrementalPruning::solve_cycle(
+    const NodeModel& model, const ObservationModel& obs, int delta_r) {
+  TOL_ENSURE(delta_r >= 1, "cycle solve needs DeltaR >= 1");
+  Result result;
+  result.value_functions.assign(static_cast<std::size_t>(delta_r), {});
+  // Terminal stage t = DeltaR: forced recovery, no continuation (the next
+  // cycle is identical and handled by the cycle-average argument (16)).
+  result.value_functions[static_cast<std::size_t>(delta_r - 1)] = {
+      {model.cost(NodeState::Healthy, NodeAction::Recover),
+       model.cost(NodeState::Compromised, NodeAction::Recover),
+       NodeAction::Recover}};
+  const std::vector<NodeAction> both{NodeAction::Wait, NodeAction::Recover};
+  for (int t = delta_r - 2; t >= 0; --t) {
+    result.value_functions[static_cast<std::size_t>(t)] =
+        backup(model, obs, result.value_functions[static_cast<std::size_t>(t + 1)],
+               both, 1.0);
+    result.iterations++;
+  }
+  const double p_attack = model.params().p_attack;
+  result.average_cost =
+      envelope_value(result.value_functions[0], p_attack) / delta_r;
+  return result;
+}
+
+IncrementalPruning::Result IncrementalPruning::solve_discounted(
+    const NodeModel& model, const ObservationModel& obs, double discount,
+    double tol, int max_iterations) {
+  TOL_ENSURE(discount > 0.0 && discount < 1.0, "discount in (0,1)");
+  Result result;
+  std::vector<AlphaVector> value{{0.0, 0.0, NodeAction::Wait}};
+  const std::vector<NodeAction> both{NodeAction::Wait, NodeAction::Recover};
+  result.converged = false;
+  for (int it = 0; it < max_iterations; ++it) {
+    const std::vector<AlphaVector> next = backup(model, obs, value, both,
+                                                 discount);
+    ++result.iterations;
+    // Convergence: max envelope change over a belief grid.
+    double delta = 0.0;
+    for (int g = 0; g <= 64; ++g) {
+      const double b = g / 64.0;
+      delta = std::max(delta, std::fabs(envelope_value(next, b) -
+                                        envelope_value(value, b)));
+    }
+    value = next;
+    if (delta < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.value_functions.push_back(value);
+  const double p_attack = model.params().p_attack;
+  result.average_cost =
+      (1.0 - discount) * envelope_value(value, p_attack);
+  return result;
+}
+
+double IncrementalPruning::recovery_threshold(
+    const std::vector<AlphaVector>& alphas, int grid) {
+  TOL_ENSURE(grid >= 2, "grid too small");
+  // Coarse scan for the first Recover point, then bisection refine.
+  double lo = -1.0;
+  for (int g = 0; g <= grid; ++g) {
+    const double b = static_cast<double>(g) / grid;
+    if (envelope_action(alphas, b) == NodeAction::Recover) {
+      lo = b;
+      break;
+    }
+  }
+  if (lo < 0.0) return 1.0;
+  if (lo == 0.0) return 0.0;
+  double left = lo - 1.0 / grid;
+  double right = lo;
+  for (int i = 0; i < 50; ++i) {
+    const double mid = 0.5 * (left + right);
+    if (envelope_action(alphas, mid) == NodeAction::Recover) {
+      right = mid;
+    } else {
+      left = mid;
+    }
+  }
+  return right;
+}
+
+}  // namespace tolerance::solvers

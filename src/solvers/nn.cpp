@@ -1,0 +1,148 @@
+#include "tolerance/solvers/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::solvers {
+
+Mlp::Mlp(std::vector<int> layer_sizes, Rng& rng)
+    : layer_sizes_(std::move(layer_sizes)) {
+  TOL_ENSURE(layer_sizes_.size() >= 2, "need at least input and output layers");
+  const std::size_t layers = layer_sizes_.size() - 1;
+  w_.resize(layers);
+  b_.resize(layers);
+  gw_.resize(layers);
+  gb_.resize(layers);
+  mw_.resize(layers);
+  vw_.resize(layers);
+  mb_.resize(layers);
+  vb_.resize(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    TOL_ENSURE(in > 0 && out > 0, "layer sizes must be positive");
+    const double scale = std::sqrt(2.0 / in);  // He initialization for ReLU
+    w_[l].resize(static_cast<std::size_t>(in) * out);
+    for (auto& v : w_[l]) v = rng.normal(0.0, scale);
+    b_[l].assign(static_cast<std::size_t>(out), 0.0);
+    gw_[l].assign(w_[l].size(), 0.0);
+    gb_[l].assign(b_[l].size(), 0.0);
+    mw_[l].assign(w_[l].size(), 0.0);
+    vw_[l].assign(w_[l].size(), 0.0);
+    mb_[l].assign(b_[l].size(), 0.0);
+    vb_[l].assign(b_[l].size(), 0.0);
+  }
+  act_.resize(layers + 1);
+  pre_.resize(layers);
+}
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < w_.size(); ++l) n += w_[l].size() + b_[l].size();
+  return n;
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& input) {
+  TOL_ENSURE(static_cast<int>(input.size()) == layer_sizes_.front(),
+             "input size mismatch");
+  act_[0] = input;
+  const std::size_t layers = w_.size();
+  for (std::size_t l = 0; l < layers; ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    pre_[l].assign(static_cast<std::size_t>(out), 0.0);
+    for (int o = 0; o < out; ++o) {
+      double s = b_[l][static_cast<std::size_t>(o)];
+      const double* row = w_[l].data() + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) s += row[i] * act_[l][static_cast<std::size_t>(i)];
+      pre_[l][static_cast<std::size_t>(o)] = s;
+    }
+    act_[l + 1] = pre_[l];
+    if (l + 1 < layers) {  // ReLU on hidden layers only
+      for (auto& v : act_[l + 1]) v = std::max(0.0, v);
+    }
+  }
+  return act_[layers];
+}
+
+void Mlp::backward(const std::vector<double>& grad_output) {
+  const std::size_t layers = w_.size();
+  TOL_ENSURE(grad_output.size() == act_[layers].size(),
+             "gradient size mismatch");
+  std::vector<double> delta = grad_output;
+  for (std::size_t l = layers; l-- > 0;) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    if (l + 1 < layers) {  // ReLU derivative of this layer's activation
+      for (int o = 0; o < out; ++o) {
+        if (pre_[l][static_cast<std::size_t>(o)] <= 0.0) {
+          delta[static_cast<std::size_t>(o)] = 0.0;
+        }
+      }
+    }
+    for (int o = 0; o < out; ++o) {
+      const double d = delta[static_cast<std::size_t>(o)];
+      if (d == 0.0) continue;
+      double* grow = gw_[l].data() + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) {
+        grow[i] += d * act_[l][static_cast<std::size_t>(i)];
+      }
+      gb_[l][static_cast<std::size_t>(o)] += d;
+    }
+    if (l == 0) break;
+    std::vector<double> prev(static_cast<std::size_t>(in), 0.0);
+    for (int o = 0; o < out; ++o) {
+      const double d = delta[static_cast<std::size_t>(o)];
+      if (d == 0.0) continue;
+      const double* row = w_[l].data() + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) prev[static_cast<std::size_t>(i)] += d * row[i];
+    }
+    delta = std::move(prev);
+  }
+}
+
+void Mlp::zero_gradients() {
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    std::fill(gw_[l].begin(), gw_[l].end(), 0.0);
+    std::fill(gb_[l].begin(), gb_[l].end(), 0.0);
+  }
+}
+
+void Mlp::adam_step(double lr, double batch_scale) {
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+  ++adam_t_;
+  const double bc1 = 1.0 - std::pow(kBeta1, adam_t_);
+  const double bc2 = 1.0 - std::pow(kBeta2, adam_t_);
+  auto update = [&](std::vector<double>& param, std::vector<double>& grad,
+                    std::vector<double>& m, std::vector<double>& v) {
+    for (std::size_t i = 0; i < param.size(); ++i) {
+      const double g = grad[i] * batch_scale;
+      m[i] = kBeta1 * m[i] + (1.0 - kBeta1) * g;
+      v[i] = kBeta2 * v[i] + (1.0 - kBeta2) * g * g;
+      param[i] -= lr * (m[i] / bc1) / (std::sqrt(v[i] / bc2) + kEps);
+    }
+  };
+  for (std::size_t l = 0; l < w_.size(); ++l) {
+    update(w_[l], gw_[l], mw_[l], vw_[l]);
+    update(b_[l], gb_[l], mb_[l], vb_[l]);
+  }
+}
+
+std::vector<double> softmax(const std::vector<double>& logits) {
+  TOL_ENSURE(!logits.empty(), "softmax of empty vector");
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    total += p[i];
+  }
+  for (auto& v : p) v /= total;
+  return p;
+}
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,32 @@
+#include "tolerance/solvers/objective.hpp"
+
+#include <algorithm>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::solvers {
+
+RecoveryObjective::RecoveryObjective(const pomdp::NodeModel& model,
+                                     const pomdp::ObservationModel& obs,
+                                     int delta_r, Options options)
+    : simulator_(model, obs), delta_r_(std::max(delta_r, 0)),
+      options_(options) {
+  TOL_ENSURE(options.episodes > 0, "episodes must be positive");
+  TOL_ENSURE(options.horizon > 0, "horizon must be positive");
+}
+
+double RecoveryObjective::operator()(const std::vector<double>& theta) const {
+  return evaluate(theta).avg_cost;
+}
+
+pomdp::NodeRunStats RecoveryObjective::evaluate(
+    const std::vector<double>& theta) const {
+  std::vector<double> clipped = theta;
+  for (double& v : clipped) v = std::clamp(v, 0.0, 1.0);
+  const ThresholdPolicy policy(clipped, delta_r_);
+  Rng rng(options_.seed);  // common random numbers across evaluations
+  return simulator_.run_many(policy.as_policy(), options_.horizon,
+                             options_.episodes, rng);
+}
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,203 @@
+#include "tolerance/solvers/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tolerance/pomdp/belief.hpp"
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace tolerance::solvers {
+
+using pomdp::NodeAction;
+using pomdp::NodeState;
+
+PpoSolver::PpoSolver(const pomdp::NodeModel& model,
+                     const pomdp::ObservationModel& obs, int delta_r,
+                     Options options)
+    : model_(model), obs_(&obs), delta_r_(std::max(delta_r, 0)),
+      options_(options) {
+  TOL_ENSURE(options.batch_steps > 0, "batch_steps must be positive");
+  TOL_ENSURE(options.iterations > 0, "iterations must be positive");
+}
+
+std::vector<double> PpoSolver::features(double belief, int t) const {
+  // Cycle position in [0, 1]; 0 when DeltaR = inf (stationary problem).
+  double phase = 0.0;
+  if (delta_r_ > 0) {
+    phase = static_cast<double>(((t - 1) % delta_r_) + 1) / delta_r_;
+  }
+  return {belief, phase};
+}
+
+PpoSolver::Result PpoSolver::train(Rng& rng) {
+  const Stopwatch clock;
+  Result result;
+  std::vector<int> layout{2};
+  for (int l = 0; l < options_.hidden_layers; ++l) {
+    layout.push_back(options_.hidden_units);
+  }
+  std::vector<int> actor_layout = layout;
+  actor_layout.push_back(2);
+  std::vector<int> critic_layout = layout;
+  critic_layout.push_back(1);
+  actor_ = std::make_shared<Mlp>(actor_layout, rng);
+  critic_ = std::make_shared<Mlp>(critic_layout, rng);
+
+  const pomdp::BeliefUpdater updater(model_, *obs_);
+  const double p_attack = model_.params().p_attack;
+
+  struct Step {
+    std::vector<double> feat;
+    int action;
+    double log_prob;
+    double reward;
+    double value;
+    double advantage;
+    double target;
+  };
+
+  result.best_cost = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    // ---- Collect a batch of on-policy experience. ----
+    std::vector<Step> batch;
+    batch.reserve(static_cast<std::size_t>(options_.batch_steps));
+    double batch_cost = 0.0;
+    while (static_cast<int>(batch.size()) < options_.batch_steps) {
+      NodeState state = rng.bernoulli(p_attack) ? NodeState::Compromised
+                                                : NodeState::Healthy;
+      double belief = p_attack;
+      std::vector<std::size_t> episode_indices;
+      for (int t = 1; t <= options_.episode_length &&
+                      static_cast<int>(batch.size()) < options_.batch_steps;
+           ++t) {
+        Step step;
+        step.feat = features(belief, t);
+        const auto logits = actor_->forward(step.feat);
+        const auto probs = softmax(logits);
+        const bool forced =
+            delta_r_ > 0 && ((t - 1) % delta_r_) + 1 == delta_r_;
+        step.action = forced ? 1 : (rng.uniform() < probs[1] ? 1 : 0);
+        step.log_prob =
+            std::log(std::max(probs[static_cast<std::size_t>(step.action)], 1e-12));
+        step.value = critic_->forward(step.feat)[0];
+        const NodeAction a =
+            step.action == 1 ? NodeAction::Recover : NodeAction::Wait;
+        const double cost = model_.cost(state, a);
+        step.reward = -cost;
+        batch_cost += cost;
+        // Environment transition.
+        const double to_crash = model_.transition(state, a, NodeState::Crashed);
+        const double to_h = model_.transition(state, a, NodeState::Healthy);
+        const double u = rng.uniform();
+        if (u < to_crash) {
+          state = rng.bernoulli(p_attack) ? NodeState::Compromised
+                                          : NodeState::Healthy;
+          belief = p_attack;
+        } else {
+          state = u < to_crash + to_h ? NodeState::Healthy
+                                      : NodeState::Compromised;
+          const int o = obs_->sample(state == NodeState::Compromised, rng);
+          belief = updater.update(belief, a, o);
+        }
+        episode_indices.push_back(batch.size());
+        batch.push_back(std::move(step));
+      }
+      // ---- GAE for this episode. ----
+      double next_value = 0.0;
+      double gae = 0.0;
+      for (std::size_t i = episode_indices.size(); i-- > 0;) {
+        Step& s = batch[episode_indices[i]];
+        const double delta =
+            s.reward + options_.discount * next_value - s.value;
+        gae = delta + options_.discount * options_.gae_lambda * gae;
+        s.advantage = gae;
+        s.target = s.advantage + s.value;
+        next_value = s.value;
+      }
+    }
+    result.evaluations += static_cast<long>(batch.size());
+
+    // Advantage normalization.
+    double adv_mean = 0.0;
+    for (const Step& s : batch) adv_mean += s.advantage;
+    adv_mean /= static_cast<double>(batch.size());
+    double adv_var = 1e-8;
+    for (const Step& s : batch) {
+      adv_var += (s.advantage - adv_mean) * (s.advantage - adv_mean);
+    }
+    adv_var /= static_cast<double>(batch.size());
+    const double adv_std = std::sqrt(adv_var);
+
+    // ---- PPO update epochs. ----
+    for (int epoch = 0; epoch < options_.epochs_per_batch; ++epoch) {
+      actor_->zero_gradients();
+      critic_->zero_gradients();
+      for (const Step& s : batch) {
+        const double adv = (s.advantage - adv_mean) / adv_std;
+        const auto logits = actor_->forward(s.feat);
+        const auto probs = softmax(logits);
+        const double new_log_prob =
+            std::log(std::max(probs[static_cast<std::size_t>(s.action)], 1e-12));
+        const double ratio = std::exp(new_log_prob - s.log_prob);
+        const double clipped =
+            std::clamp(ratio, 1.0 - options_.clip, 1.0 + options_.clip);
+        // Maximize min(ratio*adv, clipped*adv) => gradient only flows through
+        // the unclipped branch when it is the active minimum.
+        const bool use_unclipped = ratio * adv <= clipped * adv;
+        // dLoss/dlogits for -surrogate - entropy_coef * H.
+        std::vector<double> grad(2, 0.0);
+        if (use_unclipped) {
+          const double coef = -ratio * adv;  // d(-ratio*adv)/dlogp = -ratio*adv
+          for (int j = 0; j < 2; ++j) {
+            const double indicator = j == s.action ? 1.0 : 0.0;
+            grad[static_cast<std::size_t>(j)] +=
+                coef * (indicator - probs[static_cast<std::size_t>(j)]);
+          }
+        }
+        // Entropy bonus gradient: dH/dlogit_j = -p_j (log p_j + H)... use the
+        // standard formulation: H = -sum p log p.
+        double entropy = 0.0;
+        for (int j = 0; j < 2; ++j) {
+          entropy -= probs[static_cast<std::size_t>(j)] *
+                     std::log(std::max(probs[static_cast<std::size_t>(j)], 1e-12));
+        }
+        for (int j = 0; j < 2; ++j) {
+          const double pj = probs[static_cast<std::size_t>(j)];
+          const double dh =
+              -pj * (std::log(std::max(pj, 1e-12)) + entropy);
+          grad[static_cast<std::size_t>(j)] -= options_.entropy_coef * dh;
+        }
+        actor_->backward(grad);
+        // Critic: 0.5 * (v - target)^2.
+        const double v = critic_->forward(s.feat)[0];
+        critic_->backward({v - s.target});
+      }
+      const double scale = 1.0 / static_cast<double>(batch.size());
+      actor_->adam_step(options_.learning_rate, scale);
+      critic_->adam_step(options_.learning_rate * 10.0, scale);
+    }
+
+    const double avg_cost = batch_cost / static_cast<double>(batch.size());
+    result.best_cost = std::min(result.best_cost, avg_cost);
+    result.history.push_back(
+        {clock.elapsed_seconds(), result.best_cost, result.evaluations});
+  }
+  return result;
+}
+
+pomdp::NodePolicy PpoSolver::policy() const {
+  TOL_ENSURE(actor_ != nullptr, "train() must be called before policy()");
+  auto actor = actor_;
+  const int delta_r = delta_r_;
+  return [actor, delta_r, this](double belief, int t) {
+    if (delta_r > 0 && ((t - 1) % delta_r) + 1 == delta_r) {
+      return NodeAction::Recover;  // BTR constraint (6b)
+    }
+    const auto logits = actor->forward(features(belief, t));
+    return logits[1] > logits[0] ? NodeAction::Recover : NodeAction::Wait;
+  };
+}
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,65 @@
+#include "tolerance/solvers/spsa.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace tolerance::solvers {
+
+OptResult Spsa::optimize(const ObjectiveFn& f, int dim, long max_evaluations,
+                         Rng& rng) const {
+  TOL_ENSURE(dim > 0, "dimension must be positive");
+  const Stopwatch clock;
+  OptResult result;
+  result.best_value = std::numeric_limits<double>::infinity();
+
+  std::vector<double> theta(static_cast<std::size_t>(dim));
+  for (auto& v : theta) v = rng.uniform();
+
+  std::vector<double> plus(theta.size());
+  std::vector<double> minus(theta.size());
+  std::vector<double> delta(theta.size());
+
+  long k = 0;
+  while (result.evaluations + 2 <= max_evaluations) {
+    const double ak =
+        options_.a / std::pow(k + 1 + options_.big_a, options_.alpha);
+    const double ck = options_.c / std::pow(k + 1, options_.gamma);
+    for (std::size_t d = 0; d < theta.size(); ++d) {
+      delta[d] = rng.bernoulli(0.5) ? 1.0 : -1.0;  // Rademacher
+      plus[d] = std::clamp(theta[d] + ck * delta[d], 0.0, 1.0);
+      minus[d] = std::clamp(theta[d] - ck * delta[d], 0.0, 1.0);
+    }
+    const double y_plus = f(plus);
+    const double y_minus = f(minus);
+    result.evaluations += 2;
+    for (std::size_t d = 0; d < theta.size(); ++d) {
+      const double grad = (y_plus - y_minus) / (2.0 * ck * delta[d]);
+      theta[d] = std::clamp(theta[d] - ak * grad, 0.0, 1.0);
+    }
+    // Track the better of the two probes (the iterate itself is not
+    // evaluated to preserve the 2-evaluations-per-step budget).
+    if (y_plus < result.best_value) {
+      result.best_value = y_plus;
+      result.best_x = plus;
+    }
+    if (y_minus < result.best_value) {
+      result.best_value = y_minus;
+      result.best_x = minus;
+    }
+    result.history.push_back(
+        {clock.elapsed_seconds(), result.best_value, result.evaluations});
+    ++k;
+  }
+  if (result.best_x.empty()) {
+    result.best_x = theta;
+    result.best_value = f(theta);
+    ++result.evaluations;
+  }
+  return result;
+}
+
+}  // namespace tolerance::solvers

@@ -1,0 +1,49 @@
+#include "tolerance/solvers/threshold_policy.hpp"
+
+#include <algorithm>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::solvers {
+
+ThresholdPolicy::ThresholdPolicy(std::vector<double> thresholds, int delta_r)
+    : thresholds_(std::move(thresholds)), delta_r_(std::max(delta_r, 0)) {
+  TOL_ENSURE(static_cast<int>(thresholds_.size()) == dimension(delta_r_),
+             "threshold count must match dimension(delta_r)");
+  for (double th : thresholds_) {
+    TOL_ENSURE(th >= 0.0 && th <= 1.0, "thresholds must lie in [0,1]");
+  }
+}
+
+int ThresholdPolicy::dimension(int delta_r) {
+  // Algorithm 1 line 4: d = DeltaR - 1 when finite (the DeltaR-th step is the
+  // forced recovery), d = 1 when infinite.
+  if (delta_r <= 0) return 1;
+  return std::max(1, delta_r - 1);
+}
+
+ThresholdPolicy ThresholdPolicy::constant(double threshold) {
+  return ThresholdPolicy({threshold}, kNoBtr);
+}
+
+pomdp::NodeAction ThresholdPolicy::action(double belief, int t) const {
+  TOL_ENSURE(t >= 1, "time steps are 1-based");
+  if (delta_r_ > 0) {
+    const int cycle_pos = ((t - 1) % delta_r_) + 1;  // 1..DeltaR
+    if (cycle_pos == delta_r_) return pomdp::NodeAction::Recover;  // (6b)
+    const int k = std::min(cycle_pos, static_cast<int>(thresholds_.size()));
+    return belief >= thresholds_[static_cast<std::size_t>(k - 1)]
+               ? pomdp::NodeAction::Recover
+               : pomdp::NodeAction::Wait;
+  }
+  return belief >= thresholds_[0] ? pomdp::NodeAction::Recover
+                                  : pomdp::NodeAction::Wait;
+}
+
+pomdp::NodePolicy ThresholdPolicy::as_policy() const {
+  return [policy = *this](double belief, int t) {
+    return policy.action(belief, t);
+  };
+}
+
+}  // namespace tolerance::solvers

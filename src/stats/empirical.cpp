@@ -1,0 +1,106 @@
+#include "tolerance/stats/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::stats {
+
+EmpiricalPmf::EmpiricalPmf(int support_size)
+    : p_(static_cast<std::size_t>(support_size),
+         support_size > 0 ? 1.0 / support_size : 0.0) {
+  TOL_ENSURE(support_size > 0, "support size must be positive");
+}
+
+EmpiricalPmf::EmpiricalPmf(std::vector<double> p) : p_(std::move(p)) {}
+
+EmpiricalPmf EmpiricalPmf::from_counts(const std::vector<std::int64_t>& counts,
+                                       double smoothing) {
+  TOL_ENSURE(!counts.empty(), "counts must be non-empty");
+  TOL_ENSURE(smoothing >= 0.0, "smoothing must be non-negative");
+  double total = 0.0;
+  for (auto c : counts) {
+    TOL_ENSURE(c >= 0, "counts must be non-negative");
+    total += static_cast<double>(c) + smoothing;
+  }
+  TOL_ENSURE(total > 0.0, "at least one count or positive smoothing required");
+  std::vector<double> p(counts.size());
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    p[k] = (static_cast<double>(counts[k]) + smoothing) / total;
+  }
+  return EmpiricalPmf(std::move(p));
+}
+
+EmpiricalPmf EmpiricalPmf::from_samples(const std::vector<int>& samples,
+                                        int support_size, double smoothing) {
+  TOL_ENSURE(support_size > 0, "support size must be positive");
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(support_size), 0);
+  for (int s : samples) {
+    const int k = std::clamp(s, 0, support_size - 1);
+    ++counts[static_cast<std::size_t>(k)];
+  }
+  return from_counts(counts, smoothing);
+}
+
+double EmpiricalPmf::prob(int k) const {
+  TOL_ENSURE(k >= 0 && k < support_size(), "pmf argument out of support");
+  return p_[static_cast<std::size_t>(k)];
+}
+
+double EmpiricalPmf::mean() const {
+  double m = 0.0;
+  for (std::size_t k = 0; k < p_.size(); ++k) m += static_cast<double>(k) * p_[k];
+  return m;
+}
+
+int EmpiricalPmf::sample(Rng& rng) const {
+  return rng.categorical(p_);
+}
+
+double kl_divergence(const std::vector<double>& p,
+                     const std::vector<double>& q) {
+  TOL_ENSURE(p.size() == q.size(), "KL divergence requires equal supports");
+  double kl = 0.0;
+  for (std::size_t k = 0; k < p.size(); ++k) {
+    if (p[k] <= 0.0) continue;
+    if (q[k] <= 0.0) return std::numeric_limits<double>::infinity();
+    kl += p[k] * std::log(p[k] / q[k]);
+  }
+  return kl;
+}
+
+double kl_divergence(const EmpiricalPmf& p, const EmpiricalPmf& q) {
+  return kl_divergence(p.probs(), q.probs());
+}
+
+QuantileBinner::QuantileBinner(std::vector<double> edges)
+    : edges_(std::move(edges)) {}
+
+QuantileBinner QuantileBinner::fit(std::vector<double> samples, int bins) {
+  TOL_ENSURE(bins >= 2, "need at least two bins");
+  TOL_ENSURE(!samples.empty(), "need samples to fit bins");
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> edges;
+  edges.reserve(static_cast<std::size_t>(bins) - 1);
+  const auto n = samples.size();
+  for (int b = 1; b < bins; ++b) {
+    const double q = static_cast<double>(b) / bins;
+    const auto idx = std::min<std::size_t>(
+        n - 1, static_cast<std::size_t>(q * static_cast<double>(n)));
+    const double edge = samples[idx];
+    // Keep edges strictly increasing so every bin is reachable.
+    if (edges.empty() || edge > edges.back()) {
+      edges.push_back(edge);
+    }
+  }
+  return QuantileBinner(std::move(edges));
+}
+
+int QuantileBinner::bin(double value) const {
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<int>(it - edges_.begin());
+}
+
+}  // namespace tolerance::stats

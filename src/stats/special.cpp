@@ -1,0 +1,139 @@
+#include "tolerance/stats/special.hpp"
+
+#include <cmath>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::stats {
+namespace {
+
+// Continued-fraction evaluation for the incomplete beta function
+// (modified Lentz's method).
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double log_beta(double a, double b) {
+  TOL_ENSURE(a > 0.0 && b > 0.0, "log_beta requires positive arguments");
+  return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  TOL_ENSURE(a > 0.0 && b > 0.0, "incomplete beta requires positive a, b");
+  TOL_ENSURE(x >= 0.0 && x <= 1.0, "incomplete beta requires x in [0,1]");
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_bt =
+      a * std::log(x) + b * std::log1p(-x) - log_beta(a, b);
+  const double bt = std::exp(log_bt);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return bt * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - bt * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double norm_cdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double norm_quantile(double p) {
+  TOL_ENSURE(p > 0.0 && p < 1.0, "norm_quantile requires p in (0,1)");
+  // Acklam's rational approximation, refined with one Halley step.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  const double e = norm_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double t_cdf(double x, double df) {
+  TOL_ENSURE(df > 0.0, "t_cdf requires positive degrees of freedom");
+  const double z = df / (df + x * x);
+  const double tail = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, z);
+  return x > 0.0 ? 1.0 - tail : tail;
+}
+
+double t_quantile(double p, double df) {
+  TOL_ENSURE(p > 0.0 && p < 1.0, "t_quantile requires p in (0,1)");
+  TOL_ENSURE(df > 0.0, "t_quantile requires positive degrees of freedom");
+  // Bisection on the CDF; bounds comfortably cover practical quantiles.
+  double lo = -1e3;
+  double hi = 1e3;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (t_cdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double log_choose(int n, int k) {
+  TOL_ENSURE(n >= 0 && k >= 0 && k <= n, "log_choose requires 0 <= k <= n");
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+}  // namespace tolerance::stats

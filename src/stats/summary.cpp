@@ -1,0 +1,58 @@
+#include "tolerance/stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tolerance/stats/special.hpp"
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::stats {
+
+double mean(const std::vector<double>& xs) {
+  TOL_ENSURE(!xs.empty(), "mean of empty sample");
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double sample_variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double sample_stddev(const std::vector<double>& xs) {
+  return std::sqrt(sample_variance(xs));
+}
+
+MeanCi mean_ci(const std::vector<double>& xs, double confidence) {
+  TOL_ENSURE(!xs.empty(), "mean_ci of empty sample");
+  TOL_ENSURE(confidence > 0.0 && confidence < 1.0,
+             "confidence must be in (0,1)");
+  MeanCi out;
+  out.mean = mean(xs);
+  if (xs.size() < 2) {
+    out.half_width = 0.0;
+    return out;
+  }
+  const double df = static_cast<double>(xs.size() - 1);
+  const double t = t_quantile(1.0 - (1.0 - confidence) / 2.0, df);
+  out.half_width =
+      t * sample_stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+  return out;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  TOL_ENSURE(!xs.empty(), "quantile of empty sample");
+  TOL_ENSURE(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace tolerance::stats

@@ -1,0 +1,60 @@
+#include "tolerance/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TOL_ENSURE(!headers_.empty(), "table requires at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  TOL_ENSURE(cells.size() == headers_.size(),
+             "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string ConsoleTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string ConsoleTable::mean_pm(double mean, double half_width,
+                                  int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << mean << " ±"
+     << half_width;
+  return os.str();
+}
+
+}  // namespace tolerance

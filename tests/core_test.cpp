@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "tolerance/core/baselines.hpp"
+#include "tolerance/core/node_controller.hpp"
+#include "tolerance/core/system_controller.hpp"
+#include "tolerance/core/tolerance_system.hpp"
+#include "tolerance/solvers/cmdp_lp.hpp"
+
+namespace tolerance::core {
+namespace {
+
+emulation::FittedDetector make_detector(std::uint64_t seed = 100) {
+  Rng rng(seed);
+  return emulation::fit_pooled_detector(2000, 11, 80.0, rng);
+}
+
+pomdp::NodeParams paper_params() {
+  pomdp::NodeParams p;
+  p.p_attack = 0.1;
+  p.p_crash_healthy = 1e-5;
+  p.p_crash_compromised = 1e-3;
+  p.p_update = 2e-2;
+  p.eta = 2.0;
+  return p;
+}
+
+TEST(Baselines, Names) {
+  EXPECT_EQ(to_string(StrategyKind::Tolerance), "TOLERANCE");
+  EXPECT_EQ(to_string(StrategyKind::NoRecovery), "NO-RECOVERY");
+  EXPECT_EQ(to_string(StrategyKind::Periodic), "PERIODIC");
+  EXPECT_EQ(to_string(StrategyKind::PeriodicAdaptive), "PERIODIC-ADAPTIVE");
+}
+
+TEST(Baselines, PeriodicScheduleHonorsDeltaR) {
+  // Node 0 with DeltaR = 5 recovers at t = 5, 10, ... (phase 0).
+  int recoveries = 0;
+  for (int t = 1; t <= 20; ++t) {
+    if (periodic_recovery_due(0, t, 5, 3)) ++recoveries;
+  }
+  EXPECT_EQ(recoveries, 4);
+  // DeltaR = infinity: never due.
+  for (int t = 1; t <= 100; ++t) {
+    EXPECT_FALSE(periodic_recovery_due(0, t, 0, 3));
+  }
+}
+
+TEST(Baselines, StaggeringSpreadsNodes) {
+  // With 3 nodes and DeltaR = 15, recoveries of different nodes should not
+  // all coincide on the same step.
+  int same_step = 0;
+  for (int t = 1; t <= 15; ++t) {
+    int due = 0;
+    for (int i = 0; i < 3; ++i) {
+      if (periodic_recovery_due(i, t, 15, 3)) ++due;
+    }
+    if (due > 1) ++same_step;
+  }
+  EXPECT_EQ(same_step, 0);
+}
+
+TEST(NodeController, BeliefRisesUnderAlertStorm) {
+  const auto detector = make_detector();
+  NodeController controller(
+      pomdp::NodeModel(paper_params()), detector,
+      solvers::ThresholdPolicy::constant(0.99));
+  // Quiet period: belief stays low.
+  for (int t = 0; t < 10; ++t) controller.step(100.0);
+  const double quiet_belief = controller.pre_decision_belief();
+  EXPECT_LT(quiet_belief, 0.3);
+  // Alert storm (brute-force magnitude): the filtered belief climbs fast
+  // (it may then trigger a recovery, which resets belief() to pA —
+  // pre_decision_belief() shows the value the decision was based on).
+  for (int t = 0; t < 3; ++t) controller.step(30000.0);
+  EXPECT_GT(controller.pre_decision_belief(), quiet_belief);
+  EXPECT_GT(controller.pre_decision_belief(), 0.5);
+}
+
+TEST(NodeController, RecoversWhenThresholdCrossed) {
+  const auto detector = make_detector();
+  NodeController controller(
+      pomdp::NodeModel(paper_params()), detector,
+      solvers::ThresholdPolicy::constant(0.7));
+  pomdp::NodeAction last = pomdp::NodeAction::Wait;
+  for (int t = 0; t < 20 && last != pomdp::NodeAction::Recover; ++t) {
+    last = controller.step(30000.0);
+  }
+  EXPECT_EQ(last, pomdp::NodeAction::Recover);
+  // Belief resets to pA after recovery.
+  EXPECT_NEAR(controller.belief(), 0.1, 1e-9);
+  EXPECT_EQ(controller.steps_since_recovery(), 0);
+}
+
+TEST(NodeController, BtrConstraintForcesRecovery) {
+  const auto detector = make_detector();
+  const int delta_r = 5;
+  NodeController controller(
+      pomdp::NodeModel(paper_params()), detector,
+      solvers::ThresholdPolicy(
+          std::vector<double>(
+              static_cast<std::size_t>(
+                  solvers::ThresholdPolicy::dimension(delta_r)),
+              1.0),
+          delta_r));
+  // With thresholds at 1.0 only the BTR constraint triggers recoveries.
+  int recoveries = 0;
+  for (int t = 0; t < 20; ++t) {
+    if (controller.step(10.0) == pomdp::NodeAction::Recover) ++recoveries;
+  }
+  EXPECT_EQ(recoveries, 4);  // every 5 steps
+}
+
+TEST(SystemController, EvictsSilentNodes) {
+  SystemController controller(std::nullopt, 10, 7);
+  const auto decision =
+      controller.step({0.1, 0.2, 0.9}, {true, false, true});
+  ASSERT_EQ(decision.evict.size(), 1u);
+  EXPECT_EQ(decision.evict[0], 1);
+  EXPECT_FALSE(decision.add_node);  // static replication
+}
+
+TEST(SystemController, StateAggregatesBeliefs) {
+  SystemController controller(std::nullopt, 10, 8);
+  // Expected healthy = (1-0.1) + (1-0.5) + (1-0.9) = 1.5 => floor = 1. (8)
+  const auto decision = controller.step({0.1, 0.5, 0.9}, {true, true, true});
+  EXPECT_EQ(decision.state, 1);
+}
+
+TEST(SystemController, AddsNodesWhenHealthyCountLow) {
+  // A decaying kernel (weak local recovery, q_recover = 0.02) cannot hold
+  // the availability constraint without additions, so the LP strategy must
+  // add aggressively at low s.
+  const auto cmdp = pomdp::SystemCmdp::parametric(10, 3, 0.9, 0.85, 0.02);
+  auto solution = solvers::solve_replication_lp(cmdp);
+  ASSERT_EQ(solution.status, lp::LpStatus::Optimal);
+  ASSERT_GE(solution.beta2, 0) << "strategy never adds — test premise broken";
+  SystemController controller(solution, 10, 9);
+  int adds_low = 0, adds_high = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    if (controller.step({0.9, 0.9, 0.9}, {true, true, true}).add_node) {
+      ++adds_low;  // s = 0
+    }
+    if (controller
+            .step({0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01},
+                  std::vector<bool>(9, true))
+            .add_node) {
+      ++adds_high;  // s = 8
+    }
+  }
+  EXPECT_GT(adds_low, adds_high);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end evaluation (the Table 7 machinery, scaled down)
+// ---------------------------------------------------------------------------
+
+EvaluationConfig base_config(StrategyKind strategy, int delta_r) {
+  EvaluationConfig config;
+  config.strategy = strategy;
+  config.initial_nodes = 3;
+  config.delta_r = delta_r;
+  config.horizon = 400;
+  config.f = 1;
+  config.max_nodes = 13;
+  config.recovery_threshold = 0.76;
+  config.node_params = paper_params();
+  config.testbed.attacker.start_probability = 0.1;
+  // The paper's testbed has no spontaneous healing: Table 7 reports
+  // T(R) = 10^3 exactly for NO-RECOVERY, i.e. compromises persist until the
+  // horizon.  (The belief model still assumes pU = 2e-2 — a realistic,
+  // harmless model mismatch.)
+  config.testbed.p_update = 0.0;
+  return config;
+}
+
+TEST(Evaluator, ToleranceBeatsNoRecovery) {
+  const auto detector = make_detector();
+  const auto cmdp = pomdp::SystemCmdp::parametric(13, 1, 0.9, 0.95, 0.3);
+  const auto replication = solvers::solve_replication_lp(cmdp);
+  ASSERT_EQ(replication.status, lp::LpStatus::Optimal);
+
+  const Evaluator tol(base_config(StrategyKind::Tolerance, 0), detector,
+                      replication);
+  const Evaluator none(base_config(StrategyKind::NoRecovery, 0), detector,
+                       std::nullopt);
+  const auto r_tol = tol.run(1);
+  const auto r_none = none.run(1);
+  EXPECT_GT(r_tol.availability, 0.85);
+  EXPECT_LT(r_none.availability, 0.5);
+  EXPECT_LT(r_tol.time_to_recovery, 10.0);
+  // NO-RECOVERY: unresolved compromises report T(R) = horizon.
+  EXPECT_GT(r_none.time_to_recovery, 100.0);
+  EXPECT_EQ(r_none.recoveries, 0);
+}
+
+TEST(Evaluator, PeriodicBetweenExtremes) {
+  const auto detector = make_detector();
+  const Evaluator periodic(base_config(StrategyKind::Periodic, 15), detector,
+                           std::nullopt);
+  const Evaluator none(base_config(StrategyKind::NoRecovery, 15), detector,
+                       std::nullopt);
+  const auto r_periodic = periodic.run(2);
+  const auto r_none = none.run(2);
+  EXPECT_GT(r_periodic.availability, r_none.availability);
+  EXPECT_GT(r_periodic.recoveries, 0);
+  // Periodic recovery frequency ~ 1/DeltaR per node-step.
+  EXPECT_NEAR(r_periodic.recovery_frequency, 1.0 / 15.0, 0.04);
+}
+
+TEST(Evaluator, ToleranceFasterRecoveryThanPeriodic) {
+  const auto detector = make_detector();
+  const Evaluator tol(base_config(StrategyKind::Tolerance, 25), detector,
+                      std::nullopt);
+  const Evaluator periodic(base_config(StrategyKind::Periodic, 25), detector,
+                           std::nullopt);
+  double tol_ttr = 0.0, periodic_ttr = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    tol_ttr += tol.run(seed).time_to_recovery;
+    periodic_ttr += periodic.run(seed).time_to_recovery;
+  }
+  EXPECT_LT(tol_ttr, periodic_ttr);
+}
+
+TEST(Evaluator, PeriodicDegradesToNoRecoveryAtInfiniteDeltaR) {
+  const auto detector = make_detector();
+  const Evaluator periodic(base_config(StrategyKind::Periodic, 0), detector,
+                           std::nullopt);
+  const auto r = periodic.run(3);
+  EXPECT_EQ(r.recoveries, 0);  // the Fig. 12 DeltaR = inf column
+}
+
+TEST(Evaluator, AdaptiveReplicationAddsNodes) {
+  const auto detector = make_detector();
+  auto config = base_config(StrategyKind::PeriodicAdaptive, 15);
+  const Evaluator adaptive(config, detector, std::nullopt);
+  const auto r = adaptive.run(4);
+  EXPECT_GT(r.additions, 0);
+  EXPECT_GT(r.avg_nodes, 3.0);
+}
+
+TEST(Evaluator, DeterministicPerSeed) {
+  const auto detector = make_detector();
+  const Evaluator tol(base_config(StrategyKind::Tolerance, 0), detector,
+                      std::nullopt);
+  const auto a = tol.run(7);
+  const auto b = tol.run(7);
+  EXPECT_DOUBLE_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.recoveries, b.recoveries);
+}
+
+}  // namespace
+}  // namespace tolerance::core

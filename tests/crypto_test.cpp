@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "tolerance/crypto/hmac.hpp"
+#include "tolerance/crypto/keys.hpp"
+#include "tolerance/crypto/sha256.hpp"
+#include "tolerance/crypto/usig.hpp"
+
+namespace tolerance::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(
+      to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, LongInputCrossesBlockBoundaries) {
+  // One million 'a' characters (standard vector).
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("hello ");
+  h.update("world");
+  EXPECT_EQ(to_hex(h.finalize()), to_hex(Sha256::hash("hello world")));
+}
+
+TEST(Sha256, DigestEqualConstantTimeSemantics) {
+  const Digest a = Sha256::hash("x");
+  const Digest b = Sha256::hash("x");
+  const Digest c = Sha256::hash("y");
+  EXPECT_TRUE(digest_equal(a, b));
+  EXPECT_FALSE(digest_equal(a, c));
+}
+
+// RFC 4231 test vectors.
+TEST(Hmac, Rfc4231Vectors) {
+  const std::string key1(20, '\x0b');
+  EXPECT_EQ(to_hex(hmac_sha256(key1, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+  EXPECT_EQ(to_hex(hmac_sha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashedFirst) {
+  // RFC 4231 test case 6: 131-byte key.
+  const std::string key(131, '\xaa');
+  EXPECT_EQ(to_hex(hmac_sha256(key,
+                               "Test Using Larger Than Block-Size Key - Hash "
+                               "Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+  const Digest tag = hmac_sha256("key", "msg");
+  EXPECT_TRUE(hmac_verify("key", "msg", tag));
+  EXPECT_FALSE(hmac_verify("key", "other", tag));
+  EXPECT_FALSE(hmac_verify("wrong", "msg", tag));
+}
+
+TEST(KeyRegistry, SignatureRoundTrip) {
+  KeyRegistry registry;
+  const std::string secret = registry.register_principal(7, 42);
+  const Signer signer(7, secret);
+  const Signature sig = signer.sign("service request");
+  EXPECT_TRUE(registry.verify("service request", sig));
+  EXPECT_FALSE(registry.verify("tampered request", sig));
+}
+
+TEST(KeyRegistry, UnknownSignerRejected) {
+  KeyRegistry registry;
+  registry.register_principal(1, 42);
+  const Signer impostor(2, "made-up-secret");
+  const Signature sig = impostor.sign("msg");
+  EXPECT_FALSE(registry.verify("msg", sig));
+}
+
+TEST(KeyRegistry, ForgeryWithoutKeyFails) {
+  // Prop. 1(a): the attacker cannot forge signatures.  A signature produced
+  // under a different key must not verify for the claimed principal.
+  KeyRegistry registry;
+  registry.register_principal(1, 42);
+  Signature forged;
+  forged.signer = 1;
+  forged.tag = hmac_sha256("attacker-guess", "msg");
+  EXPECT_FALSE(registry.verify("msg", forged));
+}
+
+TEST(KeyRegistry, KeyRotation) {
+  KeyRegistry registry;
+  const std::string old_secret = registry.register_principal(3, 1);
+  const Signer old_signer(3, old_secret);
+  const Signature old_sig = old_signer.sign("m");
+  registry.register_principal(3, 2);  // rotate
+  EXPECT_FALSE(registry.verify("m", old_sig));
+}
+
+TEST(Usig, CountersAreStrictlyMonotonic) {
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const Digest d = Sha256::hash("op");
+  const UniqueIdentifier u1 = usig.create(d);
+  const UniqueIdentifier u2 = usig.create(d);
+  EXPECT_EQ(u1.counter + 1, u2.counter);
+  EXPECT_EQ(usig.last_counter(), u2.counter);
+}
+
+TEST(Usig, VerifyBindsCounterAndMessage) {
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const Digest d = Sha256::hash("op");
+  UniqueIdentifier ui = usig.create(d);
+  EXPECT_TRUE(Usig::verify(*registry, d, ui));
+  // Different message with the same UI must fail (no equivocation).
+  EXPECT_FALSE(Usig::verify(*registry, Sha256::hash("other-op"), ui));
+  // Tampering with the counter must fail.
+  UniqueIdentifier tampered = ui;
+  tampered.counter += 1;
+  EXPECT_FALSE(Usig::verify(*registry, d, tampered));
+}
+
+TEST(Usig, CannotAssignSameCounterToTwoMessages) {
+  // The equivocation-prevention property: after certifying message A at
+  // counter k, there is no API to certify message B at counter k; the next
+  // certificate necessarily uses counter k+1.
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const UniqueIdentifier ua = usig.create(Sha256::hash("A"));
+  const UniqueIdentifier ub = usig.create(Sha256::hash("B"));
+  EXPECT_NE(ua.counter, ub.counter);
+  // And a hand-crafted certificate for B at A's counter fails verification.
+  UniqueIdentifier forged = ua;
+  EXPECT_FALSE(Usig::verify(*registry, Sha256::hash("B"), forged));
+}
+
+}  // namespace
+}  // namespace tolerance::crypto

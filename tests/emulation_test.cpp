@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tolerance/emulation/attacker.hpp"
+#include "tolerance/emulation/background.hpp"
+#include "tolerance/emulation/estimation.hpp"
+#include "tolerance/emulation/ids.hpp"
+#include "tolerance/emulation/profiles.hpp"
+#include "tolerance/emulation/testbed.hpp"
+#include "tolerance/stats/empirical.hpp"
+
+namespace tolerance::emulation {
+namespace {
+
+TEST(Profiles, CatalogMatchesTableFour) {
+  const auto& catalog = container_catalog();
+  ASSERT_EQ(catalog.size(), 10u);  // Table 4 lists 10 containers
+  // Spot-check a few rows of Tables 4-6.
+  EXPECT_EQ(catalog[0].os, "UBUNTU 14");
+  EXPECT_EQ(catalog[0].vulnerabilities[0], "FTP weak password");
+  EXPECT_EQ(catalog[3].vulnerabilities[0], "CVE-2017-7494");
+  EXPECT_EQ(catalog[4].vulnerabilities[0], "CVE-2014-6271");
+  // Every container has background services (Table 5) and intrusion steps
+  // (Table 6) that end with an exploit or brute-force action.
+  for (const auto& profile : catalog) {
+    EXPECT_FALSE(profile.background_services.empty()) << profile.replica_id;
+    EXPECT_GE(profile.intrusion_steps.size(), 2u) << profile.replica_id;
+    EXPECT_NE(profile.intrusion_steps[0].name.find("scan"),
+              std::string::npos);
+  }
+  // Containers 9 and 10 have three intrusion steps (scan, brute force, CVE).
+  EXPECT_EQ(catalog[8].intrusion_steps.size(), 3u);
+  EXPECT_EQ(catalog[9].intrusion_steps.size(), 3u);
+}
+
+TEST(Profiles, LookupByIdIsOneBased) {
+  EXPECT_EQ(container(1).replica_id, 1);
+  EXPECT_EQ(container(10).replica_id, 10);
+  EXPECT_THROW(container(0), std::invalid_argument);
+  EXPECT_THROW(container(11), std::invalid_argument);
+}
+
+TEST(Ids, IntrusionRaisesAlerts) {
+  const auto& profile = container(2);  // SSH brute force
+  const IdsModel ids(profile);
+  Rng rng(1);
+  double base = 0.0, attack = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    base += ids.sample(nullptr, false, 8.0, rng).alerts_weighted;
+    attack += ids.sample(&profile.intrusion_steps[1], false, 8.0, rng)
+                  .alerts_weighted;
+  }
+  EXPECT_GT(attack / n, 10.0 * (base / n));
+}
+
+TEST(Ids, CompromisedNodeKeepsElevatedAlerts) {
+  const auto& profile = container(4);
+  const IdsModel ids(profile);
+  Rng rng(2);
+  double base = 0.0, comp = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    base += ids.sample(nullptr, false, 8.0, rng).alerts_weighted;
+    comp += ids.sample(nullptr, true, 8.0, rng).alerts_weighted;
+  }
+  EXPECT_GT(comp / n, 3.0 * (base / n));
+}
+
+TEST(Ids, MetricValueAccessor) {
+  MetricSample s;
+  s.alerts_weighted = 1;
+  s.blocks_read = 6;
+  EXPECT_DOUBLE_EQ(metric_value(s, 0), 1.0);
+  EXPECT_DOUBLE_EQ(metric_value(s, 5), 6.0);
+  EXPECT_THROW(metric_value(s, 6), std::invalid_argument);
+}
+
+TEST(Ids, MetricKlOrderingMatchesFigEighteen) {
+  // Appendix H: alerts carry by far the most signal; blocks read carry none.
+  const auto& profile = container(2);
+  const IdsModel ids(profile);
+  Rng rng(3);
+  const int n = 20000;
+  std::vector<std::vector<double>> h(kNumMetrics), c(kNumMetrics);
+  for (int i = 0; i < n; ++i) {
+    const auto sh = ids.sample(nullptr, false, 8.0, rng);
+    const bool during = rng.bernoulli(0.5);
+    const auto sc = ids.sample(
+        during ? &profile.intrusion_steps[1] : nullptr, !during, 8.0, rng);
+    for (int m = 0; m < kNumMetrics; ++m) {
+      h[static_cast<std::size_t>(m)].push_back(metric_value(sh, m));
+      c[static_cast<std::size_t>(m)].push_back(metric_value(sc, m));
+    }
+  }
+  auto kl = [&](int m) {
+    std::vector<double> pooled = h[static_cast<std::size_t>(m)];
+    pooled.insert(pooled.end(), c[static_cast<std::size_t>(m)].begin(),
+                  c[static_cast<std::size_t>(m)].end());
+    const auto binner = stats::QuantileBinner::fit(pooled, 20);
+    std::vector<int> hb, cb;
+    for (double v : h[static_cast<std::size_t>(m)]) hb.push_back(binner.bin(v));
+    for (double v : c[static_cast<std::size_t>(m)]) cb.push_back(binner.bin(v));
+    const auto ph = stats::EmpiricalPmf::from_samples(hb, binner.num_bins(), 0.5);
+    const auto pc = stats::EmpiricalPmf::from_samples(cb, binner.num_bins(), 0.5);
+    return stats::kl_divergence(ph, pc);
+  };
+  const double kl_alerts = kl(0);
+  const double kl_logins = kl(1);
+  const double kl_blocks_read = kl(5);
+  EXPECT_GT(kl_alerts, kl_logins);
+  EXPECT_GT(kl_alerts, 10.0 * std::max(kl_blocks_read, 1e-6));
+  EXPECT_LT(kl_blocks_read, 0.05);
+}
+
+TEST(Background, LoadHoversAroundLittlesLaw) {
+  BackgroundWorkload load(20.0, 4.0);
+  Rng rng(4);
+  double total = 0.0;
+  const int steps = 2000;
+  for (int t = 0; t < steps; ++t) total += load.step(rng);
+  const double avg = total / steps;
+  // Sessions occupy whole time-steps, so the discrete-time Little's law uses
+  // E[ceil(X)] = 1 / (1 - e^{-1/mu}) for X ~ Exp(mean mu):
+  const double expected = 20.0 / (1.0 - std::exp(-1.0 / 4.0));  // ~90.4
+  EXPECT_NEAR(avg, expected, 6.0);
+  // The continuous-time value is a lower bound.
+  EXPECT_GT(avg, load.expected_load());
+}
+
+TEST(Attacker, ExecutesStepsThenCompromises) {
+  Attacker attacker({1.0});  // always engages
+  Rng rng(5);
+  ASSERT_TRUE(attacker.maybe_engage(0, rng));
+  EXPECT_TRUE(attacker.attacking(0));
+  const auto& profile = container(1);  // 2 steps
+  EXPECT_NE(attacker.current_step(profile), nullptr);
+  EXPECT_FALSE(attacker.advance(profile));  // step 1 done
+  EXPECT_TRUE(attacker.advance(profile));   // final step => compromised
+  attacker.on_compromised();
+  EXPECT_FALSE(attacker.attacking(0));
+}
+
+TEST(Attacker, OneIntrusionAtATime) {
+  Attacker attacker({1.0});
+  Rng rng(6);
+  ASSERT_TRUE(attacker.maybe_engage(0, rng));
+  EXPECT_FALSE(attacker.maybe_engage(1, rng));
+}
+
+TEST(Attacker, AbortOnRecovery) {
+  Attacker attacker({1.0});
+  Rng rng(7);
+  ASSERT_TRUE(attacker.maybe_engage(3, rng));
+  attacker.abort(3);
+  EXPECT_FALSE(attacker.attacking(3));
+  EXPECT_TRUE(attacker.maybe_engage(1, rng));  // free to re-target
+}
+
+TEST(Attacker, BehaviorChoicesCoverAllThree) {
+  Rng rng(8);
+  bool a = false, b = false, c = false;
+  for (int i = 0; i < 200; ++i) {
+    switch (Attacker::choose_behavior(rng)) {
+      case CompromisedBehavior::Participate: a = true; break;
+      case CompromisedBehavior::Silent: b = true; break;
+      case CompromisedBehavior::RandomMessages: c = true; break;
+    }
+  }
+  EXPECT_TRUE(a && b && c);
+}
+
+TEST(Testbed, NodesEventuallyCompromisedWithoutDefense) {
+  TestbedConfig config;
+  config.initial_nodes = 3;
+  config.attacker.start_probability = 0.2;
+  Testbed testbed(config, 42);
+  for (int t = 0; t < 400; ++t) testbed.step();
+  EXPECT_GT(testbed.failed_count(), 0);
+}
+
+TEST(Testbed, RecoveryRestoresHealth) {
+  TestbedConfig config;
+  config.initial_nodes = 3;
+  config.attacker.start_probability = 0.5;
+  Testbed testbed(config, 43);
+  // Run until a node is compromised.
+  int compromised = -1;
+  for (int t = 0; t < 500 && compromised < 0; ++t) {
+    testbed.step();
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      if (testbed.nodes()[static_cast<std::size_t>(i)].state ==
+          pomdp::NodeState::Compromised) {
+        compromised = i;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(compromised, 0);
+  testbed.recover(compromised);
+  EXPECT_EQ(testbed.nodes()[static_cast<std::size_t>(compromised)].state,
+            pomdp::NodeState::Healthy);
+}
+
+TEST(Testbed, EvictAndAddChangeClusterSize) {
+  TestbedConfig config;
+  config.initial_nodes = 3;
+  config.max_nodes = 4;
+  Testbed testbed(config, 44);
+  testbed.step();
+  EXPECT_EQ(testbed.num_nodes(), 3);
+  ASSERT_TRUE(testbed.add_node().has_value());
+  EXPECT_EQ(testbed.num_nodes(), 4);
+  EXPECT_FALSE(testbed.add_node().has_value());  // pool exhausted (Table 3)
+  testbed.evict(0);
+  EXPECT_EQ(testbed.num_nodes(), 3);
+}
+
+TEST(Testbed, CrashedNodesEmitNoMetrics) {
+  TestbedConfig config;
+  config.initial_nodes = 2;
+  config.p_crash_healthy = 1.0;  // everything crashes immediately
+  config.attacker.start_probability = 0.0;
+  Testbed testbed(config, 45);
+  testbed.step();
+  for (const auto& node : testbed.nodes()) {
+    EXPECT_EQ(node.state, pomdp::NodeState::Crashed);
+    EXPECT_DOUBLE_EQ(node.last_metrics.alerts_weighted, 0.0);
+  }
+}
+
+TEST(Estimation, FittedDetectorSeparatesStates) {
+  Rng rng(46);
+  const auto detector = fit_detector(container(2), 5000, 11, 80.0, rng);
+  EXPECT_GT(detector.kl_healthy_compromised, 0.5);
+  EXPECT_TRUE(detector.model->all_positive());  // assumption D via smoothing
+  // Large raw alert counts map to high observation symbols.
+  EXPECT_GT(detector.observe(50000.0), detector.observe(10.0));
+}
+
+TEST(Estimation, PooledDetectorCoversCatalog) {
+  Rng rng(47);
+  const auto detector = fit_pooled_detector(1000, 11, 80.0, rng);
+  EXPECT_GT(detector.kl_healthy_compromised, 0.3);
+  EXPECT_EQ(detector.model->num_observations(), detector.binner.num_bins());
+}
+
+TEST(Estimation, MoreSamplesTightenTheEstimate) {
+  // Glivenko-Cantelli in practice: KL between two independently fitted
+  // detectors shrinks with the sample budget.
+  Rng rng1(48), rng2(49), rng3(50), rng4(51);
+  const auto small_a = fit_detector(container(5), 300, 11, 80.0, rng1);
+  const auto small_b = fit_detector(container(5), 300, 11, 80.0, rng2);
+  const auto large_a = fit_detector(container(5), 20000, 11, 80.0, rng3);
+  const auto large_b = fit_detector(container(5), 20000, 11, 80.0, rng4);
+  const double disagreement_small = std::fabs(
+      small_a.kl_healthy_compromised - small_b.kl_healthy_compromised);
+  const double disagreement_large = std::fabs(
+      large_a.kl_healthy_compromised - large_b.kl_healthy_compromised);
+  EXPECT_LT(disagreement_large, disagreement_small + 0.05);
+}
+
+}  // namespace
+}  // namespace tolerance::emulation

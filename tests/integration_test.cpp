@@ -1,0 +1,143 @@
+// Cross-module integration tests: the TOLERANCE control loop driving the
+// MinBFT consensus layer (the full Fig. 2 architecture), and the system
+// controller running on a crash-tolerant Raft substrate (§IV).
+#include <gtest/gtest.h>
+
+#include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/emulation/ids.hpp"
+#include "tolerance/consensus/raft.hpp"
+#include "tolerance/core/node_controller.hpp"
+#include "tolerance/emulation/estimation.hpp"
+#include "tolerance/solvers/cmdp_lp.hpp"
+
+namespace tolerance {
+namespace {
+
+consensus::MinBftConfig fast_config(int f) {
+  consensus::MinBftConfig cfg;
+  cfg.f = f;
+  cfg.checkpoint_period = 10;
+  cfg.view_change_timeout = 2.0;
+  cfg.request_retry_timeout = 1.0;
+  return cfg;
+}
+
+net::LinkConfig fast_link() {
+  net::LinkConfig link;
+  link.base_delay = 1e-3;
+  link.jitter = 2e-4;
+  link.loss = 0.0;
+  return link;
+}
+
+// The full loop of Fig. 2: IDS alerts -> belief -> recovery decision ->
+// container replacement on the consensus cluster, while clients keep getting
+// correct service.
+TEST(Integration, FeedbackRecoveryKeepsServiceCorrect) {
+  Rng rng(1);
+  const auto detector = emulation::fit_pooled_detector(1500, 11, 80.0, rng);
+  pomdp::NodeParams params;
+  params.p_attack = 0.1;
+  params.p_update = 2e-2;
+  params.p_crash_healthy = 1e-5;
+  params.p_crash_compromised = 1e-3;
+  const pomdp::NodeModel model(params);
+
+  consensus::MinBftCluster cluster(3, fast_config(1), 9, fast_link());
+  auto& client = cluster.add_client();
+
+  // One controller per replica.
+  std::vector<core::NodeController> controllers(
+      3, core::NodeController(model, detector,
+                              solvers::ThresholdPolicy::constant(0.76)));
+
+  // Replica 1 is compromised and behaves Byzantine; its IDS stream shows
+  // the residual intrusion noise.
+  cluster.replica(1).set_mode(consensus::ByzantineMode::Random);
+  const emulation::IdsModel ids(emulation::container(2));
+
+  int recovered_at = -1;
+  for (int t = 1; t <= 30; ++t) {
+    // Service keeps working through the compromise (f = 1 tolerance).
+    const auto result =
+        cluster.submit_and_run(client, "op" + std::to_string(t));
+    ASSERT_TRUE(result.has_value()) << "t=" << t;
+    EXPECT_NE(*result, "garbage");
+    // Controllers observe per-replica IDS output.
+    for (int i = 0; i < 3; ++i) {
+      const bool compromised =
+          cluster.has_replica(static_cast<consensus::ReplicaId>(i)) &&
+          cluster.replica(static_cast<consensus::ReplicaId>(i)).mode() !=
+              consensus::ByzantineMode::Honest;
+      const auto sample = ids.sample(nullptr, compromised, 27.0, rng);
+      const auto idx = static_cast<std::size_t>(i);
+      controllers[idx].observe(sample.alerts_weighted);
+      if (controllers[idx].decide() == pomdp::NodeAction::Recover) {
+        controllers[idx].commit(pomdp::NodeAction::Recover);
+        cluster.recover_replica(static_cast<consensus::ReplicaId>(i));
+        if (i == 1 && recovered_at < 0) recovered_at = t;
+      } else {
+        controllers[idx].commit(pomdp::NodeAction::Wait);
+      }
+    }
+    if (recovered_at > 0) break;
+  }
+  ASSERT_GT(recovered_at, 0) << "the compromised replica was never recovered";
+  EXPECT_LE(recovered_at, 10) << "feedback detection should be fast";
+  EXPECT_EQ(cluster.replica(1).mode(), consensus::ByzantineMode::Honest);
+  // Post-recovery, the service is intact and the recovered replica serves.
+  const auto result = cluster.submit_and_run(client, "final");
+  ASSERT_TRUE(result.has_value());
+  cluster.run_for(1.0);
+  EXPECT_EQ(cluster.replica(1).service().log().back(), "final");
+}
+
+// The system controller's decisions replicated through Raft: the controller
+// survives crashes of its own substrate (the §IV deployment assumption).
+TEST(Integration, SystemControllerDecisionsSurviveRaftLeaderCrash) {
+  consensus::raft::RaftCluster raft_cluster(3, consensus::raft::RaftConfig{},
+                                            31, fast_link());
+  auto leader = raft_cluster.await_leader();
+  ASSERT_TRUE(leader.has_value());
+
+  // Compute a replication decision and commit it through Raft.
+  const auto cmdp = pomdp::SystemCmdp::parametric(10, 3, 0.9, 0.85, 0.02);
+  const auto sol = solvers::solve_replication_lp(cmdp);
+  ASSERT_EQ(sol.status, lp::LpStatus::Optimal);
+  ASSERT_GE(sol.beta2, 0);
+  const std::string decision =
+      "add-node-when-s<=" + std::to_string(sol.beta2);
+  ASSERT_TRUE(raft_cluster.node(*leader).propose(decision).has_value());
+  raft_cluster.run_for(1.0);
+
+  // Crash the leader; the decision must survive on the new leader.
+  raft_cluster.node(*leader).crash();
+  const auto new_leader = raft_cluster.await_leader();
+  ASSERT_TRUE(new_leader.has_value());
+  ASSERT_GE(raft_cluster.node(*new_leader).log().size(), 1u);
+  EXPECT_EQ(raft_cluster.node(*new_leader).log()[0].command, decision);
+  EXPECT_GE(raft_cluster.node(*new_leader).commit_index(), 1u);
+}
+
+// Propagating the tolerance threshold f through Prop. 1: with N = 2f+1+k
+// replicas, k recoveries and f Byzantine failures can overlap while the
+// service stays correct.
+TEST(Integration, PropositionOneBudget) {
+  const int f = 1, k = 1;
+  const int n = 2 * f + 1 + k;  // 4
+  consensus::MinBftCluster cluster(n, fast_config(f), 17, fast_link());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.submit_and_run(client, "baseline"));
+  // One Byzantine replica AND one replica under recovery simultaneously.
+  cluster.replica(2).set_mode(consensus::ByzantineMode::Silent);
+  cluster.recover_replica(3);  // k = 1 recovery in flight
+  const auto result = cluster.submit_and_run(client, "under-stress");
+  ASSERT_TRUE(result.has_value());
+  cluster.run_for(1.0);
+  // The two honest, non-recovering replicas agree.
+  EXPECT_EQ(cluster.replica(0).service().log(),
+            cluster.replica(1).service().log());
+}
+
+}  // namespace
+}  // namespace tolerance

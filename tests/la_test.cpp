@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tolerance/la/matrix.hpp"
+#include "tolerance/la/solve.hpp"
+
+namespace tolerance::la {
+namespace {
+
+TEST(Matrix, IdentityAndIndexing) {
+  const auto id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  EXPECT_THROW(id(3, 0), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 1) = 5.0;
+  m(1, 2) = 7.0;
+  const auto t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t(2, 1), 7.0);
+}
+
+TEST(Matrix, RowStochasticCheck) {
+  Matrix p(2, 2);
+  p(0, 0) = 0.3;
+  p(0, 1) = 0.7;
+  p(1, 0) = 1.0;
+  EXPECT_TRUE(p.is_row_stochastic());
+  p(1, 0) = 0.9;
+  EXPECT_FALSE(p.is_row_stochastic());
+}
+
+TEST(Matrix, MatvecAndVecmat) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = 2.0;
+  m(1, 0) = 3.0;
+  m(1, 1) = 4.0;
+  const auto y = matvec(m, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+  const auto z = vecmat({1.0, 1.0}, m);
+  EXPECT_DOUBLE_EQ(z[0], 4.0);
+  EXPECT_DOUBLE_EQ(z[1], 6.0);
+}
+
+TEST(Matrix, Matmul) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 2, 2.0);
+  const auto c = matmul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 6.0);
+}
+
+TEST(Solve, GaussKnownSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto x = gauss_solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Solve, GaussRequiresPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = gauss_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, GaussSingularThrows) {
+  Matrix a(2, 2, 1.0);
+  EXPECT_THROW(gauss_solve(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Solve, InvertRoundTrip) {
+  Matrix a(3, 3);
+  a(0, 0) = 4.0; a(0, 1) = 1.0; a(0, 2) = 0.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0; a(1, 2) = 1.0;
+  a(2, 0) = 0.0; a(2, 1) = 1.0; a(2, 2) = 2.0;
+  const auto inv = invert(a);
+  const auto prod = matmul(a, inv);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Solve, CholeskyOfSpdMatrix) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 3.0;
+  const auto l = cholesky(a);
+  EXPECT_NEAR(l(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(l(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(l(1, 1), std::sqrt(2.0), 1e-12);
+  // Solve A x = b through the factor.
+  const auto x = cholesky_solve(l, {8.0, 7.0});
+  EXPECT_NEAR(4.0 * x[0] + 2.0 * x[1], 8.0, 1e-10);
+  EXPECT_NEAR(2.0 * x[0] + 3.0 * x[1], 7.0, 1e-10);
+}
+
+TEST(Solve, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tolerance::la

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tolerance/lp/simplex.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::lp {
+namespace {
+
+TEST(Simplex, SimpleMaximizationAsMinimization) {
+  // max x0 + x1 s.t. x0 + 2 x1 <= 4, x0 <= 3  => x = (3, 0.5), obj = 3.5.
+  LinearProgram lp(2);
+  lp.objective = {-1.0, -1.0};
+  lp.add_constraint({{0, 1.0}, {1, 2.0}}, Relation::LessEq, 4.0);
+  lp.add_constraint({{0, 1.0}}, Relation::LessEq, 3.0);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -3.5, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.5, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // min x0 + 2 x1 s.t. x0 + x1 = 1  => x = (1, 0), obj = 1.
+  LinearProgram lp(2);
+  lp.objective = {1.0, 2.0};
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::Eq, 1.0);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 1.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // min 2 x0 + 3 x1 s.t. x0 + x1 >= 4, x0 - x1 <= 2.
+  // Optimum at x = (4, 0)? check: x0 - x1 = 4 > 2 violates. So x0 = 3, x1 = 1,
+  // obj = 9.
+  LinearProgram lp(2);
+  lp.objective = {2.0, 3.0};
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::GreaterEq, 4.0);
+  lp.add_constraint({{0, 1.0}, {1, -1.0}}, Relation::LessEq, 2.0);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 9.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  LinearProgram lp(1);
+  lp.objective = {1.0};
+  lp.add_constraint({{0, 1.0}}, Relation::LessEq, 1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::GreaterEq, 2.0);
+  const auto sol = SimplexSolver().solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LinearProgram lp(1);
+  lp.objective = {-1.0};  // maximize x, no upper bound
+  lp.add_constraint({{0, 1.0}}, Relation::GreaterEq, 0.0);
+  const auto sol = SimplexSolver().solve(lp);
+  EXPECT_EQ(sol.status, LpStatus::Unbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // min x0 s.t. -x0 <= -2  (i.e. x0 >= 2).
+  LinearProgram lp(1);
+  lp.objective = {1.0};
+  lp.add_constraint({{0, -1.0}}, Relation::LessEq, -2.0);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateLpStillTerminates) {
+  // Classic degenerate LP (multiple constraints active at the optimum).
+  LinearProgram lp(2);
+  lp.objective = {-1.0, -1.0};
+  lp.add_constraint({{0, 1.0}}, Relation::LessEq, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 0.0}}, Relation::LessEq, 1.0);
+  lp.add_constraint({{1, 1.0}}, Relation::LessEq, 1.0);
+  lp.add_constraint({{0, 1.0}, {1, 1.0}}, Relation::LessEq, 2.0);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, -2.0, 1e-9);
+}
+
+TEST(Simplex, ProbabilitySimplexProjection) {
+  // min c^T x over the probability simplex picks the smallest coefficient.
+  LinearProgram lp(4);
+  lp.objective = {3.0, 1.0, 2.0, 5.0};
+  std::vector<std::pair<int, double>> all;
+  for (int j = 0; j < 4; ++j) all.push_back({j, 1.0});
+  lp.add_constraint(all, Relation::Eq, 1.0);
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  EXPECT_NEAR(sol.objective, 1.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 1.0, 1e-9);
+}
+
+TEST(Simplex, RandomLpsSatisfyConstraints) {
+  // Property test: on random feasible-by-construction LPs the returned point
+  // satisfies every constraint.
+  tolerance::Rng rng(2024);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 3 + rng.uniform_int(4);
+    const int m = 2 + rng.uniform_int(4);
+    LinearProgram lp(n);
+    for (int j = 0; j < n; ++j) lp.objective[j] = rng.uniform(-1.0, 1.0);
+    // Constraints a^T x <= b with a >= 0 and b > 0 keep the origin feasible
+    // and the feasible set bounded via a final sum constraint.
+    for (int i = 0; i < m; ++i) {
+      std::vector<std::pair<int, double>> terms;
+      for (int j = 0; j < n; ++j) terms.push_back({j, rng.uniform(0.0, 1.0)});
+      lp.add_constraint(std::move(terms), Relation::LessEq,
+                        rng.uniform(0.5, 2.0));
+    }
+    std::vector<std::pair<int, double>> sum_terms;
+    for (int j = 0; j < n; ++j) sum_terms.push_back({j, 1.0});
+    lp.add_constraint(std::move(sum_terms), Relation::LessEq, 10.0);
+
+    const auto sol = SimplexSolver().solve(lp);
+    ASSERT_EQ(sol.status, LpStatus::Optimal) << "trial " << trial;
+    for (const auto& con : lp.constraints) {
+      double lhs = 0.0;
+      for (const auto& [v, c] : con.terms) lhs += c * sol.x[v];
+      EXPECT_LE(lhs, con.rhs + 1e-7);
+    }
+    for (double xv : sol.x) EXPECT_GE(xv, -1e-9);
+  }
+}
+
+TEST(Simplex, MediumSizedStructuredLp) {
+  // Transportation-like LP with equality structure, 40 vars.
+  const int k = 20;
+  LinearProgram lp(2 * k);
+  for (int j = 0; j < 2 * k; ++j) lp.objective[j] = (j % 3) + 1.0;
+  std::vector<std::pair<int, double>> norm;
+  for (int j = 0; j < 2 * k; ++j) norm.push_back({j, 1.0});
+  lp.add_constraint(norm, Relation::Eq, 1.0);
+  for (int i = 0; i < k; ++i) {
+    lp.add_constraint({{2 * i, 1.0}, {2 * i + 1, -1.0}}, Relation::Eq, 0.0);
+  }
+  const auto sol = SimplexSolver().solve(lp);
+  ASSERT_EQ(sol.status, LpStatus::Optimal);
+  double total = 0.0;
+  for (double xv : sol.x) total += xv;
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace tolerance::lp

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tolerance/markov/chain.hpp"
+
+namespace tolerance::markov {
+namespace {
+
+la::Matrix two_state(double p01, double p10) {
+  la::Matrix p(2, 2);
+  p(0, 0) = 1.0 - p01;
+  p(0, 1) = p01;
+  p(1, 0) = p10;
+  p(1, 1) = 1.0 - p10;
+  return p;
+}
+
+TEST(MarkovChain, RejectsNonStochastic) {
+  la::Matrix p(2, 2, 0.3);
+  EXPECT_THROW(MarkovChain{p}, std::invalid_argument);
+}
+
+TEST(MarkovChain, HittingTimeGeometric) {
+  // From state 0, absorb into state 1 with prob q per step: E[T] = 1/q.
+  for (double q : {0.5, 0.1, 0.01}) {
+    la::Matrix p(2, 2, 0.0);
+    p(0, 0) = 1.0 - q;
+    p(0, 1) = q;
+    p(1, 1) = 1.0;
+    MarkovChain chain(p);
+    const auto h = chain.mean_hitting_times({false, true});
+    EXPECT_NEAR(h[0], 1.0 / q, 1e-9) << "q=" << q;
+    EXPECT_DOUBLE_EQ(h[1], 0.0);
+  }
+}
+
+TEST(MarkovChain, HittingTimeBirthDeath) {
+  // 3-state chain 0 -> 1 -> 2 with prob 1 steps: hitting time of {2} from 0
+  // is exactly 2.
+  la::Matrix p(3, 3, 0.0);
+  p(0, 1) = 1.0;
+  p(1, 2) = 1.0;
+  p(2, 2) = 1.0;
+  MarkovChain chain(p);
+  const auto h = chain.mean_hitting_times({false, false, true});
+  EXPECT_NEAR(h[0], 2.0, 1e-12);
+  EXPECT_NEAR(h[1], 1.0, 1e-12);
+}
+
+TEST(MarkovChain, UnreachableTargetIsInfinite) {
+  // State 0 is absorbing; target {1} unreachable from 0.
+  la::Matrix p(2, 2, 0.0);
+  p(0, 0) = 1.0;
+  p(1, 1) = 1.0;
+  MarkovChain chain(p);
+  const auto h = chain.mean_hitting_times({false, true});
+  EXPECT_TRUE(std::isinf(h[0]));
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+}
+
+TEST(MarkovChain, LeakToAbsorbingNonTargetIsInfinite) {
+  // From 0: either to target 2 (prob 0.5) or absorbing trap 1 (prob 0.5);
+  // mean hitting time of {2} is infinite.
+  la::Matrix p(3, 3, 0.0);
+  p(0, 1) = 0.5;
+  p(0, 2) = 0.5;
+  p(1, 1) = 1.0;
+  p(2, 2) = 1.0;
+  MarkovChain chain(p);
+  const auto h = chain.mean_hitting_times({false, false, true});
+  EXPECT_TRUE(std::isinf(h[0]));
+}
+
+TEST(MarkovChain, DistributionEvolution) {
+  MarkovChain chain(two_state(0.3, 0.2));
+  const auto d1 = chain.distribution_after({1.0, 0.0}, 1);
+  EXPECT_NEAR(d1[0], 0.7, 1e-12);
+  EXPECT_NEAR(d1[1], 0.3, 1e-12);
+  const auto d100 = chain.distribution_after({1.0, 0.0}, 200);
+  // Stationary distribution of this chain: (0.4, 0.6).
+  EXPECT_NEAR(d100[0], 0.4, 1e-6);
+  EXPECT_NEAR(d100[1], 0.6, 1e-6);
+}
+
+TEST(MarkovChain, StationaryDistributionMatchesClosedForm) {
+  MarkovChain chain(two_state(0.3, 0.2));
+  const auto pi = chain.stationary_distribution();
+  EXPECT_NEAR(pi[0], 0.4, 1e-8);
+  EXPECT_NEAR(pi[1], 0.6, 1e-8);
+}
+
+TEST(MarkovChain, ReliabilityCurveGeometric) {
+  // Failure hazard q per step: R(t) = (1-q)^t.
+  const double q = 0.2;
+  la::Matrix p(2, 2, 0.0);
+  p(0, 0) = 1.0 - q;
+  p(0, 1) = q;
+  p(1, 1) = 1.0;
+  MarkovChain chain(p);
+  const auto r = chain.reliability_curve({1.0, 0.0}, {false, true}, 10);
+  ASSERT_EQ(r.size(), 11u);
+  for (int t = 0; t <= 10; ++t) {
+    EXPECT_NEAR(r[static_cast<std::size_t>(t)], std::pow(1.0 - q, t), 1e-12);
+  }
+}
+
+TEST(MarkovChain, ReliabilityIsMonotoneNonIncreasing) {
+  MarkovChain chain = binomial_survival_chain(10, 0.9);
+  std::vector<double> init(11, 0.0);
+  init[10] = 1.0;
+  std::vector<bool> failed(11, false);
+  for (int s = 0; s <= 3; ++s) failed[static_cast<std::size_t>(s)] = true;
+  const auto r = chain.reliability_curve(init, failed, 50);
+  for (std::size_t t = 1; t < r.size(); ++t) {
+    EXPECT_LE(r[t], r[t - 1] + 1e-12);
+  }
+  EXPECT_NEAR(r[0], 1.0, 1e-12);
+}
+
+TEST(BinomialSurvivalChain, RowsAreBinomialPmfs) {
+  const auto chain = binomial_survival_chain(5, 0.8);
+  EXPECT_EQ(chain.num_states(), 6u);
+  EXPECT_TRUE(chain.transition().is_row_stochastic(1e-9));
+  // From state 5, P[next = 5] = 0.8^5.
+  EXPECT_NEAR(chain.transition()(5, 5), std::pow(0.8, 5), 1e-12);
+  // State 0 is absorbing.
+  EXPECT_NEAR(chain.transition()(0, 0), 1.0, 1e-12);
+}
+
+TEST(BinomialSurvivalChain, MttfDecreasesWithFailureRate) {
+  // MTTF (hitting {s <= f}) should decrease as survival prob decreases.
+  std::vector<bool> failed(11, false);
+  for (int s = 0; s <= 3; ++s) failed[static_cast<std::size_t>(s)] = true;
+  const auto h_good = binomial_survival_chain(10, 0.99).mean_hitting_times(failed);
+  const auto h_bad = binomial_survival_chain(10, 0.90).mean_hitting_times(failed);
+  EXPECT_GT(h_good[10], h_bad[10]);
+  EXPECT_GT(h_bad[10], 1.0);
+}
+
+TEST(BinomialSurvivalChain, MttfIncreasesWithInitialNodes) {
+  // The Fig. 6a shape: more initial nodes => longer time to failure.
+  const auto chain = binomial_survival_chain(50, 0.95);
+  std::vector<bool> failed(51, false);
+  for (int s = 0; s <= 7; ++s) failed[static_cast<std::size_t>(s)] = true;
+  const auto h = chain.mean_hitting_times(failed);
+  EXPECT_GT(h[50], h[20]);
+  EXPECT_GT(h[20], h[10]);
+}
+
+TEST(MarkovChain, SimulatedStepsFollowKernel) {
+  MarkovChain chain(two_state(0.3, 0.0));
+  Rng rng(5);
+  int transitions = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (chain.step(0, rng) == 1) ++transitions;
+  }
+  EXPECT_NEAR(transitions / static_cast<double>(trials), 0.3, 0.02);
+}
+
+}  // namespace
+}  // namespace tolerance::markov

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "tolerance/net/sim_network.hpp"
+
+namespace tolerance::net {
+namespace {
+
+using TestNet = SimNetwork<std::string>;
+
+LinkConfig lossless() {
+  LinkConfig cfg;
+  cfg.base_delay = 1e-3;
+  cfg.jitter = 0.0;
+  cfg.loss = 0.0;
+  return cfg;
+}
+
+TEST(SimNetwork, DeliversMessagesWithDelay) {
+  TestNet net(1, lossless());
+  std::vector<std::string> received;
+  double delivery_time = -1.0;
+  net.register_host(2, [&](NodeId from, const std::string& m) {
+    EXPECT_EQ(from, 1u);
+    received.push_back(m);
+    delivery_time = net.now();
+  });
+  net.send(1, 2, "hello");
+  net.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  EXPECT_NEAR(delivery_time, 1e-3, 1e-9);
+}
+
+TEST(SimNetwork, LossDropsExpectedFraction) {
+  LinkConfig lossy = lossless();
+  lossy.loss = 0.3;
+  TestNet net(7, lossy);
+  int received = 0;
+  net.register_host(2, [&](NodeId, const std::string&) { ++received; });
+  const int sent = 10000;
+  for (int i = 0; i < sent; ++i) net.send(1, 2, "m");
+  net.run();
+  EXPECT_NEAR(received / static_cast<double>(sent), 0.7, 0.03);
+  EXPECT_EQ(net.dropped_messages() + static_cast<std::uint64_t>(received),
+            static_cast<std::uint64_t>(sent));
+}
+
+TEST(SimNetwork, PartitionBlocksTraffic) {
+  TestNet net(1, lossless());
+  int received = 0;
+  net.register_host(1, [&](NodeId, const std::string&) { ++received; });
+  net.register_host(2, [&](NodeId, const std::string&) { ++received; });
+  net.register_host(3, [&](NodeId, const std::string&) { ++received; });
+  net.partition({{1, 2}, {3}});
+  net.send(1, 3, "blocked");
+  net.send(1, 2, "allowed");
+  net.run();
+  EXPECT_EQ(received, 1);
+  net.heal_partition();
+  net.send(1, 3, "now allowed");
+  net.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(SimNetwork, TimersFireInOrderAndCancel) {
+  TestNet net(1, lossless());
+  std::vector<int> fired;
+  net.schedule(0.3, [&]() { fired.push_back(3); });
+  net.schedule(0.1, [&]() { fired.push_back(1); });
+  const auto cancelled = net.schedule(0.2, [&]() { fired.push_back(2); });
+  net.cancel(cancelled);
+  net.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 1);
+  EXPECT_EQ(fired[1], 3);
+  EXPECT_NEAR(net.now(), 0.3, 1e-9);
+}
+
+TEST(SimNetwork, RunUntilAdvancesClockNoFurther) {
+  TestNet net(1, lossless());
+  int fired = 0;
+  net.schedule(1.0, [&]() { ++fired; });
+  net.schedule(5.0, [&]() { ++fired; });
+  net.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_NEAR(net.now(), 2.0, 1e-9);
+  net.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimNetwork, CpuBusyDelaysProcessing) {
+  TestNet net(1, lossless());
+  double delivered_at = -1.0;
+  net.register_host(2, [&](NodeId, const std::string&) {
+    delivered_at = net.now();
+  });
+  // Node 2 is busy for 10 ms; a message arriving at 1 ms is served at 10 ms.
+  net.consume_cpu(2, 0.010);
+  net.send(1, 2, "m");
+  net.run();
+  EXPECT_NEAR(delivered_at, 0.010, 1e-9);
+}
+
+TEST(SimNetwork, SenderBusyDelaysDeparture) {
+  TestNet net(1, lossless());
+  double delivered_at = -1.0;
+  net.register_host(2, [&](NodeId, const std::string&) {
+    delivered_at = net.now();
+  });
+  net.consume_cpu(1, 0.005);  // e.g. signing cost before the send
+  net.send(1, 2, "m");
+  net.run();
+  EXPECT_NEAR(delivered_at, 0.005 + 1e-3, 1e-9);
+}
+
+TEST(SimNetwork, UnregisteredHostDropsSilently) {
+  TestNet net(1, lossless());
+  net.send(1, 99, "void");
+  net.run();  // must not crash
+  EXPECT_EQ(net.pending(), 0u);
+}
+
+TEST(SimNetwork, BroadcastSkipsSelf) {
+  TestNet net(1, lossless());
+  int self = 0, others = 0;
+  net.register_host(1, [&](NodeId, const std::string&) { ++self; });
+  net.register_host(2, [&](NodeId, const std::string&) { ++others; });
+  net.register_host(3, [&](NodeId, const std::string&) { ++others; });
+  net.broadcast(1, {1, 2, 3}, "hi");
+  net.run();
+  EXPECT_EQ(self, 0);
+  EXPECT_EQ(others, 2);
+}
+
+TEST(SimNetwork, DeterministicGivenSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    LinkConfig cfg;
+    cfg.base_delay = 1e-3;
+    cfg.jitter = 1e-3;
+    cfg.loss = 0.1;
+    TestNet net(seed, cfg);
+    std::vector<double> times;
+    net.register_host(2, [&](NodeId, const std::string&) {
+      times.push_back(net.now());
+    });
+    for (int i = 0; i < 100; ++i) net.send(1, 2, "m");
+    net.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(5), run_once(5));
+  EXPECT_NE(run_once(5), run_once(6));
+}
+
+}  // namespace
+}  // namespace tolerance::net

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tolerance/solvers/nn.hpp"
+#include "tolerance/solvers/ppo.hpp"
+#include "tolerance/solvers/threshold_policy.hpp"
+
+namespace tolerance::solvers {
+namespace {
+
+TEST(Softmax, NormalizesAndOrdersByLogit) {
+  const auto p = softmax({1.0, 3.0, 2.0});
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0, 1e-12);
+  EXPECT_GT(p[1], p[2]);
+  EXPECT_GT(p[2], p[0]);
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const auto p = softmax({1000.0, 1000.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(Mlp, ForwardShapesAndDeterminism) {
+  Rng rng(1);
+  Mlp net({3, 8, 2}, rng);
+  EXPECT_EQ(net.num_inputs(), 3);
+  EXPECT_EQ(net.num_outputs(), 2);
+  EXPECT_EQ(net.num_parameters(), 3u * 8u + 8u + 8u * 2u + 2u);
+  const auto a = net.forward({0.1, 0.2, 0.3});
+  const auto b = net.forward({0.1, 0.2, 0.3});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifferences) {
+  // Loss = 0.5 * ||f(x)||^2; dLoss/dOutput = f(x).  Compare the analytic
+  // weight gradient of layer 0 against central finite differences.
+  Rng rng(2);
+  Mlp net({2, 4, 1}, rng);
+  const std::vector<double> x{0.7, -0.3};
+
+  auto loss = [&]() {
+    const auto out = net.forward(x);
+    return 0.5 * out[0] * out[0];
+  };
+
+  net.zero_gradients();
+  const auto out = net.forward(x);
+  net.backward({out[0]});
+
+  const double eps = 1e-6;
+  for (std::size_t idx : {std::size_t{0}, std::size_t{3}, std::size_t{5}}) {
+    double& w = net.weights(0)[idx];
+    const double orig = w;
+    w = orig + eps;
+    const double up = loss();
+    w = orig - eps;
+    const double down = loss();
+    w = orig;
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(net.gradients(0)[idx], numeric, 1e-5)
+        << "weight index " << idx;
+  }
+}
+
+TEST(Mlp, AdamLearnsLinearRegression) {
+  // y = 2 x0 - x1 + 0.5; a 1-hidden-layer net should fit it quickly.
+  Rng rng(3);
+  Mlp net({2, 16, 1}, rng);
+  Rng data_rng(4);
+  double final_loss = 1e9;
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    net.zero_gradients();
+    double total = 0.0;
+    const int batch = 32;
+    for (int i = 0; i < batch; ++i) {
+      const double x0 = data_rng.uniform(-1.0, 1.0);
+      const double x1 = data_rng.uniform(-1.0, 1.0);
+      const double target = 2.0 * x0 - x1 + 0.5;
+      const auto out = net.forward({x0, x1});
+      const double err = out[0] - target;
+      total += 0.5 * err * err;
+      net.backward({err});
+    }
+    net.adam_step(1e-2, 1.0 / batch);
+    final_loss = total / batch;
+  }
+  EXPECT_LT(final_loss, 1e-2);
+}
+
+TEST(Ppo, ImprovesOverInitialPolicyOnNodeEnv) {
+  pomdp::NodeParams params;
+  params.p_attack = 0.1;
+  params.p_update = 2e-2;
+  params.p_crash_healthy = 1e-5;
+  params.p_crash_compromised = 1e-3;
+  const pomdp::NodeModel model(params);
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  PpoSolver::Options opts;
+  opts.iterations = 10;
+  opts.batch_steps = 2000;
+  opts.learning_rate = 3e-4;
+  PpoSolver ppo(model, obs, kNoBtr, opts);
+  Rng rng(5);
+  const auto result = ppo.train(rng);
+  EXPECT_FALSE(result.history.empty());
+  // Best observed batch cost must beat the first-iteration cost (learning)
+  // and the no-recovery long-run cost (~ eta * P[C] ~= 1.5).
+  EXPECT_LE(result.best_cost, result.history.front().best_value + 1e-9);
+  EXPECT_LT(result.best_cost, 1.2);
+  // The greedy policy is runnable.
+  pomdp::NodeSimulator sim(model, obs);
+  Rng eval_rng(6);
+  const auto stats = sim.run_many(ppo.policy(), 200, 10, eval_rng);
+  EXPECT_LT(stats.avg_cost, 1.6);
+}
+
+}  // namespace
+}  // namespace tolerance::solvers

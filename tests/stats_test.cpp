@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tolerance/stats/distributions.hpp"
+#include "tolerance/stats/empirical.hpp"
+#include "tolerance/stats/special.hpp"
+#include "tolerance/stats/summary.hpp"
+#include "tolerance/util/rng.hpp"
+
+namespace tolerance::stats {
+namespace {
+
+TEST(Special, NormCdfKnownValues) {
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(norm_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(norm_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(Special, NormQuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(norm_cdf(norm_quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Special, IncompleteBetaBoundaries) {
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+}
+
+TEST(Special, TCdfMatchesTables) {
+  // t_{0.975, 10} = 2.228.
+  EXPECT_NEAR(t_cdf(2.228, 10.0), 0.975, 1e-3);
+  // Symmetric around 0.
+  EXPECT_NEAR(t_cdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(t_cdf(-1.5, 7.0) + t_cdf(1.5, 7.0), 1.0, 1e-10);
+}
+
+TEST(Special, TQuantileMatchesTables) {
+  EXPECT_NEAR(t_quantile(0.975, 10.0), 2.228, 2e-3);
+  EXPECT_NEAR(t_quantile(0.975, 19.0), 2.093, 2e-3);
+  // Approaches the normal quantile for large df.
+  EXPECT_NEAR(t_quantile(0.975, 1e6), 1.95996, 1e-3);
+}
+
+TEST(Special, LogChoose) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+}
+
+TEST(BetaBinomial, PmfSumsToOne) {
+  const BetaBinomial z(10, 0.7, 3.0);
+  const auto p = z.pmf_vector();
+  const double total = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-10);
+}
+
+TEST(BetaBinomial, MeanMatchesFormula) {
+  const BetaBinomial z(10, 1.0, 0.7);
+  EXPECT_NEAR(z.mean(), 10.0 * 1.0 / 1.7, 1e-12);
+}
+
+TEST(BetaBinomial, PaperObservationModelsAreSeparated) {
+  // Table 8: Z(.|H) = BetaBin(10, 0.7, 3), Z(.|C) = BetaBin(10, 1, 0.7).
+  const BetaBinomial healthy(10, 0.7, 3.0);
+  const BetaBinomial compromised(10, 1.0, 0.7);
+  EXPECT_LT(healthy.mean(), compromised.mean());
+  const double kl =
+      kl_divergence(healthy.pmf_vector(), compromised.pmf_vector());
+  EXPECT_GT(kl, 0.5);
+}
+
+TEST(BetaBinomial, SampleMeanConverges) {
+  const BetaBinomial z(10, 2.0, 2.0);
+  Rng rng(123);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += z.sample(rng);
+  EXPECT_NEAR(total / n, z.mean(), 0.1);
+}
+
+TEST(Poisson, PmfSumsToNearlyOne) {
+  const PoissonDist p(20.0);
+  double total = 0.0;
+  for (int k = 0; k < 200; ++k) total += p.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Geometric, MatchesNodeFailureModel) {
+  // Under kernel (2) with no recoveries, failure time ~ Geometric(p_fail)
+  // where p_fail = 1 - (1-pA)(1-pC1) (§V-A, Fig. 5).
+  const double pa = 0.1;
+  const double pc1 = 1e-5;
+  const double p_fail = 1.0 - (1.0 - pa) * (1.0 - pc1);
+  const GeometricDist g(p_fail);
+  EXPECT_NEAR(g.cdf(10), 1.0 - std::pow(1.0 - p_fail, 10), 1e-12);
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += g.sample(rng);
+  EXPECT_NEAR(total / n, g.mean(), 0.25);
+}
+
+TEST(Binomial, PmfMatchesClosedForm) {
+  const BinomialDist b(4, 0.5);
+  EXPECT_NEAR(b.pmf(2), 6.0 / 16.0, 1e-12);
+  const auto v = b.pmf_vector();
+  EXPECT_NEAR(std::accumulate(v.begin(), v.end(), 0.0), 1.0, 1e-12);
+}
+
+TEST(Binomial, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(BinomialDist(3, 0.0).pmf(0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialDist(3, 1.0).pmf(3), 1.0);
+}
+
+TEST(Summary, MeanVariance) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(sample_variance(xs), 5.0 / 3.0, 1e-12);
+}
+
+TEST(Summary, MeanCiShrinksWithSamples) {
+  Rng rng(42);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(rng.normal(5.0, 1.0));
+  for (int i = 0; i < 1000; ++i) large.push_back(rng.normal(5.0, 1.0));
+  const auto ci_small = mean_ci(small);
+  const auto ci_large = mean_ci(large);
+  EXPECT_GT(ci_small.half_width, ci_large.half_width);
+  EXPECT_NEAR(ci_large.mean, 5.0, 0.2);
+  EXPECT_LT(ci_large.lo(), ci_large.mean);
+  EXPECT_GT(ci_large.hi(), ci_large.mean);
+}
+
+TEST(Summary, CiCoversTrueMeanAtNominalRate) {
+  // Property: ~95% of Student-t CIs should cover the true mean.
+  Rng rng(7);
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> xs;
+    for (int i = 0; i < 15; ++i) xs.push_back(rng.normal(1.0, 2.0));
+    const auto ci = mean_ci(xs, 0.95);
+    if (ci.lo() <= 1.0 && 1.0 <= ci.hi()) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(trials), 0.95, 0.05);
+}
+
+TEST(Summary, Quantile) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+}
+
+TEST(EmpiricalPmf, FromCountsNormalizes) {
+  const auto p = EmpiricalPmf::from_counts({2, 6, 2}, 0.0);
+  EXPECT_NEAR(p.prob(0), 0.2, 1e-12);
+  EXPECT_NEAR(p.prob(1), 0.6, 1e-12);
+  EXPECT_NEAR(p.mean(), 0.2 * 0 + 0.6 * 1 + 0.2 * 2, 1e-12);
+}
+
+TEST(EmpiricalPmf, SmoothingAvoidsZeros) {
+  const auto p = EmpiricalPmf::from_counts({0, 10}, 1.0);
+  EXPECT_GT(p.prob(0), 0.0);
+}
+
+TEST(EmpiricalPmf, FromSamplesClampsOutOfRange) {
+  const auto p = EmpiricalPmf::from_samples({0, 1, 99, -5}, 3);
+  EXPECT_NEAR(p.prob(0), 0.5, 1e-12);  // 0 and -5 clamp to 0
+  EXPECT_NEAR(p.prob(2), 0.25, 1e-12);
+}
+
+TEST(EmpiricalPmf, GlivenkoCantelliConvergence) {
+  // §VIII-A: the empirical estimate converges a.s. to the truth.
+  const BetaBinomial truth(10, 1.0, 0.7);
+  Rng rng(77);
+  std::vector<int> samples;
+  for (int i = 0; i < 25000; ++i) samples.push_back(truth.sample(rng));
+  const auto est = EmpiricalPmf::from_samples(samples, 11, 0.5);
+  const double kl = kl_divergence(truth.pmf_vector(), est.probs());
+  EXPECT_LT(kl, 5e-3);
+}
+
+TEST(Kl, BasicProperties) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{0.9, 0.1};
+  EXPECT_DOUBLE_EQ(kl_divergence(p, p), 0.0);
+  EXPECT_GT(kl_divergence(p, q), 0.0);
+  // Asymmetry.
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(Kl, InfiniteWhenSupportMismatch) {
+  std::vector<double> p{0.5, 0.5};
+  std::vector<double> q{1.0, 0.0};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q)));
+}
+
+TEST(QuantileBinner, UniformBinsOnLinearData) {
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) samples.push_back(static_cast<double>(i));
+  const auto binner = QuantileBinner::fit(samples, 4);
+  EXPECT_EQ(binner.num_bins(), 4);
+  EXPECT_EQ(binner.bin(-100.0), 0);
+  EXPECT_EQ(binner.bin(1e9), 3);
+  EXPECT_LT(binner.bin(100.0), binner.bin(900.0));
+}
+
+TEST(QuantileBinner, DegenerateDataCollapsesBins) {
+  std::vector<double> samples(100, 5.0);
+  const auto binner = QuantileBinner::fit(samples, 10);
+  // All edges equal => most bins collapse, but binning still works.
+  EXPECT_GE(binner.num_bins(), 2);
+  EXPECT_EQ(binner.bin(4.9), 0);
+}
+
+}  // namespace
+}  // namespace tolerance::stats
