@@ -72,8 +72,6 @@ Cell run_ppo(const pomdp::NodeModel& model, const pomdp::ObservationModel& obs,
     Stopwatch clock;
     ppo.train(rng);
     times.push_back(clock.elapsed_seconds());
-    const auto eval =
-        make_objective(model, obs, delta_r, 9000 + static_cast<std::uint64_t>(seed));
     pomdp::NodeSimulator sim(model, obs);
     Rng eval_rng(4242 + static_cast<std::uint64_t>(seed));
     costs.push_back(

@@ -105,6 +105,32 @@ TEST(KeyRegistry, KeyRotation) {
   EXPECT_FALSE(registry.verify("m", old_sig));
 }
 
+TEST(Sha256, EmptyMessageKnownVector) {
+  // The one-shot empty digest is covered by KnownVectors; the incremental
+  // interface with zero update() calls and with an explicit zero-length
+  // update must both produce the same empty-message digest.
+  Sha256 h1;
+  EXPECT_EQ(to_hex(h1.finalize()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  Sha256 h2;
+  h2.update("");
+  EXPECT_EQ(to_hex(h2.finalize()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Hmac, EmptyKeyAndMessageKnownVectors) {
+  // HMAC-SHA256("", "") — standard cross-implementation vector.
+  EXPECT_EQ(
+      to_hex(hmac_sha256("", "")),
+      "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad");
+  // Empty message under a non-empty key.
+  EXPECT_EQ(
+      to_hex(hmac_sha256("key", "")),
+      "5d5d139563c95b5967b9bd9a8c9b233a9dedb45072794cd232dc1b74832607d0");
+  EXPECT_TRUE(hmac_verify("", "", hmac_sha256("", "")));
+  EXPECT_FALSE(hmac_verify("key", "", hmac_sha256("", "")));
+}
+
 TEST(Usig, CountersAreStrictlyMonotonic) {
   auto registry = std::make_shared<KeyRegistry>();
   const std::string secret =
@@ -147,6 +173,25 @@ TEST(Usig, CannotAssignSameCounterToTwoMessages) {
   // And a hand-crafted certificate for B at A's counter fails verification.
   UniqueIdentifier forged = ua;
   EXPECT_FALSE(Usig::verify(*registry, Sha256::hash("B"), forged));
+}
+
+TEST(Usig, CounterMonotoneUnderRepeatedSigning) {
+  // Even on a compromised replica the USIG keeps assigning strictly
+  // contiguous counters; sign many messages and check every certificate.
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(7 + kUsigPrincipalOffset, 123);
+  Usig usig(7, secret);
+  std::uint64_t prev = usig.last_counter();
+  for (int i = 0; i < 1000; ++i) {
+    const Digest d = Sha256::hash("op-" + std::to_string(i % 17));
+    const UniqueIdentifier ui = usig.create(d);
+    EXPECT_EQ(ui.counter, prev + 1) << "counter skipped or repeated at " << i;
+    EXPECT_EQ(ui.replica, 7u);
+    EXPECT_TRUE(Usig::verify(*registry, d, ui)) << "certificate " << i;
+    prev = ui.counter;
+  }
+  EXPECT_EQ(usig.last_counter(), prev);
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <tuple>
+#include <vector>
 
 #include "tolerance/consensus/minbft_cluster.hpp"
 #include "tolerance/markov/chain.hpp"
@@ -13,9 +15,22 @@
 #include "tolerance/solvers/cmdp_lp.hpp"
 #include "tolerance/solvers/incremental_pruning.hpp"
 #include "tolerance/solvers/threshold_policy.hpp"
+#include "tolerance/util/rng.hpp"
 
 namespace tolerance {
 namespace {
+
+// Draw NodeParams uniformly from the admissible box (probabilities kept
+// away from the degenerate endpoints so the belief recursion is defined).
+pomdp::NodeParams random_node_params(Rng& rng) {
+  pomdp::NodeParams params;
+  params.p_attack = rng.uniform(1e-4, 0.9);
+  params.p_update = rng.uniform(1e-4, 0.5);
+  params.p_crash_healthy = rng.uniform(0.0, 0.05);
+  params.p_crash_compromised = rng.uniform(0.0, 0.2);
+  params.eta = rng.uniform(1.0, 10.0);  // eq. (5) requires eta >= 1
+  return params;
+}
 
 // ---------------------------------------------------------------------------
 // Node model invariants across the (pA, pU) grid
@@ -267,6 +282,81 @@ TEST_P(ReliabilityGrid, MonotoneAndOrderedByPoolSize) {
 
 INSTANTIATE_TEST_SUITE_P(PoolSizes, ReliabilityGrid,
                          ::testing::Values(5, 10, 25, 50));
+
+// ---------------------------------------------------------------------------
+// Randomized invariants: the structural properties above must hold not only
+// on the hand-picked grid but at random points of the parameter space.
+// ---------------------------------------------------------------------------
+
+class RandomizedSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomizedSeed, TransitionMatricesRowStochasticUnderRandomParams) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const pomdp::NodeModel model(random_node_params(rng));
+    for (auto a : {pomdp::NodeAction::Wait, pomdp::NodeAction::Recover}) {
+      const auto m = model.transition_matrix(a);
+      EXPECT_TRUE(m.is_row_stochastic(1e-12)) << "trial " << trial;
+      for (std::size_t r = 0; r < 3; ++r) {
+        for (std::size_t c = 0; c < 3; ++c) {
+          EXPECT_GE(m(r, c), 0.0) << "trial " << trial;
+          EXPECT_LE(m(r, c), 1.0) << "trial " << trial;
+        }
+      }
+    }
+  }
+}
+
+TEST_P(RandomizedSeed, BeliefUpdatesStayNormalizedAndNonNegative) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const pomdp::NodeModel model(random_node_params(rng));
+    const auto obs = pomdp::BetaBinObservationModel::paper_default();
+    const pomdp::BeliefUpdater updater(model, obs);
+    for (int step = 0; step < 50; ++step) {
+      const double b = rng.uniform();
+      const auto a = rng.bernoulli(0.5) ? pomdp::NodeAction::Recover
+                                        : pomdp::NodeAction::Wait;
+      const int o = rng.uniform_int(obs.num_observations());
+      const double post = updater.update(b, a, o);
+      // The scalar belief is P[C]; normalization of the full posterior over
+      // {H, C} is exactly "post lies in [0, 1]" with no NaN leakage.
+      EXPECT_TRUE(std::isfinite(post)) << "b=" << b << " o=" << o;
+      EXPECT_GE(post, 0.0) << "b=" << b << " o=" << o;
+      EXPECT_LE(post, 1.0) << "b=" << b << " o=" << o;
+    }
+  }
+}
+
+TEST_P(RandomizedSeed, ThresholdPolicyMonotoneInBelief) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    const int delta_r = rng.bernoulli(0.3)
+                            ? solvers::kNoBtr
+                            : rng.uniform_int(2, 30);
+    std::vector<double> thetas(
+        static_cast<std::size_t>(solvers::ThresholdPolicy::dimension(delta_r)));
+    for (auto& theta : thetas) theta = rng.uniform();
+    const solvers::ThresholdPolicy policy(thetas, delta_r);
+    for (int t = 1; t <= 40; ++t) {
+      // Once the policy recovers at some belief it must keep recovering for
+      // every larger belief (threshold structure, Theorem 1).
+      bool seen_recover = false;
+      for (int g = 0; g <= 100; ++g) {
+        const bool recover =
+            policy.action(g / 100.0, t) == pomdp::NodeAction::Recover;
+        if (seen_recover) {
+          EXPECT_TRUE(recover) << "trial " << trial << " t=" << t
+                               << " belief=" << g / 100.0;
+        }
+        seen_recover = seen_recover || recover;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSeed,
+                         ::testing::Values(1u, 17u, 4242u, 99991u));
 
 }  // namespace
 }  // namespace tolerance
