@@ -12,6 +12,7 @@
 
 #include "tolerance/pomdp/node_model.hpp"
 #include "tolerance/pomdp/observation_model.hpp"
+#include "tolerance/util/parallel.hpp"
 #include "tolerance/util/table.hpp"
 
 namespace tolerance::bench {
@@ -23,12 +24,46 @@ inline bool full_scale() {
 
 inline int scaled(int quick, int full) { return full_scale() ? full : quick; }
 
+/// Worker count for the parallel sweeps: `--threads N` (or `--threads=N`)
+/// beats the TOLERANCE_THREADS env var beats hardware concurrency.  Thread
+/// count never changes bench output — episode streams are split per index
+/// (Rng::stream) and reduced in index order — only wall-clock time.
+/// A malformed value is a hard error: silently falling back to hardware
+/// concurrency would hand someone profiling "--threads 1" a parallel run.
+inline int parse_threads(int argc, char** argv) {
+  int requested = 0;
+  const auto parse_or_die = [](const char* value) {
+    char* end = nullptr;
+    const long v = std::strtol(value, &end, 10);
+    if (end == value || *end != '\0' || v <= 0) {
+      std::cerr << "error: --threads expects a positive integer, got '"
+                << value << "'\n";
+      std::exit(2);
+    }
+    return static_cast<int>(std::min<long>(v, 4096));
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads" && i + 1 < argc) {
+      requested = parse_or_die(argv[i + 1]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      requested = parse_or_die(arg.c_str() + 10);
+    }
+  }
+  return util::resolve_threads(requested);
+}
+
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::cout << "\n=== " << title << " ===\n"
             << "(reproduces " << paper_ref << "; "
             << (full_scale() ? "full scale" : "quick scale — set "
                                "TOLERANCE_BENCH_FULL=1 for paper scale")
             << ")\n\n";
+}
+
+inline void print_threads(int threads) {
+  std::cout << "threads: " << threads
+            << " (override with --threads N or TOLERANCE_THREADS)\n\n";
 }
 
 /// Table 8 node parameters used across the solver experiments.

@@ -8,10 +8,12 @@
 #include "tolerance/solvers/incremental_pruning.hpp"
 #include "tolerance/solvers/objective.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
   bench::header("Fig. 13 — learned replication and recovery strategies",
                 "Fig. 13");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
 
   // (a) Replication strategy over s = 0..13 (smax = 13, f = 1, eps_A = 0.9).
   // Weak local recovery (q_recover = 0.02, e.g. frequent crashes eating the
@@ -40,16 +42,26 @@ int main() {
   const double alpha_ip =
       solvers::IncrementalPruning::recovery_threshold(ip.value_functions[0]);
   // Grid-search the Monte-Carlo objective as a cross-check (Alg. 1 route).
+  // The grid points are independent evaluations (common random numbers per
+  // point), so the sweep shards across the ParallelRunner; the argmin is
+  // taken over the index-ordered results, making it thread-count invariant.
   solvers::RecoveryObjective::Options opts;
   opts.episodes = bench::scaled(100, 400);
   opts.horizon = 200;
+  opts.threads = 1;  // the alpha sweep owns the parallelism
   const solvers::RecoveryObjective objective(model, obs, solvers::kNoBtr, opts);
+  std::vector<double> alphas;
+  for (double a = 0.05; a <= 0.95; a += 0.05) alphas.push_back(a);
+  const util::ParallelRunner runner(threads);
+  const auto costs = runner.map<double>(
+      static_cast<std::int64_t>(alphas.size()), [&](std::int64_t i) {
+        return objective({alphas[static_cast<std::size_t>(i)]});
+      });
   double best_alpha = 0.0, best_cost = 1e18;
-  for (double a = 0.05; a <= 0.95; a += 0.05) {
-    const double c = objective({a});
-    if (c < best_cost) {
-      best_cost = c;
-      best_alpha = a;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    if (costs[i] < best_cost) {
+      best_cost = costs[i];
+      best_alpha = alphas[i];
     }
   }
   std::cout << "\n(b) recovery threshold alpha*:\n"

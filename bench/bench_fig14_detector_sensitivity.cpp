@@ -16,17 +16,22 @@ namespace {
 using namespace tolerance;
 
 // Best constant-threshold cost under (possibly mismatched) belief updates.
+// The alpha grid shards across the runner; each grid point evaluates its
+// episodes on Rng::stream children of a fixed base seed (common random
+// numbers across alphas), so the minimum is thread-count invariant.
 double best_threshold_cost(const pomdp::NodeModel& model,
                            const pomdp::ObservationModel& true_obs,
                            const pomdp::ObservationModel& believed_obs,
-                           int episodes) {
-  const pomdp::NodeSimulator simulator(model, true_obs);
+                           int episodes, const util::ParallelRunner& runner) {
   const pomdp::BeliefUpdater updater(model, believed_obs);
-  double best = 1e18;
-  for (double alpha = 0.05; alpha <= 0.95; alpha += 0.05) {
-    Rng rng(123);
+  std::vector<double> alphas;
+  for (double a = 0.05; a <= 0.95; a += 0.05) alphas.push_back(a);
+  const auto costs = runner.map<double>(
+      static_cast<std::int64_t>(alphas.size()), [&](std::int64_t ai) {
+    const double alpha = alphas[static_cast<std::size_t>(ai)];
     double total = 0.0;
     for (int e = 0; e < episodes; ++e) {
+      Rng rng = Rng::stream(123, static_cast<std::uint64_t>(e));
       // Manual rollout: belief filtered through `believed_obs`.
       pomdp::NodeState s = rng.bernoulli(model.params().p_attack)
                                ? pomdp::NodeState::Compromised
@@ -55,16 +60,21 @@ double best_threshold_cost(const pomdp::NodeModel& model,
         b = updater.update(b, a, o);
       }
     }
-    best = std::min(best, total / episodes);
-  }
+    return total / episodes;
+  });
+  double best = 1e18;
+  for (const double c : costs) best = std::min(best, c);
   return best;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
   bench::header("Fig. 14 — optimal cost vs detector quality", "Fig. 14");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
+  const util::ParallelRunner runner(threads);
   const pomdp::NodeModel model(bench::paper_node_params(0.1));
   const int episodes = bench::scaled(60, 300);
 
@@ -75,7 +85,7 @@ int main() {
     const pomdp::BetaBinObservationModel obs(
         stats::BetaBinomial(10, 0.7, 3.0), stats::BetaBinomial(10, 1.0, beta_c));
     const double kl = obs.kl(false, true);
-    const double cost = best_threshold_cost(model, obs, obs, episodes);
+    const double cost = best_threshold_cost(model, obs, obs, episodes, runner);
     left.add_row({ConsoleTable::num(kl, 2), ConsoleTable::num(cost, 3)});
   }
   left.print(std::cout);
@@ -109,7 +119,8 @@ int main() {
         stats::EmpiricalPmf::from_counts(counts, 1.0));
     const double kl =
         stats::kl_divergence(truth.pmf(true), believed.pmf(true));
-    const double cost = best_threshold_cost(model, truth, believed, episodes);
+    const double cost =
+        best_threshold_cost(model, truth, believed, episodes, runner);
     right.add_row({ConsoleTable::num(rho, 2), ConsoleTable::num(kl, 3),
                    ConsoleTable::num(cost, 3)});
   }

@@ -13,6 +13,9 @@ int main() {
   const pomdp::NodeModel model(bench::paper_node_params(0.01));
   const auto obs = bench::paper_observation_model();
   const int delta_r = 100;
+  // The dominant cost is this DP solve, which is inherently sequential
+  // across the cycle; the threshold extraction below is microseconds, so
+  // this bench deliberately has no --threads knob.
   const auto result =
       solvers::IncrementalPruning::solve_cycle(model, obs, delta_r);
 

@@ -2,49 +2,59 @@
 // when no recoveries occur, for pA in {0.1, 0.05, 0.025, 0.01}.
 // The failure time is geometric with rate 1 - (1-pA)(1-pC1) (§V-A); we print
 // both the closed form and a Monte-Carlo check through kernel (2).
+//
+// The Monte-Carlo episodes are sharded across the ParallelRunner: each
+// episode runs on its own Rng::stream child and reports the (integer) step
+// of first failure, so the tallies are exact and thread-count independent.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "tolerance/pomdp/node_simulator.hpp"
 #include "tolerance/stats/distributions.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
   bench::header("Fig. 5 — P[compromised or crashed by t], no recoveries",
                 "Fig. 5");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
   const double p_attacks[] = {0.1, 0.05, 0.025, 0.01};
   ConsoleTable table({"t", "pA=0.1", "pA=0.05", "pA=0.025", "pA=0.01",
                       "pA=0.1 (sim)"});
 
   // Monte-Carlo check for the first curve through the full kernel (2).
+  // In this no-recovery sweep a node leaves Healthy exactly once, so one
+  // episode reduces to its first-failure step (horizon + 1 = never failed).
   const int horizon = 100;
   const int episodes = bench::scaled(2000, 20000);
-  std::vector<double> failed_by(static_cast<std::size_t>(horizon) + 1, 0.0);
+  std::vector<int> failed_by(static_cast<std::size_t>(horizon) + 1, 0);
   {
     pomdp::NodeParams params = bench::paper_node_params(0.1);
     params.p_update = 0.0;  // Fig. 5 hyperparameters: pU = 0
     const pomdp::NodeModel model(params);
     Rng rng(1);
-    for (int e = 0; e < episodes; ++e) {
+    const std::uint64_t base = rng.engine()();
+    const util::ParallelRunner runner(threads);
+    const auto first_failure = runner.map<int>(episodes, [&](std::int64_t e) {
+      Rng episode_rng = Rng::stream(base, static_cast<std::uint64_t>(e));
       pomdp::NodeState s = pomdp::NodeState::Healthy;
       for (int t = 1; t <= horizon; ++t) {
-        if (s == pomdp::NodeState::Healthy) {
-          const double u = rng.uniform();
-          const double to_crash =
-              model.transition(s, pomdp::NodeAction::Wait,
-                               pomdp::NodeState::Crashed);
-          const double to_healthy =
-              model.transition(s, pomdp::NodeAction::Wait,
-                               pomdp::NodeState::Healthy);
-          if (u < to_crash) {
-            s = pomdp::NodeState::Crashed;
-          } else if (u >= to_crash + to_healthy) {
-            s = pomdp::NodeState::Compromised;
-          }
+        const double u = episode_rng.uniform();
+        const double to_crash = model.transition(
+            s, pomdp::NodeAction::Wait, pomdp::NodeState::Crashed);
+        const double to_healthy = model.transition(
+            s, pomdp::NodeAction::Wait, pomdp::NodeState::Healthy);
+        if (u < to_crash) {
+          return t;
+        } else if (u >= to_crash + to_healthy) {
+          return t;
         }
-        if (s != pomdp::NodeState::Healthy) {
-          failed_by[static_cast<std::size_t>(t)] += 1.0;
-        }
+      }
+      return horizon + 1;
+    });
+    for (const int t_fail : first_failure) {
+      for (int t = t_fail; t <= horizon; ++t) {
+        ++failed_by[static_cast<std::size_t>(t)];
       }
     }
   }
@@ -57,7 +67,8 @@ int main() {
           ConsoleTable::num(stats::GeometricDist(p_fail).cdf(t), 4));
     }
     row.push_back(ConsoleTable::num(
-        failed_by[static_cast<std::size_t>(t)] / episodes, 4));
+        static_cast<double>(failed_by[static_cast<std::size_t>(t)]) /
+            episodes, 4));
     table.add_row(row);
   }
   table.print(std::cout);

@@ -1,35 +1,45 @@
 // Fig. 6a: mean time to failure E[T(f)] as a function of the initial number
 // of nodes N1, for pA in {0.1, 0.025, 0.01} (f = 3, k = 1, no recoveries).
 // Fig. 6b: reliability curves R(t) = P[T(f) > t] for N1 in {25,50,100,200}.
-// Both computed exactly with the Markov-chain machinery of Appendix F.
+// Both computed exactly with the Markov-chain machinery of Appendix F; the
+// per-N1 chains are independent, so the sweeps shard across the
+// ParallelRunner with results collected in row order.
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "tolerance/markov/chain.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
   const int f = 3;
   const int k = 1;
   const int min_nodes = 2 * f + 1 + k;  // Prop. 1: below this, failed
+  const int threads = bench::parse_threads(argc, argv);
+  const util::ParallelRunner runner(threads);
 
   bench::header("Fig. 6a — mean time to failure vs N1", "Fig. 6a");
+  bench::print_threads(threads);
   {
     ConsoleTable table({"N1", "pA=0.1", "pA=0.025", "pA=0.01"});
-    for (int n1 : {10, 20, 30, 40, 50, 60, 70, 80, 90, 100}) {
-      std::vector<std::string> row{std::to_string(n1)};
-      for (double pa : {0.1, 0.025, 0.01}) {
-        const double p_survive = (1.0 - pa) * (1.0 - 1e-5);
-        const auto chain = markov::binomial_survival_chain(n1, p_survive);
-        std::vector<bool> failed(static_cast<std::size_t>(n1) + 1, false);
-        for (int s = 0; s < min_nodes && s <= n1; ++s) {
-          failed[static_cast<std::size_t>(s)] = true;
-        }
-        const auto h = chain.mean_hitting_times(failed);
-        row.push_back(ConsoleTable::num(h[static_cast<std::size_t>(n1)], 1));
-      }
-      table.add_row(row);
-    }
+    const std::vector<int> sizes{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+    const auto rows = runner.map<std::vector<std::string>>(
+        static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
+          const int n1 = sizes[static_cast<std::size_t>(i)];
+          std::vector<std::string> row{std::to_string(n1)};
+          for (double pa : {0.1, 0.025, 0.01}) {
+            const double p_survive = (1.0 - pa) * (1.0 - 1e-5);
+            const auto chain = markov::binomial_survival_chain(n1, p_survive);
+            std::vector<bool> failed(static_cast<std::size_t>(n1) + 1, false);
+            for (int s = 0; s < min_nodes && s <= n1; ++s) {
+              failed[static_cast<std::size_t>(s)] = true;
+            }
+            const auto h = chain.mean_hitting_times(failed);
+            row.push_back(
+                ConsoleTable::num(h[static_cast<std::size_t>(n1)], 1));
+          }
+          return row;
+        });
+    for (const auto& row : rows) table.add_row(row);
     table.print(std::cout);
     std::cout << "\nExpected shape: MTTF grows with N1 and shrinks with pA"
                  " (cf. ~100-300 range at pA=0.01).\n";
@@ -41,17 +51,19 @@ int main() {
     const double p_survive = (1.0 - pa) * (1.0 - 1e-5);
     ConsoleTable table({"t", "N1=25", "N1=50", "N1=100", "N1=200"});
     const int horizon = 100;
-    std::vector<std::vector<double>> curves;
-    for (int n1 : {25, 50, 100, 200}) {
-      const auto chain = markov::binomial_survival_chain(n1, p_survive);
-      std::vector<bool> failed(static_cast<std::size_t>(n1) + 1, false);
-      for (int s = 0; s < min_nodes; ++s) {
-        failed[static_cast<std::size_t>(s)] = true;
-      }
-      std::vector<double> init(static_cast<std::size_t>(n1) + 1, 0.0);
-      init[static_cast<std::size_t>(n1)] = 1.0;
-      curves.push_back(chain.reliability_curve(init, failed, horizon));
-    }
+    const std::vector<int> sizes{25, 50, 100, 200};
+    const auto curves = runner.map<std::vector<double>>(
+        static_cast<std::int64_t>(sizes.size()), [&](std::int64_t i) {
+          const int n1 = sizes[static_cast<std::size_t>(i)];
+          const auto chain = markov::binomial_survival_chain(n1, p_survive);
+          std::vector<bool> failed(static_cast<std::size_t>(n1) + 1, false);
+          for (int s = 0; s < min_nodes; ++s) {
+            failed[static_cast<std::size_t>(s)] = true;
+          }
+          std::vector<double> init(static_cast<std::size_t>(n1) + 1, 0.0);
+          init[static_cast<std::size_t>(n1)] = 1.0;
+          return chain.reliability_curve(init, failed, horizon);
+        });
     for (int t = 10; t <= horizon; t += 10) {
       std::vector<std::string> row{std::to_string(t)};
       for (const auto& curve : curves) {

@@ -1,5 +1,11 @@
 // Fig. 7: convergence curves of Algorithm 1 for Prob. 1 — best cost so far
 // versus wall-clock time for CEM, DE, BO and SPSA, per DeltaR.
+//
+// The optimizers run one at a time — each method's wall-clock axis IS the
+// figure's output, so co-scheduling them would corrupt the comparison.
+// The parallelism lives inside the Monte-Carlo objective instead
+// (Options::threads): every method gets the whole machine for its episode
+// sweeps, which speeds the bench up without skewing any method's clock.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -9,9 +15,11 @@
 #include "tolerance/solvers/objective.hpp"
 #include "tolerance/solvers/spsa.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
   bench::header("Fig. 7 — convergence of Algorithm 1", "Fig. 7");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
   const pomdp::NodeModel model(bench::paper_node_params(0.1));
   const auto obs = bench::paper_observation_model();
   const long budget = bench::scaled(400, 2000);
@@ -23,6 +31,7 @@ int main() {
     opts.episodes = 50;
     opts.horizon = dr > 0 ? std::max(100, 4 * dr) : 200;
     opts.seed = 11;
+    opts.threads = threads;  // parallel episode sweeps inside each method
     const solvers::RecoveryObjective objective(model, obs, dr, opts);
 
     ConsoleTable table({"method", "progress (time s : best cost)"});

@@ -1,0 +1,109 @@
+// Parallel simulation engine smoke bench: episodes/sec of
+// NodeSimulator::run_many at 1 thread versus N threads on the paper's node
+// model (Table 8 parameters, alpha* = 0.76 threshold policy), plus a
+// bit-identical determinism check between the two runs.
+//
+// Writes a BENCH_parallel.json artifact (CI uploads it each run to track
+// the perf trajectory).  Flags:
+//   --threads N    parallel worker count (default: TOLERANCE_THREADS or
+//                  hardware concurrency)
+//   --episodes M   episode budget (default: 2000, or 20000 at
+//                  TOLERANCE_BENCH_FULL=1)
+//   --out PATH     artifact path (default: BENCH_parallel.json)
+// Exits non-zero if the parallel stats are not bit-identical to serial.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "tolerance/pomdp/node_simulator.hpp"
+#include "tolerance/solvers/threshold_policy.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace {
+
+using namespace tolerance;
+
+bool bit_identical(const pomdp::NodeRunStats& a, const pomdp::NodeRunStats& b) {
+  return a.avg_cost == b.avg_cost &&
+         a.avg_time_to_recovery == b.avg_time_to_recovery &&
+         a.recovery_frequency == b.recovery_frequency &&
+         a.availability == b.availability && a.steps == b.steps &&
+         a.num_compromises == b.num_compromises &&
+         a.num_recoveries == b.num_recoveries &&
+         a.num_crashes == b.num_crashes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tolerance;
+  bench::header("Parallel engine — run_many episodes/sec, 1 vs N threads",
+                "the §VIII Monte-Carlo evaluation machinery");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
+
+  int episodes = bench::scaled(2000, 20000);
+  std::string out_path = "BENCH_parallel.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--episodes" && i + 1 < argc) episodes = std::atoi(argv[i + 1]);
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+  }
+  if (episodes <= 0) episodes = 2000;
+  const int horizon = 200;
+
+  const pomdp::NodeModel model(bench::paper_node_params(0.1));
+  const auto obs = bench::paper_observation_model();
+  const pomdp::NodeSimulator simulator(model, obs);
+  const auto policy = solvers::ThresholdPolicy::constant(0.76).as_policy();
+
+  Stopwatch clock;
+  Rng serial_rng(7);
+  const auto serial = simulator.run_many(policy, horizon, episodes,
+                                         serial_rng, /*threads=*/1);
+  const double serial_seconds = clock.elapsed_seconds();
+
+  clock.reset();
+  Rng parallel_rng(7);
+  const auto parallel =
+      simulator.run_many(policy, horizon, episodes, parallel_rng, threads);
+  const double parallel_seconds = clock.elapsed_seconds();
+
+  const bool identical = bit_identical(serial, parallel);
+  const double serial_eps = episodes / std::max(serial_seconds, 1e-9);
+  const double parallel_eps = episodes / std::max(parallel_seconds, 1e-9);
+  const double speedup = parallel_eps / serial_eps;
+
+  ConsoleTable table({"threads", "seconds", "episodes/sec", "speedup"});
+  table.add_row({"1", ConsoleTable::num(serial_seconds, 3),
+                 ConsoleTable::num(serial_eps, 1), "1.00"});
+  table.add_row({std::to_string(threads),
+                 ConsoleTable::num(parallel_seconds, 3),
+                 ConsoleTable::num(parallel_eps, 1),
+                 ConsoleTable::num(speedup, 2)});
+  table.print(std::cout);
+  std::cout << "\nbit-identical stats at 1 vs " << threads
+            << " threads: " << (identical ? "YES" : "NO — BUG") << '\n'
+            << "avg_cost " << ConsoleTable::num(serial.avg_cost, 4)
+            << ", availability " << ConsoleTable::num(serial.availability, 4)
+            << ", T(R) " << ConsoleTable::num(serial.avg_time_to_recovery, 3)
+            << '\n';
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"parallel_runner\",\n"
+      << "  \"episodes\": " << episodes << ",\n"
+      << "  \"horizon\": " << horizon << ",\n"
+      << "  \"threads\": " << threads << ",\n"
+      << "  \"seconds_serial\": " << serial_seconds << ",\n"
+      << "  \"seconds_parallel\": " << parallel_seconds << ",\n"
+      << "  \"episodes_per_sec_serial\": " << serial_eps << ",\n"
+      << "  \"episodes_per_sec_parallel\": " << parallel_eps << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"bit_identical\": " << (identical ? "true" : "false") << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << '\n';
+
+  return identical ? 0 : 1;
+}

@@ -22,23 +22,31 @@ struct Row {
   stats::MeanCi freq;
 };
 
-Row evaluate(const core::Evaluator& evaluator, int seeds) {
-  std::vector<double> avail, ttr, freq;
+// One emulation trace per seed, sharded across workers; the accumulators
+// fold the index-ordered results, so the CIs match a serial sweep exactly.
+Row evaluate(const core::Evaluator& evaluator, int seeds, int threads) {
+  std::vector<std::uint64_t> seed_list;
   for (int seed = 0; seed < seeds; ++seed) {
-    const auto r = evaluator.run(static_cast<std::uint64_t>(seed) + 1);
-    avail.push_back(r.availability);
-    ttr.push_back(r.time_to_recovery);
-    freq.push_back(r.recovery_frequency);
+    seed_list.push_back(static_cast<std::uint64_t>(seed) + 1);
   }
-  return {stats::mean_ci(avail), stats::mean_ci(ttr), stats::mean_ci(freq)};
+  const auto results = evaluator.run_many(seed_list, threads);
+  stats::SummaryAccumulator avail, ttr, freq;
+  for (const auto& r : results) {
+    avail.add(r.availability);
+    ttr.add(r.time_to_recovery);
+    freq.add(r.recovery_frequency);
+  }
+  return {avail.ci(), ttr.ci(), freq.ci()};
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
   bench::header("Table 7 / Fig. 12 — TOLERANCE vs baselines",
                 "Table 7 and Fig. 12");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
   const int seeds = bench::scaled(5, 20);
   const int horizon = bench::scaled(500, 1000);
 
@@ -77,7 +85,7 @@ int main() {
             replication.status == lp::LpStatus::Optimal
                 ? std::optional<solvers::CmdpSolution>(replication)
                 : std::nullopt);
-        const Row row = evaluate(evaluator, seeds);
+        const Row row = evaluate(evaluator, seeds, threads);
         table.add_row(
             {std::to_string(n1), dr > 0 ? std::to_string(dr) : "inf",
              core::to_string(strategy),

@@ -37,6 +37,9 @@ int main() {
   const auto policy = solvers::ThresholdPolicy::constant(alpha);
   const pomdp::NodeSimulator simulator(model, obs);
   Rng rng(42);
+  // Episodes shard across hardware threads (TOLERANCE_THREADS overrides);
+  // results are bit-identical at any thread count — see README "Parallel
+  // execution".
   const auto stats = simulator.run_many(policy.as_policy(), 1000, 20, rng);
   std::cout << "simulated 20x1000 steps:\n"
             << "  avg cost J          = " << stats.avg_cost << "\n"

@@ -48,6 +48,13 @@ class Evaluator {
 
   EvaluationResult run(std::uint64_t seed) const;
 
+  /// One emulation trace per entry of `seeds`, sharded across `threads`
+  /// workers (<= 0 resolves via util::resolve_threads).  Traces are seeded
+  /// independently, so the result vector is bit-identical — entry i equals
+  /// run(seeds[i]) — for any thread count and worker interleaving.
+  std::vector<EvaluationResult> run_many(
+      const std::vector<std::uint64_t>& seeds, int threads = 0) const;
+
  private:
   EvaluationConfig config_;
   emulation::FittedDetector detector_;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "tolerance/pomdp/belief.hpp"
 #include "tolerance/pomdp/node_model.hpp"
@@ -28,6 +29,12 @@ struct NodeRunStats {
   int num_compromises = 0;
   int num_recoveries = 0;
   int num_crashes = 0;
+
+  /// Episode-order reduction used by run_many: means of the per-episode
+  /// averages, sums of the counters.  Always fold the full per-episode
+  /// vector in index order — that keeps the floating-point accumulation
+  /// identical no matter how the episodes were sharded across workers.
+  static NodeRunStats reduce(const std::vector<NodeRunStats>& per_episode);
 };
 
 class NodeSimulator {
@@ -42,9 +49,23 @@ class NodeSimulator {
   /// T(R) = 10^3 for NO-RECOVERY with horizon 10^3.
   NodeRunStats run(const NodePolicy& policy, int horizon, Rng& rng) const;
 
-  /// Average of `episodes` independent runs (objective evaluation in Alg. 1).
+  /// Average of `episodes` independent runs (objective evaluation in Alg. 1),
+  /// sharded across `threads` workers.
+  ///
+  /// Seed derivation: one 64-bit base seed is drawn from `rng` (advancing it
+  /// exactly once), and episode e then runs on the independent child stream
+  /// Rng::stream(base, e).  Because each episode's stream depends only on
+  /// (base, e) and per-episode statistics are reduced in episode order
+  /// (NodeRunStats::reduce), the result is bit-identical for every `threads`
+  /// value — including 1, the serial path — and every worker interleaving.
+  ///
+  /// `threads` <= 0 resolves via util::resolve_threads (TOLERANCE_THREADS
+  /// env var, else hardware concurrency).  When the resolved count exceeds
+  /// 1, `policy` is called concurrently and must be thread-safe — a pure
+  /// function of (belief, t), as ThresholdPolicy::as_policy and
+  /// PpoSolver::policy are.
   NodeRunStats run_many(const NodePolicy& policy, int horizon, int episodes,
-                        Rng& rng) const;
+                        Rng& rng, int threads = 0) const;
 
   const NodeModel& model() const { return model_; }
   const BeliefUpdater& updater() const { return updater_; }

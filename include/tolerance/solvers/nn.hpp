@@ -24,6 +24,11 @@ class Mlp {
   /// Forward pass; caches activations for a subsequent backward() call.
   std::vector<double> forward(const std::vector<double>& input);
 
+  /// Inference-only forward pass: no activation caching, no mutation, safe
+  /// to call concurrently from parallel episode workers (PpoSolver::policy
+  /// relies on this when NodeSimulator::run_many shards episodes).
+  std::vector<double> predict(const std::vector<double>& input) const;
+
   /// Backward pass for the most recent forward(); `grad_output` is
   /// dLoss/dOutput.  Accumulates into the parameter gradients.
   void backward(const std::vector<double>& grad_output);

@@ -16,6 +16,12 @@ class RecoveryObjective {
     int episodes = 50;     ///< M in Table 8
     int horizon = 200;     ///< steps per episode (cycles repeat inside)
     std::uint64_t seed = 1;
+    /// Episode workers per evaluation (run_many sharding).  <= 0 resolves
+    /// via util::resolve_threads; set 1 when the *caller* already runs
+    /// evaluations in parallel (e.g. a bench sweeping thresholds).  The
+    /// value never changes results — episodes are bit-identical for any
+    /// thread count.
+    int threads = 0;
   };
 
   RecoveryObjective(const pomdp::NodeModel& model,

@@ -5,7 +5,13 @@
 
 namespace tolerance::stats {
 
-/// log Beta(a, b) = lgamma(a) + lgamma(b) - lgamma(a+b).
+/// Thread-safe log Gamma(x) for x > 0 (Lanczos approximation, g = 7).
+/// glibc's lgamma writes the global `signgam` — a data race when belief
+/// updates run on parallel episode workers (TSan flags it) — so every
+/// internal consumer goes through this reentrant, libc-independent version.
+double log_gamma(double x);
+
+/// log Beta(a, b) = log_gamma(a) + log_gamma(b) - log_gamma(a+b).
 double log_beta(double a, double b);
 
 /// Regularized incomplete beta function I_x(a, b) for x in [0, 1].
@@ -23,7 +29,7 @@ double t_cdf(double x, double df);
 /// Student-t quantile with `df` degrees of freedom, p in (0, 1).
 double t_quantile(double p, double df);
 
-/// log n-choose-k via lgamma.
+/// log n-choose-k via log_gamma.
 double log_choose(int n, int k);
 
 }  // namespace tolerance::stats

@@ -27,4 +27,31 @@ MeanCi mean_ci(const std::vector<double>& xs, double confidence = 0.95);
 /// Empirical quantile (linear interpolation between order statistics).
 double quantile(std::vector<double> xs, double q);
 
+/// Mergeable sample accumulator for parallel Monte-Carlo reductions.
+///
+/// Keeps the samples themselves (a figure sweep is at most a few thousand
+/// doubles), so merging per-shard accumulators *in shard order* reproduces
+/// the serial accumulation bit-for-bit — no floating-point reassociation,
+/// which summed-moment accumulators cannot guarantee.
+class SummaryAccumulator {
+ public:
+  void reserve(std::size_t n) { xs_.reserve(n); }
+  void add(double x) { xs_.push_back(x); }
+
+  /// Append another accumulator's samples.  Merging shards in index order
+  /// yields exactly the sample sequence of a serial sweep.
+  void merge(const SummaryAccumulator& other) {
+    xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  }
+
+  std::size_t count() const { return xs_.size(); }
+  double mean() const;
+  double stddev() const;
+  MeanCi ci(double confidence = 0.95) const;
+  const std::vector<double>& samples() const { return xs_; }
+
+ private:
+  std::vector<double> xs_;
+};
+
 }  // namespace tolerance::stats

@@ -1,0 +1,74 @@
+// ParallelRunner — deterministic index sharding for Monte-Carlo sweeps.
+//
+// for_each(count, fn) executes fn(0), ..., fn(count-1) across a worker pool
+// with the calling thread participating.  Indices are claimed from a shared
+// counter, so any assignment of indices to workers is possible;
+// callers that need bit-identical results regardless of thread count must
+// make fn(i) depend only on i (e.g. seed a per-index Rng with Rng::stream)
+// and reduce any per-index outputs in index order (NodeRunStats::reduce and
+// stats::SummaryAccumulator::merge do this).
+//
+// Thread-count resolution (resolve_threads): an explicit positive request
+// wins, else the TOLERANCE_THREADS environment variable, else
+// std::thread::hardware_concurrency().  A resolved count of 1 runs inline
+// on the calling thread — the serial path, no pool is ever created.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <vector>
+
+#include "tolerance/util/thread_pool.hpp"
+
+namespace tolerance::util {
+
+/// max(1, std::thread::hardware_concurrency()).
+int hardware_threads();
+
+/// Resolve a thread-count request: `requested` > 0 is returned as-is;
+/// otherwise the TOLERANCE_THREADS environment variable (if it parses to a
+/// positive integer); otherwise hardware_threads().
+int resolve_threads(int requested = 0);
+
+class ParallelRunner {
+ public:
+  /// `threads` <= 0 resolves via resolve_threads().  Construction is free:
+  /// helpers come from one process-wide lazily-created ThreadPool (sized to
+  /// the hardware), so per-call runners — e.g. inside run_many on a hot
+  /// optimizer loop — cost no thread spawns.
+  explicit ParallelRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Run fn(i) for every i in [0, count).  Blocks until all calls finished;
+  /// the first exception thrown by fn is rethrown here (remaining indices
+  /// are abandoned).  Safe to call concurrently from multiple threads and
+  /// to nest (fn may itself use a ParallelRunner): completion is tracked by
+  /// finished indices, and the caller participates in the work, so a batch
+  /// never waits on pool capacity.
+  void for_each(std::int64_t count,
+                const std::function<void(std::int64_t)>& fn) const;
+
+  /// for_each that collects fn(i) into a vector indexed by i — the natural
+  /// shape for an episode sweep reduced in episode order afterwards.
+  template <typename R>
+  std::vector<R> map(std::int64_t count,
+                     const std::function<R(std::int64_t)>& fn) const {
+    // vector<bool> bit-packs: concurrent writes to distinct indices would
+    // touch the same byte.  Use int/char results for predicate sweeps.
+    static_assert(!std::is_same_v<R, bool>,
+                  "ParallelRunner::map<bool> would race on vector<bool> "
+                  "bit-packing; map to int instead");
+    std::vector<R> out(static_cast<std::size_t>(count));
+    for_each(count, [&](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = fn(i);
+    });
+    return out;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace tolerance::util

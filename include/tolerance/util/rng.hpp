@@ -5,6 +5,7 @@
 // split for independent components (nodes, attackers, optimizers).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -57,17 +58,31 @@ class Rng {
     return std::exponential_distribution<double>(rate)(engine_);
   }
 
+  /// Chunked Knuth Poisson sampler, implemented in-library because the
+  /// libstdc++ std::poisson_distribution setup calls lgamma, which writes
+  /// the global `signgam` — a data race across parallel episode workers.
+  /// Exact: Poisson(a + b) = Poisson(a) + Poisson(b), and each chunk's mean
+  /// keeps exp(-mean) far from double underflow.  O(mean) uniform draws.
   int poisson(double mean) {
     TOL_ENSURE(mean >= 0.0, "poisson mean must be non-negative");
-    if (mean == 0.0) return 0;
-    return std::poisson_distribution<int>(mean)(engine_);
+    int count = 0;
+    while (mean > 30.0) {
+      count += poisson_knuth(30.0);
+      mean -= 30.0;
+    }
+    return count + poisson_knuth(mean);
   }
 
+  /// Sum of n Bernoulli(p) draws — in-library for the same signgam reason
+  /// as poisson() (std::binomial_distribution's rejection setup calls
+  /// lgamma for large np).  O(n); every use in the library has small n.
   int binomial(int n, double p) {
     TOL_ENSURE(n >= 0, "binomial n must be non-negative");
     if (n == 0 || p <= 0.0) return 0;
     if (p >= 1.0) return n;
-    return std::binomial_distribution<int>(n, p)(engine_);
+    int count = 0;
+    for (int i = 0; i < n; ++i) count += uniform() < p ? 1 : 0;
+    return count;
   }
 
   double gamma(double shape, double scale = 1.0) {
@@ -102,9 +117,34 @@ class Rng {
   /// Derive an independent sub-stream; deterministic given this stream state.
   Rng split() { return Rng(engine_()); }
 
+  /// Deterministic per-index child stream for parallel episode sharding:
+  /// stream(base, i) depends only on (base, i), never on which worker runs
+  /// the episode or in what order, so sweeps sharded across threads are
+  /// bit-identical to the serial schedule.  The seed is the SplitMix64
+  /// finalizer of base + (i+1)*golden-gamma, which decorrelates consecutive
+  /// indices into statistically independent mt19937-64 seeds.
+  static Rng stream(std::uint64_t base_seed, std::uint64_t index) {
+    std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
   engine_type& engine() { return engine_; }
 
  private:
+  int poisson_knuth(double mean) {
+    if (mean <= 0.0) return 0;
+    const double limit = std::exp(-mean);
+    int k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+
   engine_type engine_;
 };
 

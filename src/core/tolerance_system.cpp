@@ -4,6 +4,7 @@
 #include <map>
 
 #include "tolerance/util/ensure.hpp"
+#include "tolerance/util/parallel.hpp"
 
 namespace tolerance::core {
 
@@ -209,6 +210,18 @@ EvaluationResult Evaluator::run(std::uint64_t seed) const {
                      : 0.0;
   result.avg_nodes = node_sum / config_.horizon;
   return result;
+}
+
+std::vector<EvaluationResult> Evaluator::run_many(
+    const std::vector<std::uint64_t>& seeds, int threads) const {
+  std::vector<EvaluationResult> results(seeds.size());
+  const util::ParallelRunner runner(threads);
+  runner.for_each(static_cast<std::int64_t>(seeds.size()),
+                  [&](std::int64_t i) {
+                    const auto idx = static_cast<std::size_t>(i);
+                    results[idx] = run(seeds[idx]);
+                  });
+  return results;
 }
 
 }  // namespace tolerance::core

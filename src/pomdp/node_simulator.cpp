@@ -1,6 +1,7 @@
 #include "tolerance/pomdp/node_simulator.hpp"
 
 #include "tolerance/util/ensure.hpp"
+#include "tolerance/util/parallel.hpp"
 
 namespace tolerance::pomdp {
 namespace {
@@ -102,12 +103,9 @@ NodeRunStats NodeSimulator::run(const NodePolicy& policy, int horizon,
   return stats;
 }
 
-NodeRunStats NodeSimulator::run_many(const NodePolicy& policy, int horizon,
-                                     int episodes, Rng& rng) const {
-  TOL_ENSURE(episodes > 0, "episodes must be positive");
+NodeRunStats NodeRunStats::reduce(const std::vector<NodeRunStats>& per_episode) {
   NodeRunStats agg;
-  for (int e = 0; e < episodes; ++e) {
-    const NodeRunStats s = run(policy, horizon, rng);
+  for (const NodeRunStats& s : per_episode) {
     agg.avg_cost += s.avg_cost;
     agg.avg_time_to_recovery += s.avg_time_to_recovery;
     agg.recovery_frequency += s.recovery_frequency;
@@ -117,11 +115,29 @@ NodeRunStats NodeSimulator::run_many(const NodePolicy& policy, int horizon,
     agg.num_crashes += s.num_crashes;
     agg.steps += s.steps;
   }
-  agg.avg_cost /= episodes;
-  agg.avg_time_to_recovery /= episodes;
-  agg.recovery_frequency /= episodes;
-  agg.availability /= episodes;
+  if (per_episode.empty()) return agg;
+  const auto n = static_cast<double>(per_episode.size());
+  agg.avg_cost /= n;
+  agg.avg_time_to_recovery /= n;
+  agg.recovery_frequency /= n;
+  agg.availability /= n;
   return agg;
+}
+
+NodeRunStats NodeSimulator::run_many(const NodePolicy& policy, int horizon,
+                                     int episodes, Rng& rng,
+                                     int threads) const {
+  TOL_ENSURE(episodes > 0, "episodes must be positive");
+  // Advance the caller's stream exactly once regardless of episode count or
+  // thread count, then derive one independent child stream per episode.
+  const std::uint64_t base = rng.engine()();
+  std::vector<NodeRunStats> per_episode(static_cast<std::size_t>(episodes));
+  const util::ParallelRunner runner(threads);
+  runner.for_each(episodes, [&](std::int64_t e) {
+    Rng child = Rng::stream(base, static_cast<std::uint64_t>(e));
+    per_episode[static_cast<std::size_t>(e)] = run(policy, horizon, child);
+  });
+  return NodeRunStats::reduce(per_episode);
 }
 
 }  // namespace tolerance::pomdp

@@ -67,6 +67,32 @@ std::vector<double> Mlp::forward(const std::vector<double>& input) {
   return act_[layers];
 }
 
+std::vector<double> Mlp::predict(const std::vector<double>& input) const {
+  TOL_ENSURE(static_cast<int>(input.size()) == layer_sizes_.front(),
+             "input size mismatch");
+  const std::size_t layers = w_.size();
+  std::vector<double> cur = input;
+  std::vector<double> next;
+  for (std::size_t l = 0; l < layers; ++l) {
+    const int in = layer_sizes_[l];
+    const int out = layer_sizes_[l + 1];
+    next.assign(static_cast<std::size_t>(out), 0.0);
+    for (int o = 0; o < out; ++o) {
+      double s = b_[l][static_cast<std::size_t>(o)];
+      const double* row = w_[l].data() + static_cast<std::size_t>(o) * in;
+      for (int i = 0; i < in; ++i) {
+        s += row[i] * cur[static_cast<std::size_t>(i)];
+      }
+      next[static_cast<std::size_t>(o)] = s;
+    }
+    if (l + 1 < layers) {  // ReLU on hidden layers only
+      for (double& v : next) v = std::max(0.0, v);
+    }
+    cur.swap(next);
+  }
+  return cur;
+}
+
 void Mlp::backward(const std::vector<double>& grad_output) {
   const std::size_t layers = w_.size();
   TOL_ENSURE(grad_output.size() == act_[layers].size(),

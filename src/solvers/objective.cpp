@@ -26,7 +26,7 @@ pomdp::NodeRunStats RecoveryObjective::evaluate(
   const ThresholdPolicy policy(clipped, delta_r_);
   Rng rng(options_.seed);  // common random numbers across evaluations
   return simulator_.run_many(policy.as_policy(), options_.horizon,
-                             options_.episodes, rng);
+                             options_.episodes, rng, options_.threads);
 }
 
 }  // namespace tolerance::solvers

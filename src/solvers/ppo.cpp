@@ -195,7 +195,7 @@ pomdp::NodePolicy PpoSolver::policy() const {
     if (delta_r > 0 && ((t - 1) % delta_r) + 1 == delta_r) {
       return NodeAction::Recover;  // BTR constraint (6b)
     }
-    const auto logits = actor->forward(features(belief, t));
+    const auto logits = actor->predict(features(belief, t));
     return logits[1] > logits[0] ? NodeAction::Recover : NodeAction::Wait;
   };
 }

@@ -42,7 +42,7 @@ PoissonDist::PoissonDist(double mean) : mean_(mean) {
 double PoissonDist::pmf(int k) const {
   TOL_ENSURE(k >= 0, "Poisson pmf argument must be non-negative");
   if (mean_ == 0.0) return k == 0 ? 1.0 : 0.0;
-  return std::exp(k * std::log(mean_) - mean_ - std::lgamma(k + 1.0));
+  return std::exp(k * std::log(mean_) - mean_ - log_gamma(k + 1.0));
 }
 
 int PoissonDist::sample(Rng& rng) const { return rng.poisson(mean_); }

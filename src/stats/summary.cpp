@@ -55,4 +55,12 @@ double quantile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double SummaryAccumulator::mean() const { return stats::mean(xs_); }
+
+double SummaryAccumulator::stddev() const { return sample_stddev(xs_); }
+
+MeanCi SummaryAccumulator::ci(double confidence) const {
+  return mean_ci(xs_, confidence);
+}
+
 }  // namespace tolerance::stats

@@ -1,0 +1,146 @@
+#include "tolerance/util/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::util {
+
+/// Upper bound on any resolved thread count — explicit requests and the env
+/// var alike.  Far above useful parallelism, low enough that a typo'd
+/// `--threads 1000000` cannot exhaust OS thread limits.
+constexpr int kMaxThreads = 4096;
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_threads(int requested) {
+  if (requested > 0) return std::min(requested, kMaxThreads);
+  if (const char* env = std::getenv("TOLERANCE_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      // Same clamp as an explicit request — an oversized cap must not
+      // silently fall back to hardware concurrency.
+      return static_cast<int>(std::min<long>(v, kMaxThreads));
+    }
+  }
+  return hardware_threads();
+}
+
+ParallelRunner::ParallelRunner(int threads)
+    : threads_(resolve_threads(threads)) {}
+
+namespace {
+
+/// One process-wide helper pool shared by every ParallelRunner, created on
+/// first parallel for_each and lazily grown to the largest helper count
+/// actually requested — a process that only ever asks for --threads 2
+/// never spawns a worker per core.  Growth is capped at the hardware
+/// (helper tasks beyond it would only contend), with a floor of 2 so
+/// parallel paths exercise real concurrency even on single-core machines.
+/// Sharing is safe because batches carry their own completion state and
+/// helpers pull work from the batch, never block on other batches.
+ThreadPool& helper_pool(int min_workers) {
+  static ThreadPool pool(1);
+  pool.ensure_workers(
+      std::min(min_workers, std::max(2, hardware_threads() - 1)));
+  return pool;
+}
+
+/// Per-call state shared between the caller and its helper tasks.  Helpers
+/// hold a shared_ptr, so the batch outlives the call even if a helper task
+/// only gets scheduled after the caller has already returned.
+///
+/// Completion is tracked by WORK, not by helper-task exits: the batch is
+/// done when every index has been claimed and none is still executing.
+/// The caller can therefore finish the whole batch alone, which makes
+/// nested for_each calls from inside pool tasks deadlock-free — stranded
+/// helper tasks that run later find no indices left and no-op.
+struct Batch {
+  std::int64_t next = 0;   ///< first unclaimed index (guarded by mu)
+  std::int64_t count = 0;
+  std::int64_t in_flight = 0;  ///< indices currently executing
+  const std::function<void(std::int64_t)>* fn = nullptr;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+
+  bool done() const { return next >= count && in_flight == 0; }
+};
+
+void drain(Batch& batch) {
+  for (;;) {
+    std::int64_t i;
+    {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      if (batch.next >= batch.count) return;
+      i = batch.next++;
+      ++batch.in_flight;
+    }
+    bool failed = false;
+    std::exception_ptr error;
+    try {
+      (*batch.fn)(i);
+    } catch (...) {
+      failed = true;
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(batch.mu);
+      --batch.in_flight;
+      if (failed) {
+        if (!batch.error) batch.error = error;
+        // Park the counter so no further indices are claimed.
+        batch.next = batch.count;
+      }
+      if (batch.done()) batch.done_cv.notify_all();
+      if (failed) return;
+    }
+  }
+}
+
+}  // namespace
+
+void ParallelRunner::for_each(
+    std::int64_t count, const std::function<void(std::int64_t)>& fn) const {
+  TOL_ENSURE(count >= 0, "for_each count must be non-negative");
+  if (count == 0) return;
+  int helpers = static_cast<int>(
+      std::min<std::int64_t>(threads_ - 1, count - 1));
+  if (helpers <= 0) {
+    for (std::int64_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool& pool = helper_pool(helpers);
+  // Helpers beyond the pool's hardware cap would only queue — don't
+  // submit them.
+  helpers = std::min(helpers, pool.size());
+
+  auto batch = std::make_shared<Batch>();
+  batch->count = count;
+  // fn is only dereferenced by a successfully-claimed index, which cannot
+  // happen once the batch is done — so the reference never outlives this
+  // call even when a stranded helper task runs after we return.
+  batch->fn = &fn;
+
+  for (int h = 0; h < helpers; ++h) {
+    pool.submit([batch] { drain(*batch); });
+  }
+  // The calling thread is a full worker too: even if every pool worker is
+  // busy (or blocked inside a nested for_each), this call completes on
+  // its own.
+  drain(*batch);
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->done(); });
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace tolerance::util

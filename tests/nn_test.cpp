@@ -33,6 +33,19 @@ TEST(Mlp, ForwardShapesAndDeterminism) {
   EXPECT_EQ(a, b);
 }
 
+TEST(Mlp, PredictMatchesForward) {
+  // The const inference path (used by thread-safe policies) must agree with
+  // the training forward pass exactly.
+  Rng rng(7);
+  Mlp net({4, 16, 16, 3}, rng);
+  Rng input_rng(8);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x;
+    for (int i = 0; i < 4; ++i) x.push_back(input_rng.normal());
+    EXPECT_EQ(net.predict(x), net.forward(x));
+  }
+}
+
 TEST(Mlp, GradientMatchesFiniteDifferences) {
   // Loss = 0.5 * ||f(x)||^2; dLoss/dOutput = f(x).  Compare the analytic
   // weight gradient of layer 0 against central finite differences.

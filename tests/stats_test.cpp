@@ -52,6 +52,21 @@ TEST(Special, LogChoose) {
   EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
 }
 
+TEST(Special, LogGammaMatchesLibm) {
+  // The reentrant Lanczos log_gamma (thread-safe, unlike glibc's lgamma
+  // which writes the global signgam) must agree with libm to ~1 ulp across
+  // the ranges the beta-binomial and Poisson pmfs use.
+  for (double x : {0.1, 0.3, 0.5, 0.7, 1.0, 1.5, 2.0, 3.7, 10.0, 25.5,
+                   101.0, 1000.0}) {
+    const double expected = std::lgamma(x);
+    EXPECT_NEAR(log_gamma(x), expected,
+                1e-12 * std::max(1.0, std::fabs(expected)))
+        << "x=" << x;
+  }
+  EXPECT_THROW(log_gamma(0.0), std::exception);
+  EXPECT_THROW(log_gamma(-1.5), std::exception);
+}
+
 TEST(BetaBinomial, PmfSumsToOne) {
   const BetaBinomial z(10, 0.7, 3.0);
   const auto p = z.pmf_vector();
