@@ -1,0 +1,113 @@
+// Scenario churn sweep: runs every scenario in the catalog through the
+// closed-loop ScenarioRunner (CMDP policy driving the live MinBFT cluster)
+// over a seed sweep, prints the fig-style table — availability, end-to-end
+// service availability, T(R), and the membership churn rate — and writes a
+// BENCH_scenarios.json artifact (CI uploads it each run).
+//
+// Flags:
+//   --threads N    parallel worker count (default: TOLERANCE_THREADS or
+//                  hardware concurrency)
+//   --seeds M      episodes per scenario (default: 4, or 16 at
+//                  TOLERANCE_BENCH_FULL=1)
+//   --out PATH     artifact path (default: BENCH_scenarios.json)
+// Exits non-zero if any scenario's episode stats are not bit-identical
+// between the serial and the parallel run.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tolerance/emulation/scenario_runner.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tolerance;
+  bench::header("Scenario library — closed-loop churn sweep",
+                "the §VIII two-level evaluation, generalized to the named "
+                "adversarial scenarios");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
+
+  int num_seeds = bench::scaled(4, 16);
+  std::string out_path = "BENCH_scenarios.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) num_seeds = std::atoi(argv[i + 1]);
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+  }
+  if (num_seeds <= 0) num_seeds = 4;
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < num_seeds; ++i) {
+    seeds.push_back(1000 + static_cast<std::uint64_t>(i));
+  }
+
+  ConsoleTable table({"scenario", "T(A)", "svc(A)", "T(R)", "churn/cycle",
+                      "stalls", "minM", "seconds"});
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"scenarios\",\n  \"seeds\": " << num_seeds
+      << ",\n  \"threads\": " << threads << ",\n  \"scenarios\": [\n";
+
+  bool identical_everywhere = true;
+  bool first = true;
+  double total_seconds = 0.0;
+  for (const auto& scenario : emulation::scenario_catalog()) {
+    const auto runner = emulation::make_scenario_runner(scenario, 42);
+    Stopwatch clock;
+    const auto results = runner.run_many(seeds, threads);
+    const double seconds = clock.elapsed_seconds();
+    total_seconds += seconds;
+    // Bit-identical determinism check against the serial schedule, on the
+    // first episode (full per-episode equality, including the trace).
+    const auto serial_first = runner.run(seeds.front());
+    const bool identical =
+        emulation::identical(results.front(), serial_first);
+    identical_everywhere = identical_everywhere && identical;
+
+    double availability = 0.0;
+    double service = 0.0;
+    double ttr = 0.0;
+    double churn = 0.0;
+    long stalls = 0;
+    int min_membership = scenario.max_nodes;
+    for (const auto& r : results) {
+      availability += r.availability;
+      service += r.service_availability;
+      ttr += r.time_to_recovery;
+      churn += static_cast<double>(r.recoveries + r.evictions + r.additions) /
+               scenario.horizon;
+      stalls += r.quorum_stalls;
+      min_membership = std::min(min_membership, r.min_membership);
+    }
+    const auto n = static_cast<double>(results.size());
+    availability /= n;
+    service /= n;
+    ttr /= n;
+    churn /= n;
+
+    table.add_row({scenario.name, ConsoleTable::num(availability, 3),
+                   ConsoleTable::num(service, 3), ConsoleTable::num(ttr, 2),
+                   ConsoleTable::num(churn, 3), std::to_string(stalls),
+                   std::to_string(min_membership),
+                   ConsoleTable::num(seconds, 2)});
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": \"" << scenario.name << "\", \"availability\": "
+        << availability << ", \"service_availability\": " << service
+        << ", \"time_to_recovery\": " << ttr << ", \"churn_per_cycle\": "
+        << churn << ", \"quorum_stalls\": " << stalls
+        << ", \"min_membership\": " << min_membership << ", \"seconds\": "
+        << seconds << ", \"bit_identical\": "
+        << (identical ? "true" : "false") << "}";
+  }
+  out << "\n  ],\n  \"seconds_total\": " << total_seconds
+      << ",\n  \"bit_identical\": "
+      << (identical_everywhere ? "true" : "false") << "\n}\n";
+
+  table.print(std::cout);
+  std::cout << "\nbit-identical parallel vs serial episodes: "
+            << (identical_everywhere ? "YES" : "NO — BUG") << '\n'
+            << "wrote " << out_path << '\n';
+  return identical_everywhere ? 0 : 1;
+}

@@ -35,6 +35,13 @@ class MinBftClient {
   std::uint64_t submit(const std::string& operation,
                        CompletionHandler on_complete);
 
+  /// Abandon a pending request: cancel its retransmission timer and drop
+  /// the completion handler.  Late replies are ignored.  Used by callers
+  /// that probe availability with a deadline (the scenario harness).
+  void cancel(std::uint64_t request_id);
+
+  std::size_t pending_count() const { return pending_.size(); }
+
   /// Wire to the network.
   void on_message(net::NodeId from, const MinBftMsg& msg);
 

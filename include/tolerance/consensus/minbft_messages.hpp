@@ -77,6 +77,9 @@ struct ReqViewChange {
   ReplicaId replica = 0;
   View from_view = 0;
   View to_view = 0;
+  crypto::Signature signature;  ///< sender's signature over payload()
+
+  std::string payload() const;
 };
 
 /// A prepared-but-possibly-undecided entry carried in view changes.
@@ -114,6 +117,11 @@ struct StateResponse {
   SeqNum last_executed = 0;
   std::vector<std::string> log;  ///< executed operations in order
   crypto::Digest state_digest{};
+  crypto::Signature signature;  ///< sender's signature over payload()
+
+  /// Covers (replica, last_executed, state_digest); the log itself is bound
+  /// through the chained state digest.
+  std::string payload() const;
 };
 
 using MinBftMsg =

@@ -50,6 +50,11 @@ class ReplicatedService {
   crypto::Digest state_digest() const { return digest_; }
   void install(std::vector<std::string> log, crypto::Digest digest);
 
+  /// The chained digest a log of operations would produce — lets a state
+  /// receiver verify that a claimed log really is the one behind a digest
+  /// quorum before installing it.
+  static crypto::Digest chain_digest(const std::vector<std::string>& log);
+
  private:
   std::vector<std::string> log_;
   crypto::Digest digest_{};
@@ -57,10 +62,22 @@ class ReplicatedService {
 
 class MinBftReplica {
  public:
+  /// `usig_epoch` is the trusted component's lifetime number: 0 for the
+  /// first instantiation, incremented by the cluster each time the replica
+  /// is re-created with the same id (recovery).  Receivers order counters by
+  /// (epoch, counter), so the fresh USIG supersedes the pre-recovery one.
   MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
                 MinBftConfig config, MinBftNet& net,
                 std::shared_ptr<crypto::KeyRegistry> registry,
-                std::uint64_t key_seed);
+                std::uint64_t key_seed, std::uint64_t usig_epoch = 0);
+
+  /// Cancels any pending view-change timer: the timer callback captures
+  /// `this`, so a replica destroyed mid-run (evicted or recovered by the
+  /// system controller) must not leave it armed in the network queue.
+  ~MinBftReplica();
+
+  MinBftReplica(const MinBftReplica&) = delete;
+  MinBftReplica& operator=(const MinBftReplica&) = delete;
 
   ReplicaId id() const { return id_; }
   View view() const { return view_; }
@@ -83,6 +100,11 @@ class MinBftReplica {
   /// Number of executed operations (for tests/benches).
   std::size_t executed_count() const { return service_.log().size(); }
 
+  /// This replica's USIG state (for tests: proves a detached replica really
+  /// certified fresh counters that were then rejected by members).
+  std::uint64_t usig_counter() const { return usig_.last_counter(); }
+  std::uint64_t usig_epoch() const { return usig_.epoch(); }
+
  private:
   struct PendingEntry {
     Prepare prepare;
@@ -101,6 +123,7 @@ class MinBftReplica {
   void handle_state_response(const StateResponse& r);
 
   void lead_request(const Request& req);
+  ReqViewChange make_req_view_change(View to_view);
   void try_execute();
   void execute_entry(PendingEntry& entry);
   void apply_reconfiguration(const std::string& op);
@@ -113,6 +136,12 @@ class MinBftReplica {
   void broadcast(const MinBftMsg& msg);
 
   bool verify_request(const Request& req) const;
+  bool is_member(ReplicaId replica) const;
+  /// Accept `ui` only if it is fresh — strictly above the last (epoch,
+  /// counter) pair seen from its issuer — and record it.  Evicted or
+  /// replayed identifiers never pass (callers additionally gate on
+  /// is_member).
+  bool accept_counter(const crypto::UniqueIdentifier& ui);
 
   ReplicaId id_;
   std::vector<ReplicaId> membership_;
@@ -128,7 +157,9 @@ class MinBftReplica {
   SeqNum last_executed_ = 0;      ///< highest contiguously executed seq
   SeqNum stable_checkpoint_ = 0;
   std::map<SeqNum, PendingEntry> log_;
-  std::map<ReplicaId, std::uint64_t> last_counter_;  ///< FIFO per replica
+  /// Last accepted (usig epoch, counter) per replica — FIFO ordering and
+  /// replay protection across recoveries.
+  std::map<ReplicaId, std::pair<std::uint64_t, std::uint64_t>> last_counter_;
   std::set<std::pair<ClientId, std::uint64_t>> executed_requests_;
   std::map<SeqNum, std::map<crypto::Digest, std::set<ReplicaId>,
                             std::less<crypto::Digest>>>

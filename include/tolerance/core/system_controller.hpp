@@ -15,10 +15,25 @@
 
 namespace tolerance::core {
 
+/// Safety limits on the global controller's reconfiguration rate, enforced
+/// per control cycle.  Both default to "disabled" so the unconstrained
+/// Table 7 evaluation behaviour is unchanged; the scenario harness enables
+/// them so the BFT resilience bound survives churn:
+///  * at most `f` evictions per cycle (Prop. 1 budget — evicting faster than
+///    state transfer can re-populate replicas risks the quorum), and
+///  * never shrink the membership below `min_nodes` (2f + 1): a crashed node
+///    stays in the membership until a replacement can be added, because
+///    dropping below 2f + 1 silently forfeits the safety guarantee.
+struct SystemLimits {
+  int f = 0;          ///< max evictions per cycle; <= 0 disables the cap
+  int min_nodes = 0;  ///< membership floor; <= 0 disables the floor
+};
+
 struct SystemDecision {
   std::vector<int> evict;  ///< node indices to evict (crashed)
   bool add_node = false;   ///< increase the replication factor
   int state = 0;           ///< the aggregated state s_t used for the decision
+  int deferred_evictions = 0;  ///< crashed nodes kept to honour SystemLimits
 };
 
 class SystemController {
@@ -26,19 +41,26 @@ class SystemController {
   /// `strategy` from Algorithm 2; pass std::nullopt for a static replication
   /// factor (the NO-RECOVERY / PERIODIC baselines).
   SystemController(std::optional<solvers::CmdpSolution> strategy, int max_nodes,
-                   std::uint64_t seed);
+                   std::uint64_t seed, SystemLimits limits = {});
 
   /// One control step.  `beliefs[i]` is node i's reported belief;
   /// `reported[i]` is false when the node failed to report (=> crashed, it
-  /// is evicted and N_t decremented, §V-B).
+  /// is evicted and N_t decremented, §V-B) — subject to the SystemLimits
+  /// clamps; deferred evictions re-qualify next cycle.  Under an adaptive
+  /// strategy, an eviction deferred by the membership floor (not merely the
+  /// per-cycle f cap) forces add_node (if capacity remains) so the floor
+  /// repair does not depend on the stochastic policy; static baselines
+  /// never add.
   SystemDecision step(const std::vector<double>& beliefs,
                       const std::vector<bool>& reported);
 
   bool adaptive() const { return strategy_.has_value(); }
+  const SystemLimits& limits() const { return limits_; }
 
  private:
   std::optional<solvers::CmdpSolution> strategy_;
   int max_nodes_;
+  SystemLimits limits_;
   Rng rng_;
 };
 

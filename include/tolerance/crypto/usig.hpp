@@ -17,9 +17,15 @@
 
 namespace tolerance::crypto {
 
-/// A unique identifier: (counter, certificate) bound to a message digest.
+/// A unique identifier: (epoch, counter, certificate) bound to a message
+/// digest.  The epoch is bumped by the privileged domain each time the
+/// replica's container is replaced (recovery, Fig. 17d): the fresh USIG
+/// restarts its counter at zero, and receivers order identifiers by
+/// (epoch, counter) lexicographically, so a recovered replica's messages are
+/// accepted again while anything replayed from an earlier life is not.
 struct UniqueIdentifier {
   PrincipalId replica = 0;
+  std::uint64_t epoch = 0;
   std::uint64_t counter = 0;
   Digest certificate{};
 };
@@ -30,10 +36,15 @@ inline constexpr PrincipalId kUsigPrincipalOffset = 1000000u;
 
 class Usig {
  public:
-  Usig(PrincipalId replica, std::string secret)
-      : replica_(replica), secret_(std::move(secret)) {}
+  /// `epoch` identifies this USIG instance's lifetime; the virtualization
+  /// layer increments it when it re-instantiates a replica's trusted
+  /// component (recover/join), which is what lets the fresh counter sequence
+  /// supersede the old one at verifiers.
+  Usig(PrincipalId replica, std::string secret, std::uint64_t epoch = 0)
+      : replica_(replica), secret_(std::move(secret)), epoch_(epoch) {}
 
   PrincipalId replica() const { return replica_; }
+  std::uint64_t epoch() const { return epoch_; }
   std::uint64_t last_counter() const { return counter_; }
 
   /// createUI: assign the next counter value to the digest and certify it.
@@ -46,11 +57,13 @@ class Usig {
 
  private:
   static std::string certificate_payload(PrincipalId replica,
+                                         std::uint64_t epoch,
                                          std::uint64_t counter,
                                          const Digest& digest);
 
   PrincipalId replica_;
   std::string secret_;
+  std::uint64_t epoch_ = 0;
   std::uint64_t counter_ = 0;
 };
 

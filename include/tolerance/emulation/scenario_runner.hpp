@@ -1,0 +1,98 @@
+// End-to-end closed loop for the second feedback level (§IV-V): each control
+// cycle, the per-node belief estimates computed from the IdsModel metric
+// streams feed the CMDP replication policy (Algorithm 2), and the resulting
+// recover / evict / add decisions mutate BOTH the emulated testbed and a
+// live MinBFT cluster — container replacement with USIG epoch bump and state
+// transfer for recoveries, consensus-ordered membership operations for
+// evictions and joins, view changes when scripted compromises silence the
+// leader.  Service availability is measured end-to-end by submitting a probe
+// operation through a MinBFT client every cycle.
+//
+// Episodes are seeded independently, so run_many shards across the PR-2
+// parallel engine with bit-identical results at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "tolerance/emulation/estimation.hpp"
+#include "tolerance/emulation/scenarios.hpp"
+#include "tolerance/solvers/cmdp_lp.hpp"
+
+namespace tolerance::emulation {
+
+/// Per-episode outcome: the §III-C metrics plus the consensus-level view of
+/// the same episode and (optionally) the full decision/membership trace.
+struct ScenarioResult {
+  double availability = 0.0;          ///< T(A): fraction of cycles failed <= f
+  double service_availability = 0.0;  ///< probe-based: consensus answered
+  double time_to_recovery = 0.0;      ///< T(R) over closed compromises
+  double avg_nodes = 0.0;             ///< mean N_t (operational cost)
+  int recoveries = 0;
+  int evictions = 0;
+  int additions = 0;
+  int compromises = 0;
+  int crashes = 0;
+  int quorum_stalls = 0;     ///< membership ops consensus could not order
+  int deferred_evictions = 0;  ///< evictions clamped by SystemLimits
+  int min_membership = 0;    ///< smallest consensus membership observed
+  int max_membership = 0;
+  std::uint64_t final_view = 0;  ///< max view over live replicas at the end
+  /// One line per control cycle (integer fields only, so the golden-trace
+  /// regression is robust): "t=3 s=4 N=5 H=4 M=5 svc=1 rec=[2] evt=[] add=0
+  /// defer=0 stall=0".
+  std::vector<std::string> trace;
+};
+
+/// Field-exact equality including the trace — the determinism predicate the
+/// thread-count tests assert.
+bool identical(const ScenarioResult& a, const ScenarioResult& b);
+
+struct ScenarioOptions {
+  /// Simulated seconds per control cycle (the paper's 60 s time-step);
+  /// also the probe deadline.
+  double cycle_seconds = 60.0;
+  /// Network-event budget for one consensus-ordered membership operation.
+  std::size_t membership_event_budget = 120000;
+  bool record_trace = true;
+};
+
+class ScenarioRunner {
+ public:
+  using Options = ScenarioOptions;
+
+  /// `replication` is the Algorithm 2 strategy; std::nullopt runs a static
+  /// replication factor (evictions still happen, nodes are never added).
+  ScenarioRunner(Scenario scenario, FittedDetector detector,
+                 std::optional<solvers::CmdpSolution> replication,
+                 Options options = {});
+
+  const Scenario& scenario() const { return scenario_; }
+
+  /// One closed-loop episode.
+  ScenarioResult run(std::uint64_t seed) const;
+
+  /// One episode per seed, sharded across `threads` workers (<= 0 resolves
+  /// via util::resolve_threads).  Episodes are seeded independently, so
+  /// entry i equals run(seeds[i]) bit-for-bit at any thread count.
+  std::vector<ScenarioResult> run_many(const std::vector<std::uint64_t>& seeds,
+                                       int threads = 0) const;
+
+ private:
+  Scenario scenario_;
+  FittedDetector detector_;
+  std::optional<solvers::CmdpSolution> replication_;
+  Options options_;
+};
+
+/// Convenience: fit a pooled detector and solve the replication LP for
+/// `scenario` — the training phase shared by the test battery and the bench
+/// (deterministic given `seed`).
+ScenarioRunner make_scenario_runner(const Scenario& scenario,
+                                    std::uint64_t seed,
+                                    int detector_samples = 60,
+                                    ScenarioRunner::Options options = {});
+
+}  // namespace tolerance::emulation

@@ -1,0 +1,72 @@
+// Scenario description layer for the end-to-end system-controller harness.
+//
+// A Scenario bundles everything one closed-loop episode needs — the node
+// model parameters, the testbed/attacker configuration, the tolerance
+// threshold f and hardware pool, and a script of timed adversarial events
+// that push the cluster into situations the stochastic attacker of §VIII-A
+// alone reaches only with vanishing probability: staggered multi-node
+// intrusions, flapping IDS false-positive storms, correlated compromise
+// bursts exceeding f, slow-loris background load, crash waves.
+//
+// scenario_catalog() is the library of named scenarios the integration test
+// battery, the churn-sweep bench and the README all refer to; every entry is
+// runnable via ScenarioRunner::run_many with bit-identical results at any
+// thread count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tolerance/emulation/attacker.hpp"
+#include "tolerance/emulation/testbed.hpp"
+#include "tolerance/pomdp/node_model.hpp"
+
+namespace tolerance::emulation {
+
+/// One scripted event, applied at the start of control cycle `step`
+/// (1-based, before the testbed dynamics run).
+struct ScenarioEvent {
+  enum class Kind {
+    ForceCompromise,  ///< compromise `count` healthy nodes instantly
+    ForceCrash,       ///< crash `count` nodes instantly
+    AlertStorm,       ///< add `magnitude` false-positive alerts per node for
+                      ///< `duration` cycles (IDS noise on healthy nodes)
+    LoadSpike,        ///< add `magnitude` background sessions for `duration`
+                      ///< cycles (slow-loris style)
+  };
+
+  int step = 1;
+  Kind kind = Kind::ForceCompromise;
+  int count = 1;         ///< nodes affected (ForceCompromise / ForceCrash)
+  int duration = 1;      ///< cycles the condition lasts (storm / spike)
+  double magnitude = 0.0;  ///< extra alerts per cycle, or extra sessions
+  /// Post-compromise behaviour for ForceCompromise (§VIII-A a/b/c).
+  CompromisedBehavior behavior = CompromisedBehavior::Participate;
+};
+
+/// A named, self-contained closed-loop experiment.
+struct Scenario {
+  std::string name;
+  std::string description;
+
+  int horizon = 100;      ///< control cycles (60 s each in the paper)
+  int initial_nodes = 3;  ///< N1; must be >= 2f + 1
+  int f = 1;              ///< tolerance threshold (Prop. 1)
+  int max_nodes = 7;      ///< hardware pool (Table 3)
+  double recovery_threshold = 0.76;  ///< alpha* (Fig. 13b)
+  double epsilon_a = 0.9;            ///< availability target for Alg. 2
+  pomdp::NodeParams node_params;     ///< belief-model parameters (Table 8)
+  TestbedConfig testbed;             ///< environment parameters
+  std::vector<ScenarioEvent> events;
+};
+
+/// The library of named adversarial scenarios (see README "Scenarios").
+const std::vector<Scenario>& scenario_catalog();
+
+/// Lookup by name; aborts on an unknown name (the catalog is closed).
+const Scenario& find_scenario(const std::string& name);
+
+/// All catalog names, in catalog order.
+std::vector<std::string> scenario_names();
+
+}  // namespace tolerance::emulation

@@ -70,6 +70,23 @@ class Testbed {
   int failed_count() const;
   int background_load() const { return background_.load(); }
 
+  // --- Scenario hooks (emulation/scenarios.hpp): scripted events outside
+  // the stochastic dynamics, used to construct adversarial situations the
+  // attacker model alone reaches only with vanishing probability. ---
+
+  /// Compromise a healthy node instantly with the given post-compromise
+  /// behaviour (a zero-step intrusion, e.g. a supply-chain backdoor).
+  void force_compromise(int node_index, CompromisedBehavior behavior);
+
+  /// Crash a node instantly (power loss, kernel panic).
+  void force_crash(int node_index);
+
+  /// Additional background sessions applied on top of the M/M/inf load in
+  /// subsequent step()s — a slow-loris style load injection.  Sticky until
+  /// changed; pass 0 to clear.
+  void set_extra_load(int sessions);
+  int extra_load() const { return extra_load_; }
+
  private:
   EmulatedNode make_node();
 
@@ -80,6 +97,7 @@ class Testbed {
   std::vector<EmulatedNode> nodes_;
   int time_ = 0;
   int next_node_id_ = 0;
+  int extra_load_ = 0;
 };
 
 }  // namespace tolerance::emulation

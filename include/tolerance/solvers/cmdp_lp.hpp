@@ -42,6 +42,14 @@ struct CmdpSolution {
 
   /// Sample an action for state s.
   int act(int s, Rng& rng) const;
+
+  /// Online policy queries for the system controller's control cycle: the
+  /// live aggregated state s_t = floor(sum_i (1 - b_{i,t})) can fall outside
+  /// the solved range when membership churns, so s is clamped into
+  /// [0, smax] (consistent with the Thm. 2 threshold extension — the policy
+  /// is monotone, so out-of-range states inherit the boundary action).
+  double add_probability_at(int s) const;
+  int act_clamped(int s, Rng& rng) const;
 };
 
 /// Solve Prob. 2 exactly (Algorithm 2).

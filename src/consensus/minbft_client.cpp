@@ -45,6 +45,13 @@ void MinBftClient::transmit(const Request& request) {
   }
 }
 
+void MinBftClient::cancel(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  net_->cancel(it->second.retry_timer);
+  pending_.erase(it);
+}
+
 void MinBftClient::arm_retry(std::uint64_t request_id) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;

@@ -47,6 +47,19 @@ crypto::Digest Checkpoint::body_digest() const {
   return crypto::Sha256::hash(os.str());
 }
 
+std::string ReqViewChange::payload() const {
+  std::ostringstream os;
+  os << "reqviewchange|" << replica << '|' << from_view << '|' << to_view;
+  return os.str();
+}
+
+std::string StateResponse::payload() const {
+  std::ostringstream os;
+  os << "stateresponse|" << replica << '|' << last_executed << '|'
+     << hex(state_digest);
+  return os.str();
+}
+
 crypto::Digest ViewChange::body_digest() const {
   std::ostringstream os;
   os << "viewchange|" << replica << '|' << to_view << '|' << stable_seq << '|'

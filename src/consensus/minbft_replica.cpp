@@ -31,6 +31,19 @@ void ReplicatedService::install(std::vector<std::string> log,
   digest_ = digest;
 }
 
+crypto::Digest ReplicatedService::chain_digest(
+    const std::vector<std::string>& log) {
+  crypto::Digest digest{};
+  for (const std::string& operation : log) {
+    crypto::Sha256 h;
+    h.update(reinterpret_cast<const std::uint8_t*>(digest.data()),
+             digest.size());
+    h.update(operation);
+    digest = h.finalize();
+  }
+  return digest;
+}
+
 // ---------------------------------------------------------------------------
 // MinBftReplica
 // ---------------------------------------------------------------------------
@@ -38,18 +51,21 @@ void ReplicatedService::install(std::vector<std::string> log,
 MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
                              MinBftConfig config, MinBftNet& net,
                              std::shared_ptr<crypto::KeyRegistry> registry,
-                             std::uint64_t key_seed)
+                             std::uint64_t key_seed, std::uint64_t usig_epoch)
     : id_(id), membership_(std::move(membership)), config_(config), net_(&net),
       registry_(std::move(registry)),
       signer_(id, registry_->register_principal(id, key_seed)),
       usig_(id, registry_->register_principal(id + crypto::kUsigPrincipalOffset,
-                                              key_seed ^ 0x5a5au)) {
+                                              key_seed ^ 0x5a5au),
+            usig_epoch) {
   TOL_ENSURE(!membership_.empty(), "membership must be non-empty");
   std::sort(membership_.begin(), membership_.end());
   TOL_ENSURE(std::find(membership_.begin(), membership_.end(), id_) !=
                  membership_.end(),
              "replica must be part of the membership");
 }
+
+MinBftReplica::~MinBftReplica() { disarm_view_change_timer(); }
 
 ReplicaId MinBftReplica::current_leader() const {
   return membership_[static_cast<std::size_t>(view_ % membership_.size())];
@@ -66,6 +82,19 @@ void MinBftReplica::broadcast(const MinBftMsg& msg) {
 bool MinBftReplica::verify_request(const Request& req) const {
   net_->consume_cpu(id_, config_.crypto_cost_verify);
   return registry_->verify(req.payload(), req.signature);
+}
+
+bool MinBftReplica::is_member(ReplicaId replica) const {
+  return std::find(membership_.begin(), membership_.end(), replica) !=
+         membership_.end();
+}
+
+bool MinBftReplica::accept_counter(const crypto::UniqueIdentifier& ui) {
+  auto& last = last_counter_[ui.replica];
+  const auto incoming = std::make_pair(ui.epoch, ui.counter);
+  if (incoming <= last) return false;
+  last = incoming;
+  return true;
 }
 
 void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
@@ -146,9 +175,7 @@ void MinBftReplica::handle_prepare(const Prepare& p) {
   net_->consume_cpu(id_, config_.crypto_cost_verify);
   if (!crypto::Usig::verify(*registry_, p.body_digest(), p.ui)) return;
   // Monotonic counters prevent replay; the USIG guarantees uniqueness.
-  auto& last = last_counter_[leader];
-  if (p.ui.counter <= last) return;
-  last = p.ui.counter;
+  if (!accept_counter(p.ui)) return;
   if (p.seq <= stable_checkpoint_) return;
   const auto it = log_.find(p.seq);
   if (it != log_.end()) {
@@ -157,7 +184,7 @@ void MinBftReplica::handle_prepare(const Prepare& p) {
     if (!same) {
       // A leader proposing two different requests at one sequence number is
       // faulty: demand a view change.
-      const ReqViewChange rvc{id_, view_, view_ + 1};
+      const ReqViewChange rvc = make_req_view_change(view_ + 1);
       broadcast(rvc);
       handle_req_view_change(rvc);  // count our own vote
       return;
@@ -195,11 +222,13 @@ void MinBftReplica::send_commit(const Prepare& p) {
 void MinBftReplica::handle_commit(const Commit& c) {
   if (c.view != view_ || in_view_change_) return;
   if (c.replica == id_) return;
+  // Only current members vote: an evicted replica's USIG may still certify
+  // fresh counters, but its identifiers are never accepted after the evict
+  // operation executed (§VII-C).
+  if (!is_member(c.replica) || c.replica != c.ui.replica) return;
   net_->consume_cpu(id_, config_.crypto_cost_verify);
   if (!crypto::Usig::verify(*registry_, c.body_digest(), c.ui)) return;
-  auto& last = last_counter_[c.replica];
-  if (c.ui.counter <= last) return;
-  last = c.ui.counter;
+  if (!accept_counter(c.ui)) return;
   if (c.seq <= stable_checkpoint_) return;
   const auto it = log_.find(c.seq);
   if (it == log_.end()) return;  // commit precedes prepare; PREPARE rebroadcast
@@ -282,6 +311,7 @@ void MinBftReplica::emit_checkpoint() {
 
 void MinBftReplica::handle_checkpoint(const Checkpoint& c) {
   if (c.last_executed <= stable_checkpoint_) return;
+  if (!is_member(c.replica) || c.replica != c.ui.replica) return;
   net_->consume_cpu(id_, config_.crypto_cost_verify);
   if (!crypto::Usig::verify(*registry_, c.body_digest(), c.ui)) return;
   auto& votes = checkpoint_votes_[c.last_executed][c.state_digest];
@@ -302,6 +332,16 @@ void MinBftReplica::garbage_collect(SeqNum stable) {
   if (last_executed_ < stable) request_state_transfer();
 }
 
+ReqViewChange MinBftReplica::make_req_view_change(View to_view) {
+  ReqViewChange rvc;
+  rvc.replica = id_;
+  rvc.from_view = view_;
+  rvc.to_view = to_view;
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  rvc.signature = signer_.sign(rvc.payload());
+  return rvc;
+}
+
 void MinBftReplica::arm_view_change_timer() {
   if (vc_timer_armed_) return;
   vc_timer_armed_ = true;
@@ -309,7 +349,7 @@ void MinBftReplica::arm_view_change_timer() {
     vc_timer_armed_ = false;
     if (mode_ == ByzantineMode::Silent) return;
     // No progress within Tvc: ask everyone to move to the next view.
-    const ReqViewChange rvc{id_, view_, view_ + 1};
+    const ReqViewChange rvc = make_req_view_change(view_ + 1);
     broadcast(rvc);
     arm_view_change_timer();
     handle_req_view_change(rvc);  // count our own vote
@@ -324,6 +364,14 @@ void MinBftReplica::disarm_view_change_timer() {
 
 void MinBftReplica::handle_req_view_change(const ReqViewChange& r) {
   if (r.to_view <= view_) return;
+  // Votes count only from authenticated current members: the claimed sender
+  // must be the signer, the signature must verify — unconditionally, so a
+  // network-delivered message spoofing the receiver's own id is rejected
+  // too (the genuine local self-call is signed by make_req_view_change) —
+  // and evicted replicas (whose keys remain valid) are excluded.
+  if (!is_member(r.replica) || r.signature.signer != r.replica) return;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  if (!registry_->verify(r.payload(), r.signature)) return;
   auto& votes = view_change_requests_[r.to_view];
   votes.insert(r.replica);
   if (static_cast<int>(votes.size()) >= config_.f + 1) {
@@ -358,6 +406,9 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   const ReplicaId expected_leader =
       membership_[static_cast<std::size_t>(vc.to_view % membership_.size())];
   if (expected_leader != id_) return;
+  // The proof must come from a current member whose own USIG certifies it —
+  // a detached replica must not be able to forge proofs "from" live members.
+  if (!is_member(vc.replica) || vc.replica != vc.ui.replica) return;
   if (vc.replica != id_) {
     net_->consume_cpu(id_, config_.crypto_cost_verify);
     if (!crypto::Usig::verify(*registry_, vc.body_digest(), vc.ui)) return;
@@ -416,10 +467,26 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
   if (nv.view <= view_ && !(in_view_change_ && nv.view == view_)) return;
   const ReplicaId expected_leader =
       membership_[static_cast<std::size_t>(nv.view % membership_.size())];
-  if (nv.leader != expected_leader) return;
+  // The NEW-VIEW must be certified by the claimed (and expected) leader's
+  // own USIG — a detached replica's valid-but-foreign UI must not install a
+  // view on the leader's behalf.
+  if (nv.leader != expected_leader || nv.ui.replica != nv.leader) return;
   net_->consume_cpu(id_, config_.crypto_cost_verify);
   if (!crypto::Usig::verify(*registry_, nv.body_digest(), nv.ui)) return;
-  if (static_cast<int>(nv.proofs.size()) < config_.f + 1) return;
+  // Each of the f+1 proofs must be a verifiable view change from a distinct
+  // current member; fabricated or duplicated proofs do not form a quorum.
+  std::set<ReplicaId> proof_senders;
+  for (const ViewChange& proof : nv.proofs) {
+    if (!is_member(proof.replica) || proof.replica != proof.ui.replica) {
+      return;
+    }
+    net_->consume_cpu(id_, config_.crypto_cost_verify);
+    if (!crypto::Usig::verify(*registry_, proof.body_digest(), proof.ui)) {
+      return;
+    }
+    proof_senders.insert(proof.replica);
+  }
+  if (static_cast<int>(proof_senders.size()) < config_.f + 1) return;
   view_ = nv.view;
   in_view_change_ = false;
   disarm_view_change_timer();
@@ -446,11 +513,18 @@ void MinBftReplica::handle_state_request(net::NodeId from,
   resp.last_executed = last_executed_;
   resp.log = service_.log();
   resp.state_digest = service_.state_digest();
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  resp.signature = signer_.sign(resp.payload());
   net_->send(id_, from, MinBftMsg{resp});
 }
 
 void MinBftReplica::handle_state_response(const StateResponse& r) {
   if (r.last_executed <= last_executed_) return;
+  // f+1 matching digests are only meaningful if each vote really comes from
+  // the member it names.
+  if (!is_member(r.replica) || r.signature.signer != r.replica) return;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  if (!registry_->verify(r.payload(), r.signature)) return;
   // The state is installed once f+1 replicas vouch for the same digest
   // (§VII-C: "its state is initialized with the (identical) state from f+1
   // other replicas").
@@ -462,6 +536,16 @@ void MinBftReplica::handle_state_response(const StateResponse& r) {
   }
   const auto it = pending_state_.find(r.state_digest);
   const StateResponse& adopt = it != pending_state_.end() ? it->second : r;
+  // The digest quorum vouches for the state digest, not for whichever log
+  // happened to arrive with it: recompute the chain before installing, so a
+  // single Byzantine responder cannot smuggle fabricated operations (e.g.
+  // forged join:/evict: entries) under an honest digest.
+  if (!crypto::digest_equal(ReplicatedService::chain_digest(adopt.log),
+                            adopt.state_digest)) {
+    pending_state_.erase(r.state_digest);
+    state_votes_.erase(r.state_digest);
+    return;
+  }
   service_.install(adopt.log, adopt.state_digest);
   last_executed_ = adopt.last_executed;
   stable_checkpoint_ = std::max(stable_checkpoint_, adopt.last_executed);

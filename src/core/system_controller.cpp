@@ -9,8 +9,9 @@ namespace tolerance::core {
 
 SystemController::SystemController(
     std::optional<solvers::CmdpSolution> strategy, int max_nodes,
-    std::uint64_t seed)
-    : strategy_(std::move(strategy)), max_nodes_(max_nodes), rng_(seed) {
+    std::uint64_t seed, SystemLimits limits)
+    : strategy_(std::move(strategy)), max_nodes_(max_nodes), limits_(limits),
+      rng_(seed) {
   TOL_ENSURE(max_nodes >= 1, "max_nodes must be positive");
 }
 
@@ -30,11 +31,35 @@ SystemDecision SystemController::step(const std::vector<double>& beliefs,
     ++live;
     expected_healthy += 1.0 - beliefs[i];
   }
+  // Clamp the eviction batch to the SystemLimits: at most f per cycle, and
+  // never below the membership floor.  Deferred nodes are still silent next
+  // cycle, so they re-enter the batch then (lowest indices first keeps the
+  // clamp deterministic).
+  const int num_nodes = static_cast<int>(beliefs.size());
+  const int requested = static_cast<int>(decision.evict.size());
+  int allowed = requested;
+  if (limits_.f > 0) allowed = std::min(allowed, limits_.f);
+  bool floor_bound = false;
+  if (limits_.min_nodes > 0) {
+    // The floor "binds" only when it cuts deeper than the f cap already
+    // did — that is when the cluster is genuinely pinned at min_nodes.
+    const int floor_allowed = std::max(0, num_nodes - limits_.min_nodes);
+    floor_bound = floor_allowed < allowed;
+    allowed = std::min(allowed, floor_allowed);
+  }
+  if (allowed < requested) {
+    decision.deferred_evictions = requested - allowed;
+    decision.evict.resize(static_cast<std::size_t>(allowed));
+  }
   decision.state = static_cast<int>(std::floor(expected_healthy));  // (8)
   if (strategy_.has_value() && live < max_nodes_) {
-    const int s = std::min(decision.state,
-                           static_cast<int>(strategy_->add_probability.size()) - 1);
-    decision.add_node = strategy_->act(std::max(0, s), rng_) == 1;
+    decision.add_node = strategy_->act_clamped(decision.state, rng_) == 1;
+    // A deferral caused by the membership floor (not the per-cycle f cap)
+    // means the cluster is pinned at 2f + 1 with dead weight aboard:
+    // repair the floor deterministically instead of waiting for the
+    // stochastic policy to roll an addition.  Static-replication baselines
+    // (no strategy) keep their contract of never adding nodes.
+    if (floor_bound) decision.add_node = true;
   }
   return decision;
 }

@@ -5,10 +5,12 @@
 namespace tolerance::crypto {
 
 std::string Usig::certificate_payload(PrincipalId replica,
+                                      std::uint64_t epoch,
                                       std::uint64_t counter,
                                       const Digest& digest) {
   std::ostringstream os;
-  os << "usig|" << replica << '|' << counter << '|' << to_hex(digest);
+  os << "usig|" << replica << '|' << epoch << '|' << counter << '|'
+     << to_hex(digest);
   return os.str();
 }
 
@@ -18,9 +20,11 @@ UniqueIdentifier Usig::create(const Digest& message_digest) {
   ++counter_;
   UniqueIdentifier ui;
   ui.replica = replica_;
+  ui.epoch = epoch_;
   ui.counter = counter_;
   ui.certificate = hmac_sha256(
-      secret_, certificate_payload(replica_, counter_, message_digest));
+      secret_,
+      certificate_payload(replica_, epoch_, counter_, message_digest));
   return ui;
 }
 
@@ -31,7 +35,8 @@ bool Usig::verify(const KeyRegistry& registry, const Digest& message_digest,
   // registered in its own key namespace.
   const Signature sig{ui.replica + kUsigPrincipalOffset, ui.certificate};
   return registry.verify(
-      certificate_payload(ui.replica, ui.counter, message_digest), sig);
+      certificate_payload(ui.replica, ui.epoch, ui.counter, message_digest),
+      sig);
 }
 
 }  // namespace tolerance::crypto

@@ -1,0 +1,446 @@
+#include "tolerance/emulation/scenario_runner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/core/node_controller.hpp"
+#include "tolerance/core/system_controller.hpp"
+#include "tolerance/pomdp/system_model.hpp"
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/parallel.hpp"
+
+namespace tolerance::emulation {
+
+namespace {
+
+using consensus::MinBftCluster;
+using consensus::ReplicaId;
+using pomdp::NodeState;
+
+consensus::ByzantineMode mode_for(const EmulatedNode& node) {
+  if (node.state != NodeState::Compromised) {
+    return consensus::ByzantineMode::Honest;
+  }
+  switch (node.behavior) {
+    case CompromisedBehavior::Participate:
+      return consensus::ByzantineMode::Honest;
+    case CompromisedBehavior::Silent:
+      return consensus::ByzantineMode::Silent;
+    case CompromisedBehavior::RandomMessages:
+      return consensus::ByzantineMode::Random;
+  }
+  return consensus::ByzantineMode::Honest;
+}
+
+std::string join_ids(const std::vector<int>& ids) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) os << ',';
+    os << ids[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace
+
+bool identical(const ScenarioResult& a, const ScenarioResult& b) {
+  return a.availability == b.availability &&
+         a.service_availability == b.service_availability &&
+         a.time_to_recovery == b.time_to_recovery &&
+         a.avg_nodes == b.avg_nodes && a.recoveries == b.recoveries &&
+         a.evictions == b.evictions && a.additions == b.additions &&
+         a.compromises == b.compromises && a.crashes == b.crashes &&
+         a.quorum_stalls == b.quorum_stalls &&
+         a.deferred_evictions == b.deferred_evictions &&
+         a.min_membership == b.min_membership &&
+         a.max_membership == b.max_membership &&
+         a.final_view == b.final_view && a.trace == b.trace;
+}
+
+ScenarioRunner::ScenarioRunner(Scenario scenario, FittedDetector detector,
+                               std::optional<solvers::CmdpSolution> replication,
+                               Options options)
+    : scenario_(std::move(scenario)), detector_(std::move(detector)),
+      replication_(std::move(replication)), options_(options) {
+  TOL_ENSURE(scenario_.horizon > 0, "horizon must be positive");
+  TOL_ENSURE(scenario_.f >= 1, "tolerance threshold f must be >= 1");
+  TOL_ENSURE(scenario_.initial_nodes >= 2 * scenario_.f + 1,
+             "need N1 >= 2f + 1 for the BFT quorum");
+  TOL_ENSURE(scenario_.max_nodes >= scenario_.initial_nodes,
+             "hardware pool smaller than initial allocation");
+  for (const ScenarioEvent& e : scenario_.events) {
+    TOL_ENSURE(e.step >= 1 && e.step <= scenario_.horizon,
+               "scenario event outside the horizon");
+    TOL_ENSURE(e.count >= 1 && e.duration >= 1, "malformed scenario event");
+  }
+}
+
+ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
+  // --- Environment. ---
+  TestbedConfig tb_config = scenario_.testbed;
+  tb_config.initial_nodes = scenario_.initial_nodes;
+  tb_config.max_nodes = scenario_.max_nodes;
+  Testbed testbed(tb_config, seed);
+
+  // --- Local level: one belief-threshold controller per node. ---
+  const pomdp::NodeModel model(scenario_.node_params);
+  const int dim = solvers::ThresholdPolicy::dimension(solvers::kNoBtr);
+  const solvers::ThresholdPolicy policy(
+      std::vector<double>(static_cast<std::size_t>(dim),
+                          scenario_.recovery_threshold),
+      solvers::kNoBtr);
+  std::vector<core::NodeController> controllers;
+  for (int i = 0; i < testbed.num_nodes(); ++i) {
+    controllers.emplace_back(model, detector_, policy);
+  }
+
+  // --- Global level: CMDP policy under the BFT safety limits. ---
+  core::SystemLimits limits;
+  limits.f = scenario_.f;
+  limits.min_nodes = 2 * scenario_.f + 1;
+  core::SystemController system(replication_, scenario_.max_nodes,
+                                seed ^ 0xabcd, limits);
+
+  // --- Consensus layer: live MinBFT cluster mirroring the testbed. ---
+  consensus::MinBftConfig cfg;
+  cfg.f = scenario_.f;
+  cfg.checkpoint_period = 10;
+  cfg.view_change_timeout = 8.0;
+  cfg.request_retry_timeout = 4.0;
+  net::LinkConfig link;
+  link.loss = 0.0;  // loss resilience is covered by the consensus suite
+  MinBftCluster cluster(scenario_.initial_nodes, cfg, seed ^ 0x5eed, link);
+  consensus::MinBftClient& probe = cluster.add_client();
+  // Stable testbed node id -> consensus replica id.
+  std::map<int, ReplicaId> node_to_replica;
+  {
+    const auto ids = cluster.replica_ids();
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      node_to_replica[testbed.nodes()[static_cast<std::size_t>(i)].id] =
+          ids[static_cast<std::size_t>(i)];
+    }
+  }
+
+  ScenarioResult result;
+  result.min_membership = static_cast<int>(cluster.membership().size());
+  result.max_membership = result.min_membership;
+
+  // T(R) bookkeeping, as in core::Evaluator: per node id, the step the
+  // current compromise started.
+  std::map<int, int> open_compromise;
+  double total_ttr = 0.0;
+  int ttr_samples = 0;
+  long available_cycles = 0;
+  long service_cycles = 0;
+  double node_sum = 0.0;
+
+  const auto close_compromise = [&](int node_id, int now) {
+    const auto it = open_compromise.find(node_id);
+    if (it == open_compromise.end()) return;
+    total_ttr += now - it->second;
+    ++ttr_samples;
+    ++result.compromises;
+    open_compromise.erase(it);
+  };
+
+  int storm_until = 0;
+  double storm_magnitude = 0.0;
+  int spike_until = 0;
+  std::set<int> counted_crashes;  // node ids whose crash was already counted
+
+  for (int t = 1; t <= scenario_.horizon; ++t) {
+    // --- Scripted adversarial events. ---
+    if (t > spike_until && testbed.extra_load() > 0) testbed.set_extra_load(0);
+    for (const ScenarioEvent& e : scenario_.events) {
+      if (e.step != t) continue;
+      switch (e.kind) {
+        case ScenarioEvent::Kind::ForceCompromise: {
+          int remaining = e.count;
+          for (int i = 0; i < testbed.num_nodes() && remaining > 0; ++i) {
+            if (testbed.nodes()[static_cast<std::size_t>(i)].state !=
+                NodeState::Healthy) {
+              continue;
+            }
+            testbed.force_compromise(i, e.behavior);
+            --remaining;
+          }
+          break;
+        }
+        case ScenarioEvent::Kind::ForceCrash: {
+          int remaining = e.count;
+          for (int i = 0; i < testbed.num_nodes() && remaining > 0; ++i) {
+            if (testbed.nodes()[static_cast<std::size_t>(i)].state ==
+                NodeState::Crashed) {
+              continue;
+            }
+            testbed.force_crash(i);
+            --remaining;
+          }
+          break;
+        }
+        case ScenarioEvent::Kind::AlertStorm:
+          storm_until = t + e.duration - 1;
+          storm_magnitude = e.magnitude;
+          break;
+        case ScenarioEvent::Kind::LoadSpike:
+          spike_until = t + e.duration - 1;
+          testbed.set_extra_load(static_cast<int>(e.magnitude));
+          break;
+      }
+    }
+    const bool storm_active = t <= storm_until;
+
+    // --- Environment dynamics + IDS sampling. ---
+    testbed.step();
+
+    // --- Mirror node states onto the consensus layer. ---
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      const EmulatedNode& node = testbed.nodes()[static_cast<std::size_t>(i)];
+      const ReplicaId rid = node_to_replica.at(node.id);
+      if (node.state == NodeState::Crashed) {
+        if (counted_crashes.insert(node.id).second) ++result.crashes;
+        if (cluster.has_replica(rid)) {
+          cluster.crash_replica(rid);  // idempotent host unregistration
+        }
+      } else if (cluster.has_replica(rid)) {
+        cluster.replica(rid).set_mode(mode_for(node));
+      }
+    }
+
+    // --- Track compromises / crashes from the environment. ---
+    for (const EmulatedNode& node : testbed.nodes()) {
+      if (node.state == NodeState::Compromised) {
+        open_compromise.emplace(node.id, node.compromised_since);
+      } else if (open_compromise.count(node.id) > 0) {
+        close_compromise(node.id, t);
+      }
+    }
+
+    // --- Local level: belief updates and recovery arbitration (at most
+    // k = max(1, N - 2f - 1) simultaneous recoveries, Prop. 1). ---
+    const int k_slots =
+        std::max(1, testbed.num_nodes() - 2 * scenario_.f - 1);
+    std::vector<std::pair<double, int>> candidates;
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const EmulatedNode& node = testbed.nodes()[idx];
+      if (node.state == NodeState::Crashed) continue;
+      const double raw = node.last_metrics.alerts_weighted +
+                         (storm_active ? storm_magnitude : 0.0);
+      controllers[idx].observe(raw);
+      if (controllers[idx].decide() == pomdp::NodeAction::Recover) {
+        candidates.push_back(
+            {controllers[idx].btr_due() ? 2.0 : controllers[idx].belief(), i});
+      }
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    if (static_cast<int>(candidates.size()) > k_slots) {
+      candidates.resize(static_cast<std::size_t>(k_slots));
+    }
+    std::vector<bool> granted(static_cast<std::size_t>(testbed.num_nodes()),
+                              false);
+    for (const auto& [priority, i] : candidates) {
+      (void)priority;
+      granted[static_cast<std::size_t>(i)] = true;
+    }
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (testbed.nodes()[idx].state == NodeState::Crashed) continue;
+      controllers[idx].commit(granted[idx] ? pomdp::NodeAction::Recover
+                                           : pomdp::NodeAction::Wait);
+    }
+    std::vector<int> recovered_ids;
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      if (!granted[static_cast<std::size_t>(i)]) continue;
+      const EmulatedNode& node = testbed.nodes()[static_cast<std::size_t>(i)];
+      close_compromise(node.id, t);
+      recovered_ids.push_back(node.id);
+      testbed.recover(i);
+      // Fig. 17d: fresh container, same id, bumped USIG epoch, state
+      // transfer from peers; the fresh replica starts Honest.
+      cluster.recover_replica(node_to_replica.at(node.id));
+      ++result.recoveries;
+    }
+
+    // --- Global level: the CMDP decision, executed through consensus. ---
+    std::vector<double> beliefs;
+    std::vector<bool> reported;
+    for (int i = 0; i < testbed.num_nodes(); ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const bool alive = testbed.nodes()[idx].state != NodeState::Crashed;
+      reported.push_back(alive);
+      beliefs.push_back(alive ? controllers[idx].belief() : 1.0);
+    }
+    const core::SystemDecision decision = system.step(beliefs, reported);
+    result.deferred_evictions += decision.deferred_evictions;
+    std::vector<int> evicted_ids;
+    for (auto it = decision.evict.rbegin(); it != decision.evict.rend();
+         ++it) {
+      const EmulatedNode& node =
+          testbed.nodes()[static_cast<std::size_t>(*it)];
+      const ReplicaId rid = node_to_replica.at(node.id);
+      if (!cluster.try_evict_replica(rid, options_.membership_event_budget)) {
+        ++result.quorum_stalls;  // node stays; re-qualifies next cycle
+        continue;
+      }
+      close_compromise(node.id, t);
+      evicted_ids.push_back(node.id);
+      node_to_replica.erase(node.id);
+      testbed.evict(*it);
+      controllers.erase(controllers.begin() + *it);
+      ++result.evictions;
+    }
+    // Reconcile operations that were ordered after their budget expired:
+    // (a) an evict that timed out but executed later — the id left the
+    // membership while the node/replica objects remain; finalize it so the
+    // testbed and the cluster stay in lockstep;
+    // (b) a rolled-back join that executed later — an id in the membership
+    // with no live replica behind it; evict the ghost.
+    {
+      const auto membership = cluster.membership();
+      const std::set<ReplicaId> member_set(membership.begin(),
+                                           membership.end());
+      for (int i = testbed.num_nodes() - 1; i >= 0; --i) {
+        const int node_id = testbed.nodes()[static_cast<std::size_t>(i)].id;
+        const ReplicaId rid = node_to_replica.at(node_id);
+        if (member_set.count(rid) > 0) continue;
+        close_compromise(node_id, t);
+        evicted_ids.push_back(node_id);
+        cluster.finalize_evict(rid);
+        node_to_replica.erase(node_id);
+        testbed.evict(i);
+        controllers.erase(controllers.begin() + i);
+        ++result.evictions;
+      }
+      std::set<ReplicaId> known;
+      for (const auto& [node_id, rid] : node_to_replica) {
+        (void)node_id;
+        known.insert(rid);
+      }
+      for (const ReplicaId rid : membership) {
+        if (known.count(rid) > 0) continue;
+        if (!cluster.try_evict_replica(rid,
+                                       options_.membership_event_budget)) {
+          ++result.quorum_stalls;
+        }
+      }
+    }
+    int added = 0;
+    if (decision.add_node && testbed.num_nodes() < scenario_.max_nodes) {
+      const auto joined =
+          cluster.try_join_new_replica(options_.membership_event_budget);
+      if (joined.has_value()) {
+        const auto idx = testbed.add_node();
+        TOL_ENSURE(idx.has_value(), "pool capacity checked above");
+        node_to_replica[testbed.nodes()[static_cast<std::size_t>(*idx)].id] =
+            *joined;
+        controllers.emplace_back(model, detector_, policy);
+        ++result.additions;
+        added = 1;
+      } else {
+        ++result.quorum_stalls;
+      }
+    }
+
+    // --- Service probe: one client operation with a one-cycle deadline. ---
+    probe.set_replicas(cluster.membership());
+    bool service_ok = false;
+    std::ostringstream op;
+    op << "probe:" << t;
+    const std::uint64_t rid = probe.submit(
+        op.str(),
+        [&service_ok](std::uint64_t, const std::string&, double) {
+          service_ok = true;
+        });
+    cluster.network().run_until(cluster.network().now() +
+                                options_.cycle_seconds);
+    if (!service_ok) probe.cancel(rid);
+    if (service_ok) ++service_cycles;
+
+    // --- Metrics + trace. ---
+    const int membership_size = static_cast<int>(cluster.membership().size());
+    result.min_membership = std::min(result.min_membership, membership_size);
+    result.max_membership = std::max(result.max_membership, membership_size);
+    node_sum += testbed.num_nodes();
+    const bool available = testbed.failed_count() <= scenario_.f;
+    if (available) ++available_cycles;
+    if (options_.record_trace) {
+      std::ostringstream line;
+      line << "t=" << t << " s=" << decision.state
+           << " N=" << testbed.num_nodes() << " H=" << testbed.healthy_count()
+           << " M=" << membership_size << " svc=" << (service_ok ? 1 : 0)
+           << " rec=" << join_ids(recovered_ids)
+           << " evt=" << join_ids(evicted_ids) << " add=" << added
+           << " defer=" << decision.deferred_evictions
+           << " stall=" << result.quorum_stalls;
+      result.trace.push_back(line.str());
+    }
+  }
+
+  // Unresolved compromises at the horizon count T(R) = horizon (Table 7).
+  for (const auto& [node_id, since] : open_compromise) {
+    (void)node_id;
+    (void)since;
+    total_ttr += scenario_.horizon;
+    ++ttr_samples;
+    ++result.compromises;
+  }
+
+  for (const ReplicaId id : cluster.replica_ids()) {
+    result.final_view = std::max(result.final_view, cluster.replica(id).view());
+  }
+  result.availability =
+      static_cast<double>(available_cycles) / scenario_.horizon;
+  result.service_availability =
+      static_cast<double>(service_cycles) / scenario_.horizon;
+  result.time_to_recovery = ttr_samples > 0 ? total_ttr / ttr_samples : 0.0;
+  result.avg_nodes = node_sum / scenario_.horizon;
+  return result;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_many(
+    const std::vector<std::uint64_t>& seeds, int threads) const {
+  std::vector<ScenarioResult> results(seeds.size());
+  const util::ParallelRunner runner(threads);
+  runner.for_each(static_cast<std::int64_t>(seeds.size()),
+                  [&](std::int64_t i) {
+                    const auto idx = static_cast<std::size_t>(i);
+                    results[idx] = run(seeds[idx]);
+                  });
+  return results;
+}
+
+ScenarioRunner make_scenario_runner(const Scenario& scenario,
+                                    std::uint64_t seed, int detector_samples,
+                                    ScenarioRunner::Options options) {
+  Rng rng(seed);
+  FittedDetector detector = fit_pooled_detector(
+      detector_samples, 11, scenario.testbed.background_arrival_rate *
+                                scenario.testbed.background_mean_session,
+      rng);
+  // The system CMDP over the hardware pool: survival/recovery rates follow
+  // from the node kernel (the parametric route of §V-B; the estimated route
+  // is exercised by bench_fig16).
+  const auto& p = scenario.node_params;
+  const double q_healthy =
+      (1.0 - p.p_attack) * (1.0 - p.p_crash_healthy);
+  const double q_recover = p.p_update + scenario.recovery_threshold * 0.2;
+  const auto cmdp = pomdp::SystemCmdp::parametric(
+      scenario.max_nodes, scenario.f, scenario.epsilon_a, q_healthy,
+      std::min(q_recover, 0.95));
+  auto replication = solvers::solve_replication_lp(cmdp);
+  std::optional<solvers::CmdpSolution> strategy;
+  if (replication.status == lp::LpStatus::Optimal) {
+    strategy = std::move(replication);
+  }
+  return ScenarioRunner(scenario, std::move(detector), std::move(strategy),
+                        options);
+}
+
+}  // namespace tolerance::emulation

@@ -34,9 +34,10 @@ void Testbed::step() {
   ++time_;
   background_.step(rng_);
   const double load_per_node =
-      nodes_.empty() ? 0.0
-                     : static_cast<double>(background_.load()) /
-                           static_cast<double>(nodes_.size());
+      nodes_.empty()
+          ? 0.0
+          : static_cast<double>(background_.load() + extra_load_) /
+                static_cast<double>(nodes_.size());
 
   // --- Attacker: engage a new target or advance the current intrusion. ---
   if (!attacker_.target().has_value()) {
@@ -145,6 +146,38 @@ std::optional<int> Testbed::add_node() {
   if (num_nodes() >= config_.max_nodes) return std::nullopt;
   nodes_.push_back(make_node());
   return num_nodes() - 1;
+}
+
+void Testbed::force_compromise(int node_index, CompromisedBehavior behavior) {
+  TOL_ENSURE(node_index >= 0 && node_index < num_nodes(),
+             "node index out of range");
+  auto& node = nodes_[static_cast<std::size_t>(node_index)];
+  TOL_ENSURE(node.state != NodeState::Crashed,
+             "cannot compromise a crashed node");
+  attacker_.abort(node_index);
+  node.state = NodeState::Compromised;
+  node.behavior = behavior;
+  node.under_attack = false;
+  // Scripted events are applied between steps; the compromise takes effect
+  // in the upcoming time-step, matching the stamp a stochastic compromise
+  // gets inside step() (keeps T(R) comparable between the two).
+  node.compromised_since = time_ + 1;
+}
+
+void Testbed::force_crash(int node_index) {
+  TOL_ENSURE(node_index >= 0 && node_index < num_nodes(),
+             "node index out of range");
+  auto& node = nodes_[static_cast<std::size_t>(node_index)];
+  attacker_.abort(node_index);
+  node.state = NodeState::Crashed;
+  node.under_attack = false;
+  node.compromised_since = -1;
+  node.last_metrics = MetricSample{};  // crashed nodes are dark
+}
+
+void Testbed::set_extra_load(int sessions) {
+  TOL_ENSURE(sessions >= 0, "extra load must be non-negative");
+  extra_load_ = sessions;
 }
 
 int Testbed::healthy_count() const {

@@ -18,6 +18,17 @@ int CmdpSolution::act(int s, Rng& rng) const {
   return rng.bernoulli(add_probability[static_cast<std::size_t>(s)]) ? 1 : 0;
 }
 
+double CmdpSolution::add_probability_at(int s) const {
+  TOL_ENSURE(!add_probability.empty(), "solution has no policy");
+  const int hi = static_cast<int>(add_probability.size()) - 1;
+  const int clamped = std::min(std::max(s, 0), hi);
+  return add_probability[static_cast<std::size_t>(clamped)];
+}
+
+int CmdpSolution::act_clamped(int s, Rng& rng) const {
+  return rng.bernoulli(add_probability_at(s)) ? 1 : 0;
+}
+
 CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
                                   lp::SimplexSolver::Options lp_options) {
   const int n = cmdp.num_states();

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "tolerance/core/tolerance_system.hpp"
+#include "tolerance/emulation/scenario_runner.hpp"
 #include "tolerance/pomdp/node_simulator.hpp"
 #include "tolerance/solvers/threshold_policy.hpp"
 #include "tolerance/stats/summary.hpp"
@@ -344,6 +345,40 @@ TEST(RunManyParallel, ReduceOfEmptyVectorIsZero) {
   EXPECT_EQ(agg.steps, 0);
 }
 
+TEST(RunManyParallel, ExceptionInsideAnEpisodePropagates) {
+  const pomdp::NodeModel model(test_params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  const pomdp::NodeSimulator sim(model, obs);
+  // A policy that blows up mid-episode: the exception must surface at the
+  // run_many call site, not kill a worker thread.
+  const pomdp::NodePolicy faulty = [](double, int t) -> pomdp::NodeAction {
+    if (t == 7) throw std::runtime_error("ids backend died");
+    return pomdp::NodeAction::Wait;
+  };
+  Rng rng(3);
+  EXPECT_THROW(sim.run_many(faulty, 50, 16, rng, 4), std::runtime_error);
+  // The engine stays usable after the failed sweep.
+  const auto policy = solvers::ThresholdPolicy::constant(0.76).as_policy();
+  Rng rng2(3);
+  const auto stats = sim.run_many(policy, 50, 8, rng2, 4);
+  EXPECT_EQ(stats.steps, 50 * 8);
+}
+
+TEST(RunManyParallel, MoreThreadsThanEpisodesMatchesSerial) {
+  const pomdp::NodeModel model(test_params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  const pomdp::NodeSimulator sim(model, obs);
+  const auto policy = solvers::ThresholdPolicy::constant(0.76).as_policy();
+  Rng rng1(29);
+  const auto serial = sim.run_many(policy, 100, 3, rng1, /*threads=*/1);
+  Rng rng2(29);
+  const auto oversub = sim.run_many(policy, 100, 3, rng2, /*threads=*/16);
+  EXPECT_EQ(serial.avg_cost, oversub.avg_cost);
+  EXPECT_EQ(serial.availability, oversub.availability);
+  EXPECT_EQ(serial.num_recoveries, oversub.num_recoveries);
+  EXPECT_EQ(serial.steps, oversub.steps);
+}
+
 // ---------------------------------------------------------------------------
 // Evaluator::run_many — the emulation trace runner
 // ---------------------------------------------------------------------------
@@ -373,6 +408,70 @@ TEST(EvaluatorParallel, RunManyMatchesSerialRuns) {
     EXPECT_EQ(parallel[i].recovery_frequency, serial.recovery_frequency) << i;
     EXPECT_EQ(parallel[i].recoveries, serial.recoveries) << i;
     EXPECT_EQ(parallel[i].compromises, serial.compromises) << i;
+  }
+}
+
+TEST(EvaluatorParallel, ExceptionInsideATracePropagates) {
+  // initial_nodes exceeding the hardware pool passes the Evaluator's own
+  // construction checks but makes the per-episode Testbed constructor throw
+  // inside the worker: run_many must rethrow at the call site.
+  core::EvaluationConfig config;
+  config.strategy = core::StrategyKind::NoRecovery;
+  config.initial_nodes = 3;
+  config.max_nodes = 2;  // pool smaller than N1
+  config.horizon = 50;
+  config.node_params = test_params();
+  Rng fit_rng(3);
+  const auto detector = emulation::fit_pooled_detector(20, 11, 80.0, fit_rng);
+  const core::Evaluator evaluator(config, detector, std::nullopt);
+  EXPECT_THROW(evaluator.run_many({1, 2, 3, 4}, 4), std::invalid_argument);
+}
+
+TEST(EvaluatorParallel, MoreThreadsThanTracesMatchesSerial) {
+  core::EvaluationConfig config;
+  config.strategy = core::StrategyKind::Tolerance;
+  config.initial_nodes = 3;
+  config.horizon = 60;
+  config.node_params = test_params();
+  Rng fit_rng(3);
+  const auto detector = emulation::fit_pooled_detector(20, 11, 80.0, fit_rng);
+  const core::Evaluator evaluator(config, detector, std::nullopt);
+  const std::vector<std::uint64_t> seeds{5, 6};
+  const auto serial = evaluator.run_many(seeds, 1);
+  const auto oversub = evaluator.run_many(seeds, 16);
+  ASSERT_EQ(serial.size(), oversub.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(serial[i].availability, oversub[i].availability) << i;
+    EXPECT_EQ(serial[i].recoveries, oversub[i].recoveries) << i;
+    EXPECT_EQ(serial[i].avg_nodes, oversub[i].avg_nodes) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioRunner::run_many — the closed-loop scenario engine (TSan lane)
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioParallel, EpisodesAreBitIdenticalAcrossThreadCounts) {
+  const auto runner = emulation::make_scenario_runner(
+      emulation::find_scenario("golden-small"), 42);
+  const std::vector<std::uint64_t> seeds{1, 2, 3, 4};
+  const auto serial = runner.run_many(seeds, 1);
+  const auto parallel = runner.run_many(seeds, 4);
+  ASSERT_EQ(serial.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(emulation::identical(serial[i], parallel[i])) << i;
+  }
+}
+
+TEST(ScenarioParallel, MoreThreadsThanEpisodesMatchesSerial) {
+  const auto runner = emulation::make_scenario_runner(
+      emulation::find_scenario("baseline-intrusion"), 42);
+  const std::vector<std::uint64_t> seeds{11, 12};
+  const auto serial = runner.run_many(seeds, 1);
+  const auto oversub = runner.run_many(seeds, 16);
+  ASSERT_EQ(serial.size(), oversub.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_TRUE(emulation::identical(serial[i], oversub[i])) << i;
   }
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/core/node_controller.hpp"
+#include "tolerance/core/system_controller.hpp"
 #include "tolerance/markov/chain.hpp"
 #include "tolerance/pomdp/assumptions.hpp"
 #include "tolerance/pomdp/belief.hpp"
@@ -357,6 +359,117 @@ TEST_P(RandomizedSeed, ThresholdPolicyMonotoneInBelief) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedSeed,
                          ::testing::Values(1u, 17u, 4242u, 99991u));
+
+// ---------------------------------------------------------------------------
+// System-controller invariants under randomized churn (the clamps the
+// scenario harness relies on to keep the BFT quorum intact)
+// ---------------------------------------------------------------------------
+
+class ChurnSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChurnSeed, RandomChurnNeverEvictsMoreThanFPerCycleNorBelowFloor) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int f = rng.uniform_int(1, 3);
+    const int floor = 2 * f + 1;
+    const int max_nodes = floor + rng.uniform_int(2, 8);
+    int n = rng.uniform_int(floor, max_nodes);
+    core::SystemLimits limits;
+    limits.f = f;
+    limits.min_nodes = floor;
+    core::SystemController controller(std::nullopt, max_nodes,
+                                      GetParam() ^ static_cast<std::uint64_t>(trial),
+                                      limits);
+    for (int cycle = 0; cycle < 50; ++cycle) {
+      std::vector<double> beliefs;
+      std::vector<bool> reported;
+      for (int i = 0; i < n; ++i) {
+        const bool alive = rng.bernoulli(0.7);
+        reported.push_back(alive);
+        beliefs.push_back(alive ? rng.uniform() : 1.0);
+      }
+      const auto decision = controller.step(beliefs, reported);
+      // Invariant 1: at most f evictions per cycle.
+      EXPECT_LE(decision.evict.size(), static_cast<std::size_t>(f))
+          << "f=" << f << " cycle=" << cycle;
+      // Invariant 2: the membership never drops below 2f + 1, and every
+      // eviction targets a node that actually failed to report.
+      for (const int idx : decision.evict) {
+        ASSERT_GE(idx, 0);
+        ASSERT_LT(idx, n);
+        EXPECT_FALSE(reported[static_cast<std::size_t>(idx)]);
+      }
+      n -= static_cast<int>(decision.evict.size());
+      EXPECT_GE(n, floor) << "f=" << f << " cycle=" << cycle;
+      // Deferred evictions are exactly the unreported remainder.
+      int silent = 0;
+      for (const bool r : reported) silent += r ? 0 : 1;
+      EXPECT_EQ(decision.deferred_evictions,
+                silent - static_cast<int>(decision.evict.size()));
+      if (decision.add_node && n < max_nodes) ++n;
+    }
+  }
+}
+
+TEST_P(ChurnSeed, BeliefsStayNormalizedThroughMembershipChanges) {
+  Rng rng(GetParam());
+  const pomdp::NodeParams params = random_node_params(rng);
+  const pomdp::NodeModel model(params);
+  Rng fit_rng(GetParam() ^ 0xfee1);
+  const auto detector = emulation::fit_pooled_detector(20, 11, 80.0, fit_rng);
+  const auto policy = solvers::ThresholdPolicy::constant(0.76);
+  std::vector<core::NodeController> controllers;
+  for (int i = 0; i < 5; ++i) controllers.emplace_back(model, detector, policy);
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    // Random membership churn: evictions erase controllers mid-vector,
+    // additions append fresh ones — exactly what the scenario loop does.
+    if (controllers.size() > 3 && rng.bernoulli(0.2)) {
+      controllers.erase(controllers.begin() +
+                        rng.uniform_int(static_cast<int>(controllers.size())));
+    }
+    if (controllers.size() < 9 && rng.bernoulli(0.2)) {
+      controllers.emplace_back(model, detector, policy);
+      // A fresh node starts at the initial distribution b_1 = pA.
+      EXPECT_DOUBLE_EQ(controllers.back().belief(), params.p_attack);
+    }
+    for (auto& controller : controllers) {
+      const double belief = controller.observe(rng.uniform(0.0, 3000.0));
+      EXPECT_TRUE(std::isfinite(belief));
+      EXPECT_GE(belief, 0.0);
+      EXPECT_LE(belief, 1.0);
+      controller.commit(rng.bernoulli(0.1) ? pomdp::NodeAction::Recover
+                                           : pomdp::NodeAction::Wait);
+      EXPECT_GE(controller.belief(), 0.0);
+      EXPECT_LE(controller.belief(), 1.0);
+    }
+  }
+}
+
+TEST_P(ChurnSeed, RecoveryResetsBeliefToTheInitialState) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const pomdp::NodeParams params = random_node_params(rng);
+    const pomdp::NodeModel model(params);
+    Rng fit_rng(GetParam() ^ static_cast<std::uint64_t>(trial));
+    const auto detector =
+        emulation::fit_pooled_detector(20, 11, 80.0, fit_rng);
+    core::NodeController controller(
+        model, detector, solvers::ThresholdPolicy::constant(0.76));
+    // Feed heavy alert volumes, then recover: the belief must return to the
+    // fresh-node prior b_1 = pA regardless of how high it climbed.
+    for (int step = 0; step < 10; ++step) {
+      controller.observe(rng.uniform(2000.0, 6000.0));
+      controller.commit(pomdp::NodeAction::Wait);
+    }
+    controller.commit(pomdp::NodeAction::Recover);
+    EXPECT_DOUBLE_EQ(controller.belief(), params.p_attack) << "trial " << trial;
+    controller.reset();  // the global-level replacement path
+    EXPECT_DOUBLE_EQ(controller.belief(), params.p_attack) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSeed,
+                         ::testing::Values(3u, 71u, 5555u));
 
 }  // namespace
 }  // namespace tolerance
