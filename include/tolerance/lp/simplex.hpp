@@ -1,8 +1,25 @@
-// Two-phase primal simplex over a dense tableau.
+// Linear-program solvers for the occupancy-measure LP of Algorithm 2.
 //
-// Exact (up to floating point) LP solutions are all Algorithm 2 needs; the
-// solver uses Dantzig pricing with an automatic switch to Bland's rule when
-// degeneracy stalls progress, which guarantees termination.
+// Two interchangeable cores sit behind SimplexSolver:
+//
+//  * A sparse revised simplex (the default): constraint columns are stored
+//    sparsely (CSC), the basis inverse is maintained as an eta-file
+//    (product-form) factorization that is periodically recomputed by a
+//    partial-pivoted Gauss-Jordan reinversion, and entering columns are
+//    priced with a rotating partial-pricing window so an iteration never
+//    touches the whole constraint matrix.  The solver accepts a caller
+//    supplied starting basis (warm start): a basis that is still primal
+//    feasible skips phase 1 entirely, and a basis that lost primal
+//    feasibility to a right-hand-side change (an epsilon_A sweep, a
+//    re-estimated kernel) but kept dual feasibility is repaired with a few
+//    dual-simplex pivots instead of a from-scratch solve.
+//
+//  * The original dense two-phase tableau (Options::dense_fallback), kept
+//    for differential testing and as a belt-and-braces fallback.
+//
+// Both cores are exact (up to floating point) and use Dantzig pricing with
+// an automatic switch to Bland's rule when degeneracy stalls progress, which
+// guarantees termination.
 #pragma once
 
 #include <vector>
@@ -13,11 +30,38 @@ namespace tolerance::lp {
 
 enum class LpStatus { Optimal, Infeasible, Unbounded, IterationLimit };
 
+/// How a warm-start request was resolved (LpSolution::warm_start).
+enum class WarmStart {
+  None,         ///< cold solve (no basis supplied)
+  PrimalReuse,  ///< supplied basis was primal feasible: phase 1 skipped
+  DualRepair,   ///< basis repaired with dual-simplex pivots, then reused
+  Rejected,     ///< basis unusable (singular / shape mismatch): cold solve
+};
+
+/// A basis snapshot in a shape-stable column indexing, so a basis taken from
+/// one LP can seed the solve of another LP with the same shape (same
+/// variable count, same constraint count/relations — e.g. the same CMDP at a
+/// different epsilon_A or with a re-estimated kernel).
+///
+/// Column encoding: j in [0, num_vars) is the j-th structural variable;
+/// num_vars + i is the auxiliary column of constraint i (slack for LessEq,
+/// surplus for GreaterEq, artificial for Eq); num_vars + m + i is the
+/// phase-1 artificial of GreaterEq constraint i.  Relations are the ones
+/// after rhs-sign normalization, which both solver cores apply identically.
+struct SimplexBasis {
+  std::vector<int> basic;  ///< basic column per constraint row
+  bool empty() const { return basic.empty(); }
+};
+
 struct LpSolution {
   LpStatus status = LpStatus::IterationLimit;
   std::vector<double> x;      ///< primal values for the original variables
   double objective = 0.0;     ///< c^T x at the solution
-  long iterations = 0;        ///< total pivots across both phases
+  long iterations = 0;        ///< total pivots across all phases
+  /// Optimal basis (populated when status == Optimal); feed back into
+  /// solve() to warm start a related LP.
+  SimplexBasis basis;
+  WarmStart warm_start = WarmStart::None;
 };
 
 class SimplexSolver {
@@ -25,14 +69,38 @@ class SimplexSolver {
   struct Options {
     long max_iterations = 200000;
     double eps = 1e-9;  ///< pivot / feasibility tolerance
+    /// Consecutive degenerate pivots before switching from Dantzig pricing
+    /// to Bland's anti-cycling rule.
+    long bland_stall_threshold = 2000;
+    /// Route to the legacy dense two-phase tableau (for differential
+    /// testing).  The dense core ignores warm-start bases but still exports
+    /// the optimal basis in the shape-stable encoding.
+    bool dense_fallback = false;
+    /// Partial-pricing window: number of eligible columns scanned per
+    /// iteration before the best candidate is taken (revised core only).
+    int price_window = 192;
+    /// Revised core: pivots between eta-file reinversions.
+    int refactor_interval = 96;
+    /// Max dual-simplex pivots spent repairing a warm basis before falling
+    /// back to a cold solve.
+    int dual_repair_limit = 400;
   };
 
   SimplexSolver() : options_() {}
   explicit SimplexSolver(Options options) : options_(options) {}
 
   LpSolution solve(const LinearProgram& lp) const;
+  /// Solve with a warm-start basis (see SimplexBasis).  An empty or
+  /// unusable basis degrades gracefully to a cold solve.
+  LpSolution solve(const LinearProgram& lp, const SimplexBasis& warm) const;
+
+  const Options& options() const { return options_; }
 
  private:
+  LpSolution solve_dense(const LinearProgram& lp) const;
+  LpSolution solve_revised(const LinearProgram& lp,
+                           const SimplexBasis* warm) const;
+
   Options options_;
 };
 

@@ -32,6 +32,12 @@ struct CmdpSolution {
   double average_cost = 0.0;    ///< E[s] under the stationary distribution
   double availability = 0.0;    ///< P[s >= f+1] under the stationary distribution
   long lp_iterations = 0;
+  /// Optimal LP basis — feed back into solve_replication_lp to warm start
+  /// the next solve (an epsilon_A sweep, a re-estimated kernel, the
+  /// periodic re-solve of a control loop).
+  lp::SimplexBasis basis;
+  /// How the solver used the supplied (or self-crashed) starting basis.
+  lp::WarmStart warm_start = lp::WarmStart::None;
 
   // Threshold-mixture decomposition (Thm. 2): pi = kappa*pi_{beta1} +
   // (1-kappa)*pi_{beta2} with beta1 <= beta2.
@@ -53,8 +59,16 @@ struct CmdpSolution {
 };
 
 /// Solve Prob. 2 exactly (Algorithm 2).
+///
+/// `warm` (optional) seeds the simplex with a basis from a previous solve of
+/// a same-shaped CMDP (same smax; epsilon_A / kernel may differ) — see
+/// CmdpSolution::basis.  Without a caller basis the solver crashes its own
+/// start from the always-add policy: the stationary support of a
+/// deterministic policy is a known feasible vertex of the occupancy
+/// polytope, so the solve usually skips simplex phase 1 outright.
 CmdpSolution solve_replication_lp(
     const pomdp::SystemCmdp& cmdp,
-    lp::SimplexSolver::Options lp_options = {});
+    lp::SimplexSolver::Options lp_options = {},
+    const lp::SimplexBasis* warm = nullptr);
 
 }  // namespace tolerance::solvers

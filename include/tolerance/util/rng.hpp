@@ -58,19 +58,17 @@ class Rng {
     return std::exponential_distribution<double>(rate)(engine_);
   }
 
-  /// Chunked Knuth Poisson sampler, implemented in-library because the
-  /// libstdc++ std::poisson_distribution setup calls lgamma, which writes
-  /// the global `signgam` — a data race across parallel episode workers.
-  /// Exact: Poisson(a + b) = Poisson(a) + Poisson(b), and each chunk's mean
-  /// keeps exp(-mean) far from double underflow.  O(mean) uniform draws.
+  /// Poisson sampler, implemented in-library because the libstdc++
+  /// std::poisson_distribution setup calls lgamma, which writes the global
+  /// `signgam` — a data race across parallel episode workers.  Small means
+  /// use the exact Knuth product sampler (O(mean) uniform draws); means
+  /// above 10 use the PTRS transformed-rejection sampler [Hörmann 1993]
+  /// built on the reentrant stats::log_gamma — O(1) expected draws, which
+  /// is what keeps large IDS alert-intensity sweeps cheap.
   int poisson(double mean) {
     TOL_ENSURE(mean >= 0.0, "poisson mean must be non-negative");
-    int count = 0;
-    while (mean > 30.0) {
-      count += poisson_knuth(30.0);
-      mean -= 30.0;
-    }
-    return count + poisson_knuth(mean);
+    if (mean > 10.0) return poisson_ptrs(mean);
+    return poisson_knuth(mean);
   }
 
   /// Sum of n Bernoulli(p) draws — in-library for the same signgam reason
@@ -144,6 +142,10 @@ class Rng {
     }
     return k;
   }
+
+  /// PTRS rejection sampler for mean > 10 (defined in rng.cpp; it needs
+  /// stats::log_gamma, which this header must not pull in).
+  int poisson_ptrs(double mean);
 
   engine_type engine_;
 };

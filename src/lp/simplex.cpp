@@ -1,3 +1,9 @@
+// SimplexSolver dispatch + the legacy dense two-phase tableau core.
+//
+// The dense core is kept behind Options::dense_fallback for differential
+// testing against the sparse revised simplex (revised_simplex.cpp).  It
+// exports its optimal basis in the same shape-stable encoding, so a dense
+// solve can seed a warm-started revised solve.
 #include "tolerance/lp/simplex.hpp"
 
 #include <algorithm>
@@ -12,10 +18,11 @@ namespace {
 // Dense tableau with rows = constraints, plus one cost row.  Column layout:
 // [original vars | slack/surplus | artificials | rhs].
 struct Tableau {
-  std::size_t rows = 0;   // number of constraints
-  std::size_t cols = 0;   // total columns including rhs
-  std::vector<double> t;  // (rows + 1) x cols, cost row last
-  std::vector<int> basis; // basis variable per row
+  std::size_t rows = 0;    // number of constraints
+  std::size_t cols = 0;    // total columns including rhs
+  std::size_t active = 0;  // pivots update columns [0, active) + rhs only
+  std::vector<double> t;   // (rows + 1) x cols, cost row last
+  std::vector<int> basis;  // basis variable per row
 
   double& at(std::size_t r, std::size_t c) { return t[r * cols + c]; }
   double at(std::size_t r, std::size_t c) const { return t[r * cols + c]; }
@@ -24,17 +31,22 @@ struct Tableau {
   std::size_t cost_row() const { return rows; }
   std::size_t rhs_col() const { return cols - 1; }
 
+  // Once phase 1 retires the artificial block, `active` shrinks so pivots
+  // stop sweeping those dead columns (they are never read again: phase-2
+  // pricing, ratio tests and extraction all stay below `active`).
   void pivot(std::size_t prow, std::size_t pcol) {
     double* pr = row(prow);
     const double inv = 1.0 / pr[pcol];
-    for (std::size_t c = 0; c < cols; ++c) pr[c] *= inv;
+    for (std::size_t c = 0; c < active; ++c) pr[c] *= inv;
+    pr[rhs_col()] *= inv;
     pr[pcol] = 1.0;  // kill round-off on the pivot element
     for (std::size_t r = 0; r <= rows; ++r) {
       if (r == prow) continue;
       double* rr = row(r);
       const double factor = rr[pcol];
       if (factor == 0.0) continue;
-      for (std::size_t c = 0; c < cols; ++c) rr[c] -= factor * pr[c];
+      for (std::size_t c = 0; c < active; ++c) rr[c] -= factor * pr[c];
+      rr[rhs_col()] -= factor * pr[rhs_col()];
       rr[pcol] = 0.0;
     }
     basis[prow] = static_cast<int>(pcol);
@@ -44,6 +56,18 @@ struct Tableau {
 }  // namespace
 
 LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
+  return options_.dense_fallback ? solve_dense(lp)
+                                 : solve_revised(lp, nullptr);
+}
+
+LpSolution SimplexSolver::solve(const LinearProgram& lp,
+                                const SimplexBasis& warm) const {
+  // The dense core has no warm-start path; it silently solves cold.
+  return options_.dense_fallback ? solve_dense(lp)
+                                 : solve_revised(lp, &warm);
+}
+
+LpSolution SimplexSolver::solve_dense(const LinearProgram& lp) const {
   TOL_ENSURE(lp.num_vars > 0, "LP must have at least one variable");
   TOL_ENSURE(static_cast<int>(lp.objective.size()) == lp.num_vars,
              "objective size mismatch");
@@ -73,6 +97,7 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
   Tableau tab;
   tab.rows = m;
   tab.cols = n + num_slack + num_artificial + 1;
+  tab.active = tab.cols - 1;
   tab.t.assign((m + 1) * tab.cols, 0.0);
   tab.basis.assign(m, -1);
 
@@ -80,6 +105,9 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
   const std::size_t art_base = n + num_slack;
   std::size_t next_slack = 0;
   std::size_t next_art = 0;
+  // Internal (packed) auxiliary column -> constraint row, for the
+  // shape-stable basis export.
+  std::vector<std::size_t> col_row(tab.cols, 0);
 
   for (std::size_t i = 0; i < m; ++i) {
     const auto& con = lp.constraints[i];
@@ -93,20 +121,24 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
       case Relation::LessEq: {
         const std::size_t sc = slack_base + next_slack++;
         r[sc] = 1.0;
+        col_row[sc] = i;
         tab.basis[i] = static_cast<int>(sc);
         break;
       }
       case Relation::GreaterEq: {
         const std::size_t sc = slack_base + next_slack++;
         r[sc] = -1.0;  // surplus
+        col_row[sc] = i;
         const std::size_t ac = art_base + next_art++;
         r[ac] = 1.0;
+        col_row[ac] = i;
         tab.basis[i] = static_cast<int>(ac);
         break;
       }
       case Relation::Eq: {
         const std::size_t ac = art_base + next_art++;
         r[ac] = 1.0;
+        col_row[ac] = i;
         tab.basis[i] = static_cast<int>(ac);
         break;
       }
@@ -125,7 +157,7 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
       const double* cost = tab.row(tab.cost_row());
       // Entering column: Dantzig rule, or Bland's rule when stalling.
       std::size_t enter = num_cols_active;
-      const bool bland = stall > 2000;
+      const bool bland = stall > options_.bland_stall_threshold;
       double best = -eps;
       for (std::size_t c = 0; c < num_cols_active; ++c) {
         if (cost[c] < -eps) {
@@ -192,6 +224,11 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
       sol.iterations = iterations;
       return sol;
     }
+    // The artificial block is dead from here on: phase-2 pricing stays
+    // below art_base, so shrink the pivots' active width instead of
+    // zeroing the columns (the old code paid O(m * num_artificial) per
+    // phase-2 pivot re-sweeping them).
+    tab.active = art_base;
     // Drive remaining artificials out of the basis where possible.
     for (std::size_t r = 0; r < m; ++r) {
       if (tab.basis[r] >= static_cast<int>(art_base)) {
@@ -209,12 +246,6 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
         // Otherwise the row is redundant; the artificial stays basic at 0.
       }
     }
-    // Disable artificial columns for phase 2.
-    for (std::size_t r = 0; r <= m; ++r) {
-      for (std::size_t c = art_base; c < art_base + num_artificial; ++c) {
-        tab.at(r, c) = 0.0;
-      }
-    }
   }
 
   // Phase 2: restore the real objective expressed in the current basis.
@@ -228,7 +259,8 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
         const double cb = lp.objective[static_cast<std::size_t>(b)];
         if (cb == 0.0) continue;
         const double* rr = tab.row(r);
-        for (std::size_t c = 0; c < tab.cols; ++c) cost[c] -= cb * rr[c];
+        for (std::size_t c = 0; c < tab.active; ++c) cost[c] -= cb * rr[c];
+        cost[tab.rhs_col()] -= cb * rr[tab.rhs_col()];
       }
     }
     const LpStatus st = run_simplex(art_base);  // artificials excluded
@@ -246,6 +278,22 @@ LpSolution SimplexSolver::solve(const LinearProgram& lp) const {
   }
   sol.objective = 0.0;
   for (std::size_t c = 0; c < n; ++c) sol.objective += lp.objective[c] * sol.x[c];
+  // Export the basis in the shape-stable encoding shared with the revised
+  // core: structural as-is, slack/surplus -> n + row, artificial -> n + row
+  // for Eq rows (their only auxiliary) or n + 2m... see SimplexBasis.
+  sol.basis.basic.resize(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    const auto b = static_cast<std::size_t>(tab.basis[r]);
+    if (b < n) {
+      sol.basis.basic[r] = static_cast<int>(b);
+    } else if (b < art_base) {
+      sol.basis.basic[r] = static_cast<int>(n + col_row[b]);
+    } else {
+      const std::size_t row = col_row[b];
+      sol.basis.basic[r] = static_cast<int>(
+          rel[row] == Relation::Eq ? n + row : n + m + row);
+    }
+  }
   return sol;
 }
 

@@ -30,13 +30,40 @@ int CmdpSolution::act_clamped(int s, Rng& rng) const {
 }
 
 CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
-                                  lp::SimplexSolver::Options lp_options) {
+                                  lp::SimplexSolver::Options lp_options,
+                                  const lp::SimplexBasis* warm) {
   const int n = cmdp.num_states();
-  // Variable layout: rho(s, a) at index 2*s + a.
-  lp::LinearProgram program(2 * n);
+  // Variable layout: rho(s, a) at index 2*s + a, plus one aggregate z at
+  // index 2n (see below).
+  //
+  // The raw flow-balance columns are dense: every kernel row carries a
+  // small uniform floor (the `mix` mass of the parametric kernel, the
+  // Laplace smoothing of the estimated one), so f(s | s', a) is nonzero for
+  // every s.  Split each kernel row into that floor plus a sparse "bump":
+  //   f(s | s', a) = bump(s | s', a) + u(s', a),   u(s', a) = min_s f(...),
+  // and aggregate the floor through a single auxiliary variable
+  //   z = sum_{s',a} u(s', a) rho(s', a)   (one defining Eq row),
+  // so each flow row reads
+  //   sum_a rho(s,a) - sum_{s',a} bump(s|s',a) rho(s',a) - z = 0.
+  // This is an exact reformulation (any row-constant split is), but the
+  // occupancy columns now hold only their bump entries, which is what makes
+  // the sparse revised simplex pay off.  Bump entries below kDropTol —
+  // far beneath the solver's own feasibility tolerances — are dropped.
+  constexpr double kDropTol = 1e-12;
+  const int z_var = 2 * n;
+  lp::LinearProgram program(2 * n + 1);
   for (int s = 0; s < n; ++s) {
     for (int a = 0; a < 2; ++a) {
       program.objective[static_cast<std::size_t>(2 * s + a)] = cmdp.cost(s);
+    }
+  }
+  program.objective[static_cast<std::size_t>(z_var)] = 0.0;
+  std::vector<std::array<double, 2>> floor_u(static_cast<std::size_t>(n));
+  for (int sp = 0; sp < n; ++sp) {
+    for (int a = 0; a < 2; ++a) {
+      double lo = cmdp.trans(sp, a, 0);
+      for (int s = 1; s < n; ++s) lo = std::min(lo, cmdp.trans(sp, a, s));
+      floor_u[static_cast<std::size_t>(sp)][static_cast<std::size_t>(a)] = lo;
     }
   }
   // Normalization (14c).
@@ -46,9 +73,9 @@ CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
     for (int j = 0; j < 2 * n; ++j) terms.push_back({j, 1.0});
     program.add_constraint(std::move(terms), lp::Relation::Eq, 1.0);
   }
-  // Flow balance (14d): sum_a rho(s,a) - sum_{s',a} rho(s',a) f(s|s',a) = 0.
-  // One of these rows is linearly dependent given (14c); the two-phase
-  // simplex handles the redundancy.
+  // Flow balance (14d): sum_a rho(s,a) - sum_{s',a} rho(s',a) f(s|s',a) = 0,
+  // with f split as above.  One of these rows is linearly dependent given
+  // (14c); the two-phase simplex handles the redundancy.
   for (int s = 0; s < n; ++s) {
     std::vector<std::pair<int, double>> terms;
     for (int a = 0; a < 2; ++a) {
@@ -56,13 +83,16 @@ CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
     }
     for (int sp = 0; sp < n; ++sp) {
       for (int a = 0; a < 2; ++a) {
-        const double f = cmdp.trans(sp, a, s);
-        if (f != 0.0) {
+        const double bump =
+            cmdp.trans(sp, a, s) -
+            floor_u[static_cast<std::size_t>(sp)][static_cast<std::size_t>(a)];
+        if (bump > kDropTol) {
           // Merge with the diagonal term if sp == s.
-          terms.push_back({2 * sp + a, -f});
+          terms.push_back({2 * sp + a, -bump});
         }
       }
     }
+    terms.push_back({z_var, -1.0});
     program.add_constraint(std::move(terms), lp::Relation::Eq, 0.0);
   }
   // Availability (14e).
@@ -75,13 +105,45 @@ CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
     program.add_constraint(std::move(terms), lp::Relation::GreaterEq,
                            cmdp.epsilon_a());
   }
+  // Defining row of the floor aggregate z.
+  {
+    std::vector<std::pair<int, double>> terms;
+    for (int sp = 0; sp < n; ++sp) {
+      for (int a = 0; a < 2; ++a) {
+        const double u =
+            floor_u[static_cast<std::size_t>(sp)][static_cast<std::size_t>(a)];
+        if (u > 0.0) terms.push_back({2 * sp + a, u});
+      }
+    }
+    terms.push_back({z_var, -1.0});
+    program.add_constraint(std::move(terms), lp::Relation::Eq, 0.0);
+  }
 
   const lp::SimplexSolver solver(lp_options);
-  const lp::LpSolution lp_solution = solver.solve(program);
+  // Starting basis: the caller's warm basis if given, else a policy crash
+  // basis — the occupancy columns rho(s, 1) of the always-add policy (one
+  // per state), the availability surplus, and a zero artificial parking the
+  // one redundant flow row (flow + normalization rows are rank-deficient by
+  // one).  If the crash turns out infeasible or singular the solver falls
+  // back to a from-scratch phase 1 on its own.
+  lp::SimplexBasis crash;
+  if (warm == nullptr && !lp_options.dense_fallback) {
+    crash.basic.reserve(static_cast<std::size_t>(n + 3));
+    for (int s = 0; s < n; ++s) crash.basic.push_back(2 * s + 1);
+    crash.basic.push_back(z_var);               // floor aggregate
+    const int num_vars = 2 * n + 1;
+    crash.basic.push_back(num_vars + 1);        // artificial, flow row of s=0
+    crash.basic.push_back(num_vars + (n + 1));  // availability surplus
+    warm = &crash;
+  }
+  const lp::LpSolution lp_solution =
+      warm != nullptr ? solver.solve(program, *warm) : solver.solve(program);
 
   CmdpSolution out;
   out.status = lp_solution.status;
   out.lp_iterations = lp_solution.iterations;
+  out.basis = lp_solution.basis;
+  out.warm_start = lp_solution.warm_start;
   if (lp_solution.status != lp::LpStatus::Optimal) return out;
 
   out.occupancy.assign(static_cast<std::size_t>(n), {0.0, 0.0});

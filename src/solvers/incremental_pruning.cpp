@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
+#include "tolerance/lp/simplex.hpp"
 #include "tolerance/util/ensure.hpp"
+#include "tolerance/util/parallel.hpp"
 
 namespace tolerance::solvers {
 namespace {
@@ -14,59 +17,271 @@ using pomdp::NodeModel;
 using pomdp::NodeState;
 using pomdp::ObservationModel;
 
-// One DP backup: V_next given as alpha set; returns pruned alpha set for the
-// current stage over the allowed actions.
+double slope(const AlphaVector& a) { return a.v_compromised - a.v_healthy; }
+
+/// A pruned alpha set together with its envelope breakpoints: lines[i] is
+/// the envelope's argmin exactly on [start[i], start[i+1]) (start[0] == 0).
+/// Lines are sorted by slope descending — the order the minimum envelope
+/// activates them as the belief grows.
+struct Hull {
+  std::vector<AlphaVector> lines;
+  std::vector<double> start;
+
+  void clear() {
+    lines.clear();
+    start.clear();
+  }
+};
+
+/// Sort by slope descending (ties: lowest intercept first) and drop
+/// eps-parallel duplicates, keeping the lowest.
+void sort_dedup(std::vector<AlphaVector>& alphas, double eps) {
+  std::sort(alphas.begin(), alphas.end(),
+            [](const AlphaVector& x, const AlphaVector& y) {
+              const double sx = slope(x);
+              const double sy = slope(y);
+              if (sx != sy) return sx > sy;
+              return x.v_healthy < y.v_healthy;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    if (out > 0 && std::fabs(slope(alphas[out - 1]) - slope(alphas[i])) <= eps) {
+      continue;
+    }
+    alphas[out++] = alphas[i];
+  }
+  alphas.resize(out);
+}
+
+/// Lower-envelope sweep over lines already sorted by slope descending and
+/// deduplicated; fills `hull` with the surviving lines and their activation
+/// breakpoints.
+void sweep(const std::vector<AlphaVector>& sorted, double eps, Hull& hull) {
+  hull.clear();
+  for (const AlphaVector& line : sorted) {
+    double x_start = 0.0;
+    while (!hull.lines.empty()) {
+      const AlphaVector& top = hull.lines.back();
+      // s_top > s_new after the descending sort; the new line is lower for
+      // all b greater than the intersection point.
+      const double x =
+          (line.v_healthy - top.v_healthy) / (slope(top) - slope(line));
+      if (x <= hull.start.back() + eps) {
+        hull.lines.pop_back();
+        hull.start.pop_back();
+        continue;
+      }
+      x_start = x;
+      break;
+    }
+    if (hull.lines.empty()) {
+      x_start = 0.0;
+    } else if (x_start >= 1.0 - eps) {
+      continue;  // active only beyond the belief simplex
+    }
+    hull.lines.push_back(line);
+    hull.start.push_back(x_start);
+  }
+}
+
+void hull_prune(std::vector<AlphaVector> alphas, double eps, Hull& hull) {
+  sort_dedup(alphas, eps);
+  sweep(alphas, eps, hull);
+}
+
+/// Bounded-error cap: keep the envelope's argmin line at each of
+/// 2 * max_alpha + 1 grid points.  The pre-overhaul code recomputed the
+/// argmin by scanning every hull line per grid point (O(grid * n)); the
+/// sweep already hands us the breakpoints, so walk them in lockstep with
+/// the grid instead (O(grid + n)).  At a grid point that lands exactly on a
+/// breakpoint both neighbours attain the minimum and the old scan kept the
+/// earlier line (strict <), so the walk advances only while start < b.
+void cap_hull(Hull& hull, int max_alpha, double eps,
+              std::vector<AlphaVector>& kept) {
+  if (hull.lines.size() <= static_cast<std::size_t>(max_alpha)) return;
+  kept.clear();
+  const int grid = 2 * max_alpha;
+  std::size_t active = 0;
+  std::size_t last = hull.lines.size();  // sentinel
+  for (int g = 0; g <= grid; ++g) {
+    const double b = static_cast<double>(g) / grid;
+    while (active + 1 < hull.lines.size() && hull.start[active + 1] < b) {
+      ++active;
+    }
+    if (active != last) {
+      kept.push_back(hull.lines[active]);
+      last = active;
+    }
+  }
+  // The kept subset still forms its own envelope in sorted order; re-sweep
+  // (no sort needed) to refresh the breakpoints.
+  sweep(kept, eps, hull);
+}
+
+// ---------------------------------------------------------------------------
+// Backup
+// ---------------------------------------------------------------------------
+
+/// Scratch buffers for one action's backup, reused across observations and
+/// stages so the hot loop performs no steady-state allocation.
+struct BackupWorkspace {
+  std::vector<AlphaVector> proj;
+  std::vector<AlphaVector> capped;
+  Hull gamma;
+  Hull acc;
+  Hull next;
+};
+
+/// Pruned cross-sum of two pruned hulls by breakpoint merge: the envelope
+/// of {u + v} over independent choices is env(A)(b) + env(B)(b), so the
+/// surviving sums are exactly the pairs whose active segments overlap.
+void cross_sum_merge(const Hull& a, const Hull& b, NodeAction action,
+                     Hull& out) {
+  out.clear();
+  std::size_t i = 0;
+  std::size_t j = 0;
+  double at = 0.0;
+  while (true) {
+    out.lines.push_back({a.lines[i].v_healthy + b.lines[j].v_healthy,
+                         a.lines[i].v_compromised + b.lines[j].v_compromised,
+                         action});
+    out.start.push_back(at);
+    const double next_a =
+        i + 1 < a.lines.size() ? a.start[i + 1]
+                               : std::numeric_limits<double>::infinity();
+    const double next_b =
+        j + 1 < b.lines.size() ? b.start[j + 1]
+                               : std::numeric_limits<double>::infinity();
+    const double next = std::min(next_a, next_b);
+    if (next >= 1.0 || next == std::numeric_limits<double>::infinity()) break;
+    if (next_a <= next) ++i;
+    if (next_b <= next) ++j;
+    at = next;
+  }
+}
+
+/// Project the next-stage alpha set through (action, observation):
+///   g(s) = discount * sum_{s' in {H,C}} f(s'|s,a) Z(o|s') alpha(s').
+/// The crash branch contributes 0 (value of a crashed node is 0).
+void project(const NodeModel& model, const ObservationModel& obs,
+             const std::vector<AlphaVector>& next, NodeAction a, int o,
+             double discount, std::vector<AlphaVector>& out) {
+  const double f_hh = model.transition(NodeState::Healthy, a, NodeState::Healthy);
+  const double f_hc = model.transition(NodeState::Healthy, a, NodeState::Compromised);
+  const double f_ch = model.transition(NodeState::Compromised, a, NodeState::Healthy);
+  const double f_cc = model.transition(NodeState::Compromised, a, NodeState::Compromised);
+  const double z_h = obs.prob(o, false);
+  const double z_c = obs.prob(o, true);
+  out.clear();
+  out.reserve(next.size());
+  for (const AlphaVector& alpha : next) {
+    AlphaVector g;
+    g.action = a;
+    g.v_healthy = discount * (f_hh * z_h * alpha.v_healthy +
+                              f_hc * z_c * alpha.v_compromised);
+    g.v_compromised = discount * (f_ch * z_h * alpha.v_healthy +
+                                  f_cc * z_c * alpha.v_compromised);
+    out.push_back(g);
+  }
+}
+
+constexpr double kPruneEps = 1e-12;
+
+/// One action's backup via breakpoint-merge cross-sums (the fast path).
+void backup_action(const NodeModel& model, const ObservationModel& obs,
+                   const std::vector<AlphaVector>& next, NodeAction a,
+                   double discount, const IpOptions& opt,
+                   BackupWorkspace& ws, std::vector<AlphaVector>& result) {
+  const int num_obs = obs.num_observations();
+  ws.acc.lines.assign(1, {model.cost(NodeState::Healthy, a),
+                          model.cost(NodeState::Compromised, a), a});
+  ws.acc.start.assign(1, 0.0);
+  for (int o = 0; o < num_obs; ++o) {
+    project(model, obs, next, a, o, discount, ws.proj);
+    hull_prune(std::move(ws.proj), kPruneEps, ws.gamma);
+    ws.proj.clear();
+    cap_hull(ws.gamma, opt.max_alpha, kPruneEps, ws.capped);
+    cross_sum_merge(ws.acc, ws.gamma, a, ws.next);
+    std::swap(ws.acc, ws.next);
+    cap_hull(ws.acc, opt.max_alpha, kPruneEps, ws.capped);
+  }
+  result = ws.acc.lines;
+}
+
+/// One action's backup via the pre-overhaul enumeration path (kept as the
+/// reference for the regression suite and the Fig. 8 speedup bench); with
+/// opt.lp_prune_crosscheck the pruning runs through prune_lp instead of the
+/// hull sweep.
+void backup_action_reference(const NodeModel& model,
+                             const ObservationModel& obs,
+                             const std::vector<AlphaVector>& next,
+                             NodeAction a, double discount,
+                             const IpOptions& opt,
+                             std::vector<AlphaVector>& result) {
+  const auto prune_via = [&](std::vector<AlphaVector> v) {
+    return opt.lp_prune_crosscheck
+               ? prune_lp(std::move(v))
+               : prune(std::move(v), kPruneEps, opt.max_alpha);
+  };
+  const int num_obs = obs.num_observations();
+  std::vector<std::vector<AlphaVector>> gamma(
+      static_cast<std::size_t>(num_obs));
+  for (int o = 0; o < num_obs; ++o) {
+    auto& set = gamma[static_cast<std::size_t>(o)];
+    project(model, obs, next, a, o, discount, set);
+    set = prune_via(std::move(set));
+  }
+  std::vector<AlphaVector> acc{{model.cost(NodeState::Healthy, a),
+                                model.cost(NodeState::Compromised, a), a}};
+  for (int o = 0; o < num_obs; ++o) {
+    const auto& set = gamma[static_cast<std::size_t>(o)];
+    std::vector<AlphaVector> cross;
+    cross.reserve(acc.size() * set.size());
+    for (const AlphaVector& u : acc) {
+      for (const AlphaVector& v : set) {
+        cross.push_back(
+            {u.v_healthy + v.v_healthy, u.v_compromised + v.v_compromised, a});
+      }
+    }
+    acc = prune_via(std::move(cross));
+  }
+  result = std::move(acc);
+}
+
+/// One DP backup over the allowed actions.  Per-action backups run on the
+/// shared worker pool; the merge concatenates in action order, so results
+/// are bit-identical at any thread count.
 std::vector<AlphaVector> backup(const NodeModel& model,
                                 const ObservationModel& obs,
                                 const std::vector<AlphaVector>& next,
                                 const std::vector<NodeAction>& actions,
-                                double discount) {
-  const int num_obs = obs.num_observations();
-  std::vector<AlphaVector> out;
-  for (const NodeAction a : actions) {
-    // Per-observation projected sets Gamma_{a,o}:
-    //   g(s) = discount * sum_{s' in {H,C}} f(s'|s,a) Z(o|s') alpha(s').
-    // The crash branch contributes 0 (value of a crashed node is 0).
-    std::vector<std::vector<AlphaVector>> gamma(
-        static_cast<std::size_t>(num_obs));
-    const double f_hh = model.transition(NodeState::Healthy, a, NodeState::Healthy);
-    const double f_hc = model.transition(NodeState::Healthy, a, NodeState::Compromised);
-    const double f_ch = model.transition(NodeState::Compromised, a, NodeState::Healthy);
-    const double f_cc = model.transition(NodeState::Compromised, a, NodeState::Compromised);
-    for (int o = 0; o < num_obs; ++o) {
-      const double z_h = obs.prob(o, false);
-      const double z_c = obs.prob(o, true);
-      auto& set = gamma[static_cast<std::size_t>(o)];
-      set.reserve(next.size());
-      for (const AlphaVector& alpha : next) {
-        AlphaVector g;
-        g.action = a;
-        g.v_healthy = discount * (f_hh * z_h * alpha.v_healthy +
-                                  f_hc * z_c * alpha.v_compromised);
-        g.v_compromised = discount * (f_ch * z_h * alpha.v_healthy +
-                                      f_cc * z_c * alpha.v_compromised);
-        set.push_back(g);
-      }
-      set = prune(std::move(set));
+                                double discount, const IpOptions& opt,
+                                std::vector<BackupWorkspace>& workspaces,
+                                std::vector<std::vector<AlphaVector>>& slots) {
+  workspaces.resize(actions.size());
+  slots.resize(actions.size());
+  const auto run_one = [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
+    if (opt.reference_backup || opt.lp_prune_crosscheck) {
+      backup_action_reference(model, obs, next, actions[idx], discount, opt,
+                              slots[idx]);
+    } else {
+      backup_action(model, obs, next, actions[idx], discount, opt,
+                    workspaces[idx], slots[idx]);
     }
-    // Incremental cross-sum with pruning after each observation.
-    std::vector<AlphaVector> acc{{model.cost(NodeState::Healthy, a),
-                                  model.cost(NodeState::Compromised, a), a}};
-    for (int o = 0; o < num_obs; ++o) {
-      const auto& set = gamma[static_cast<std::size_t>(o)];
-      std::vector<AlphaVector> cross;
-      cross.reserve(acc.size() * set.size());
-      for (const AlphaVector& u : acc) {
-        for (const AlphaVector& v : set) {
-          cross.push_back(
-              {u.v_healthy + v.v_healthy, u.v_compromised + v.v_compromised, a});
-        }
-      }
-      acc = prune(std::move(cross));
+  };
+  if (actions.size() > 1 && util::resolve_threads(opt.threads) > 1) {
+    util::ParallelRunner(opt.threads)
+        .for_each(static_cast<std::int64_t>(actions.size()), run_one);
+  } else {
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      run_one(static_cast<std::int64_t>(i));
     }
-    out.insert(out.end(), acc.begin(), acc.end());
   }
-  return prune(std::move(out));
+  std::vector<AlphaVector> out;
+  for (const auto& slot : slots) out.insert(out.end(), slot.begin(), slot.end());
+  if (opt.lp_prune_crosscheck) return prune_lp(std::move(out));
+  return prune(std::move(out), kPruneEps, opt.max_alpha);
 }
 
 }  // namespace
@@ -93,91 +308,55 @@ NodeAction envelope_action(const std::vector<AlphaVector>& alphas,
   return action;
 }
 
-std::vector<AlphaVector> prune(std::vector<AlphaVector> alphas, double eps) {
+std::vector<AlphaVector> prune(std::vector<AlphaVector> alphas, double eps,
+                               int max_alpha) {
+  TOL_ENSURE(max_alpha >= 1, "max_alpha must be >= 1");
   if (alphas.size() <= 1) return alphas;
-  // A line is useful iff it attains the lower envelope somewhere on [0,1].
-  // Treat each alpha as the line v(b) = v_H + (v_C - v_H) * b.  For the
-  // *minimum* envelope, as b increases the active line's slope decreases, so
-  // sort by slope descending (ties: lowest intercept first) and sweep.
-  std::sort(alphas.begin(), alphas.end(), [](const AlphaVector& x,
-                                             const AlphaVector& y) {
-    const double sx = x.v_compromised - x.v_healthy;
-    const double sy = y.v_compromised - y.v_healthy;
-    if (sx != sy) return sx > sy;
-    return x.v_healthy < y.v_healthy;
-  });
-  // Deduplicate parallel lines (keep the lowest intercept, i.e. first).
-  std::vector<AlphaVector> unique;
-  for (const AlphaVector& a : alphas) {
-    if (!unique.empty()) {
-      const double s_prev =
-          unique.back().v_compromised - unique.back().v_healthy;
-      const double s_cur = a.v_compromised - a.v_healthy;
-      if (std::fabs(s_prev - s_cur) <= eps) continue;
+  Hull hull;
+  hull_prune(std::move(alphas), eps, hull);
+  std::vector<AlphaVector> kept;
+  cap_hull(hull, max_alpha, eps, kept);
+  return std::move(hull.lines);
+}
+
+std::vector<AlphaVector> prune_lp(std::vector<AlphaVector> alphas,
+                                  double eps) {
+  if (alphas.size() <= 1) return alphas;
+  // Same parallel-line dedup as the sweep, so ties cannot keep both copies.
+  sort_dedup(alphas, 1e-12);
+  // Witness LP per candidate i over variables (b, d+, d-):
+  //   maximize d   s.t.  b <= 1,  and for every j != i
+  //   (s_i - s_j) b + d <= h_j - h_i            (d := d+ - d-)
+  // i.e. alpha_i(b) + d <= alpha_j(b).  Keep i iff the optimal witness gap
+  // d* exceeds eps: somewhere on [0, 1] the line sits strictly below every
+  // other, exactly the sweep's survival criterion (lines touching the
+  // envelope at a single point are dropped by both).
+  const lp::SimplexSolver solver;
+  std::vector<AlphaVector> kept;
+  for (std::size_t i = 0; i < alphas.size(); ++i) {
+    lp::LinearProgram witness(3);
+    witness.objective = {0.0, -1.0, 1.0};
+    witness.add_constraint({{0, 1.0}}, lp::Relation::LessEq, 1.0);
+    for (std::size_t j = 0; j < alphas.size(); ++j) {
+      if (j == i) continue;
+      witness.add_constraint(
+          {{0, slope(alphas[i]) - slope(alphas[j])}, {1, 1.0}, {2, -1.0}},
+          lp::Relation::LessEq,
+          alphas[j].v_healthy - alphas[i].v_healthy);
     }
-    unique.push_back(a);
+    const auto sol = solver.solve(witness);
+    const bool keep =
+        sol.status != lp::LpStatus::Optimal || -sol.objective > eps;
+    if (keep) kept.push_back(alphas[i]);
   }
-  // Sweep: keep lines forming the lower envelope restricted to b in [0,1].
-  std::vector<AlphaVector> hull;
-  std::vector<double> start;  // belief where each hull line becomes active
-  for (const AlphaVector& line : unique) {
-    double x_start = 0.0;
-    while (!hull.empty()) {
-      const AlphaVector& top = hull.back();
-      const double s_top = top.v_compromised - top.v_healthy;
-      const double s_new = line.v_compromised - line.v_healthy;
-      // s_top > s_new after the descending sort; the new line is lower for
-      // all b greater than the intersection point.
-      const double x = (line.v_healthy - top.v_healthy) / (s_top - s_new);
-      if (x <= start.back() + eps) {
-        hull.pop_back();
-        start.pop_back();
-        continue;
-      }
-      x_start = x;
-      break;
-    }
-    if (hull.empty()) {
-      x_start = 0.0;
-    } else if (x_start >= 1.0 - eps) {
-      continue;  // active only beyond the belief simplex
-    }
-    hull.push_back(line);
-    start.push_back(x_start);
-  }
-  // The exact envelope can accumulate many micro-segments whose contribution
-  // is below solver noise; cap the set with grid-based pruning (keep the
-  // argmin line at each grid point).  This is the standard bounded-error
-  // refinement used by practical POMDP solvers.
-  constexpr std::size_t kMaxAlpha = 64;
-  if (hull.size() > kMaxAlpha) {
-    std::vector<AlphaVector> kept;
-    std::size_t last = hull.size();  // sentinel
-    const int grid = 2 * static_cast<int>(kMaxAlpha);
-    for (int g = 0; g <= grid; ++g) {
-      const double b = static_cast<double>(g) / grid;
-      std::size_t best = 0;
-      double best_v = std::numeric_limits<double>::infinity();
-      for (std::size_t i = 0; i < hull.size(); ++i) {
-        const double v = hull[i].value(b);
-        if (v < best_v) {
-          best_v = v;
-          best = i;
-        }
-      }
-      if (best != last) {
-        kept.push_back(hull[best]);
-        last = best;
-      }
-    }
-    return kept;
-  }
-  return hull;
+  return kept;
 }
 
 IncrementalPruning::Result IncrementalPruning::solve_cycle(
-    const NodeModel& model, const ObservationModel& obs, int delta_r) {
+    const NodeModel& model, const ObservationModel& obs, int delta_r,
+    const IpOptions& options) {
   TOL_ENSURE(delta_r >= 1, "cycle solve needs DeltaR >= 1");
+  TOL_ENSURE(options.max_alpha >= 1, "max_alpha must be >= 1");
   Result result;
   result.value_functions.assign(static_cast<std::size_t>(delta_r), {});
   // Terminal stage t = DeltaR: forced recovery, no continuation (the next
@@ -187,10 +366,12 @@ IncrementalPruning::Result IncrementalPruning::solve_cycle(
        model.cost(NodeState::Compromised, NodeAction::Recover),
        NodeAction::Recover}};
   const std::vector<NodeAction> both{NodeAction::Wait, NodeAction::Recover};
+  std::vector<BackupWorkspace> workspaces;
+  std::vector<std::vector<AlphaVector>> slots;
   for (int t = delta_r - 2; t >= 0; --t) {
     result.value_functions[static_cast<std::size_t>(t)] =
         backup(model, obs, result.value_functions[static_cast<std::size_t>(t + 1)],
-               both, 1.0);
+               both, 1.0, options, workspaces, slots);
     result.iterations++;
   }
   const double p_attack = model.params().p_attack;
@@ -201,15 +382,18 @@ IncrementalPruning::Result IncrementalPruning::solve_cycle(
 
 IncrementalPruning::Result IncrementalPruning::solve_discounted(
     const NodeModel& model, const ObservationModel& obs, double discount,
-    double tol, int max_iterations) {
+    double tol, int max_iterations, const IpOptions& options) {
   TOL_ENSURE(discount > 0.0 && discount < 1.0, "discount in (0,1)");
+  TOL_ENSURE(options.max_alpha >= 1, "max_alpha must be >= 1");
   Result result;
   std::vector<AlphaVector> value{{0.0, 0.0, NodeAction::Wait}};
   const std::vector<NodeAction> both{NodeAction::Wait, NodeAction::Recover};
+  std::vector<BackupWorkspace> workspaces;
+  std::vector<std::vector<AlphaVector>> slots;
   result.converged = false;
   for (int it = 0; it < max_iterations; ++it) {
-    const std::vector<AlphaVector> next = backup(model, obs, value, both,
-                                                 discount);
+    const std::vector<AlphaVector> next =
+        backup(model, obs, value, both, discount, options, workspaces, slots);
     ++result.iterations;
     // Convergence: max envelope change over a belief grid.
     double delta = 0.0;
@@ -232,30 +416,17 @@ IncrementalPruning::Result IncrementalPruning::solve_discounted(
 }
 
 double IncrementalPruning::recovery_threshold(
-    const std::vector<AlphaVector>& alphas, int grid) {
-  TOL_ENSURE(grid >= 2, "grid too small");
-  // Coarse scan for the first Recover point, then bisection refine.
-  double lo = -1.0;
-  for (int g = 0; g <= grid; ++g) {
-    const double b = static_cast<double>(g) / grid;
-    if (envelope_action(alphas, b) == NodeAction::Recover) {
-      lo = b;
-      break;
-    }
+    const std::vector<AlphaVector>& alphas) {
+  TOL_ENSURE(!alphas.empty(), "empty alpha set");
+  // The switch point is an envelope breakpoint: read it off the hull sweep
+  // directly (the old implementation scanned a 4096-point grid and then
+  // bisected onto the same breakpoint).
+  Hull hull;
+  hull_prune(alphas, 1e-12, hull);
+  for (std::size_t i = 0; i < hull.lines.size(); ++i) {
+    if (hull.lines[i].action == NodeAction::Recover) return hull.start[i];
   }
-  if (lo < 0.0) return 1.0;
-  if (lo == 0.0) return 0.0;
-  double left = lo - 1.0 / grid;
-  double right = lo;
-  for (int i = 0; i < 50; ++i) {
-    const double mid = 0.5 * (left + right);
-    if (envelope_action(alphas, mid) == NodeAction::Recover) {
-      right = mid;
-    } else {
-      left = mid;
-    }
-  }
-  return right;
+  return 1.0;
 }
 
 }  // namespace tolerance::solvers

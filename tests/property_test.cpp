@@ -16,6 +16,7 @@
 #include "tolerance/pomdp/belief.hpp"
 #include "tolerance/solvers/cmdp_lp.hpp"
 #include "tolerance/solvers/incremental_pruning.hpp"
+#include "tolerance/stats/distributions.hpp"
 #include "tolerance/solvers/threshold_policy.hpp"
 #include "tolerance/util/rng.hpp"
 
@@ -470,6 +471,77 @@ TEST_P(ChurnSeed, RecoveryResetsBeliefToTheInitialState) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnSeed,
                          ::testing::Values(3u, 71u, 5555u));
+
+// ---------------------------------------------------------------------------
+// Poisson sampler equivalence: PTRS (mean > 10) against the exact pmf
+// ---------------------------------------------------------------------------
+
+class PoissonMean : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMean, SamplerMatchesExactPmfByChiSquare) {
+  // Distribution-equivalence property for the Rng::poisson dispatch (Knuth
+  // product sampler at small means, PTRS rejection above 10): binned
+  // chi-square against the exact pmf plus moment checks.  Deterministic
+  // seeds — no flake budget.
+  const double mean = GetParam();
+  const stats::PoissonDist exact(mean);
+  Rng rng(0xB0B0 + static_cast<std::uint64_t>(mean * 16.0));
+  const int samples = 200000;
+  const double sd = std::sqrt(mean);
+  const int lo = std::max(0, static_cast<int>(mean - 6.0 * sd));
+  const int hi = static_cast<int>(mean + 6.0 * sd) + 1;
+  std::vector<double> observed(static_cast<std::size_t>(hi - lo + 2), 0.0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const int k = rng.poisson(mean);
+    ASSERT_GE(k, 0);
+    sum += k;
+    sum_sq += static_cast<double>(k) * k;
+    const int bin = k < lo ? 0 : (k > hi ? hi - lo + 1 : k - lo + 1);
+    observed[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  // Moments: sample mean and variance within 5 standard errors.
+  const double m1 = sum / samples;
+  const double var = sum_sq / samples - m1 * m1;
+  EXPECT_NEAR(m1, mean, 5.0 * sd / std::sqrt(static_cast<double>(samples)));
+  EXPECT_NEAR(var, mean, 5.0 * mean * std::sqrt(2.0 / samples) + 0.05 * mean);
+  // Chi-square over the central bins plus two merged tails, bins with
+  // expected count >= 5 only.
+  double chi2 = 0.0;
+  int dof = 0;
+  double tail_lo_p = 0.0;
+  for (int k = 0; k < lo; ++k) tail_lo_p += exact.pmf(k);
+  double tail_hi_p = 1.0 - tail_lo_p;
+  for (int k = lo; k <= hi; ++k) tail_hi_p -= exact.pmf(k);
+  const auto add_bin = [&](double obs, double p) {
+    const double expected = p * samples;
+    if (expected < 5.0) return;
+    chi2 += (obs - expected) * (obs - expected) / expected;
+    ++dof;
+  };
+  add_bin(observed.front(), tail_lo_p);
+  for (int k = lo; k <= hi; ++k) {
+    add_bin(observed[static_cast<std::size_t>(k - lo + 1)], exact.pmf(k));
+  }
+  add_bin(observed.back(), std::max(0.0, tail_hi_p));
+  // 99.99th percentile of chi2 with ~dof degrees of freedom, generously:
+  // dof + 4 * sqrt(2 * dof) + 10.
+  EXPECT_LT(chi2, dof + 4.0 * std::sqrt(2.0 * dof) + 10.0)
+      << "mean=" << mean << " dof=" << dof;
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMean,
+                         ::testing::Values(4.0, 9.5, 10.5, 25.0, 120.0));
+
+TEST(PoissonSampler, DeterministicGivenSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    const double mean = 0.5 + 3.0 * i;  // crosses the PTRS dispatch at 10
+    EXPECT_EQ(a.poisson(mean), b.poisson(mean)) << "i=" << i;
+  }
+}
 
 }  // namespace
 }  // namespace tolerance

@@ -236,6 +236,149 @@ TEST(Prune, ParallelLinesKeepLowest) {
   EXPECT_DOUBLE_EQ(kept[0].v_healthy, 0.5);
 }
 
+TEST(Prune, LpDominationAgreesWithHullSweep) {
+  // Cross-check mode: Lark's LP-domination pruning (running on the sparse
+  // revised simplex) must keep exactly the hull sweep's survivors.
+  Rng rng(515);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<AlphaVector> alphas;
+    const int n = 3 + rng.uniform_int(10);
+    for (int i = 0; i < n; ++i) {
+      alphas.push_back({rng.uniform(0.0, 2.0), rng.uniform(0.0, 2.0),
+                        rng.bernoulli(0.5) ? NodeAction::Wait
+                                           : NodeAction::Recover});
+    }
+    const auto sweep = prune(alphas);
+    const auto lark = prune_lp(alphas);
+    ASSERT_EQ(sweep.size(), lark.size()) << "trial " << trial;
+    // Same envelope either way.
+    for (int g = 0; g <= 100; ++g) {
+      const double b = g / 100.0;
+      EXPECT_NEAR(envelope_value(sweep, b), envelope_value(lark, b), 1e-9)
+          << "trial " << trial << " b=" << b;
+    }
+  }
+}
+
+TEST(Prune, MaxAlphaCapIsConfigurable) {
+  // A dense fan of tangent lines to a smooth convex function: every line is
+  // on the envelope, so pruning keeps all n until the cap bites.
+  std::vector<AlphaVector> alphas;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    // Tangent of the concave f(b) = -(b - 1/2)^2 at t = i/(n-1): every
+    // tangent attains the lower envelope on its own segment, so all n
+    // survive exact pruning and only the cap shrinks the set.
+    const double t = static_cast<double>(i) / (n - 1);
+    const double ft = -(t - 0.5) * (t - 0.5);
+    const double dft = -2.0 * (t - 0.5);
+    alphas.push_back({ft - dft * t, ft + dft * (1.0 - t), NodeAction::Wait});
+  }
+  const auto def = prune(alphas);
+  EXPECT_LE(def.size(), 2u * 64u + 1u);
+  const auto small = prune(alphas, 1e-12, 8);
+  EXPECT_LE(small.size(), 2u * 8u + 1u);
+  EXPECT_LT(small.size(), def.size());
+  // The capped set still tracks the envelope to bounded error.
+  for (int g = 0; g <= 100; ++g) {
+    const double b = g / 100.0;
+    EXPECT_NEAR(envelope_value(small, b), envelope_value(alphas, b), 0.05);
+  }
+}
+
+TEST(IncrementalPruning, MergeBackupMatchesReferenceBackup) {
+  // The breakpoint-merge cross-sum must reproduce the pre-overhaul
+  // enumerate-and-prune backup: identical envelopes (the Fig. 4 alpha-set
+  // regression) at every stage of the cycle solve.
+  const NodeModel model(paper_params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  IpOptions reference;
+  reference.reference_backup = true;
+  const auto ref = IncrementalPruning::solve_cycle(model, obs, 40, reference);
+  const auto fast = IncrementalPruning::solve_cycle(model, obs, 40);
+  ASSERT_EQ(ref.value_functions.size(), fast.value_functions.size());
+  EXPECT_NEAR(ref.average_cost, fast.average_cost, 1e-12);
+  for (std::size_t t = 0; t < ref.value_functions.size(); ++t) {
+    ASSERT_EQ(ref.value_functions[t].size(), fast.value_functions[t].size())
+        << "stage " << t;
+    for (int g = 0; g <= 256; ++g) {
+      const double b = g / 256.0;
+      EXPECT_NEAR(envelope_value(ref.value_functions[t], b),
+                  envelope_value(fast.value_functions[t], b), 1e-12)
+          << "stage " << t << " b=" << b;
+    }
+  }
+}
+
+TEST(IncrementalPruning, Fig4AlphaSetRegressionPin) {
+  // Pins the Fig. 4 solve (paper parameters, DeltaR = 100) across solver
+  // rewrites: cycle-average cost, recovery threshold and alpha-set size.
+  const NodeModel model(paper_params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  const auto result = IncrementalPruning::solve_cycle(model, obs, 100);
+  EXPECT_NEAR(result.average_cost, 0.294624995, 1e-6);
+  EXPECT_NEAR(IncrementalPruning::recovery_threshold(result.value_functions[0]),
+              0.278464678, 1e-6);
+  EXPECT_EQ(result.value_functions[0].size(), 38u);
+}
+
+TEST(IpParallelRunner, BackupsBitIdenticalAcrossThreadCounts) {
+  const NodeModel model(paper_params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  IpOptions serial;
+  serial.threads = 1;
+  IpOptions parallel;
+  parallel.threads = 4;
+  const auto a = IncrementalPruning::solve_cycle(model, obs, 30, serial);
+  const auto b = IncrementalPruning::solve_cycle(model, obs, 30, parallel);
+  ASSERT_EQ(a.value_functions.size(), b.value_functions.size());
+  for (std::size_t t = 0; t < a.value_functions.size(); ++t) {
+    ASSERT_EQ(a.value_functions[t].size(), b.value_functions[t].size());
+    for (std::size_t i = 0; i < a.value_functions[t].size(); ++i) {
+      EXPECT_EQ(a.value_functions[t][i].v_healthy,
+                b.value_functions[t][i].v_healthy);
+      EXPECT_EQ(a.value_functions[t][i].v_compromised,
+                b.value_functions[t][i].v_compromised);
+      EXPECT_EQ(static_cast<int>(a.value_functions[t][i].action),
+                static_cast<int>(b.value_functions[t][i].action));
+    }
+  }
+}
+
+TEST(IncrementalPruning, RecoveryThresholdMatchesGridScanOracle) {
+  // The hull-breakpoint threshold must agree with the old grid-scan +
+  // bisection oracle on solved value functions.
+  const NodeModel model(paper_params());
+  const auto obs = pomdp::BetaBinObservationModel::paper_default();
+  const auto result = IncrementalPruning::solve_cycle(model, obs, 15);
+  for (const auto& v : result.value_functions) {
+    const double fast = IncrementalPruning::recovery_threshold(v);
+    // Oracle: coarse scan for the first Recover point, bisection refine.
+    const int grid = 4096;
+    double lo = -1.0;
+    for (int g = 0; g <= grid; ++g) {
+      const double b = static_cast<double>(g) / grid;
+      if (envelope_action(v, b) == NodeAction::Recover) {
+        lo = b;
+        break;
+      }
+    }
+    double oracle = 1.0;
+    if (lo == 0.0) {
+      oracle = 0.0;
+    } else if (lo > 0.0) {
+      double left = lo - 1.0 / grid;
+      double right = lo;
+      for (int i = 0; i < 50; ++i) {
+        const double mid = 0.5 * (left + right);
+        (envelope_action(v, mid) == NodeAction::Recover ? right : left) = mid;
+      }
+      oracle = right;
+    }
+    EXPECT_NEAR(fast, oracle, 1e-6);
+  }
+}
+
 TEST(IncrementalPruning, ValueFunctionIsConcaveEnvelope) {
   // For a minimization POMDP the value function (lower envelope of lines) is
   // concave; check midpoint concavity on the first-stage value (Fig. 4).
@@ -330,6 +473,42 @@ TEST(IncrementalPruning, MatchesBestThresholdPolicy) {
 // ---------------------------------------------------------------------------
 // CMDP LP (Alg. 2)
 // ---------------------------------------------------------------------------
+
+TEST(CmdpLp, WarmStartReusesPreviousBasis) {
+  const auto cmdp = pomdp::SystemCmdp::parametric(24, 3, 0.9, 0.95, 0.3);
+  const auto cold = solve_replication_lp(cmdp);
+  ASSERT_EQ(cold.status, lp::LpStatus::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+  // Re-solve the same CMDP from the optimal basis: no pivots needed.
+  const auto warm = solve_replication_lp(cmdp, {}, &cold.basis);
+  ASSERT_EQ(warm.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(warm.average_cost, cold.average_cost, 1e-9);
+  EXPECT_NEAR(warm.availability, cold.availability, 1e-9);
+  EXPECT_LE(warm.lp_iterations, 3);
+  EXPECT_NE(warm.warm_start, lp::WarmStart::None);
+  // Epsilon_A sweep re-solve from the same basis must equal a cold solve.
+  const auto cmdp2 = pomdp::SystemCmdp::parametric(24, 3, 0.93, 0.95, 0.3);
+  const auto swept = solve_replication_lp(cmdp2, {}, &cold.basis);
+  const auto swept_cold = solve_replication_lp(cmdp2);
+  ASSERT_EQ(swept.status, lp::LpStatus::Optimal);
+  EXPECT_NEAR(swept.average_cost, swept_cold.average_cost, 1e-7);
+  EXPECT_GE(swept.availability, 0.93 - 1e-6);
+}
+
+TEST(CmdpLp, DenseFallbackAgreesWithRevisedCore) {
+  for (const int smax : {8, 13, 24}) {
+    const auto cmdp = pomdp::SystemCmdp::parametric(smax, 3, 0.9, 0.95, 0.3);
+    lp::SimplexSolver::Options dense;
+    dense.dense_fallback = true;
+    const auto a = solve_replication_lp(cmdp, dense);
+    const auto b = solve_replication_lp(cmdp);
+    ASSERT_EQ(a.status, lp::LpStatus::Optimal) << "smax=" << smax;
+    ASSERT_EQ(b.status, lp::LpStatus::Optimal) << "smax=" << smax;
+    EXPECT_NEAR(a.average_cost, b.average_cost, 1e-8 * (1.0 + a.average_cost))
+        << "smax=" << smax;
+    EXPECT_NEAR(a.availability, b.availability, 1e-6) << "smax=" << smax;
+  }
+}
 
 TEST(CmdpLp, SolvesPaperScaleInstance) {
   // smax = 13, f = 3 style instance (Appendix E Fig. 9 parameters scaled).
