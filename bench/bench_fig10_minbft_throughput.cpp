@@ -1,11 +1,29 @@
 // Fig. 10: average throughput of the MinBFT implementation versus the number
-// of replicas N, with 1 and 20 closed-loop clients.
+// of replicas N — plus the batching × cluster-size sweep that takes the
+// consensus layer past the paper's n = 10 wall.
 //
 // CPU costs model RSA-1024 on the paper's (2009-era Opteron) hardware:
-// sign ~5 ms, verify ~0.2 ms, ~1 ms marshalling+MAC per outgoing message.
-// The shape that matters: throughput decreases with N (O(N^2) messages) and
-// 20 clients sustain more than 1 client (latency- vs throughput-bound).
+// sign ~5 ms, verify ~0.2 ms, ~1 ms marshalling+MAC per outgoing message,
+// ~0.1 ms per-client session MAC on replies.  The shape that matters:
+// unbatched throughput decreases with N (O(N^2) messages, one USIG sign and
+// verify per message); binding a whole request batch to one USIG counter
+// amortizes the per-batch work and flattens the curve.
+//
+// Emits BENCH_consensus.json and exits non-zero unless
+//  * batched and unbatched clusters commit identical operation logs at every
+//    swept cluster size (same per-client order, same multiset), and
+//  * the n = 7 batched/unbatched speedup clears --min-speedup (default 5), and
+//  * the n = 7 batched throughput clears --min-n7 (default 0; CI pins the
+//    recorded baseline so regressions fail the bench job).
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
 #include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "tolerance/consensus/minbft_cluster.hpp"
@@ -14,7 +32,7 @@ namespace {
 
 using namespace tolerance;
 
-double measure_throughput(int n, int clients, double duration_s) {
+consensus::MinBftConfig paper_config(int n) {
   consensus::MinBftConfig cfg;
   cfg.f = (n - 1) / 2;
   cfg.checkpoint_period = 100;     // cp, Table 8
@@ -24,10 +42,27 @@ double measure_throughput(int n, int clients, double duration_s) {
   cfg.crypto_cost_sign = 5e-3;
   cfg.crypto_cost_verify = 2e-4;
   cfg.cpu_cost_per_send = 1e-3;
+  cfg.crypto_cost_reply = 1e-4;  // per-client session MAC
+  return cfg;
+}
+
+net::LinkConfig paper_link() {
   net::LinkConfig link;
   link.base_delay = 1e-3;
   link.jitter = 2e-4;
   link.loss = 5e-4;  // NETEM 0.05% (§VII-A)
+  return link;
+}
+
+struct ThroughputSample {
+  double req_per_s = 0.0;
+  double avg_batch = 0.0;
+  std::uint64_t usig_cache_hits = 0;
+};
+
+ThroughputSample measure_throughput(const consensus::MinBftConfig& cfg,
+                                    int n, int clients, double duration_s,
+                                    net::LinkConfig link) {
   consensus::MinBftCluster cluster(n, cfg, 77, link);
 
   long completed = 0;
@@ -44,19 +79,136 @@ double measure_throughput(int n, int clients, double duration_s) {
       };
   for (auto* client : cs) pump(client);
   cluster.network().run_until(duration_s);
-  return static_cast<double>(completed) / duration_s;
+
+  ThroughputSample sample;
+  sample.req_per_s = static_cast<double>(completed) / duration_s;
+  std::uint64_t batches = 0, requests = 0;
+  for (const auto id : cluster.replica_ids()) {
+    batches += cluster.replica(id).batches_proposed();
+    requests += cluster.replica(id).requests_proposed();
+    sample.usig_cache_hits += cluster.replica(id).usig_cache_hits();
+  }
+  sample.avg_batch =
+      batches > 0 ? static_cast<double>(requests) / static_cast<double>(batches)
+                  : 0.0;
+  return sample;
 }
+
+/// Fixed workload for the log-equivalence gate: `clients` closed-loop
+/// clients submit `ops_each` uniquely-tagged operations; returns replica 0's
+/// committed log after every replica converged.  Aborts (empty vector) if
+/// the workload does not complete or replicas disagree.
+std::vector<std::string> committed_log(const consensus::MinBftConfig& cfg,
+                                       int n, int clients, int ops_each,
+                                       std::string* error) {
+  net::LinkConfig link;  // deterministic: no loss, no jitter
+  link.base_delay = 1e-3;
+  link.jitter = 0.0;
+  link.loss = 0.0;
+  consensus::MinBftCluster cluster(n, cfg, 42, link);
+  int done_clients = 0;
+  std::vector<consensus::MinBftClient*> cs;
+  for (int c = 0; c < clients; ++c) cs.push_back(&cluster.add_client());
+  std::function<void(int, int)> pump = [&](int c, int k) {
+    if (k >= ops_each) {
+      ++done_clients;
+      return;
+    }
+    std::ostringstream op;
+    op << 'c' << c << ':' << k;
+    cs[static_cast<std::size_t>(c)]->submit(
+        op.str(),
+        [&, c, k](std::uint64_t, const std::string&, double) { pump(c, k + 1); });
+  };
+  for (int c = 0; c < clients; ++c) pump(c, 0);
+  std::size_t events = 0;
+  const std::size_t cap = 20000000;
+  while (done_clients < clients && events < cap && cluster.network().step()) {
+    ++events;
+  }
+  if (done_clients < clients) {
+    *error = "workload did not complete within the event budget";
+    return {};
+  }
+  cluster.run_for(2.0);  // let stragglers converge
+  const auto ids = cluster.replica_ids();
+  const auto& log0 = cluster.replica(ids.front()).service().log();
+  for (const auto id : ids) {
+    if (cluster.replica(id).service().log() != log0) {
+      *error = "replica logs diverged within one run";
+      return {};
+    }
+  }
+  return log0;
+}
+
+/// Batched and unbatched runs commit "identical operation logs": the same
+/// multiset of operations, and per client the same order.  (The interleaving
+/// across clients legitimately shifts with the CPU schedule.)
+bool logs_equivalent(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b, int clients,
+                     std::string* error) {
+  if (a.size() != b.size()) {
+    *error = "log sizes differ";
+    return false;
+  }
+  std::vector<std::string> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  if (sa != sb) {
+    *error = "operation multisets differ";
+    return false;
+  }
+  for (int c = 0; c < clients; ++c) {
+    const std::string prefix = "c" + std::to_string(c) + ":";
+    std::vector<std::string> pa, pb;
+    for (const auto& op : a) {
+      if (op.rfind(prefix, 0) == 0) pa.push_back(op);
+    }
+    for (const auto& op : b) {
+      if (op.rfind(prefix, 0) == 0) pb.push_back(op);
+    }
+    if (pa != pb) {
+      *error = "per-client order differs for client " + std::to_string(c);
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepRow {
+  int n = 0;
+  ThroughputSample unbatched;
+  ThroughputSample batched;
+  bool logs_match = false;
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tolerance;
-  bench::header("Fig. 10 — MinBFT throughput vs cluster size", "Fig. 10");
-  const double duration = bench::scaled(10.0, 60.0);
+  bench::header("Fig. 10 — MinBFT throughput vs cluster size, batched vs not",
+                "Fig. 10 + the batching scale-up sweep");
+  std::string out_path = "BENCH_consensus.json";
+  double min_speedup = 5.0;
+  double min_n7 = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+    if (arg == "--min-speedup" && i + 1 < argc)
+      min_speedup = std::atof(argv[i + 1]);
+    if (arg == "--min-n7" && i + 1 < argc) min_n7 = std::atof(argv[i + 1]);
+  }
+
+  // --- The paper's figure: unbatched protocol, 1 vs 20 clients -------------
+  const double duration = bench::scaled(5.0, 60.0);
   ConsoleTable table({"N", "1 client (req/s)", "20 clients (req/s)"});
   for (int n = 3; n <= 10; ++n) {
-    const double one = measure_throughput(n, 1, duration);
-    const double twenty = measure_throughput(n, 20, duration);
+    const auto cfg = paper_config(n).unbatched();
+    const double one =
+        measure_throughput(cfg, n, 1, duration, paper_link()).req_per_s;
+    const double twenty =
+        measure_throughput(cfg, n, 20, duration, paper_link()).req_per_s;
     table.add_row({std::to_string(n), ConsoleTable::num(one, 1),
                    ConsoleTable::num(twenty, 1)});
   }
@@ -64,5 +216,118 @@ int main() {
   std::cout << "\nExpected shape (Fig. 10): both curves decrease with N; the "
                "20-client curve sits above the 1-client curve (pipelining "
                "hides latency until the leader's CPU saturates).\n";
-  return 0;
+
+  // --- Batching sweep: n up to 31, batched vs unbatched --------------------
+  const std::vector<int> sweep_n{3, 7, 13, 21, 31};
+  const int sweep_clients = 40;  // enough closed-loop load to fill batches
+  const double sweep_duration = bench::scaled(3.0, 15.0);
+  const int gate_clients = 8;
+  const int gate_ops = bench::scaled(15, 40);
+
+  std::cout << "\n--- batching sweep (" << sweep_clients
+            << " closed-loop clients, " << sweep_duration << " s simulated; "
+            << "batch_size=16, pipeline_depth=4 vs the unbatched protocol; "
+            << "log-equivalence gate: " << gate_clients << " clients x "
+            << gate_ops << " ops) ---\n\n";
+
+  std::vector<SweepRow> rows;
+  bool logs_ok = true;
+  ConsoleTable sweep({"N", "unbatched (req/s)", "batched (req/s)", "speedup",
+                      "avg batch", "UI cache hits", "logs"});
+  for (const int n : sweep_n) {
+    SweepRow row;
+    row.n = n;
+    const auto batched_cfg = paper_config(n);
+    const auto unbatched_cfg = batched_cfg.unbatched();
+    row.unbatched = measure_throughput(unbatched_cfg, n, sweep_clients,
+                                       sweep_duration, paper_link());
+    row.batched = measure_throughput(batched_cfg, n, sweep_clients,
+                                     sweep_duration, paper_link());
+    std::string err;
+    const auto log_u =
+        committed_log(unbatched_cfg, n, gate_clients, gate_ops, &err);
+    const auto log_b =
+        committed_log(batched_cfg, n, gate_clients, gate_ops, &err);
+    row.logs_match = !log_u.empty() && !log_b.empty() &&
+                     logs_equivalent(log_u, log_b, gate_clients, &err);
+    if (!row.logs_match) {
+      logs_ok = false;
+      std::cout << "log equivalence FAILED at n=" << n << ": " << err << '\n';
+    }
+    rows.push_back(row);
+    const double speedup =
+        row.batched.req_per_s / std::max(row.unbatched.req_per_s, 1e-9);
+    sweep.add_row({std::to_string(n),
+                   ConsoleTable::num(row.unbatched.req_per_s, 1),
+                   ConsoleTable::num(row.batched.req_per_s, 1),
+                   ConsoleTable::num(speedup, 2),
+                   ConsoleTable::num(row.batched.avg_batch, 1),
+                   std::to_string(row.batched.usig_cache_hits),
+                   row.logs_match ? "match" : "DIVERGED"});
+  }
+  sweep.print(std::cout);
+
+  double n7_speedup = 0.0, n7_batched = 0.0;
+  for (const SweepRow& row : rows) {
+    if (row.n == 7) {
+      n7_speedup =
+          row.batched.req_per_s / std::max(row.unbatched.req_per_s, 1e-9);
+      n7_batched = row.batched.req_per_s;
+    }
+  }
+  const bool speedup_ok = n7_speedup >= min_speedup;
+  const bool n7_ok = n7_batched >= min_n7;
+  const auto memo = consensus::digest_memo_stats();
+
+  std::cout << "\nn=7 batched/unbatched speedup: "
+            << ConsoleTable::num(n7_speedup, 2) << " (floor " << min_speedup
+            << ") " << (speedup_ok ? "OK" : "REGRESSION") << '\n'
+            << "n=7 batched throughput: " << ConsoleTable::num(n7_batched, 1)
+            << " req/s (floor " << min_n7 << ") "
+            << (n7_ok ? "OK" : "REGRESSION") << '\n'
+            << "operation logs batched vs unbatched: "
+            << (logs_ok ? "identical" : "DIVERGED — BUG") << '\n'
+            << "message digests: " << memo.computed << " computed, "
+            << memo.saved << " served from the memo (saved SHA-256 runs)\n";
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"consensus_batching\",\n"
+      << "  \"config\": {\n"
+      << "    \"crypto_cost_sign\": 5e-3,\n"
+      << "    \"crypto_cost_verify\": 2e-4,\n"
+      << "    \"cpu_cost_per_send\": 1e-3,\n"
+      << "    \"crypto_cost_reply\": 1e-4,\n"
+      << "    \"batch_size\": 16,\n"
+      << "    \"pipeline_depth\": 4,\n"
+      << "    \"clients\": " << sweep_clients << ",\n"
+      << "    \"duration_s\": " << sweep_duration << "\n"
+      << "  },\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& row = rows[i];
+    const double speedup =
+        row.batched.req_per_s / std::max(row.unbatched.req_per_s, 1e-9);
+    out << "    {\"n\": " << row.n
+        << ", \"unbatched_req_s\": " << row.unbatched.req_per_s
+        << ", \"batched_req_s\": " << row.batched.req_per_s
+        << ", \"speedup\": " << speedup
+        << ", \"avg_batch\": " << row.batched.avg_batch
+        << ", \"usig_cache_hits\": " << row.batched.usig_cache_hits
+        << ", \"logs_match\": " << (row.logs_match ? "true" : "false") << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"n7\": {\"speedup\": " << n7_speedup
+      << ", \"batched_req_s\": " << n7_batched
+      << ", \"min_speedup\": " << min_speedup << ", \"min_req_s\": " << min_n7
+      << "},\n"
+      << "  \"digest_memo\": {\"computed\": " << memo.computed
+      << ", \"saved\": " << memo.saved << "},\n"
+      << "  \"gates\": {\"logs_match\": " << (logs_ok ? "true" : "false")
+      << ", \"speedup_ok\": " << (speedup_ok ? "true" : "false")
+      << ", \"n7_throughput_ok\": " << (n7_ok ? "true" : "false") << "}\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << '\n';
+  return logs_ok && speedup_ok && n7_ok ? 0 : 1;
 }

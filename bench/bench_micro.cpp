@@ -97,6 +97,50 @@ void BM_TestbedStep(benchmark::State& state) {
 }
 BENCHMARK(BM_TestbedStep);
 
+// The digest-memo satellite: a PREPARE body digest is computed once and
+// served from the memo afterwards.  `sha256_runs` counts actual SHA-256
+// finalizations per iteration — ~0 for the memoized path, batch+2 for the
+// fresh path (the work every sign/verify/conflict check used to redo).
+consensus::Prepare sample_prepare(int batch) {
+  consensus::Prepare p;
+  p.view = 3;
+  p.seq = 41;
+  for (int i = 0; i < batch; ++i) {
+    consensus::Request r;
+    r.client = 10000;
+    r.request_id = static_cast<std::uint64_t>(i);
+    r.operation = "write:key" + std::to_string(i);
+    p.requests.push_back(std::move(r));
+  }
+  return p;
+}
+
+void BM_PrepareDigestMemoized(benchmark::State& state) {
+  const auto p = sample_prepare(static_cast<int>(state.range(0)));
+  (void)p.body_digest();  // warm the memo
+  const std::uint64_t before = crypto::Sha256::invocations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.body_digest());
+  }
+  state.counters["sha256_runs"] = benchmark::Counter(
+      static_cast<double>(crypto::Sha256::invocations() - before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PrepareDigestMemoized)->Arg(1)->Arg(16);
+
+void BM_PrepareDigestFresh(benchmark::State& state) {
+  auto p = sample_prepare(static_cast<int>(state.range(0)));
+  const std::uint64_t before = crypto::Sha256::invocations();
+  for (auto _ : state) {
+    p.invalidate_digests();  // what every call paid before memoization
+    benchmark::DoNotOptimize(p.body_digest());
+  }
+  state.counters["sha256_runs"] = benchmark::Counter(
+      static_cast<double>(crypto::Sha256::invocations() - before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_PrepareDigestFresh)->Arg(1)->Arg(16);
+
 void BM_MinBftRequestRound(benchmark::State& state) {
   consensus::MinBftConfig cfg;
   cfg.f = 1;

@@ -2,6 +2,17 @@
 // Fig. 17 of the paper: REQUEST, PREPARE, COMMIT, REPLY, CHECKPOINT,
 // REQ-VIEW-CHANGE, VIEW-CHANGE, NEW-VIEW, plus the JOIN/EVICT reconfiguration
 // operations which TOLERANCE's system controller drives through consensus.
+//
+// Batching (the Fig. 10 throughput lever): a PREPARE binds an ordered
+// *vector* of client requests to a single USIG counter value, so followers
+// verify one UI per batch instead of one per request; COMMITs endorse the
+// batch digest.  Execution and REPLYs still fan out per request.
+//
+// Message body digests are memoized (computed once, reused across sign,
+// verify and conflict checks) — a message is serialized when it is built,
+// not on every crypto call.  Mutating a message after its digest was taken
+// requires invalidate_digests(); the only in-tree mutators are the
+// Byzantine fault injections.
 #pragma once
 
 #include <cstdint>
@@ -20,6 +31,46 @@ using ClientId = net::NodeId;
 using View = std::uint64_t;
 using SeqNum = std::uint64_t;
 
+/// Running totals for the digest memoization (process-wide, for the micro
+/// bench and tests): `computed` body digests actually hashed, `saved`
+/// digest requests served from the memo without touching SHA-256.
+struct DigestMemoStats {
+  std::uint64_t computed = 0;
+  std::uint64_t saved = 0;
+};
+DigestMemoStats digest_memo_stats();
+void reset_digest_memo_stats();
+
+namespace detail {
+
+/// One-slot digest memo.  Copies carry the cached value along, so a message
+/// fanned out to N receivers is hashed once, not N times.
+class DigestMemo {
+ public:
+  template <class Compute>
+  const crypto::Digest& get(Compute&& compute) const {
+    if (!valid_) {
+      value_ = compute();
+      valid_ = true;
+      note_computed();
+    } else {
+      note_saved();
+    }
+    return value_;
+  }
+
+  void invalidate() { valid_ = false; }
+
+ private:
+  static void note_computed();
+  static void note_saved();
+
+  mutable crypto::Digest value_{};
+  mutable bool valid_ = false;
+};
+
+}  // namespace detail
+
 /// A client operation.  Reconfiguration requests are ordinary operations with
 /// a reserved prefix ("join:<id>" / "evict:<id>") issued by the system
 /// controller, so membership changes are totally ordered with the workload
@@ -32,26 +83,46 @@ struct Request {
 
   std::string payload() const;
   crypto::Digest digest() const;
+  void invalidate_digests() { memo_.invalidate(); }
+
+ private:
+  detail::DigestMemo memo_;
 };
 
 struct Prepare {
   View view = 0;
   SeqNum seq = 0;  ///< equals the leader's USIG counter value
-  Request request;
+  /// The ordered request batch bound to this counter value (>= 1 entry).
+  std::vector<Request> requests;
   crypto::UniqueIdentifier ui;  ///< leader's UI over the prepare digest
 
+  /// Digest over the ordered request-digest vector — what COMMITs endorse.
+  crypto::Digest batch_digest() const;
   crypto::Digest body_digest() const;
+  void invalidate_digests() {
+    batch_memo_.invalidate();
+    body_memo_.invalidate();
+    for (Request& r : requests) r.invalidate_digests();
+  }
+
+ private:
+  detail::DigestMemo batch_memo_;
+  detail::DigestMemo body_memo_;
 };
 
 struct Commit {
   View view = 0;
   SeqNum seq = 0;
-  ReplicaId replica = 0;           ///< the committing replica
-  crypto::Digest request_digest{}; ///< digest of the prepared request
+  ReplicaId replica = 0;         ///< the committing replica
+  crypto::Digest batch_digest{}; ///< digest of the prepared request batch
   crypto::UniqueIdentifier leader_ui;  ///< copied from the PREPARE
-  crypto::UniqueIdentifier ui;     ///< committer's own UI
+  crypto::UniqueIdentifier ui;   ///< committer's own UI
 
   crypto::Digest body_digest() const;
+  void invalidate_digests() { body_memo_.invalidate(); }
+
+ private:
+  detail::DigestMemo body_memo_;
 };
 
 struct Reply {
@@ -71,6 +142,10 @@ struct Checkpoint {
   crypto::UniqueIdentifier ui;
 
   crypto::Digest body_digest() const;
+  void invalidate_digests() { body_memo_.invalidate(); }
+
+ private:
+  detail::DigestMemo body_memo_;
 };
 
 struct ReqViewChange {
@@ -95,6 +170,10 @@ struct ViewChange {
   crypto::UniqueIdentifier ui;
 
   crypto::Digest body_digest() const;
+  void invalidate_digests() { body_memo_.invalidate(); }
+
+ private:
+  detail::DigestMemo body_memo_;
 };
 
 struct NewView {
@@ -105,6 +184,10 @@ struct NewView {
   crypto::UniqueIdentifier ui;
 
   crypto::Digest body_digest() const;
+  void invalidate_digests() { body_memo_.invalidate(); }
+
+ private:
+  detail::DigestMemo body_memo_;
 };
 
 /// State-transfer for recovered or joining replicas (Fig. 17 d-e).

@@ -5,15 +5,33 @@
 // the hybrid failure model, FIFO ordering per leader enforced by counter
 // contiguity, equivocation impossible because a counter value can be bound
 // to only one message.  This implementation adds the reconfiguration
-// operations (join/evict) of §VII-C and state transfer for new replicas.
+// operations (join/evict) of §VII-C, state transfer for new replicas, and
+// the throughput levers of the Fig. 10 scale-up:
+//
+//  * Request batching — the leader accumulates pending client requests and
+//    binds a whole ordered batch to ONE USIG counter value; followers verify
+//    one UI per batch, COMMITs endorse the batch digest, execution and
+//    REPLYs fan out per request.  A batch seals as soon as the pipeline
+//    window has room (so an idle system runs at singleton batches with
+//    unbatched latency), when it reaches `batch_size`, or when the batch
+//    timer fires; batches only *accumulate* under backpressure, which is
+//    exactly when amortizing the signature pays.
+//  * Pipelined signing/verification — up to `pipeline_depth` sealed batches
+//    may be in flight (assigned a counter, not yet executed) at once, and a
+//    UsigVerifyCache memoizes verification verdicts per (sender, epoch,
+//    counter) so retransmits and view-change proof re-checks are free.
 //
 // Byzantine behaviour for experiments is injected via ByzantineMode: the
 // protocol logic below is the honest logic; a compromised replica either
-// goes silent, or emits garbage COMMITs/REPLYs — but its USIG still refuses
-// to equivocate, which is exactly the hybrid-failure assumption.
+// goes silent, or emits garbage (corrupted COMMIT digests, garbage REPLYs,
+// and — as leader — a corrupted operation smuggled into a sealed batch).
+// Its USIG still refuses to equivocate, which is exactly the hybrid-failure
+// assumption; a garbage batch is caught by the per-request client-signature
+// check and answered with a view change.
 #pragma once
 
 #include <deque>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
@@ -39,6 +57,34 @@ struct MinBftConfig {
   /// CPU cost per outgoing message (marshalling + per-link MAC); dominates
   /// the O(N^2) message complexity that bends the Fig. 10 throughput curve.
   double cpu_cost_per_send = 0.0;
+  /// Per-REPLY authentication cost.  Replies are per-client point-to-point,
+  /// so real deployments authenticate them with session MACs instead of
+  /// signatures (the PBFT-lineage optimization); < 0 falls back to
+  /// crypto_cost_sign, the pre-batching behaviour.
+  double crypto_cost_reply = -1.0;
+  /// Max requests bound to one USIG counter value (1 = unbatched protocol).
+  int batch_size = 16;
+  /// Max sealed-but-unexecuted batches the leader keeps in flight.  An
+  /// arriving request seals immediately while the window has room;
+  /// kUnboundedPipeline reproduces the pre-batching message pattern
+  /// (every request its own PREPARE, watermark-bound pipelining).
+  int pipeline_depth = 4;
+  /// Seal a partial batch after this many (simulated) seconds even if the
+  /// pipeline window is full (at most one over-the-window batch per timeout
+  /// period) — bounds pending-request latency when execution stalls.
+  double batch_timeout = 0.05;
+  /// Entries kept by the per-replica USIG verification cache.
+  std::size_t usig_cache_capacity = 4096;
+
+  static constexpr int kUnboundedPipeline = std::numeric_limits<int>::max();
+
+  /// The pre-batching protocol: singleton batches, watermark-bound pipeline.
+  MinBftConfig unbatched() const {
+    MinBftConfig c = *this;
+    c.batch_size = 1;
+    c.pipeline_depth = kUnboundedPipeline;
+    return c;
+  }
 };
 
 /// The replicated state machine: an append-only operation log with a chained
@@ -71,9 +117,9 @@ class MinBftReplica {
                 std::shared_ptr<crypto::KeyRegistry> registry,
                 std::uint64_t key_seed, std::uint64_t usig_epoch = 0);
 
-  /// Cancels any pending view-change timer: the timer callback captures
-  /// `this`, so a replica destroyed mid-run (evicted or recovered by the
-  /// system controller) must not leave it armed in the network queue.
+  /// Cancels any pending view-change / batch timer: the timer callbacks
+  /// capture `this`, so a replica destroyed mid-run (evicted or recovered by
+  /// the system controller) must not leave one armed in the network queue.
   ~MinBftReplica();
 
   MinBftReplica(const MinBftReplica&) = delete;
@@ -105,6 +151,16 @@ class MinBftReplica {
   std::uint64_t usig_counter() const { return usig_.last_counter(); }
   std::uint64_t usig_epoch() const { return usig_.epoch(); }
 
+  // Batching / caching telemetry (tests and the Fig. 10 sweep).
+  std::uint64_t batches_proposed() const { return batches_proposed_; }
+  std::uint64_t requests_proposed() const { return requests_proposed_; }
+  std::size_t max_batch_size_proposed() const { return max_batch_; }
+  std::size_t pending_request_count() const {
+    return pending_requests_.size();
+  }
+  std::uint64_t usig_cache_hits() const { return usig_cache_.hits(); }
+  std::uint64_t usig_cache_misses() const { return usig_cache_.misses(); }
+
  private:
   struct PendingEntry {
     Prepare prepare;
@@ -122,7 +178,19 @@ class MinBftReplica {
   void handle_state_request(net::NodeId from, const StateRequest& r);
   void handle_state_response(const StateResponse& r);
 
-  void lead_request(const Request& req);
+  void enqueue_request(const Request& req);
+  /// Seal pending requests into batches while the pipeline window has room.
+  void try_seal_batches();
+  bool seal_one_batch();
+  SeqNum in_flight_batches() const;
+  void arm_batch_timer();
+  void disarm_batch_timer();
+  void drop_pending_requests();
+  /// Recompute the pipeline bookkeeping after a view installation.
+  void resync_assignment_watermark();
+  /// The current leader is provably faulty (conflicting batch at one seq,
+  /// or a batch request with a bad client signature): demand a view change.
+  void denounce_leader();
   ReqViewChange make_req_view_change(View to_view);
   void try_execute();
   void execute_entry(PendingEntry& entry);
@@ -134,8 +202,16 @@ class MinBftReplica {
   void disarm_view_change_timer();
   void send_commit(const Prepare& p);
   void broadcast(const MinBftMsg& msg);
+  double reply_cost() const {
+    return config_.crypto_cost_reply < 0.0 ? config_.crypto_cost_sign
+                                           : config_.crypto_cost_reply;
+  }
 
-  bool verify_request(const Request& req) const;
+  bool verify_request(const Request& req);
+  /// USIG verification through the per-replica verdict cache; only a miss
+  /// pays the verify CPU cost.
+  bool verify_ui(const crypto::Digest& digest,
+                 const crypto::UniqueIdentifier& ui);
   bool is_member(ReplicaId replica) const;
   /// Accept `ui` only if it is fresh — strictly above the last (epoch,
   /// counter) pair seen from its issuer — and record it.  Evicted or
@@ -172,6 +248,22 @@ class MinBftReplica {
   std::map<ClientId, std::uint64_t> last_replied_;
   std::map<crypto::Digest, std::set<ReplicaId>> state_votes_;
   std::map<crypto::Digest, StateResponse> pending_state_;
+
+  // --- batching / pipelining state (leader role) ---------------------------
+  std::deque<Request> pending_requests_;  ///< verified, not yet sealed
+  std::set<std::pair<ClientId, std::uint64_t>> pending_keys_;
+  SeqNum highest_assigned_ = 0;  ///< highest seq this replica proposed
+  std::uint64_t batch_timer_ = 0;
+  bool batch_timer_armed_ = false;
+  std::uint64_t batches_proposed_ = 0;
+  std::uint64_t requests_proposed_ = 0;
+  std::size_t max_batch_ = 0;
+
+  // --- verification caches -------------------------------------------------
+  crypto::UsigVerifyCache usig_cache_;
+  /// Digests of requests whose client signature already verified — a batch
+  /// whose requests all arrived via REQUEST broadcasts re-verifies nothing.
+  std::set<crypto::Digest, std::less<crypto::Digest>> verified_requests_;
 };
 
 }  // namespace tolerance::consensus

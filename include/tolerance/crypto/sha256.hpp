@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -27,8 +28,19 @@ class Sha256 {
   static Digest hash(std::string_view s);
   static Digest hash(const std::vector<std::uint8_t>& bytes);
 
+  /// Process-wide count of digests computed (finalize() calls).  Lets the
+  /// micro bench put a number on work avoided by memoized message digests.
+  static std::uint64_t invocations() {
+    return invocation_count_.load(std::memory_order_relaxed);
+  }
+  static void reset_invocations() {
+    invocation_count_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   void process_block(const std::uint8_t* block);
+
+  static std::atomic<std::uint64_t> invocation_count_;
 
   std::array<std::uint32_t, 8> state_;
   std::array<std::uint8_t, 64> buffer_;

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <optional>
 #include <string>
+#include <tuple>
 
 #include "tolerance/crypto/keys.hpp"
 #include "tolerance/crypto/sha256.hpp"
@@ -65,6 +68,67 @@ class Usig {
   std::string secret_;
   std::uint64_t epoch_ = 0;
   std::uint64_t counter_ = 0;
+};
+
+/// Verification-result cache keyed by (replica, epoch, counter).  A counter
+/// value can be bound to only one message (the USIG property), so once a
+/// certificate over (counter, digest) has been checked, retransmits and
+/// view-change proof re-checks can reuse the verdict instead of recomputing
+/// the HMAC — the "pipelined verification" half of the batched consensus
+/// path.  An entry only hits when digest AND certificate match what was
+/// verified, so a replayed counter with different content always misses.
+///
+/// Deterministic bounded memory: entries are evicted in insertion order once
+/// `capacity` is exceeded.  Not thread-safe; each replica owns one.
+class UsigVerifyCache {
+ public:
+  explicit UsigVerifyCache(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Cached verdict for `ui` over `digest`, or nullopt on miss.
+  std::optional<bool> lookup(const UniqueIdentifier& ui, const Digest& digest) {
+    const auto it = entries_.find(key(ui));
+    if (it == entries_.end() || !digest_equal(it->second.digest, digest) ||
+        !digest_equal(it->second.certificate, ui.certificate)) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second.ok;
+  }
+
+  void insert(const UniqueIdentifier& ui, const Digest& digest, bool ok) {
+    const Key k = key(ui);
+    if (entries_.emplace(k, Entry{digest, ui.certificate, ok}).second) {
+      order_.push_back(k);
+      while (order_.size() > capacity_) {
+        entries_.erase(order_.front());
+        order_.pop_front();
+      }
+    }
+  }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  using Key = std::tuple<PrincipalId, std::uint64_t, std::uint64_t>;
+  struct Entry {
+    Digest digest;
+    Digest certificate;
+    bool ok = false;
+  };
+
+  static Key key(const UniqueIdentifier& ui) {
+    return {ui.replica, ui.epoch, ui.counter};
+  }
+
+  std::size_t capacity_;
+  std::map<Key, Entry> entries_;
+  std::deque<Key> order_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace tolerance::crypto

@@ -57,6 +57,13 @@ struct ScenarioOptions {
   /// Network-event budget for one consensus-ordered membership operation.
   std::size_t membership_event_budget = 120000;
   bool record_trace = true;
+  /// Consensus batching knobs, forwarded to MinBftConfig: requests bound to
+  /// one USIG counter and sealed-but-unexecuted batches in flight.  The
+  /// scenario workload is sequential (one probe / membership op at a time),
+  /// so batched and unbatched runs are bit-identical — which the batching
+  /// equivalence suite asserts across the whole catalog.
+  int consensus_batch_size = 16;
+  int consensus_pipeline_depth = 4;
 };
 
 class ScenarioRunner {

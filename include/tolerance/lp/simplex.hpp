@@ -62,6 +62,9 @@ struct LpSolution {
   /// solve() to warm start a related LP.
   SimplexBasis basis;
   WarmStart warm_start = WarmStart::None;
+  /// Nonzeros in the final eta-file reinversion (revised core only; 0 for
+  /// the dense fallback) — the fill metric the Markowitz ordering targets.
+  std::size_t eta_nnz = 0;
 };
 
 class SimplexSolver {
@@ -84,6 +87,16 @@ class SimplexSolver {
     /// Max dual-simplex pivots spent repairing a warm basis before falling
     /// back to a cold solve.
     int dual_repair_limit = 400;
+    /// Markowitz-style pivot ordering in the eta-file reinversion: columns
+    /// are eliminated by ascending *remaining* nonzero count and the pivot
+    /// row is the least-occupied numerically acceptable one, which keeps the
+    /// factorization close to a permuted triangle and cuts eta fill (the
+    /// cold large-smax lever).  false restores the static ascending-nnz
+    /// order with pure partial pivoting.
+    bool markowitz_reinversion = true;
+    /// Threshold pivoting for the Markowitz order: rows within this factor
+    /// of the largest transformed entry are acceptable pivots.
+    double markowitz_threshold = 0.01;
   };
 
   SimplexSolver() : options_() {}

@@ -32,6 +32,8 @@ struct CmdpSolution {
   double average_cost = 0.0;    ///< E[s] under the stationary distribution
   double availability = 0.0;    ///< P[s >= f+1] under the stationary distribution
   long lp_iterations = 0;
+  /// Fill of the final eta-file reinversion (see LpSolution::eta_nnz).
+  std::size_t lp_eta_nnz = 0;
   /// Optimal LP basis — feed back into solve_replication_lp to warm start
   /// the next solve (an epsilon_A sweep, a re-estimated kernel, the
   /// periodic re-solve of a control loop).

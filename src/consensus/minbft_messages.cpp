@@ -1,5 +1,6 @@
 #include "tolerance/consensus/minbft_messages.hpp"
 
+#include <atomic>
 #include <sstream>
 
 namespace tolerance::consensus {
@@ -7,7 +8,32 @@ namespace {
 
 std::string hex(const crypto::Digest& d) { return crypto::to_hex(d); }
 
+std::atomic<std::uint64_t> g_memo_computed{0};
+std::atomic<std::uint64_t> g_memo_saved{0};
+
 }  // namespace
+
+DigestMemoStats digest_memo_stats() {
+  return {g_memo_computed.load(std::memory_order_relaxed),
+          g_memo_saved.load(std::memory_order_relaxed)};
+}
+
+void reset_digest_memo_stats() {
+  g_memo_computed.store(0, std::memory_order_relaxed);
+  g_memo_saved.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void DigestMemo::note_computed() {
+  g_memo_computed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DigestMemo::note_saved() {
+  g_memo_saved.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 std::string Request::payload() const {
   std::ostringstream os;
@@ -16,21 +42,38 @@ std::string Request::payload() const {
 }
 
 crypto::Digest Request::digest() const {
-  return crypto::Sha256::hash(payload());
+  return memo_.get([this] { return crypto::Sha256::hash(payload()); });
+}
+
+crypto::Digest Prepare::batch_digest() const {
+  return batch_memo_.get([this] {
+    crypto::Sha256 h;
+    h.update("batch|");
+    for (const Request& r : requests) {
+      const crypto::Digest d = r.digest();
+      h.update(d.data(), d.size());
+    }
+    return h.finalize();
+  });
 }
 
 crypto::Digest Prepare::body_digest() const {
-  std::ostringstream os;
-  os << "prepare|" << view << '|' << seq << '|' << hex(request.digest());
-  return crypto::Sha256::hash(os.str());
+  return body_memo_.get([this] {
+    std::ostringstream os;
+    os << "prepare|" << view << '|' << seq << '|' << requests.size() << '|'
+       << hex(batch_digest());
+    return crypto::Sha256::hash(os.str());
+  });
 }
 
 crypto::Digest Commit::body_digest() const {
-  std::ostringstream os;
-  os << "commit|" << view << '|' << seq << '|' << replica << '|'
-     << hex(request_digest) << '|' << leader_ui.replica << ':'
-     << leader_ui.counter;
-  return crypto::Sha256::hash(os.str());
+  return body_memo_.get([this] {
+    std::ostringstream os;
+    os << "commit|" << view << '|' << seq << '|' << replica << '|'
+       << hex(batch_digest) << '|' << leader_ui.replica << ':'
+       << leader_ui.counter;
+    return crypto::Sha256::hash(os.str());
+  });
 }
 
 std::string Reply::payload() const {
@@ -41,10 +84,12 @@ std::string Reply::payload() const {
 }
 
 crypto::Digest Checkpoint::body_digest() const {
-  std::ostringstream os;
-  os << "checkpoint|" << replica << '|' << last_executed << '|'
-     << hex(state_digest);
-  return crypto::Sha256::hash(os.str());
+  return body_memo_.get([this] {
+    std::ostringstream os;
+    os << "checkpoint|" << replica << '|' << last_executed << '|'
+       << hex(state_digest);
+    return crypto::Sha256::hash(os.str());
+  });
 }
 
 std::string ReqViewChange::payload() const {
@@ -61,23 +106,27 @@ std::string StateResponse::payload() const {
 }
 
 crypto::Digest ViewChange::body_digest() const {
-  std::ostringstream os;
-  os << "viewchange|" << replica << '|' << to_view << '|' << stable_seq << '|'
-     << prepared.size();
-  for (const PreparedProof& p : prepared) {
-    os << '|' << p.prepare.seq << ':' << hex(p.prepare.request.digest());
-  }
-  return crypto::Sha256::hash(os.str());
+  return body_memo_.get([this] {
+    std::ostringstream os;
+    os << "viewchange|" << replica << '|' << to_view << '|' << stable_seq
+       << '|' << prepared.size();
+    for (const PreparedProof& p : prepared) {
+      os << '|' << p.prepare.seq << ':' << hex(p.prepare.batch_digest());
+    }
+    return crypto::Sha256::hash(os.str());
+  });
 }
 
 crypto::Digest NewView::body_digest() const {
-  std::ostringstream os;
-  os << "newview|" << leader << '|' << view << '|' << proofs.size() << '|'
-     << reproposed.size();
-  for (const Prepare& p : reproposed) {
-    os << '|' << p.seq << ':' << hex(p.request.digest());
-  }
-  return crypto::Sha256::hash(os.str());
+  return body_memo_.get([this] {
+    std::ostringstream os;
+    os << "newview|" << leader << '|' << view << '|' << proofs.size() << '|'
+       << reproposed.size();
+    for (const Prepare& p : reproposed) {
+      os << '|' << p.seq << ':' << hex(p.batch_digest());
+    }
+    return crypto::Sha256::hash(os.str());
+  });
 }
 
 }  // namespace tolerance::consensus

@@ -7,6 +7,14 @@
 
 namespace tolerance::consensus {
 
+namespace {
+
+/// Cap on the verified-request digest cache; cleared wholesale (determinism
+/// beats LRU bookkeeping at this scale) when exceeded.
+constexpr std::size_t kVerifiedRequestCap = 8192;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ReplicatedService
 // ---------------------------------------------------------------------------
@@ -57,15 +65,21 @@ MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
       signer_(id, registry_->register_principal(id, key_seed)),
       usig_(id, registry_->register_principal(id + crypto::kUsigPrincipalOffset,
                                               key_seed ^ 0x5a5au),
-            usig_epoch) {
+            usig_epoch),
+      usig_cache_(config.usig_cache_capacity) {
   TOL_ENSURE(!membership_.empty(), "membership must be non-empty");
+  TOL_ENSURE(config_.batch_size >= 1, "batch_size must be >= 1");
+  TOL_ENSURE(config_.pipeline_depth >= 1, "pipeline_depth must be >= 1");
   std::sort(membership_.begin(), membership_.end());
   TOL_ENSURE(std::find(membership_.begin(), membership_.end(), id_) !=
                  membership_.end(),
              "replica must be part of the membership");
 }
 
-MinBftReplica::~MinBftReplica() { disarm_view_change_timer(); }
+MinBftReplica::~MinBftReplica() {
+  disarm_view_change_timer();
+  disarm_batch_timer();
+}
 
 ReplicaId MinBftReplica::current_leader() const {
   return membership_[static_cast<std::size_t>(view_ % membership_.size())];
@@ -79,9 +93,28 @@ void MinBftReplica::broadcast(const MinBftMsg& msg) {
   net_->broadcast(id_, membership_, msg);
 }
 
-bool MinBftReplica::verify_request(const Request& req) const {
+bool MinBftReplica::verify_request(const Request& req) {
+  // The signature must be the claimed client's own — any registered
+  // principal can produce *a* valid tag, but only over its own identity.
+  if (req.signature.signer != req.client) return false;
+  const crypto::Digest d = req.digest();
+  if (verified_requests_.count(d) > 0) return true;  // cached verdict
   net_->consume_cpu(id_, config_.crypto_cost_verify);
-  return registry_->verify(req.payload(), req.signature);
+  if (!registry_->verify(req.payload(), req.signature)) return false;
+  if (verified_requests_.size() >= kVerifiedRequestCap) {
+    verified_requests_.clear();
+  }
+  verified_requests_.insert(d);
+  return true;
+}
+
+bool MinBftReplica::verify_ui(const crypto::Digest& digest,
+                              const crypto::UniqueIdentifier& ui) {
+  if (const auto cached = usig_cache_.lookup(ui, digest)) return *cached;
+  net_->consume_cpu(id_, config_.crypto_cost_verify);
+  const bool ok = crypto::Usig::verify(*registry_, digest, ui);
+  usig_cache_.insert(ui, digest, ok);
+  return ok;
 }
 
 bool MinBftReplica::is_member(ReplicaId replica) const {
@@ -126,13 +159,16 @@ void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
         }
       },
       msg);
+  // Any message may have freed pipeline room (commits executing a batch, a
+  // checkpoint advancing the watermark) — flush pending requests.
+  try_seal_batches();
 }
 
 void MinBftReplica::handle_request(const Request& req) {
   if (executed_requests_.count({req.client, req.request_id}) > 0) return;
   if (!verify_request(req)) return;
   if (is_leader() && !in_view_change_) {
-    lead_request(req);
+    enqueue_request(req);
   } else {
     // Follower: watch for progress; if the request is not executed within
     // Tvc the leader is suspected (Fig. 17b).
@@ -140,53 +176,163 @@ void MinBftReplica::handle_request(const Request& req) {
   }
 }
 
-void MinBftReplica::lead_request(const Request& req) {
-  // Deduplicate: skip if a pending entry already carries this request.
-  for (const auto& [seq, entry] : log_) {
-    if (entry.prepare.request.client == req.client &&
-        entry.prepare.request.request_id == req.request_id) {
-      return;
+// ---------------------------------------------------------------------------
+// Batching: accumulate, seal, pipeline
+// ---------------------------------------------------------------------------
+
+void MinBftReplica::enqueue_request(const Request& req) {
+  const auto key = std::make_pair(req.client, req.request_id);
+  if (pending_keys_.count(key) > 0) return;
+  // Deduplicate against batches already in flight (executed ones are caught
+  // by the executed_requests_ check upstream).
+  for (auto it = log_.upper_bound(last_executed_); it != log_.end(); ++it) {
+    for (const Request& r : it->second.prepare.requests) {
+      if (r.client == req.client && r.request_id == req.request_id) return;
     }
   }
+  pending_requests_.push_back(req);
+  pending_keys_.insert(key);
+}
+
+SeqNum MinBftReplica::in_flight_batches() const {
+  return highest_assigned_ > last_executed_
+             ? highest_assigned_ - last_executed_
+             : 0;
+}
+
+void MinBftReplica::try_seal_batches() {
+  if (!is_leader() || in_view_change_) return;
+  while (true) {
+    bool sealed = false;
+    while (!pending_requests_.empty() &&
+           in_flight_batches() <
+               static_cast<SeqNum>(config_.pipeline_depth)) {
+      if (!seal_one_batch()) break;
+      sealed = true;
+    }
+    if (pending_requests_.empty()) {
+      disarm_batch_timer();
+    } else {
+      arm_batch_timer();
+    }
+    if (!sealed) return;
+    // A sealed batch can only execute immediately when f = 0; if it did,
+    // the window has room again.
+    const SeqNum before = last_executed_;
+    try_execute();
+    if (last_executed_ == before) return;
+  }
+}
+
+bool MinBftReplica::seal_one_batch() {
   const SeqNum highest_logged = log_.empty() ? 0 : log_.rbegin()->first;
   const SeqNum seq = std::max(last_executed_, highest_logged) + 1;
   if (seq > stable_checkpoint_ + config_.log_watermark) {
-    return;  // outside the high watermark; client will retransmit (L, Table 8)
+    return false;  // outside the high watermark; client will retransmit
   }
   Prepare p;
   p.view = view_;
   p.seq = seq;
-  p.request = req;
+  const std::size_t take = std::min<std::size_t>(
+      static_cast<std::size_t>(config_.batch_size), pending_requests_.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    Request& front = pending_requests_.front();
+    pending_keys_.erase({front.client, front.request_id});
+    p.requests.push_back(std::move(front));
+    pending_requests_.pop_front();
+  }
+  if (mode_ == ByzantineMode::Random) {
+    // Behaviour (c) as leader: smuggle a corrupted operation into the batch
+    // under a perfectly valid UI.  The USIG cannot be bypassed, but it signs
+    // whatever the (compromised) replica hands it; honest followers catch
+    // the forgery via the per-request client-signature check.
+    p.requests[0].operation += "|garbage";
+    p.invalidate_digests();
+  }
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   p.ui = usig_.create(p.body_digest());
+  ++batches_proposed_;
+  requests_proposed_ += take;
+  max_batch_ = std::max(max_batch_, take);
   PendingEntry entry;
   entry.prepare = p;
   entry.commits.insert(id_);  // the leader's PREPARE doubles as its COMMIT
   log_[seq] = std::move(entry);
+  highest_assigned_ = std::max(highest_assigned_, seq);
   broadcast(p);
-  try_execute();
+  return true;
 }
+
+void MinBftReplica::arm_batch_timer() {
+  if (batch_timer_armed_) return;
+  batch_timer_armed_ = true;
+  batch_timer_ = net_->schedule(config_.batch_timeout, [this]() {
+    batch_timer_armed_ = false;
+    if (mode_ == ByzantineMode::Silent) return;
+    // The timeout half of the seal rule: a partial batch does not wait on
+    // the pipeline window forever — at most one batch per timeout period
+    // may overshoot the depth, which bounds pending-request latency while
+    // keeping the window meaningful under load.  (The watermark still
+    // applies inside seal_one_batch.)
+    if (!pending_requests_.empty() && is_leader() && !in_view_change_ &&
+        in_flight_batches() >=
+            static_cast<SeqNum>(config_.pipeline_depth)) {
+      if (seal_one_batch()) try_execute();
+    }
+    try_seal_batches();
+    if (!pending_requests_.empty()) arm_batch_timer();
+  });
+}
+
+void MinBftReplica::disarm_batch_timer() {
+  if (!batch_timer_armed_) return;
+  net_->cancel(batch_timer_);
+  batch_timer_armed_ = false;
+}
+
+void MinBftReplica::drop_pending_requests() {
+  pending_requests_.clear();
+  pending_keys_.clear();
+  disarm_batch_timer();
+}
+
+void MinBftReplica::resync_assignment_watermark() {
+  const SeqNum highest_logged = log_.empty() ? 0 : log_.rbegin()->first;
+  highest_assigned_ = std::max(last_executed_, highest_logged);
+}
+
+// ---------------------------------------------------------------------------
+// Agreement
+// ---------------------------------------------------------------------------
 
 void MinBftReplica::handle_prepare(const Prepare& p) {
   if (p.view != view_ || in_view_change_) return;
   const ReplicaId leader =
       membership_[static_cast<std::size_t>(p.view % membership_.size())];
   if (p.ui.replica != leader || leader == id_) return;
-  net_->consume_cpu(id_, config_.crypto_cost_verify);
-  if (!crypto::Usig::verify(*registry_, p.body_digest(), p.ui)) return;
+  if (p.requests.empty()) return;  // malformed; honest leaders never send it
+  if (!verify_ui(p.body_digest(), p.ui)) return;
   // Monotonic counters prevent replay; the USIG guarantees uniqueness.
   if (!accept_counter(p.ui)) return;
   if (p.seq <= stable_checkpoint_) return;
+  // Every request in the batch must carry its client's own signature — a
+  // compromised leader can bind garbage to a valid UI, but it cannot forge
+  // client signatures (Prop. 1).  Requests that arrived via their REQUEST
+  // broadcast hit the verified-digest cache and cost nothing to re-check.
+  for (const Request& r : p.requests) {
+    if (!verify_request(r)) {
+      denounce_leader();
+      return;
+    }
+  }
   const auto it = log_.find(p.seq);
   if (it != log_.end()) {
     const bool same = crypto::digest_equal(
-        it->second.prepare.request.digest(), p.request.digest());
+        it->second.prepare.batch_digest(), p.batch_digest());
     if (!same) {
-      // A leader proposing two different requests at one sequence number is
+      // A leader proposing two different batches at one sequence number is
       // faulty: demand a view change.
-      const ReqViewChange rvc = make_req_view_change(view_ + 1);
-      broadcast(rvc);
-      handle_req_view_change(rvc);  // count our own vote
+      denounce_leader();
       return;
     }
     it->second.commits.insert(leader);
@@ -201,16 +347,22 @@ void MinBftReplica::handle_prepare(const Prepare& p) {
   try_execute();
 }
 
+void MinBftReplica::denounce_leader() {
+  const ReqViewChange rvc = make_req_view_change(view_ + 1);
+  broadcast(rvc);
+  handle_req_view_change(rvc);  // count our own vote
+}
+
 void MinBftReplica::send_commit(const Prepare& p) {
   Commit c;
   c.view = p.view;
   c.seq = p.seq;
   c.replica = id_;
-  c.request_digest = p.request.digest();
+  c.batch_digest = p.batch_digest();
   if (mode_ == ByzantineMode::Random) {
     // Behaviour (c): participate with garbage — corrupt the digest.  The UI
     // is still well-formed (the USIG cannot be bypassed).
-    c.request_digest[0] ^= 0xff;
+    c.batch_digest[0] ^= 0xff;
   }
   c.leader_ui = p.ui;
   net_->consume_cpu(id_, config_.crypto_cost_sign);
@@ -226,16 +378,15 @@ void MinBftReplica::handle_commit(const Commit& c) {
   // fresh counters, but its identifiers are never accepted after the evict
   // operation executed (§VII-C).
   if (!is_member(c.replica) || c.replica != c.ui.replica) return;
-  net_->consume_cpu(id_, config_.crypto_cost_verify);
-  if (!crypto::Usig::verify(*registry_, c.body_digest(), c.ui)) return;
+  if (!verify_ui(c.body_digest(), c.ui)) return;
   if (!accept_counter(c.ui)) return;
   if (c.seq <= stable_checkpoint_) return;
   const auto it = log_.find(c.seq);
   if (it == log_.end()) return;  // commit precedes prepare; PREPARE rebroadcast
                                  // or view change will resolve it
-  // Votes only count when they endorse the prepared request.
-  if (!crypto::digest_equal(it->second.prepare.request.digest(),
-                            c.request_digest)) {
+  // Votes only count when they endorse the prepared batch.
+  if (!crypto::digest_equal(it->second.prepare.batch_digest(),
+                            c.batch_digest)) {
     return;
   }
   it->second.commits.insert(c.replica);
@@ -263,20 +414,24 @@ void MinBftReplica::try_execute() {
 }
 
 void MinBftReplica::execute_entry(PendingEntry& entry) {
-  const Request& req = entry.prepare.request;
-  executed_requests_.insert({req.client, req.request_id});
-  std::string result = service_.execute(req.operation);
-  apply_reconfiguration(req.operation);
-  if (mode_ == ByzantineMode::Random) result = "garbage";
-  Reply reply;
-  reply.replica = id_;
-  reply.client = req.client;
-  reply.request_id = req.request_id;
-  reply.result = std::move(result);
-  net_->consume_cpu(id_, config_.crypto_cost_sign);
-  reply.signature = signer_.sign(reply.payload());
-  net_->send(id_, req.client, MinBftMsg{reply});
-  last_replied_[req.client] = req.request_id;
+  // Execution and REPLYs fan out per request of the batch.
+  for (const Request& req : entry.prepare.requests) {
+    if (!executed_requests_.insert({req.client, req.request_id}).second) {
+      continue;  // re-proposed across a view change and already executed
+    }
+    std::string result = service_.execute(req.operation);
+    apply_reconfiguration(req.operation);
+    if (mode_ == ByzantineMode::Random) result = "garbage";
+    Reply reply;
+    reply.replica = id_;
+    reply.client = req.client;
+    reply.request_id = req.request_id;
+    reply.result = std::move(result);
+    net_->consume_cpu(id_, reply_cost());
+    reply.signature = signer_.sign(reply.payload());
+    net_->send(id_, req.client, MinBftMsg{reply});
+    last_replied_[req.client] = req.request_id;
+  }
 }
 
 void MinBftReplica::apply_reconfiguration(const std::string& op) {
@@ -312,8 +467,7 @@ void MinBftReplica::emit_checkpoint() {
 void MinBftReplica::handle_checkpoint(const Checkpoint& c) {
   if (c.last_executed <= stable_checkpoint_) return;
   if (!is_member(c.replica) || c.replica != c.ui.replica) return;
-  net_->consume_cpu(id_, config_.crypto_cost_verify);
-  if (!crypto::Usig::verify(*registry_, c.body_digest(), c.ui)) return;
+  if (!verify_ui(c.body_digest(), c.ui)) return;
   auto& votes = checkpoint_votes_[c.last_executed][c.state_digest];
   votes.insert(c.replica);
   if (static_cast<int>(votes.size()) >= config_.f + 1) {
@@ -331,6 +485,10 @@ void MinBftReplica::garbage_collect(SeqNum stable) {
   // transfer rather than replay (Fig. 17d).
   if (last_executed_ < stable) request_state_transfer();
 }
+
+// ---------------------------------------------------------------------------
+// View changes
+// ---------------------------------------------------------------------------
 
 ReqViewChange MinBftReplica::make_req_view_change(View to_view) {
   ReqViewChange rvc;
@@ -383,11 +541,13 @@ void MinBftReplica::start_view_change(View to_view) {
   if (to_view <= view_) return;
   in_view_change_ = true;
   disarm_view_change_timer();
+  disarm_batch_timer();  // sealing is paused until the new view installs
   ViewChange vc;
   vc.replica = id_;
   vc.to_view = to_view;
   vc.stable_seq = stable_checkpoint_;
   for (const auto& [seq, entry] : log_) {
+    (void)seq;
     vc.prepared.push_back(PreparedProof{entry.prepare});
   }
   net_->consume_cpu(id_, config_.crypto_cost_sign);
@@ -410,8 +570,7 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   // a detached replica must not be able to forge proofs "from" live members.
   if (!is_member(vc.replica) || vc.replica != vc.ui.replica) return;
   if (vc.replica != id_) {
-    net_->consume_cpu(id_, config_.crypto_cost_verify);
-    if (!crypto::Usig::verify(*registry_, vc.body_digest(), vc.ui)) return;
+    if (!verify_ui(vc.body_digest(), vc.ui)) return;
   }
   auto& proofs = view_changes_[vc.to_view];
   for (const ViewChange& existing : proofs) {
@@ -441,14 +600,25 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   in_view_change_ = false;
   view_changes_.erase(nv.view);
   view_change_requests_.erase(nv.view);
-  // Re-prepare undecided entries under the new view with fresh UIs.
+  // Re-prepare undecided entries under the new view with fresh UIs.  A
+  // chosen batch containing a request that fails its client-signature check
+  // is garbage a compromised ex-leader smuggled into its proof: drop it —
+  // clients retransmit any real request it displaced.
   log_.clear();
   for (auto& [seq, prep] : chosen) {
     if (seq <= max_stable) continue;
+    bool batch_ok = !prep.requests.empty();
+    for (const Request& r : prep.requests) {
+      if (!verify_request(r)) {
+        batch_ok = false;
+        break;
+      }
+    }
+    if (!batch_ok) continue;
     Prepare p;
     p.view = nv.view;
     p.seq = seq;
-    p.request = prep.request;
+    p.requests = std::move(prep.requests);
     net_->consume_cpu(id_, config_.crypto_cost_sign);
     p.ui = usig_.create(p.body_digest());
     nv.reproposed.push_back(p);
@@ -459,8 +629,11 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   }
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   nv.ui = usig_.create(nv.body_digest());
+  resync_assignment_watermark();
   broadcast(nv);
   try_execute();
+  // The new leader drains any requests that queued up during the change.
+  try_seal_batches();
 }
 
 void MinBftReplica::handle_new_view(const NewView& nv) {
@@ -471,8 +644,7 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
   // own USIG — a detached replica's valid-but-foreign UI must not install a
   // view on the leader's behalf.
   if (nv.leader != expected_leader || nv.ui.replica != nv.leader) return;
-  net_->consume_cpu(id_, config_.crypto_cost_verify);
-  if (!crypto::Usig::verify(*registry_, nv.body_digest(), nv.ui)) return;
+  if (!verify_ui(nv.body_digest(), nv.ui)) return;
   // Each of the f+1 proofs must be a verifiable view change from a distinct
   // current member; fabricated or duplicated proofs do not form a quorum.
   std::set<ReplicaId> proof_senders;
@@ -480,13 +652,20 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
     if (!is_member(proof.replica) || proof.replica != proof.ui.replica) {
       return;
     }
-    net_->consume_cpu(id_, config_.crypto_cost_verify);
-    if (!crypto::Usig::verify(*registry_, proof.body_digest(), proof.ui)) {
+    if (!verify_ui(proof.body_digest(), proof.ui)) {
       return;
     }
     proof_senders.insert(proof.replica);
   }
   if (static_cast<int>(proof_senders.size()) < config_.f + 1) return;
+  // Reproposed batches obey the same per-request client-signature rule as
+  // live PREPAREs; a NEW-VIEW carrying garbage is not installed.
+  for (const Prepare& p : nv.reproposed) {
+    if (p.requests.empty()) return;
+    for (const Request& r : p.requests) {
+      if (!verify_request(r)) return;
+    }
+  }
   view_ = nv.view;
   in_view_change_ = false;
   disarm_view_change_timer();
@@ -499,8 +678,19 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
     log_[p.seq] = std::move(entry);
     send_commit(p);
   }
+  resync_assignment_watermark();
+  if (!is_leader()) {
+    // Requests enqueued while we led an earlier view are the new leader's
+    // problem now; clients retransmit them.
+    drop_pending_requests();
+  }
   try_execute();
+  try_seal_batches();
 }
+
+// ---------------------------------------------------------------------------
+// State transfer
+// ---------------------------------------------------------------------------
 
 void MinBftReplica::request_state_transfer() {
   broadcast(StateRequest{id_});
@@ -553,6 +743,7 @@ void MinBftReplica::handle_state_response(const StateResponse& r) {
   log_.clear();
   state_votes_.clear();
   pending_state_.clear();
+  resync_assignment_watermark();
 }
 
 }  // namespace tolerance::consensus

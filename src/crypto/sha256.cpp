@@ -90,7 +90,10 @@ void Sha256::update(std::string_view s) {
   update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
 
+std::atomic<std::uint64_t> Sha256::invocation_count_{0};
+
 Digest Sha256::finalize() {
+  invocation_count_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t bit_len = total_len_ * 8;
   const std::uint8_t pad = 0x80;
   update(&pad, 1);

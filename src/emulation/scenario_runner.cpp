@@ -113,6 +113,8 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
   cfg.checkpoint_period = 10;
   cfg.view_change_timeout = 8.0;
   cfg.request_retry_timeout = 4.0;
+  cfg.batch_size = options_.consensus_batch_size;
+  cfg.pipeline_depth = options_.consensus_pipeline_depth;
   net::LinkConfig link;
   link.loss = 0.0;  // loss resilience is covered by the consensus suite
   MinBftCluster cluster(scenario_.initial_nodes, cfg, seed ^ 0x5eed, link);

@@ -37,6 +37,24 @@ struct Eta {
   std::vector<std::pair<int, double>> terms;   // (i, w[i]) for i != row
 };
 
+// One step of the elimination-form (LU) base factorization.  Unlike the
+// Gauss-Jordan eta above — whose file densifies toward nnz(B^{-1}) ~ m^2/2
+// on the near-banded occupancy bases no matter how columns are ordered —
+// the elimination form stores the LU factors themselves, so a good
+// (Markowitz) pivot order keeps the file near nnz(B).
+//   FTRAN x := B^{-1} x:
+//     forward  (L): t = x[row];          x[i] -= m_i * t        (lower)
+//     backward (U): z = x[row] / pivot;  x[r_j] -= u_j * z;  x[row] = z
+//   BTRAN y := B^{-T} y:
+//     forward  (U^T): y[row] = (y[row] - sum u_j y[r_j]) / pivot
+//     backward (L^T): y[row] -= sum m_i y[i]
+struct LuStep {
+  int row = 0;        // pivot row of this step
+  double pivot = 0.0;
+  std::vector<std::pair<int, double>> lower;  // (i, multiplier), unpivoted i
+  std::vector<std::pair<int, double>> upper;  // (r_j, value), earlier pivots
+};
+
 struct Problem {
   std::size_t m = 0;  // rows
   std::size_t n = 0;  // structural columns
@@ -196,17 +214,36 @@ class RevisedCore {
 
   const std::vector<int>& basis() const { return basis_; }
   long iterations() const { return iterations_; }
+  std::size_t eta_nnz() const { return eta_nnz_; }
 
   // --- factorization -------------------------------------------------------
 
-  /// Rebuild the eta file from the current basis with a Gauss-Jordan product
-  /// form.  Unit (aux/artificial) columns are processed first — they
-  /// generate no fill — then structural columns by ascending nonzero count;
-  /// within a column the pivot row is chosen by partial pivoting over the
-  /// rows not yet assigned.  Returns false on a (numerically) singular
-  /// basis.  On success the row <-> basic-column assignment may be permuted,
-  /// which is fine: a basis is a column set, the row map is bookkeeping.
+  /// Rebuild the base factorization from the current basis.  Two modes:
+  ///
+  ///  * Markowitz elimination form (default): a sparse LU with dynamic
+  ///    nnz-minimizing pivot ordering.  The next column is the one with the
+  ///    fewest nonzeros in still-unpivoted rows; its pivot row is the
+  ///    numerically acceptable (threshold-pivoted) row shared with the
+  ///    fewest remaining columns.  A permuted-triangular basis factors with
+  ///    zero fill under this order, and the occupancy LP's bases — a sparse
+  ///    kernel bump over near-banded flow rows — stay close to that, so the
+  ///    file stays near nnz(B) instead of the ~m^2/2 a Gauss-Jordan
+  ///    product-form inverse accumulates (the fill that kept the cold
+  ///    Fig. 9 smax=2048 solve at dense-tableau parity).
+  ///  * Static Gauss-Jordan (Options::markowitz_reinversion = false): the
+  ///    pre-Markowitz product-form reinversion — ascending original column
+  ///    nnz, pure partial pivoting — kept for differential testing and as
+  ///    the before/after baseline of the bench.
+  ///
+  /// Returns false on a (numerically) singular basis.  On success the
+  /// row <-> basic-column assignment may be permuted, which is fine: a
+  /// basis is a column set, the row map is bookkeeping.
   bool factorize() {
+    return opt_.markowitz_reinversion ? factorize_markowitz()
+                                      : factorize_static();
+  }
+
+  bool factorize_static() {
     std::vector<Eta> fresh;
     fresh.reserve(p_.m);
     std::size_t fresh_nnz = 0;
@@ -258,21 +295,164 @@ class RevisedCore {
       row_done[best_row] = 1;
       new_basis[best_row] = cj;
     }
+    lu_.clear();
     etas_ = std::move(fresh);
     eta_nnz_ = fresh_nnz;
-    if (std::getenv("TOLERANCE_LP_DEBUG") != nullptr) {
-      std::size_t tiny = 0, small = 0;
-      for (const Eta& e : etas_) {
-        for (const auto& [i, w] : e.terms) {
-          (void)i;
-          if (std::fabs(w) < 1e-11) ++tiny;
-          else if (std::fabs(w) < 1e-7) ++small;
+    set_basis(new_basis);
+    pivots_since_factor_ = 0;
+    factor_ok_ = true;
+    return true;
+  }
+
+  bool factorize_markowitz() {
+    std::vector<LuStep> fresh;
+    fresh.reserve(p_.m);
+    std::size_t fresh_nnz = 0;
+    std::vector<char> row_done(p_.m, 0);
+    std::vector<int> new_basis(p_.m, -1);
+
+    // Apply the L-part of the steps so far to work_, emit the next step
+    // with pivot row `row` (entries in pivoted rows become the U column,
+    // entries in unpivoted rows the L multipliers).
+    const auto transform = [&](int cj) {
+      std::fill(work_.begin(), work_.end(), 0.0);
+      p_.scatter(static_cast<std::size_t>(cj), 1.0, work_);
+      for (const LuStep& s : fresh) {
+        const double t = work_[static_cast<std::size_t>(s.row)];
+        if (t != 0.0) {
+          for (const auto& [i, m] : s.lower) {
+            work_[static_cast<std::size_t>(i)] -= m * t;
+          }
         }
       }
-      std::fprintf(stderr,
-                   "[lp] reinversion: etas=%zu nnz=%zu tiny(<1e-11)=%zu "
-                   "small(<1e-7)=%zu\n",
-                   etas_.size(), eta_nnz_, tiny, small);
+    };
+    const auto eliminate = [&](int cj, std::size_t row) {
+      LuStep s;
+      s.row = static_cast<int>(row);
+      s.pivot = work_[row];
+      for (std::size_t i = 0; i < p_.m; ++i) {
+        if (i == row || work_[i] == 0.0) continue;
+        if (row_done[i]) {
+          s.upper.push_back({static_cast<int>(i), work_[i]});
+        } else {
+          s.lower.push_back({static_cast<int>(i), work_[i] / s.pivot});
+        }
+      }
+      fresh_nnz += s.lower.size() + s.upper.size() + 1;
+      fresh.push_back(std::move(s));
+      row_done[row] = 1;
+      new_basis[row] = cj;
+    };
+    const auto report_singular = [&](int cj, double best_abs) {
+      if (std::getenv("TOLERANCE_LP_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "[lp] factorize singular at col %d best_abs=%g\n", cj,
+                     best_abs);
+      }
+      factor_ok_ = false;
+    };
+
+    // Unit (aux/artificial) columns first: single ±1 entry, fixed row, no
+    // fill.  Two unit columns sharing a row (slack + artificial of one
+    // constraint) make the basis singular and are caught here.
+    std::vector<int> structural;
+    for (const int cj : basis_) {
+      const auto j = static_cast<std::size_t>(cj);
+      if (j < p_.n) {
+        structural.push_back(cj);
+        continue;
+      }
+      const std::size_t row = p_.aux_row(j);
+      if (row_done[row]) {
+        report_singular(cj, 0.0);
+        return false;
+      }
+      transform(cj);
+      if (std::fabs(work_[row]) <= 1e-12) {
+        report_singular(cj, std::fabs(work_[row]));
+        return false;
+      }
+      eliminate(cj, row);
+    }
+    std::sort(structural.begin(), structural.end());
+
+    // Markowitz bookkeeping on the *original* patterns (fill rows created
+    // by earlier steps still qualify as pivot rows; they just do not drive
+    // the ordering).
+    const std::size_t k = structural.size();
+    std::vector<std::size_t> active(k, 0);     // unpivoted pattern rows
+    std::vector<std::size_t> degree(p_.m, 0);  // remaining cols per row
+    std::vector<std::vector<std::size_t>> cols_of_row(p_.m);
+    for (std::size_t c = 0; c < k; ++c) {
+      const auto j = static_cast<std::size_t>(structural[c]);
+      for (std::size_t t = p_.cptr[j]; t < p_.cptr[j + 1]; ++t) {
+        const auto r = static_cast<std::size_t>(p_.crow[t]);
+        if (row_done[r]) continue;  // taken by a unit column
+        ++active[c];
+        ++degree[r];
+        cols_of_row[r].push_back(c);
+      }
+    }
+    std::vector<char> col_done(k, 0);
+    for (std::size_t step = 0; step < k; ++step) {
+      // Next column: fewest unpivoted pattern rows; ties go to the lower
+      // column index (deterministic).
+      std::size_t best_c = k;
+      for (std::size_t c = 0; c < k; ++c) {
+        if (col_done[c]) continue;
+        if (best_c == k || active[c] < active[best_c]) best_c = c;
+      }
+      const int cj = structural[best_c];
+      transform(cj);
+      double vmax = 0.0;
+      for (std::size_t i = 0; i < p_.m; ++i) {
+        if (!row_done[i]) vmax = std::max(vmax, std::fabs(work_[i]));
+      }
+      if (vmax <= 1e-12) {
+        report_singular(cj, vmax);
+        return false;
+      }
+      // Threshold pivoting: among rows within markowitz_threshold of the
+      // largest transformed entry, take the one shared with the fewest
+      // remaining columns (least prospective fill), breaking ties toward
+      // the larger magnitude.  The threshold is clamped to 1 so the
+      // largest entry always qualifies.
+      const double floor = std::max(
+          1e-12, std::min(opt_.markowitz_threshold, 1.0) * vmax);
+      std::size_t best_row = p_.m;
+      for (std::size_t i = 0; i < p_.m; ++i) {
+        if (row_done[i] || std::fabs(work_[i]) < floor) continue;
+        if (best_row == p_.m || degree[i] < degree[best_row] ||
+            (degree[i] == degree[best_row] &&
+             std::fabs(work_[i]) > std::fabs(work_[best_row]))) {
+          best_row = i;
+        }
+      }
+      if (best_row == p_.m) {  // defensive: cannot happen with the clamp
+        report_singular(cj, vmax);
+        return false;
+      }
+      eliminate(cj, best_row);
+      col_done[best_c] = 1;
+      // The chosen column's pattern rows lose one prospective column; the
+      // chosen row's columns lose one unpivoted row.
+      {
+        const auto j = static_cast<std::size_t>(cj);
+        for (std::size_t t = p_.cptr[j]; t < p_.cptr[j + 1]; ++t) {
+          const auto r = static_cast<std::size_t>(p_.crow[t]);
+          if (degree[r] > 0) --degree[r];
+        }
+      }
+      for (const std::size_t c : cols_of_row[best_row]) {
+        if (!col_done[c] && active[c] > 0) --active[c];
+      }
+    }
+    lu_ = std::move(fresh);
+    etas_.clear();
+    eta_nnz_ = fresh_nnz;
+    if (std::getenv("TOLERANCE_LP_DEBUG") != nullptr) {
+      std::fprintf(stderr, "[lp] LU reinversion: steps=%zu nnz=%zu\n",
+                   lu_.size(), eta_nnz_);
     }
     set_basis(new_basis);
     pivots_since_factor_ = 0;
@@ -311,10 +491,33 @@ class RevisedCore {
     x[r] = t;
   }
 
+  /// x := B^{-1} x through the base factorization (LU steps when the
+  /// Markowitz reinversion built one, Gauss-Jordan etas otherwise) followed
+  /// by the incremental update etas pushed since.
   void apply_etas_ftran(std::vector<double>& x) const {
+    for (const LuStep& s : lu_) {  // L forward
+      const double t = x[static_cast<std::size_t>(s.row)];
+      if (t != 0.0) {
+        for (const auto& [i, m] : s.lower) {
+          x[static_cast<std::size_t>(i)] -= m * t;
+        }
+      }
+    }
+    for (auto it = lu_.rbegin(); it != lu_.rend(); ++it) {  // U backward
+      const auto r = static_cast<std::size_t>(it->row);
+      const double z = x[r] / it->pivot;
+      x[r] = z;
+      if (z != 0.0) {
+        for (const auto& [j, u] : it->upper) {
+          x[static_cast<std::size_t>(j)] -= u * z;
+        }
+      }
+    }
     for (const Eta& e : etas_) apply_one_ftran(e, x);
   }
 
+  /// y := B^{-T} y — the exact transpose of apply_etas_ftran, applied in
+  /// reverse: update etas backward, then U^T forward, then L^T backward.
   void apply_etas_btran(std::vector<double>& y) const {
     for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
       const auto r = static_cast<std::size_t>(it->row);
@@ -323,6 +526,22 @@ class RevisedCore {
         acc -= y[static_cast<std::size_t>(i)] * w;
       }
       y[r] = acc / it->pivot;
+    }
+    for (const LuStep& s : lu_) {  // U^T forward
+      const auto r = static_cast<std::size_t>(s.row);
+      double acc = y[r];
+      for (const auto& [j, u] : s.upper) {
+        acc -= y[static_cast<std::size_t>(j)] * u;
+      }
+      y[r] = acc / s.pivot;
+    }
+    for (auto it = lu_.rbegin(); it != lu_.rend(); ++it) {  // L^T backward
+      const auto r = static_cast<std::size_t>(it->row);
+      double acc = y[r];
+      for (const auto& [i, m] : it->lower) {
+        acc -= y[static_cast<std::size_t>(i)] * m;
+      }
+      y[r] = acc;
     }
   }
 
@@ -531,10 +750,16 @@ class RevisedCore {
       std::numeric_limits<std::size_t>::max();
 
   void maybe_refactor() {
-    // Reinversion costs O(fill * m); spreading it out on big instances wins
-    // even though the eta file (and FTRAN/BTRAN sweeps) grow meanwhile.
+    // The Gauss-Jordan reinversion costs O(fill * m), so the static mode
+    // spreads it out on big instances even though the eta file (and
+    // FTRAN/BTRAN sweeps) grow meanwhile.  The Markowitz LU reinversion is
+    // cheap enough that a fixed cadence wins: it keeps the dense-ish update
+    // etas from dominating the sweeps.
     const long interval =
-        std::max<long>(opt_.refactor_interval, static_cast<long>(p_.m) / 4);
+        opt_.markowitz_reinversion
+            ? opt_.refactor_interval
+            : std::max<long>(opt_.refactor_interval,
+                             static_cast<long>(p_.m) / 4);
     if (pivots_since_factor_ >= interval) refactor_now();
   }
 
@@ -662,7 +887,8 @@ class RevisedCore {
   bool use_perturbed_ = true;
   std::vector<double> xb_;
   std::vector<double> work_;   // FTRAN scratch (also the last pivot column)
-  std::vector<Eta> etas_;
+  std::vector<LuStep> lu_;     // base factorization (Markowitz reinversion)
+  std::vector<Eta> etas_;      // GJ base (static mode) + incremental updates
   std::size_t eta_nnz_ = 0;
   std::size_t cursor_ = 0;     // partial-pricing rotation state
   long iterations_ = 0;
@@ -784,9 +1010,11 @@ LpSolution SimplexSolver::solve_revised(const LinearProgram& lp,
   const LpStatus st = core.primal(/*phase1=*/false);
   sol.status = st;
   sol.iterations = core.iterations();
+  sol.eta_nnz = core.eta_nnz();
   if (st != LpStatus::Optimal) return sol;
 
   core.refresh_if_stale();  // crisp x_B for extraction
+  sol.eta_nnz = core.eta_nnz();
   sol.x.assign(p.n, 0.0);
   const std::vector<int>& basis = core.basis();
   {

@@ -142,6 +142,7 @@ CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
   CmdpSolution out;
   out.status = lp_solution.status;
   out.lp_iterations = lp_solution.iterations;
+  out.lp_eta_nnz = lp_solution.eta_nnz;
   out.basis = lp_solution.basis;
   out.warm_start = lp_solution.warm_start;
   if (lp_solution.status != lp::LpStatus::Optimal) return out;

@@ -175,6 +175,66 @@ TEST(Usig, CannotAssignSameCounterToTwoMessages) {
   EXPECT_FALSE(Usig::verify(*registry, Sha256::hash("B"), forged));
 }
 
+TEST(UsigVerifyCache, CachesVerdictsAndCountsHits) {
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const Digest d = Sha256::hash("op");
+  const UniqueIdentifier ui = usig.create(d);
+
+  UsigVerifyCache cache;
+  EXPECT_FALSE(cache.lookup(ui, d).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.insert(ui, d, Usig::verify(*registry, d, ui));
+  const auto hit = cache.lookup(ui, d);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(*hit);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(UsigVerifyCache, DifferentContentOrCertificateNeverHits) {
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const Digest d = Sha256::hash("op");
+  const UniqueIdentifier ui = usig.create(d);
+  UsigVerifyCache cache;
+  cache.insert(ui, d, true);
+  // Same counter, different message digest: a replay with new content must
+  // go through full verification (and fail there), never ride the cache.
+  EXPECT_FALSE(cache.lookup(ui, Sha256::hash("other")).has_value());
+  // Same counter and digest but a doctored certificate: also a miss.
+  UniqueIdentifier forged = ui;
+  forged.certificate[0] ^= 0xff;
+  EXPECT_FALSE(cache.lookup(forged, d).has_value());
+}
+
+TEST(UsigVerifyCache, EvictsOldestBeyondCapacity) {
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const Digest d = Sha256::hash("op");
+  UsigVerifyCache cache(4);
+  std::vector<UniqueIdentifier> uis;
+  for (int i = 0; i < 6; ++i) {
+    uis.push_back(usig.create(d));
+    cache.insert(uis.back(), d, true);
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_FALSE(cache.lookup(uis[0], d).has_value());  // evicted
+  EXPECT_TRUE(cache.lookup(uis[5], d).has_value());   // retained
+}
+
+TEST(Sha256, InvocationCounterTracksDigestComputations) {
+  const std::uint64_t before = Sha256::invocations();
+  (void)Sha256::hash("abc");
+  (void)Sha256::hash("def");
+  EXPECT_EQ(Sha256::invocations(), before + 2);
+}
+
 TEST(Usig, CounterMonotoneUnderRepeatedSigning) {
   // Even on a compromised replica the USIG keeps assigning strictly
   // contiguous counters; sign many messages and check every certificate.
