@@ -27,6 +27,7 @@
 
 #include "bench_common.hpp"
 #include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/consensus/minbft_workload.hpp"
 
 namespace {
 
@@ -94,88 +95,6 @@ ThroughputSample measure_throughput(const consensus::MinBftConfig& cfg,
   return sample;
 }
 
-/// Fixed workload for the log-equivalence gate: `clients` closed-loop
-/// clients submit `ops_each` uniquely-tagged operations; returns replica 0's
-/// committed log after every replica converged.  Aborts (empty vector) if
-/// the workload does not complete or replicas disagree.
-std::vector<std::string> committed_log(const consensus::MinBftConfig& cfg,
-                                       int n, int clients, int ops_each,
-                                       std::string* error) {
-  net::LinkConfig link;  // deterministic: no loss, no jitter
-  link.base_delay = 1e-3;
-  link.jitter = 0.0;
-  link.loss = 0.0;
-  consensus::MinBftCluster cluster(n, cfg, 42, link);
-  int done_clients = 0;
-  std::vector<consensus::MinBftClient*> cs;
-  for (int c = 0; c < clients; ++c) cs.push_back(&cluster.add_client());
-  std::function<void(int, int)> pump = [&](int c, int k) {
-    if (k >= ops_each) {
-      ++done_clients;
-      return;
-    }
-    std::ostringstream op;
-    op << 'c' << c << ':' << k;
-    cs[static_cast<std::size_t>(c)]->submit(
-        op.str(),
-        [&, c, k](std::uint64_t, const std::string&, double) { pump(c, k + 1); });
-  };
-  for (int c = 0; c < clients; ++c) pump(c, 0);
-  std::size_t events = 0;
-  const std::size_t cap = 20000000;
-  while (done_clients < clients && events < cap && cluster.network().step()) {
-    ++events;
-  }
-  if (done_clients < clients) {
-    *error = "workload did not complete within the event budget";
-    return {};
-  }
-  cluster.run_for(2.0);  // let stragglers converge
-  const auto ids = cluster.replica_ids();
-  const auto& log0 = cluster.replica(ids.front()).service().log();
-  for (const auto id : ids) {
-    if (cluster.replica(id).service().log() != log0) {
-      *error = "replica logs diverged within one run";
-      return {};
-    }
-  }
-  return log0;
-}
-
-/// Batched and unbatched runs commit "identical operation logs": the same
-/// multiset of operations, and per client the same order.  (The interleaving
-/// across clients legitimately shifts with the CPU schedule.)
-bool logs_equivalent(const std::vector<std::string>& a,
-                     const std::vector<std::string>& b, int clients,
-                     std::string* error) {
-  if (a.size() != b.size()) {
-    *error = "log sizes differ";
-    return false;
-  }
-  std::vector<std::string> sa = a, sb = b;
-  std::sort(sa.begin(), sa.end());
-  std::sort(sb.begin(), sb.end());
-  if (sa != sb) {
-    *error = "operation multisets differ";
-    return false;
-  }
-  for (int c = 0; c < clients; ++c) {
-    const std::string prefix = "c" + std::to_string(c) + ":";
-    std::vector<std::string> pa, pb;
-    for (const auto& op : a) {
-      if (op.rfind(prefix, 0) == 0) pa.push_back(op);
-    }
-    for (const auto& op : b) {
-      if (op.rfind(prefix, 0) == 0) pb.push_back(op);
-    }
-    if (pa != pb) {
-      *error = "per-client order differs for client " + std::to_string(c);
-      return false;
-    }
-  }
-  return true;
-}
-
 struct SweepRow {
   int n = 0;
   ThroughputSample unbatched;
@@ -224,9 +143,12 @@ int main(int argc, char** argv) {
   const int gate_clients = 8;
   const int gate_ops = bench::scaled(15, 40);
 
+  const consensus::MinBftConfig sweep_cfg = paper_config(3);
   std::cout << "\n--- batching sweep (" << sweep_clients
             << " closed-loop clients, " << sweep_duration << " s simulated; "
-            << "batch_size=16, pipeline_depth=4 vs the unbatched protocol; "
+            << "batch_size=" << sweep_cfg.batch_size
+            << ", pipeline_depth=" << sweep_cfg.pipeline_depth
+            << " vs the unbatched protocol; "
             << "log-equivalence gate: " << gate_clients << " clients x "
             << gate_ops << " ops) ---\n\n";
 
@@ -243,13 +165,18 @@ int main(int argc, char** argv) {
                                        sweep_duration, paper_link());
     row.batched = measure_throughput(batched_cfg, n, sweep_clients,
                                      sweep_duration, paper_link());
-    std::string err;
-    const auto log_u =
-        committed_log(unbatched_cfg, n, gate_clients, gate_ops, &err);
-    const auto log_b =
-        committed_log(batched_cfg, n, gate_clients, gate_ops, &err);
-    row.logs_match = !log_u.empty() && !log_b.empty() &&
-                     logs_equivalent(log_u, log_b, gate_clients, &err);
+    // The workload driver and equivalence definition are shared with the
+    // MinBftBatching unit tests (minbft_workload.hpp).
+    const auto run_u = consensus::run_tagged_workload(unbatched_cfg, n,
+                                                      gate_clients, gate_ops,
+                                                      42);
+    const auto run_b = consensus::run_tagged_workload(batched_cfg, n,
+                                                      gate_clients, gate_ops,
+                                                      42);
+    std::string err = !run_u.error.empty() ? run_u.error : run_b.error;
+    row.logs_match = err.empty() &&
+                     consensus::logs_equivalent(run_u.log, run_b.log,
+                                                gate_clients, &err);
     if (!row.logs_match) {
       logs_ok = false;
       std::cout << "log equivalence FAILED at n=" << n << ": " << err << '\n';
@@ -294,12 +221,13 @@ int main(int argc, char** argv) {
   out << "{\n"
       << "  \"bench\": \"consensus_batching\",\n"
       << "  \"config\": {\n"
-      << "    \"crypto_cost_sign\": 5e-3,\n"
-      << "    \"crypto_cost_verify\": 2e-4,\n"
-      << "    \"cpu_cost_per_send\": 1e-3,\n"
-      << "    \"crypto_cost_reply\": 1e-4,\n"
-      << "    \"batch_size\": 16,\n"
-      << "    \"pipeline_depth\": 4,\n"
+      << "    \"crypto_cost_sign\": " << sweep_cfg.crypto_cost_sign << ",\n"
+      << "    \"crypto_cost_verify\": " << sweep_cfg.crypto_cost_verify
+      << ",\n"
+      << "    \"cpu_cost_per_send\": " << sweep_cfg.cpu_cost_per_send << ",\n"
+      << "    \"crypto_cost_reply\": " << sweep_cfg.crypto_cost_reply << ",\n"
+      << "    \"batch_size\": " << sweep_cfg.batch_size << ",\n"
+      << "    \"pipeline_depth\": " << sweep_cfg.pipeline_depth << ",\n"
       << "    \"clients\": " << sweep_clients << ",\n"
       << "    \"duration_s\": " << sweep_duration << "\n"
       << "  },\n"

@@ -166,6 +166,12 @@ struct ViewChange {
   ReplicaId replica = 0;
   View to_view = 0;
   SeqNum stable_seq = 0;
+  /// Checkpoint certificate: the f+1 USIG-certified CHECKPOINT messages that
+  /// made `stable_seq` stable.  A stable_seq claim without a valid
+  /// certificate is ignored during new-view assembly — otherwise a single
+  /// compromised member could inflate it and displace the genuinely
+  /// prepared suffix (a claim of 0 needs no certificate).
+  std::vector<Checkpoint> checkpoint_cert;
   std::vector<PreparedProof> prepared;  ///< log suffix above the checkpoint
   crypto::UniqueIdentifier ui;
 

@@ -175,6 +175,15 @@ class MinBftReplica {
   void handle_req_view_change(const ReqViewChange& r);
   void handle_view_change(const ViewChange& vc);
   void handle_new_view(const NewView& nv);
+  /// Deterministic reassembly of the undecided log suffix from a view-change
+  /// proof set (UIs left unset).  Run by the new leader to build its
+  /// NEW-VIEW and by every follower to validate one, so a Byzantine leader
+  /// cannot deviate from it — see the definition for the selection rules.
+  std::vector<Prepare> assemble_reproposals(
+      const std::vector<ViewChange>& proofs, View new_view);
+  /// The proof's stable_seq claim if its checkpoint certificate carries f+1
+  /// distinct members' valid USIG-certified CHECKPOINTs for it, else 0.
+  SeqNum certified_stable(const ViewChange& proof);
   void handle_state_request(net::NodeId from, const StateRequest& r);
   void handle_state_response(const StateResponse& r);
 
@@ -192,6 +201,10 @@ class MinBftReplica {
   /// or a batch request with a bad client signature): demand a view change.
   void denounce_leader();
   ReqViewChange make_req_view_change(View to_view);
+  /// This replica's USIG-certified view-change proof: stable checkpoint plus
+  /// the prepared log suffix.  Used both when broadcasting a view change and
+  /// when the new leader appends its own proof at assembly time.
+  ViewChange make_view_change(View to_view);
   void try_execute();
   void execute_entry(PendingEntry& entry);
   void apply_reconfiguration(const std::string& op);
@@ -237,9 +250,16 @@ class MinBftReplica {
   /// replay protection across recoveries.
   std::map<ReplicaId, std::pair<std::uint64_t, std::uint64_t>> last_counter_;
   std::set<std::pair<ClientId, std::uint64_t>> executed_requests_;
-  std::map<SeqNum, std::map<crypto::Digest, std::set<ReplicaId>,
+  /// CHECKPOINT messages per (seq, state digest, voter): the f+1 quorum that
+  /// stabilizes a checkpoint doubles as the certificate a view change must
+  /// carry to make its stable_seq claim believable.
+  std::map<SeqNum, std::map<crypto::Digest, std::map<ReplicaId, Checkpoint>,
                             std::less<crypto::Digest>>>
       checkpoint_votes_;
+  /// The certificate behind stable_checkpoint_ (empty while it is 0 or
+  /// after a state transfer, whose stable point is vouched by the digest
+  /// quorum instead).
+  std::vector<Checkpoint> stable_cert_;
   std::map<View, std::set<ReplicaId>> view_change_requests_;
   std::map<View, std::vector<ViewChange>> view_changes_;
   bool in_view_change_ = false;

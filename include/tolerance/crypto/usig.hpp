@@ -99,12 +99,22 @@ class UsigVerifyCache {
 
   void insert(const UniqueIdentifier& ui, const Digest& digest, bool ok) {
     const Key k = key(ui);
-    if (entries_.emplace(k, Entry{digest, ui.certificate, ok}).second) {
-      order_.push_back(k);
-      while (order_.size() > capacity_) {
-        entries_.erase(order_.front());
-        order_.pop_front();
-      }
+    const auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      // An ok=true entry is canonical — the USIG binds one digest per
+      // counter, so the successful verification is the one worth keeping;
+      // a later forged retransmit (a miss that re-verified and failed) must
+      // not evict it.  A failed entry, though, is replaced by the newest
+      // verdict, so the legitimate message claims the slot no matter which
+      // arrived first.  The entry keeps its original eviction slot.
+      if (!it->second.ok) it->second = Entry{digest, ui.certificate, ok};
+      return;
+    }
+    entries_.emplace(k, Entry{digest, ui.certificate, ok});
+    order_.push_back(k);
+    while (order_.size() > capacity_) {
+      entries_.erase(order_.front());
+      order_.pop_front();
     }
   }
 

@@ -42,7 +42,20 @@ std::string Request::payload() const {
 }
 
 crypto::Digest Request::digest() const {
-  return memo_.get([this] { return crypto::Sha256::hash(payload()); });
+  // Binds the signature too, not just the signed payload: this digest keys
+  // the verified-request cache and feeds the batch digest, so two requests
+  // with the same payload but different signature bytes (e.g. an in-flight
+  // corruption of a view-change proof) must never alias — aliasing would let
+  // a cached verdict for the genuine request vouch for the corrupted copy,
+  // and replicas with different cache contents would then disagree.
+  return memo_.get([this] {
+    crypto::Sha256 h;
+    h.update(payload());
+    std::ostringstream os;
+    os << "|sig|" << signature.signer << '|' << hex(signature.tag);
+    h.update(os.str());
+    return h.finalize();
+  });
 }
 
 crypto::Digest Prepare::batch_digest() const {
@@ -109,9 +122,23 @@ crypto::Digest ViewChange::body_digest() const {
   return body_memo_.get([this] {
     std::ostringstream os;
     os << "viewchange|" << replica << '|' << to_view << '|' << stable_seq
-       << '|' << prepared.size();
+       << '|' << checkpoint_cert.size() << '|' << prepared.size();
+    for (const Checkpoint& c : checkpoint_cert) {
+      os << '|' << c.replica << ':' << c.last_executed << ':'
+         << hex(c.state_digest) << ':' << c.ui.replica << ':' << c.ui.epoch
+         << ':' << c.ui.counter << ':' << hex(c.ui.certificate);
+    }
+    // Bind every field the view-change reproposal selection keys on — the
+    // prepare's view, its leader UI, and (through the batch digest, which
+    // folds in signature-binding request digests) the full request contents.
+    // A relaying Byzantine leader who corrupts any of them in flight breaks
+    // the proof sender's USIG certificate instead of steering honest
+    // replicas' assemble_reproposals toward a null batch.
     for (const PreparedProof& p : prepared) {
-      os << '|' << p.prepare.seq << ':' << hex(p.prepare.batch_digest());
+      os << '|' << p.prepare.view << ':' << p.prepare.seq << ':'
+         << hex(p.prepare.batch_digest()) << ':' << p.prepare.ui.replica
+         << ':' << p.prepare.ui.epoch << ':' << p.prepare.ui.counter << ':'
+         << hex(p.prepare.ui.certificate);
     }
     return crypto::Sha256::hash(os.str());
   });

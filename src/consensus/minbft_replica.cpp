@@ -1,6 +1,7 @@
 #include "tolerance/consensus/minbft_replica.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "tolerance/util/ensure.hpp"
@@ -460,7 +461,7 @@ void MinBftReplica::emit_checkpoint() {
   cp.state_digest = service_.state_digest();
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   cp.ui = usig_.create(cp.body_digest());
-  checkpoint_votes_[cp.last_executed][cp.state_digest].insert(id_);
+  checkpoint_votes_[cp.last_executed][cp.state_digest][id_] = cp;
   broadcast(cp);
 }
 
@@ -469,8 +470,15 @@ void MinBftReplica::handle_checkpoint(const Checkpoint& c) {
   if (!is_member(c.replica) || c.replica != c.ui.replica) return;
   if (!verify_ui(c.body_digest(), c.ui)) return;
   auto& votes = checkpoint_votes_[c.last_executed][c.state_digest];
-  votes.insert(c.replica);
+  votes[c.replica] = c;
   if (static_cast<int>(votes.size()) >= config_.f + 1) {
+    // The quorum doubles as the checkpoint certificate future view changes
+    // carry to back their stable_seq claim.
+    stable_cert_.clear();
+    for (const auto& [voter, cp] : votes) {
+      (void)voter;
+      stable_cert_.push_back(cp);
+    }
     garbage_collect(c.last_executed);
   }
 }
@@ -537,21 +545,126 @@ void MinBftReplica::handle_req_view_change(const ReqViewChange& r) {
   }
 }
 
-void MinBftReplica::start_view_change(View to_view) {
-  if (to_view <= view_) return;
-  in_view_change_ = true;
-  disarm_view_change_timer();
-  disarm_batch_timer();  // sealing is paused until the new view installs
+SeqNum MinBftReplica::certified_stable(const ViewChange& proof) {
+  if (proof.stable_seq == 0) return 0;  // genesis needs no certificate
+  std::map<crypto::Digest, std::set<ReplicaId>, std::less<crypto::Digest>>
+      votes;
+  for (const Checkpoint& c : proof.checkpoint_cert) {
+    if (c.last_executed != proof.stable_seq) continue;
+    if (!is_member(c.replica) || c.replica != c.ui.replica) continue;
+    if (!verify_ui(c.body_digest(), c.ui)) continue;
+    votes[c.state_digest].insert(c.replica);
+  }
+  for (const auto& [digest, voters] : votes) {
+    (void)digest;
+    if (static_cast<int>(voters.size()) >= config_.f + 1) {
+      return proof.stable_seq;
+    }
+  }
+  return 0;
+}
+
+std::vector<Prepare> MinBftReplica::assemble_reproposals(
+    const std::vector<ViewChange>& proofs, View new_view) {
+  // Every rule below is a function of the proof set alone — never of local
+  // state, which differs between replicas — so the new leader and every
+  // follower compute byte-identical reproposals from the same NEW-VIEW.
+  // (One caveat: membership_ and f are consensus-ordered state, so replicas
+  // mid-reconfiguration can transiently disagree on them and an honest
+  // NEW-VIEW may be rejected; the view-change timer retries until the
+  // memberships converge, trading a bounded liveness hiccup for the safety
+  // of strict validation.)  The rules:
+  //
+  //  * The fill starts above the highest *certified* stable checkpoint and
+  //    is a contiguous range: try_execute only advances over contiguous
+  //    seqs and seal_one_batch only assigns above the highest logged one,
+  //    so a dropped seq would be a hole no replica could ever fill or pass
+  //    — a permanent stall.  A stable_seq claim counts only when its f+1
+  //    checkpoint certificate verifies (else a single compromised member
+  //    could inflate it and displace the genuinely prepared suffix), it is
+  //    saturated so a forged huge value cannot wrap the arithmetic, and the
+  //    range is capped at one watermark (honest prepares never exceed it),
+  //    so a forged huge prepare seq cannot force millions of null batches
+  //    either.
+  //  * Per seq the highest-view candidate wins, but only among batches
+  //    certified by their own view's leader USIG (a forged later-view
+  //    wrapper around replayed requests fails this) whose requests all carry
+  //    valid client signatures (a compromised ex-leader's garbage under a
+  //    valid UI fails this) — falling back to a verifiable lower-view batch
+  //    keeps the real requests the garbage tried to displace.
+  //  * A seq with no surviving candidate gets a null batch (PBFT-style null
+  //    request): it executes as a no-op and clients retransmit anything it
+  //    displaced.
+  constexpr SeqNum kClaimCeiling = std::numeric_limits<SeqNum>::max() / 2;
+  std::map<SeqNum, std::vector<Prepare>> candidates;
+  SeqNum stable = 0;
+  for (const ViewChange& proof : proofs) {
+    stable = std::max(stable, std::min(certified_stable(proof), kClaimCeiling));
+    for (const PreparedProof& p : proof.prepared) {
+      candidates[p.prepare.seq].push_back(p.prepare);
+    }
+  }
+  const SeqNum fill_cap = stable + config_.log_watermark;
+  SeqNum hi = stable;
+  for (auto it = candidates.upper_bound(stable);
+       it != candidates.end() && it->first <= fill_cap; ++it) {
+    hi = it->first;
+  }
+  std::vector<Prepare> reproposed;
+  for (SeqNum seq = stable + 1; seq <= hi; ++seq) {
+    Prepare p;
+    p.view = new_view;
+    p.seq = seq;
+    const auto cand_it = candidates.find(seq);
+    if (cand_it != candidates.end()) {
+      std::stable_sort(cand_it->second.begin(), cand_it->second.end(),
+                       [](const Prepare& a, const Prepare& b) {
+                         return a.view > b.view;
+                       });
+      for (Prepare& cand : cand_it->second) {
+        if (cand.requests.empty()) continue;
+        const ReplicaId cand_leader = membership_[static_cast<std::size_t>(
+            cand.view % membership_.size())];
+        if (cand.ui.replica != cand_leader) continue;
+        if (!verify_ui(cand.body_digest(), cand.ui)) continue;
+        bool batch_ok = true;
+        for (const Request& r : cand.requests) {
+          if (!verify_request(r)) {
+            batch_ok = false;
+            break;
+          }
+        }
+        if (!batch_ok) continue;
+        p.requests = std::move(cand.requests);
+        break;
+      }
+    }
+    reproposed.push_back(std::move(p));
+  }
+  return reproposed;
+}
+
+ViewChange MinBftReplica::make_view_change(View to_view) {
   ViewChange vc;
   vc.replica = id_;
   vc.to_view = to_view;
   vc.stable_seq = stable_checkpoint_;
+  vc.checkpoint_cert = stable_cert_;
   for (const auto& [seq, entry] : log_) {
     (void)seq;
     vc.prepared.push_back(PreparedProof{entry.prepare});
   }
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   vc.ui = usig_.create(vc.body_digest());
+  return vc;
+}
+
+void MinBftReplica::start_view_change(View to_view) {
+  if (to_view <= view_) return;
+  in_view_change_ = true;
+  disarm_view_change_timer();
+  disarm_batch_timer();  // sealing is paused until the new view installs
+  const ViewChange vc = make_view_change(to_view);
   const ReplicaId new_leader =
       membership_[static_cast<std::size_t>(to_view % membership_.size())];
   if (new_leader == id_) {
@@ -568,10 +681,13 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   if (expected_leader != id_) return;
   // The proof must come from a current member whose own USIG certifies it —
   // a detached replica must not be able to forge proofs "from" live members.
+  // Verified unconditionally, like handle_req_view_change: a network message
+  // spoofing the leader's own id would otherwise be stored unverified,
+  // suppress the genuine self-proof (per-replica dedup + the have_own check
+  // below), and poison nv.proofs so every follower rejects the NEW-VIEW.
+  // The genuine local self-call is signed by make_view_change and passes.
   if (!is_member(vc.replica) || vc.replica != vc.ui.replica) return;
-  if (vc.replica != id_) {
-    if (!verify_ui(vc.body_digest(), vc.ui)) return;
-  }
+  if (!verify_ui(vc.body_digest(), vc.ui)) return;
   auto& proofs = view_changes_[vc.to_view];
   for (const ViewChange& existing : proofs) {
     if (existing.replica == vc.replica) return;
@@ -579,53 +695,40 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   proofs.push_back(vc);
   if (static_cast<int>(proofs.size()) < config_.f + 1) return;
 
-  // Assemble the new view: adopt the highest stable checkpoint and re-propose
-  // every prepared entry above it (highest view wins per sequence number).
+  // The leader's own prepared log joins the proof set when its own view
+  // change did not arrive through the quorum path: its entries are
+  // reproposal candidates too, and its stable checkpoint is corroborated to
+  // followers the same way every other proof's is (the fill below starts
+  // above it, and followers bound the reproposed range by the proofs they
+  // can see).
+  const bool have_own =
+      std::any_of(proofs.begin(), proofs.end(),
+                  [&](const ViewChange& p) { return p.replica == id_; });
+  if (!have_own) proofs.push_back(make_view_change(vc.to_view));
+
   NewView nv;
   nv.leader = id_;
   nv.view = vc.to_view;
   nv.proofs = proofs;
-  std::map<SeqNum, Prepare> chosen;
-  SeqNum max_stable = stable_checkpoint_;
-  for (const ViewChange& proof : proofs) {
-    max_stable = std::max(max_stable, proof.stable_seq);
-    for (const PreparedProof& p : proof.prepared) {
-      const auto it = chosen.find(p.prepare.seq);
-      if (it == chosen.end() || it->second.view < p.prepare.view) {
-        chosen[p.prepare.seq] = p.prepare;
-      }
-    }
-  }
   view_ = nv.view;
   in_view_change_ = false;
   view_changes_.erase(nv.view);
   view_change_requests_.erase(nv.view);
-  // Re-prepare undecided entries under the new view with fresh UIs.  A
-  // chosen batch containing a request that fails its client-signature check
-  // is garbage a compromised ex-leader smuggled into its proof: drop it —
-  // clients retransmit any real request it displaced.
+  // Re-prepare the undecided suffix under the new view with fresh UIs.  The
+  // selection is a deterministic function of the proof set (see
+  // assemble_reproposals): followers recompute it from nv.proofs and reject
+  // any NEW-VIEW that deviates, so even a compromised leader could not
+  // tamper with it here.
+  nv.reproposed = assemble_reproposals(nv.proofs, nv.view);
   log_.clear();
-  for (auto& [seq, prep] : chosen) {
-    if (seq <= max_stable) continue;
-    bool batch_ok = !prep.requests.empty();
-    for (const Request& r : prep.requests) {
-      if (!verify_request(r)) {
-        batch_ok = false;
-        break;
-      }
-    }
-    if (!batch_ok) continue;
-    Prepare p;
-    p.view = nv.view;
-    p.seq = seq;
-    p.requests = std::move(prep.requests);
+  for (Prepare& p : nv.reproposed) {
     net_->consume_cpu(id_, config_.crypto_cost_sign);
     p.ui = usig_.create(p.body_digest());
-    nv.reproposed.push_back(p);
+    if (p.seq <= stable_checkpoint_) continue;
     PendingEntry entry;
     entry.prepare = p;
     entry.commits.insert(id_);
-    log_[seq] = std::move(entry);
+    log_[p.seq] = std::move(entry);
   }
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   nv.ui = usig_.create(nv.body_digest());
@@ -652,19 +755,40 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
     if (!is_member(proof.replica) || proof.replica != proof.ui.replica) {
       return;
     }
+    // A proof must be *for this view change*: a relayed NEW-VIEW stuffed
+    // with genuine-but-stale proofs from other views would otherwise steer
+    // the reproposal recomputation below.
+    if (proof.to_view != nv.view) return;
     if (!verify_ui(proof.body_digest(), proof.ui)) {
       return;
     }
     proof_senders.insert(proof.replica);
   }
   if (static_cast<int>(proof_senders.size()) < config_.f + 1) return;
-  // Reproposed batches obey the same per-request client-signature rule as
-  // live PREPAREs; a NEW-VIEW carrying garbage is not installed.
-  for (const Prepare& p : nv.reproposed) {
-    if (p.requests.empty()) return;
-    for (const Request& r : p.requests) {
-      if (!verify_request(r)) return;
+  // The reproposed suffix must be exactly what assemble_reproposals derives
+  // from the carried proofs: the selection is deterministic, so any
+  // deviation — a null batch where a genuinely prepared one exists, a
+  // smuggled garbage batch, a hole, a range floating above an unfillable
+  // gap, a watermark-busting run of nulls — is a Byzantine leader's
+  // fabrication and the NEW-VIEW is not installed.  (Null batches where no
+  // candidate survives are legal, unlike live PREPAREs: they execute as
+  // no-ops.)
+  const std::vector<Prepare> expected =
+      assemble_reproposals(nv.proofs, nv.view);
+  if (nv.reproposed.size() != expected.size()) return;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const Prepare& got = nv.reproposed[i];
+    if (got.view != nv.view || got.seq != expected[i].seq) return;
+    if (!crypto::digest_equal(got.batch_digest(),
+                              expected[i].batch_digest())) {
+      return;
     }
+    // Each reproposal must carry the new leader's own USIG, like a live
+    // PREPARE: installing one with a garbage UI would poison the entries we
+    // log and later carry as view-change candidates ourselves (their
+    // failed UI check would null them out in the next reassembly).
+    if (got.ui.replica != nv.leader) return;
+    if (!verify_ui(got.body_digest(), got.ui)) return;
   }
   view_ = nv.view;
   in_view_change_ = false;
@@ -738,7 +862,14 @@ void MinBftReplica::handle_state_response(const StateResponse& r) {
   }
   service_.install(adopt.log, adopt.state_digest);
   last_executed_ = adopt.last_executed;
-  stable_checkpoint_ = std::max(stable_checkpoint_, adopt.last_executed);
+  if (adopt.last_executed > stable_checkpoint_) {
+    stable_checkpoint_ = adopt.last_executed;
+    // This stable point is vouched by the state-digest quorum, not by a
+    // checkpoint quorum we witnessed: our view-change claims go uncertified
+    // until the next checkpoint (peers ignore them, which is safe — our log
+    // is empty after the transfer anyway).
+    stable_cert_.clear();
+  }
   for (const std::string& op : adopt.log) apply_reconfiguration(op);
   log_.clear();
   state_votes_.clear();

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/consensus/minbft_workload.hpp"
 #include "tolerance/consensus/raft.hpp"
 
 namespace tolerance::consensus {
@@ -236,54 +238,15 @@ TEST(MinBft, ThroughputDecreasesWithClusterSize) {
 // MinBFT: request batching and pipelined USIG signing
 // ---------------------------------------------------------------------------
 
-/// Submit `ops_each` uniquely-tagged ops from `clients` closed-loop clients
-/// and return replica logs once every replica converged.
-std::vector<std::string> run_tagged_workload(MinBftConfig cfg, int n,
-                                             int clients, int ops_each,
-                                             std::uint64_t seed,
-                                             double* avg_batch = nullptr) {
-  net::LinkConfig link;
-  link.base_delay = 1e-3;
-  link.jitter = 0.0;
-  link.loss = 0.0;
-  MinBftCluster cluster(n, cfg, seed, link);
-  int done = 0;
-  std::vector<MinBftClient*> cs;
-  for (int c = 0; c < clients; ++c) cs.push_back(&cluster.add_client());
-  std::function<void(int, int)> pump = [&](int c, int k) {
-    if (k >= ops_each) {
-      ++done;
-      return;
-    }
-    cs[static_cast<std::size_t>(c)]->submit(
-        "c" + std::to_string(c) + ":" + std::to_string(k),
-        [&, c, k](std::uint64_t, const std::string&, double) {
-          pump(c, k + 1);
-        });
-  };
-  for (int c = 0; c < clients; ++c) pump(c, 0);
-  std::size_t events = 0;
-  while (done < clients && events < 4000000 && cluster.network().step()) {
-    ++events;
-  }
-  EXPECT_EQ(done, clients) << "workload did not complete";
-  cluster.run_for(2.0);
-  const auto& log0 = cluster.replica(0).service().log();
-  for (const auto id : cluster.replica_ids()) {
-    EXPECT_EQ(cluster.replica(id).service().log(), log0)
-        << "replica " << id << " diverged";
-  }
-  if (avg_batch != nullptr) {
-    std::uint64_t batches = 0, requests = 0;
-    for (const auto id : cluster.replica_ids()) {
-      batches += cluster.replica(id).batches_proposed();
-      requests += cluster.replica(id).requests_proposed();
-    }
-    *avg_batch = batches > 0 ? static_cast<double>(requests) /
-                                   static_cast<double>(batches)
-                             : 0.0;
-  }
-  return log0;
+/// The shared tagged-workload driver (also behind the Fig. 10 CI gate),
+/// lifted to test expectations: a failed run is a test failure.
+TaggedWorkloadResult tagged_workload(const MinBftConfig& cfg, int n,
+                                     int clients, int ops_each,
+                                     std::uint64_t seed) {
+  const auto result =
+      run_tagged_workload(cfg, n, clients, ops_each, seed, 4000000);
+  EXPECT_EQ(result.error, "");
+  return result;
 }
 
 TEST(MinBftBatching, BatchesFormUnderLoadAndLogsMatchUnbatched) {
@@ -291,29 +254,16 @@ TEST(MinBftBatching, BatchesFormUnderLoadAndLogsMatchUnbatched) {
   cfg.batch_size = 8;
   cfg.pipeline_depth = 2;
   const int clients = 8, ops = 12;
-  double avg_batch = 0.0;
-  const auto batched = run_tagged_workload(cfg, 3, clients, ops, 5, &avg_batch);
-  EXPECT_GT(avg_batch, 1.5) << "batches never formed under 8-client load";
-  const auto unbatched =
-      run_tagged_workload(cfg.unbatched(), 3, clients, ops, 5);
-  ASSERT_EQ(batched.size(), static_cast<std::size_t>(clients * ops));
-  ASSERT_EQ(unbatched.size(), batched.size());
-  // Identical operation logs: same multiset, same per-client order.
-  auto sorted_b = batched, sorted_u = unbatched;
-  std::sort(sorted_b.begin(), sorted_b.end());
-  std::sort(sorted_u.begin(), sorted_u.end());
-  EXPECT_EQ(sorted_b, sorted_u);
-  for (int c = 0; c < clients; ++c) {
-    const std::string prefix = "c" + std::to_string(c) + ":";
-    std::vector<std::string> pb, pu;
-    for (const auto& op : batched) {
-      if (op.rfind(prefix, 0) == 0) pb.push_back(op);
-    }
-    for (const auto& op : unbatched) {
-      if (op.rfind(prefix, 0) == 0) pu.push_back(op);
-    }
-    EXPECT_EQ(pb, pu) << "client " << c << " order diverged";
-  }
+  const auto batched = tagged_workload(cfg, 3, clients, ops, 5);
+  EXPECT_GT(batched.avg_batch, 1.5) << "batches never formed under load";
+  const auto unbatched = tagged_workload(cfg.unbatched(), 3, clients, ops, 5);
+  ASSERT_EQ(batched.log.size(), static_cast<std::size_t>(clients * ops));
+  ASSERT_EQ(unbatched.log.size(), batched.log.size());
+  // Identical operation logs, per the shared equivalence definition the CI
+  // bench also gates on: same multiset, same per-client order.
+  std::string err;
+  EXPECT_TRUE(logs_equivalent(batched.log, unbatched.log, clients, &err))
+      << err;
 }
 
 TEST(MinBftBatching, BatchingMultipliesSimulatedThroughputUnderLoad) {
@@ -407,6 +357,381 @@ TEST(MinBftBatching, RandomLeaderGarbageBatchTriggersViewChange) {
     }
     EXPECT_GT(cluster.replica(id).view(), 0u);
   }
+}
+
+// Forging kit for view-change attack tests: USIG secrets derive
+// deterministically from (principal, seed) exactly as MinBftCluster derives
+// them, so a test can mint certificates that verify at honest replicas —
+// standing in for a compromised member's ability to emit well-formed
+// protocol messages with arbitrary content.
+crypto::Usig forged_usig(std::uint64_t cluster_seed, ReplicaId id) {
+  crypto::KeyRegistry scratch;
+  return crypto::Usig(
+      id, scratch.register_principal(
+              static_cast<crypto::PrincipalId>(id) +
+                  crypto::kUsigPrincipalOffset,
+              (cluster_seed ^ id) ^ 0x5a5au));
+}
+
+ViewChange forged_view_change(std::uint64_t cluster_seed, ReplicaId id,
+                              View to_view,
+                              const std::vector<Prepare>& prepared,
+                              SeqNum stable_seq = 0) {
+  ViewChange vc;
+  vc.replica = id;
+  vc.to_view = to_view;
+  vc.stable_seq = stable_seq;
+  for (const Prepare& p : prepared) vc.prepared.push_back(PreparedProof{p});
+  crypto::Usig usig = forged_usig(cluster_seed, id);
+  vc.ui = usig.create(vc.body_digest());
+  return vc;
+}
+
+Request unverifiable_request(const std::string& op) {
+  Request evil;
+  evil.client = 77777;  // unregistered principal: signature cannot verify
+  evil.request_id = 1;
+  evil.operation = op;
+  evil.signature.signer = evil.client;
+  return evil;
+}
+
+/// A prepare certified by `leader`'s (forged) USIG — reproposal candidates
+/// must carry their claimed view's leader UI to survive selection.
+Prepare forged_prepare(std::uint64_t cluster_seed, ReplicaId leader,
+                       View view, SeqNum seq, std::vector<Request> requests) {
+  Prepare p;
+  p.view = view;
+  p.seq = seq;
+  p.requests = std::move(requests);
+  crypto::Usig usig = forged_usig(cluster_seed, leader);
+  p.ui = usig.create(p.body_digest());
+  return p;
+}
+
+/// A genuinely-signed request from a cluster client's (deterministically
+/// derived) key — what a compromised replica can replay into forged proofs.
+Request forged_client_request(std::uint64_t cluster_seed, ClientId client,
+                              std::uint64_t request_id,
+                              const std::string& op) {
+  Request r;
+  r.client = client;
+  r.request_id = request_id;
+  r.operation = op;
+  crypto::KeyRegistry scratch;
+  crypto::Signer signer(
+      client, scratch.register_principal(client, cluster_seed ^ client));
+  r.signature = signer.sign(r.payload());
+  return r;
+}
+
+/// Submit `op` through `client` while wiretapping replica 0's deliveries,
+/// and return the genuinely client-signed Request captured off the wire.
+std::optional<Request> submit_and_capture(MinBftCluster& cluster,
+                                          MinBftClient& client,
+                                          const std::string& op) {
+  auto captured = std::make_shared<std::optional<Request>>();
+  auto& r0 = cluster.replica(0);
+  cluster.network().register_host(
+      0, [captured, &r0](net::NodeId from, const MinBftMsg& m) {
+        if (const auto* req = std::get_if<Request>(&m)) {
+          if (!captured->has_value()) *captured = *req;
+        }
+        r0.on_message(from, m);
+      });
+  if (!cluster.submit_and_run(client, op).has_value()) return std::nullopt;
+  return *captured;
+}
+
+TEST(MinBftBatching, GarbageProofInViewChangeIsReplacedByNullBatch) {
+  // The liveness half of the garbage-batch defence: a compromised ex-leader
+  // can land its unverifiable batch in one of the f+1 view-change proofs,
+  // where a later view number wins the highest-view-per-seq selection over
+  // an honest prepare.  The new leader must not simply drop that seq —
+  // try_execute only advances contiguously and seal_one_batch only assigns
+  // fresh seqs above the highest logged one, so a hole below a reproposed
+  // batch could never be filled or passed and the cluster would stall
+  // forever.  It re-prepares a null batch in its place instead.
+  const std::uint64_t kSeed = 29;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+
+  // Capture a genuinely signed client request off the wire so the forged
+  // proof can also carry a *verifiable* batch above the garbage one.
+  const auto captured = submit_and_capture(cluster, client, "w1");  // seq 1
+  ASSERT_TRUE(captured.has_value());
+
+  // Later-view garbage under a perfectly valid leader UI (view 3's leader is
+  // replica 0, the compromised one): it wins the per-seq view ordering and
+  // only the client-signature check can reject it.
+  const Prepare garbage =
+      forged_prepare(kSeed, 0, 3, 2, {unverifiable_request("evil-op")});
+  // A verifiable batch *above* the garbage seq, certified by view 0's leader.
+  const Prepare real = forged_prepare(kSeed, 0, 0, 3, {*captured});
+
+  auto& r1 = cluster.replica(1);  // leader of view 1
+  r1.on_message(0, MinBftMsg{forged_view_change(kSeed, 0, 1, {garbage, real})});
+  r1.on_message(2, MinBftMsg{forged_view_change(kSeed, 2, 1, {garbage, real})});
+  EXPECT_EQ(r1.view(), 1u) << "f+1 proofs must assemble the new view";
+
+  // The cluster must stay live: the garbage seq is filled by a null batch,
+  // the log stays contiguous, and fresh requests keep committing.
+  const auto result = cluster.submit_and_run(client, "w2");
+  ASSERT_TRUE(result.has_value()) << "cluster stalled on a sequence hole";
+  cluster.run_for(1.0);
+  const auto& log1 = r1.service().log();
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w1"), 1);
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w2"), 1);
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "evil-op"), 0);
+  for (ReplicaId id : cluster.replica_ids()) {
+    EXPECT_EQ(cluster.replica(id).service().log(), log1) << "replica " << id;
+  }
+}
+
+TEST(MinBftBatching, ForgedProofSeqCannotBloatTheNullBatchFill) {
+  // The contiguous null-batch fill is clamped to the live-path watermark: a
+  // forged proof smuggling an absurd seq must not make the new leader sign
+  // and log tens of millions of null batches (and a seq near UINT64_MAX
+  // must not wrap the fill loop).  The fill stops at the watermark,
+  // checkpoints advance the stable point over the no-ops, and fresh
+  // requests keep committing.
+  const std::uint64_t kSeed = 31;
+  MinBftConfig cfg = fast_config(1);  // log_watermark = 100
+  MinBftCluster cluster(3, cfg, kSeed, fast_link());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.submit_and_run(client, "w1").has_value());
+
+  const Prepare absurd = forged_prepare(kSeed, 0, 3, 50'000'000,
+                                        {unverifiable_request("evil-op")});
+  auto& r1 = cluster.replica(1);  // leader of view 1
+  r1.on_message(0, MinBftMsg{forged_view_change(kSeed, 0, 1, {absurd})});
+  r1.on_message(2, MinBftMsg{forged_view_change(kSeed, 2, 1, {absurd})});
+  EXPECT_EQ(r1.view(), 1u) << "f+1 proofs must assemble the new view";
+
+  const auto result = cluster.submit_and_run(client, "w2");
+  ASSERT_TRUE(result.has_value()) << "cluster stalled after the clamped fill";
+  cluster.run_for(1.0);
+  const auto& log1 = r1.service().log();
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w1"), 1);
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w2"), 1);
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "evil-op"), 0);
+  for (ReplicaId id : cluster.replica_ids()) {
+    EXPECT_EQ(cluster.replica(id).service().log(), log1) << "replica " << id;
+  }
+}
+
+TEST(MinBftBatching, ForgedStableSeqCannotWrapTheFill) {
+  // A forged proof claiming stable_seq = UINT64_MAX must not wrap the
+  // contiguous fill (max_stable + 1 == 0 with a never-false loop bound):
+  // uncertified stable claims are ignored, and even certified ones are
+  // saturated.  Pre-fix, assembly hung signing null batches forever.
+  const std::uint64_t kSeed = 37;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.submit_and_run(client, "w1").has_value());
+  constexpr SeqNum kHuge = std::numeric_limits<SeqNum>::max();
+  auto& r1 = cluster.replica(1);  // leader of view 1
+  r1.on_message(0, MinBftMsg{forged_view_change(kSeed, 0, 1, {}, kHuge)});
+  r1.on_message(2, MinBftMsg{forged_view_change(kSeed, 2, 1, {}, kHuge)});
+  EXPECT_EQ(r1.view(), 1u) << "f+1 proofs must assemble the new view";
+  const auto result = cluster.submit_and_run(client, "w2");
+  ASSERT_TRUE(result.has_value()) << "cluster stalled after forged stable";
+  cluster.run_for(1.0);
+  const auto& log1 = r1.service().log();
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w1"), 1);
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w2"), 1);
+}
+
+TEST(MinBftBatching, NewViewWithLeadingHoleIsRejected) {
+  // A Byzantine new leader sends a contiguous reproposed run floating above
+  // an unfillable gap (seqs 51..60 over proofs whose stable is 0).  The
+  // adjacent-pair contiguity check alone would accept it and the follower
+  // would sit stalled behind seq 51 until the next view-change timeout; the
+  // range must anchor at the proofs' stable checkpoint + 1.
+  const std::uint64_t kSeed = 41;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.submit_and_run(client, "w1").has_value());
+  NewView nv;
+  nv.leader = 1;  // the genuine leader of view 1
+  nv.view = 1;
+  nv.proofs.push_back(forged_view_change(kSeed, 0, 1, {}));
+  nv.proofs.push_back(forged_view_change(kSeed, 2, 1, {}));
+  for (SeqNum seq = 51; seq <= 60; ++seq) {
+    Prepare null_batch;
+    null_batch.view = 1;
+    null_batch.seq = seq;
+    nv.reproposed.push_back(std::move(null_batch));
+  }
+  crypto::Usig leader_usig = forged_usig(kSeed, 1);
+  nv.ui = leader_usig.create(nv.body_digest());
+  auto& r0 = cluster.replica(0);
+  r0.on_message(1, MinBftMsg{nv});
+  EXPECT_EQ(r0.view(), 0u) << "holed NEW-VIEW must not install";
+  // The cluster is undisturbed and stays live under the view-0 leader.
+  ASSERT_TRUE(cluster.submit_and_run(client, "w2").has_value());
+}
+
+TEST(MinBftBatching, NewViewCannotNullOutAPreparedBatch) {
+  // Followers recompute the reproposal selection from the NEW-VIEW's own
+  // proofs: a Byzantine new leader whose proofs evidence a verifiable
+  // prepared batch cannot replace it with a null batch (which honest
+  // replicas would execute as a no-op, silently diverging from any replica
+  // that already executed the real batch).
+  const std::uint64_t kSeed = 43;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  const auto captured = submit_and_capture(cluster, client, "w1");
+  ASSERT_TRUE(captured.has_value());
+
+  const Prepare real = forged_prepare(kSeed, 0, 0, 2, {*captured});
+  NewView nv;
+  nv.leader = 1;  // the genuine leader of view 1, presumed compromised
+  nv.view = 1;
+  nv.proofs.push_back(forged_view_change(kSeed, 0, 1, {real}));
+  nv.proofs.push_back(forged_view_change(kSeed, 2, 1, {real}));
+  // The fill honest replicas derive is [null@1, real@2]; the Byzantine
+  // leader deviates only at the contested seq, nulling out `real`.
+  for (SeqNum seq = 1; seq <= 2; ++seq) {
+    Prepare null_batch;
+    null_batch.view = 1;
+    null_batch.seq = seq;
+    nv.reproposed.push_back(std::move(null_batch));
+  }
+  crypto::Usig leader_usig = forged_usig(kSeed, 1);
+  nv.ui = leader_usig.create(nv.body_digest());
+  auto& r2 = cluster.replica(2);
+  r2.on_message(1, MinBftMsg{nv});
+  EXPECT_EQ(r2.view(), 0u) << "nulled-out NEW-VIEW must not install";
+  ASSERT_TRUE(cluster.submit_and_run(client, "w2").has_value());
+}
+
+TEST(MinBftBatching, TamperedProofContentsBreakTheProofCertificate) {
+  // The sneakier variant of the null-out attack: instead of deviating from
+  // the deterministic reproposal selection, a Byzantine new leader corrupts
+  // a candidate *inside* a relayed honest proof (here its UI certificate) so
+  // that every honest replica's own recomputation derives the null batch
+  // "legitimately".  The VIEW-CHANGE digest binds the prepare's view, UI,
+  // and signature-bound request digests, so the tampering breaks the proof
+  // sender's USIG certificate and the NEW-VIEW is rejected.
+  const std::uint64_t kSeed = 47;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  const auto captured = submit_and_capture(cluster, client, "w1");
+  ASSERT_TRUE(captured.has_value());
+
+  const Prepare real = forged_prepare(kSeed, 0, 0, 2, {*captured});
+  NewView nv;
+  nv.leader = 1;
+  nv.view = 1;
+  for (const ReplicaId sender : {ReplicaId{0}, ReplicaId{2}}) {
+    ViewChange tampered = forged_view_change(kSeed, sender, 1, {real});
+    tampered.prepared[0].prepare.ui.certificate[0] ^= 0xff;  // in-flight flip
+    tampered.invalidate_digests();
+    nv.proofs.push_back(std::move(tampered));
+  }
+  // The reproposals the tampering would "justify": with every copy of the
+  // candidate corrupted, honest recomputation derives [null@1, null@2].
+  for (SeqNum seq = 1; seq <= 2; ++seq) {
+    Prepare null_batch;
+    null_batch.view = 1;
+    null_batch.seq = seq;
+    nv.reproposed.push_back(std::move(null_batch));
+  }
+  crypto::Usig leader_usig = forged_usig(kSeed, 1);
+  nv.ui = leader_usig.create(nv.body_digest());
+  auto& r2 = cluster.replica(2);
+  r2.on_message(1, MinBftMsg{nv});
+  EXPECT_EQ(r2.view(), 0u) << "tampered-proof NEW-VIEW must not install";
+  ASSERT_TRUE(cluster.submit_and_run(client, "w2").has_value());
+}
+
+TEST(MinBftBatching, UncertifiedStableClaimCannotDisplacePreparedSuffix) {
+  // A single compromised member inflating its claimed stable checkpoint
+  // (without the f+1 checkpoint certificate that makes one stable) must not
+  // start the reproposal fill above the genuinely prepared suffix — that
+  // would deterministically discard a prepared (possibly committed) batch
+  // at every honest replica at once.  Uncertified claims are ignored.
+  const std::uint64_t kSeed = 53;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.submit_and_run(client, "w1").has_value());  // seq 1
+  const Request displaced =
+      forged_client_request(kSeed, 10000, 999, "w-displaced");
+  const Prepare prepared = forged_prepare(kSeed, 0, 0, 2, {displaced});
+  auto& r1 = cluster.replica(1);  // leader of view 1
+  for (const ReplicaId sender : {ReplicaId{0}, ReplicaId{2}}) {
+    r1.on_message(sender, MinBftMsg{forged_view_change(
+                              kSeed, sender, 1, {prepared}, /*stable=*/50)});
+  }
+  EXPECT_EQ(r1.view(), 1u) << "f+1 proofs must assemble the new view";
+  cluster.run_for(5.0);
+  const auto& log1 = r1.service().log();
+  EXPECT_EQ(std::count(log1.begin(), log1.end(), "w-displaced"), 1)
+      << "prepared batch displaced by an uncertified stable claim";
+  for (ReplicaId id : cluster.replica_ids()) {
+    EXPECT_EQ(cluster.replica(id).service().log(), log1) << "replica " << id;
+  }
+}
+
+TEST(MinBftBatching, NewViewReproposalsRequireLeaderCertification) {
+  // A NEW-VIEW whose reproposed suffix matches the deterministic selection
+  // but carries garbage UIs must still be rejected: installing it would
+  // poison the entries honest replicas log and later carry as view-change
+  // candidates themselves (whose failed UI check would null them out in the
+  // next reassembly).
+  const std::uint64_t kSeed = 59;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  const auto captured = submit_and_capture(cluster, client, "w1");
+  ASSERT_TRUE(captured.has_value());
+
+  const Prepare real = forged_prepare(kSeed, 0, 0, 2, {*captured});
+  NewView nv;
+  nv.leader = 1;
+  nv.view = 1;
+  nv.proofs.push_back(forged_view_change(kSeed, 0, 1, {real}));
+  nv.proofs.push_back(forged_view_change(kSeed, 2, 1, {real}));
+  // Byte-exact match for the expected selection [null@1, real@2] — but the
+  // prepares carry default (unverifiable) UIs instead of the leader's.
+  Prepare null_batch;
+  null_batch.view = 1;
+  null_batch.seq = 1;
+  nv.reproposed.push_back(std::move(null_batch));
+  Prepare unsigned_real;
+  unsigned_real.view = 1;
+  unsigned_real.seq = 2;
+  unsigned_real.requests = {*captured};
+  nv.reproposed.push_back(std::move(unsigned_real));
+  crypto::Usig leader_usig = forged_usig(kSeed, 1);
+  nv.ui = leader_usig.create(nv.body_digest());
+  auto& r2 = cluster.replica(2);
+  r2.on_message(1, MinBftMsg{nv});
+  EXPECT_EQ(r2.view(), 0u) << "uncertified reproposals must not install";
+  ASSERT_TRUE(cluster.submit_and_run(client, "w2").has_value());
+}
+
+TEST(MinBftBatching, SpoofedSelfProofIsRejected) {
+  // A VIEW-CHANGE spoofing the prospective leader's own id with a garbage
+  // UI must be verified like any other proof (the genuine local self-proof
+  // is USIG-signed): stored unverified it would both count toward the f+1
+  // quorum and suppress the leader's real self-proof, poisoning the
+  // NEW-VIEW for every follower.
+  const std::uint64_t kSeed = 61;
+  MinBftCluster cluster(3, fast_config(1), kSeed, fast_link());
+  auto& client = cluster.add_client();
+  ASSERT_TRUE(cluster.submit_and_run(client, "w1").has_value());
+  auto& r1 = cluster.replica(1);  // leader of view 1
+  ViewChange spoof;
+  spoof.replica = 1;  // "from" r1 itself, with an unverifiable UI
+  spoof.to_view = 1;
+  spoof.ui.replica = 1;
+  r1.on_message(0, MinBftMsg{spoof});
+  r1.on_message(0, MinBftMsg{forged_view_change(kSeed, 0, 1, {})});
+  EXPECT_EQ(r1.view(), 0u) << "spoofed self-proof counted toward the quorum";
+  r1.on_message(2, MinBftMsg{forged_view_change(kSeed, 2, 1, {})});
+  EXPECT_EQ(r1.view(), 1u);
+  ASSERT_TRUE(cluster.submit_and_run(client, "w2").has_value());
 }
 
 TEST(MinBftBatching, EvictedReplicasBatchIsRejected) {

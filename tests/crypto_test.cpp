@@ -211,6 +211,38 @@ TEST(UsigVerifyCache, DifferentContentOrCertificateNeverHits) {
   EXPECT_FALSE(cache.lookup(forged, d).has_value());
 }
 
+TEST(UsigVerifyCache, LaterVerificationReplacesStaleEntry) {
+  // If a forged (digest, certificate) pairing for a counter is verified (and
+  // cached as a failure) before the legitimate message arrives, the later
+  // successful verification must replace the stale entry — otherwise every
+  // retransmit of the real message re-pays the full HMAC check.
+  auto registry = std::make_shared<KeyRegistry>();
+  const std::string secret =
+      registry->register_principal(5 + kUsigPrincipalOffset, 9);
+  Usig usig(5, secret);
+  const Digest d = Sha256::hash("op");
+  const UniqueIdentifier ui = usig.create(d);
+  UniqueIdentifier forged = ui;
+  forged.certificate[0] ^= 0xff;
+
+  UsigVerifyCache cache;
+  cache.insert(forged, d, Usig::verify(*registry, d, forged));  // false
+  cache.insert(ui, d, Usig::verify(*registry, d, ui));          // true
+  const auto hit = cache.lookup(ui, d);
+  ASSERT_TRUE(hit.has_value()) << "legitimate verdict was never cached";
+  EXPECT_TRUE(*hit);
+  // The forged pairing no longer matches the stored entry: a replay of it
+  // misses and goes back through full (failing) verification.
+  EXPECT_FALSE(cache.lookup(forged, d).has_value());
+  // ...but that failing re-verification must not evict the canonical true
+  // verdict either (else alternating forged replays would defeat the cache
+  // in the other direction: last-writer-wins instead of first-writer-wins).
+  cache.insert(forged, d, false);
+  const auto still = cache.lookup(ui, d);
+  ASSERT_TRUE(still.has_value()) << "forged replay evicted the true verdict";
+  EXPECT_TRUE(*still);
+}
+
 TEST(UsigVerifyCache, EvictsOldestBeyondCapacity) {
   auto registry = std::make_shared<KeyRegistry>();
   const std::string secret =
