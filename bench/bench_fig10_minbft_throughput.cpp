@@ -27,7 +27,9 @@
 
 #include "bench_common.hpp"
 #include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/consensus/minbft_runtime.hpp"
 #include "tolerance/consensus/minbft_workload.hpp"
+#include "tolerance/net/profiles.hpp"
 
 namespace {
 
@@ -102,6 +104,119 @@ struct SweepRow {
   bool logs_match = false;
 };
 
+// --- wall-clock (--runtime) mode -------------------------------------------
+
+/// Protocol timeouts in wall seconds for the async-runtime lane.  The sim
+/// lane's modelled crypto costs are irrelevant here: every signature is a
+/// real HMAC-SHA256 computed on the replica's own event loop.
+consensus::MinBftConfig runtime_config(int n) {
+  consensus::MinBftConfig cfg;
+  cfg.f = (n - 1) / 2;
+  cfg.checkpoint_period = 100;
+  cfg.log_watermark = 1000;
+  cfg.view_change_timeout = 2.0;
+  cfg.request_retry_timeout = 1.0;
+  cfg.batch_timeout = 0.005;
+  return cfg;
+}
+
+struct RuntimeRow {
+  std::string profile;
+  int n = 0;
+  consensus::RuntimeLoadStats stats;
+};
+
+/// One data point: a fresh thread pool + AsyncRuntime + cluster, driven
+/// closed-loop for `duration` wall seconds.
+RuntimeRow measure_runtime(const net::NetworkProfile& profile, int n,
+                           int clients, double duration) {
+  RuntimeRow row;
+  row.profile = profile.name;
+  row.n = n;
+  consensus::MinBftRuntimeCluster cluster(n, runtime_config(n),
+                                          /*seed=*/77u + static_cast<unsigned>(n),
+                                          profile);
+  row.stats = cluster.run_closed_loop(clients, duration);
+  return row;
+}
+
+int run_runtime_mode(const std::string& out_path,
+                     const std::vector<std::string>& profile_names,
+                     int clients, double duration) {
+  using tolerance::ConsoleTable;
+  const std::vector<int> sweep_n{3, 7, 13, 21, 31};
+  std::cout << "\n--- wall-clock runtime sweep (" << clients
+            << " closed-loop clients, " << duration
+            << " s wall per cell; real HMAC-SHA256 on "
+            << "per-replica event loops) ---\n\n";
+
+  std::vector<RuntimeRow> rows;
+  bool ok = true;
+  ConsoleTable table({"profile", "N", "req/s", "completed", "p50 lat (ms)",
+                      "p99 lat (ms)", "net drop", "reorder", "ovfl",
+                      "decode err"});
+  for (const std::string& name : profile_names) {
+    const auto profile = net::NetworkProfile::by_name(name);
+    if (!profile) {
+      std::cout << "unknown profile: " << name << '\n';
+      return 1;
+    }
+    for (const int n : sweep_n) {
+      RuntimeRow row = measure_runtime(*profile, n, clients, duration);
+      // Machine-independent gates only: progress was made and the transport
+      // never saw a malformed frame or a throwing handler.
+      if (row.stats.completed == 0 || row.stats.decode_errors != 0 ||
+          row.stats.handler_errors != 0) {
+        ok = false;
+      }
+      table.add_row({row.profile, std::to_string(row.n),
+                     ConsoleTable::num(row.stats.throughput, 1),
+                     std::to_string(row.stats.completed),
+                     ConsoleTable::num(row.stats.p50_latency * 1e3, 2),
+                     ConsoleTable::num(row.stats.p99_latency * 1e3, 2),
+                     std::to_string(row.stats.dropped),
+                     std::to_string(row.stats.reordered),
+                     std::to_string(row.stats.overflow_dropped),
+                     std::to_string(row.stats.decode_errors)});
+      rows.push_back(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\ngates: every cell completed requests, zero decode errors, "
+            << "zero handler errors: " << (ok ? "OK" : "FAILED") << '\n';
+
+  std::ofstream out(out_path);
+  out << "{\n"
+      << "  \"bench\": \"consensus_runtime\",\n"
+      << "  \"config\": {\"clients\": " << clients
+      << ", \"duration_s\": " << duration
+      << ", \"batch_size\": " << runtime_config(3).batch_size
+      << ", \"pipeline_depth\": " << runtime_config(3).pipeline_depth
+      << "},\n"
+      << "  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RuntimeRow& row = rows[i];
+    out << "    {\"profile\": \"" << row.profile << "\", \"n\": " << row.n
+        << ", \"req_s\": " << row.stats.throughput
+        << ", \"completed\": " << row.stats.completed
+        << ", \"elapsed_s\": " << row.stats.elapsed_seconds
+        << ", \"mean_latency_s\": " << row.stats.mean_latency
+        << ", \"p50_latency_s\": " << row.stats.p50_latency
+        << ", \"p99_latency_s\": " << row.stats.p99_latency
+        << ", \"dropped\": " << row.stats.dropped
+        << ", \"reordered\": " << row.stats.reordered
+        << ", \"overflow_dropped\": " << row.stats.overflow_dropped
+        << ", \"decode_errors\": " << row.stats.decode_errors
+        << ", \"handler_errors\": " << row.stats.handler_errors << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"gates\": {\"ok\": " << (ok ? "true" : "false") << "}\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -111,12 +226,39 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_consensus.json";
   double min_speedup = 5.0;
   double min_n7 = 0.0;
+  bool runtime_mode = false;
+  std::string runtime_out = "BENCH_runtime.json";
+  int runtime_clients = 2000;
+  double runtime_duration = bench::scaled(2.0, 10.0);
+  std::vector<std::string> runtime_profiles{"LAN", "WAN"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
     if (arg == "--min-speedup" && i + 1 < argc)
       min_speedup = std::atof(argv[i + 1]);
     if (arg == "--min-n7" && i + 1 < argc) min_n7 = std::atof(argv[i + 1]);
+    if (arg == "--runtime") runtime_mode = true;
+    if (arg == "--runtime-out" && i + 1 < argc) runtime_out = argv[i + 1];
+    if (arg == "--runtime-clients" && i + 1 < argc)
+      runtime_clients = std::atoi(argv[i + 1]);
+    if (arg == "--runtime-duration" && i + 1 < argc)
+      runtime_duration = std::atof(argv[i + 1]);
+    if (arg == "--profiles" && i + 1 < argc) {
+      runtime_profiles.clear();
+      std::stringstream ss(argv[i + 1]);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) runtime_profiles.push_back(name);
+      }
+    }
+  }
+
+  // Wall-clock lane: real threads, real crypto, wire-serialized messages.
+  // Entirely separate from the deterministic sweep below (and from its
+  // BENCH_consensus.json gates, which stay sim-lane only).
+  if (runtime_mode) {
+    return run_runtime_mode(runtime_out, runtime_profiles, runtime_clients,
+                            runtime_duration);
   }
 
   // --- The paper's figure: unbatched protocol, 1 vs 20 clients -------------

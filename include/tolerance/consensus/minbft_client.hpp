@@ -22,7 +22,7 @@ class MinBftClient {
                          double latency_seconds)>;
 
   MinBftClient(ClientId id, int f, std::vector<ReplicaId> replicas,
-               MinBftNet& net, std::shared_ptr<crypto::KeyRegistry> registry,
+               MinBftTransport& net, std::shared_ptr<crypto::KeyRegistry> registry,
                std::uint64_t key_seed, double retry_timeout = 30.0);
 
   ClientId id() const { return id_; }
@@ -62,7 +62,7 @@ class MinBftClient {
   ClientId id_;
   int f_;
   std::vector<ReplicaId> replicas_;
-  MinBftNet* net_;
+  MinBftTransport* net_;
   std::shared_ptr<crypto::KeyRegistry> registry_;
   crypto::Signer signer_;
   double retry_timeout_;

@@ -217,6 +217,12 @@ using MinBftMsg =
     std::variant<Request, Prepare, Commit, Reply, Checkpoint, ReqViewChange,
                  ViewChange, NewView, StateRequest, StateResponse>;
 
+/// The deterministic simulated-time backend (golden traces, model checking).
 using MinBftNet = net::SimNetwork<MinBftMsg>;
+
+/// What replicas and clients actually program against: either backend —
+/// SimNetwork above or net::AsyncRuntime (real threads, wall-clock timers) —
+/// satisfies this interface, so the protocol logic is written once.
+using MinBftTransport = net::Transport<MinBftMsg>;
 
 }  // namespace tolerance::consensus

@@ -113,7 +113,7 @@ class MinBftReplica {
   /// is re-created with the same id (recovery).  Receivers order counters by
   /// (epoch, counter), so the fresh USIG supersedes the pre-recovery one.
   MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
-                MinBftConfig config, MinBftNet& net,
+                MinBftConfig config, MinBftTransport& net,
                 std::shared_ptr<crypto::KeyRegistry> registry,
                 std::uint64_t key_seed, std::uint64_t usig_epoch = 0);
 
@@ -235,7 +235,7 @@ class MinBftReplica {
   ReplicaId id_;
   std::vector<ReplicaId> membership_;
   MinBftConfig config_;
-  MinBftNet* net_;
+  MinBftTransport* net_;
   std::shared_ptr<crypto::KeyRegistry> registry_;
   crypto::Signer signer_;
   crypto::Usig usig_;

@@ -1,0 +1,100 @@
+// Wall-clock MinBFT harness: the same replica/client logic the simulated
+// cluster (minbft_cluster.hpp) drives, wired onto net::AsyncRuntime instead
+// of net::SimNetwork — per-replica event loops on a thread pool, messages
+// serialized through the wire codec, link shaping from a named
+// net::NetworkProfile, and REAL HMAC-SHA256 crypto overlapping real I/O
+// (the sim lane's modelled crypto costs are ignored here; the signatures
+// themselves are computed either way and dominate for real).
+//
+// The closed-loop load driver mirrors the paper's §VII throughput
+// measurement: each client keeps a fixed number of requests in flight,
+// re-submitting from its completion handler (which runs on the client's own
+// event loop, so the driver needs no locks around client state).
+//
+// One harness instance measures one data point: run_closed_loop() may be
+// called once; it quiesces the runtime on return.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "tolerance/consensus/minbft_client.hpp"
+#include "tolerance/consensus/minbft_replica.hpp"
+#include "tolerance/net/async_runtime.hpp"
+#include "tolerance/net/wire.hpp"
+#include "tolerance/util/thread_pool.hpp"
+
+namespace tolerance::consensus {
+
+using MinBftRuntime = net::AsyncRuntime<MinBftMsg, net::MinBftCodec>;
+
+/// One closed-loop measurement (the BENCH_runtime.json row).
+struct RuntimeLoadStats {
+  std::uint64_t completed = 0;    ///< requests completed within the window
+  double elapsed_seconds = 0.0;   ///< measurement window length
+  double throughput = 0.0;        ///< completed / elapsed (req/s)
+  double mean_latency = 0.0;      ///< seconds, over all completions
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  // Transport accounting over the whole run.
+  std::uint64_t dropped = 0;         ///< link-loss drops
+  std::uint64_t reordered = 0;       ///< reorder-delayed messages
+  std::uint64_t overflow_dropped = 0;///< inbound-queue drop-oldest evictions
+  std::uint64_t decode_errors = 0;   ///< malformed frames (should be 0)
+  std::uint64_t handler_errors = 0;  ///< handler exceptions (should be 0)
+};
+
+class MinBftRuntimeCluster {
+ public:
+  /// `threads` = 0 sizes the pool to the hardware concurrency (at least 4).
+  /// Replica links and client links come from `profile`; if the profile
+  /// flaps (flap_interval > 0), run_closed_loop periodically isolates a
+  /// rotating minority of replicas for flap_duration seconds.
+  MinBftRuntimeCluster(int num_replicas, MinBftConfig config,
+                       std::uint64_t seed, const net::NetworkProfile& profile,
+                       int threads = 0);
+  ~MinBftRuntimeCluster();
+
+  MinBftRuntimeCluster(const MinBftRuntimeCluster&) = delete;
+  MinBftRuntimeCluster& operator=(const MinBftRuntimeCluster&) = delete;
+
+  MinBftRuntime& runtime() { return runtime_; }
+  MinBftReplica& replica(ReplicaId id);
+  int replica_count() const { return static_cast<int>(replicas_.size()); }
+
+  /// Drive `num_clients` closed-loop clients for `duration_seconds` of wall
+  /// time, each keeping `in_flight_per_client` requests outstanding.
+  /// Quiesces the transport before returning; call at most once.
+  RuntimeLoadStats run_closed_loop(int num_clients, double duration_seconds,
+                                   int in_flight_per_client = 1);
+
+  /// Fence off traffic and drain every event loop (idempotent; the
+  /// destructor calls it).
+  void stop();
+
+ private:
+  struct ClientSlot {
+    std::unique_ptr<MinBftClient> client;
+    ClientId id = 0;
+    std::vector<double> latencies;  ///< touched only by this client's loop
+    std::uint64_t serial = 0;
+  };
+
+  void submit_next(ClientSlot* slot);
+
+  MinBftConfig config_;
+  std::uint64_t seed_;
+  net::NetworkProfile profile_;
+  util::ThreadPool pool_;
+  MinBftRuntime runtime_;
+  std::shared_ptr<crypto::KeyRegistry> registry_;
+  std::vector<ReplicaId> membership_;
+  std::map<ReplicaId, std::unique_ptr<MinBftReplica>> replicas_;
+  std::vector<std::unique_ptr<ClientSlot>> clients_;
+  std::atomic<bool> load_stopped_{false};
+  std::atomic<std::uint64_t> completed_{0};
+};
+
+}  // namespace tolerance::consensus

@@ -1,0 +1,546 @@
+// Real-time event-driven transport: the wall-clock lane.
+//
+// Where net::SimNetwork advances a simulated clock over one global event
+// queue, AsyncRuntime runs every registered node as a serial event loop
+// multiplexed onto a util::ThreadPool: messages are serialized through a
+// wire codec at the sender, shaped by the same LinkConfig knobs (delay,
+// jitter, loss, reorder, partitions) the simulator honors, and decoded into
+// a private copy on the receiver's loop — so real crypto (HMAC-SHA256
+// signatures, USIG certificates) overlaps real I/O across cores, and no
+// C++ object is ever shared between two node loops.
+//
+// Structure per node:
+//  * a bounded inbound frame queue — overflow drops the OLDEST frame
+//    (clients retransmit; dropping new frames would starve retransmissions
+//    behind stale backlog) and is accounted per node and globally;
+//  * an unbounded local job queue for timer callbacks and posted closures
+//    (protocol timers must not be lost to backpressure);
+//  * a `draining` flag ensuring at most one pool task dispatches the node
+//    at a time — the loop is serial, handlers never race with their own
+//    timers.
+//
+// Timers are monotonic wall-clock (std::chrono::steady_clock), fired by a
+// dedicated timer thread that also releases delay-shaped frames.  Timer ids
+// share SimNetwork's cancellation semantics: cancel is a no-op for dead
+// ids, live-id tracking keeps the cancelled set bounded.
+//
+// Shutdown: stop() fences off new sends and timers, joins the timer
+// thread, then waits for every in-flight node loop to go idle.  The
+// destructor calls stop(), so a scoped runtime never leaks tasks into the
+// pool it borrowed.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "tolerance/net/profiles.hpp"
+#include "tolerance/net/transport.hpp"
+#include "tolerance/util/ensure.hpp"
+#include "tolerance/util/rng.hpp"
+#include "tolerance/util/thread_pool.hpp"
+
+namespace tolerance::net {
+
+/// `Codec` must provide
+///   static std::vector<std::uint8_t> encode(const Msg&);
+///   static std::optional<Msg> decode(const std::uint8_t*, std::size_t);
+/// (net::MinBftCodec is the in-tree instance, wire.hpp).
+template <class Msg, class Codec>
+class AsyncRuntime final : public Transport<Msg> {
+ public:
+  using Handler = typename Transport<Msg>::Handler;
+  using Bytes = std::vector<std::uint8_t>;
+
+  struct Options {
+    LinkConfig replica_link{};  ///< links among ids below client_floor
+    LinkConfig client_link{};   ///< links touching ids >= client_floor
+    NodeId client_floor = 10000;
+    /// Inbound frame queue capacity per node (drop-oldest beyond).
+    std::size_t inbound_capacity = 4096;
+    /// Honor consume_cpu by burning real CPU on the calling loop.  Off by
+    /// default: the wall-clock lane measures the real crypto the node
+    /// actually performs, not the sim lane's modelled costs.
+    bool honor_cpu_costs = false;
+    std::uint64_t seed = 1;  ///< loss/jitter/reorder draws
+  };
+
+  AsyncRuntime(util::ThreadPool& pool, Options options)
+      : pool_(&pool), options_(validated(std::move(options))),
+        rng_(options_.seed), start_(std::chrono::steady_clock::now()),
+        timer_thread_([this]() { timer_loop(); }) {}
+
+  ~AsyncRuntime() override { stop(); }
+
+  AsyncRuntime(const AsyncRuntime&) = delete;
+  AsyncRuntime& operator=(const AsyncRuntime&) = delete;
+
+  // --- Transport -----------------------------------------------------------
+
+  double now() const override {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void register_host(NodeId id, Handler handler) override {
+    auto host = std::make_shared<Host>();
+    host->handler = std::move(handler);
+    std::lock_guard<std::mutex> lk(hosts_mu_);
+    hosts_[id] = std::move(host);
+  }
+
+  void unregister_host(NodeId id) override {
+    std::shared_ptr<Host> host;
+    {
+      std::lock_guard<std::mutex> lk(hosts_mu_);
+      const auto it = hosts_.find(id);
+      if (it == hosts_.end()) return;
+      host = it->second;
+      hosts_.erase(it);
+    }
+    // Clear the handler under the host lock so an in-flight drain observes
+    // the removal and stops dispatching (frames already queued are dropped).
+    std::lock_guard<std::mutex> lk(host->mu);
+    host->handler = nullptr;
+    host->inbox.clear();
+    host->jobs.clear();
+  }
+
+  bool is_registered(NodeId id) const override {
+    std::lock_guard<std::mutex> lk(hosts_mu_);
+    return hosts_.count(id) > 0;
+  }
+
+  void send(NodeId from, NodeId to, Msg msg) override {
+    transmit(from, to,
+             std::make_shared<const Bytes>(Codec::encode(msg)));
+  }
+
+  void broadcast(NodeId from, const std::vector<NodeId>& recipients,
+                 const Msg& msg) override {
+    // One serialization for the whole fan-out; receivers decode privately.
+    const auto bytes = std::make_shared<const Bytes>(Codec::encode(msg));
+    for (NodeId to : recipients) {
+      if (to != from) transmit(from, to, bytes);
+    }
+  }
+
+  std::uint64_t schedule(NodeId owner, double delay,
+                         std::function<void()> fn) override {
+    TOL_ENSURE(delay >= 0.0, "delay must be non-negative");
+    const auto when = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(delay));
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    if (stopping_) return 0;  // cancel(0) is a no-op
+    const std::uint64_t id = next_timer_id_++;
+    live_timers_.insert(id);
+    timers_.emplace(when, TimerEntry{id, owner, /*direct=*/false,
+                                     std::move(fn)});
+    timer_cv_.notify_all();
+    return id;
+  }
+
+  void cancel(std::uint64_t timer_id) override {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    if (live_timers_.count(timer_id) > 0) cancelled_.insert(timer_id);
+  }
+
+  /// The wall-clock lane's nodes burn real CPU; the modelled cost is only
+  /// honored when the runtime is configured to emulate slower hardware.
+  void consume_cpu(NodeId node, double seconds) override {
+    (void)node;
+    if (!options_.honor_cpu_costs || seconds <= 0.0) return;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(seconds));
+    while (std::chrono::steady_clock::now() < deadline) {
+      // Busy-wait: the node's loop thread is genuinely occupied, which is
+      // the semantics consume_cpu models.
+    }
+  }
+
+  // --- runtime-specific surface --------------------------------------------
+
+  /// Run `fn` on `owner`'s serial event loop (e.g. the initial closed-loop
+  /// client submissions, which must not race the client's own loop).
+  void post(NodeId owner, std::function<void()> fn) {
+    const auto host = find_host(owner);
+    if (!host) return;
+    std::lock_guard<std::mutex> lk(host->mu);
+    if (!host->handler) return;
+    host->jobs.push_back(std::move(fn));
+    maybe_start_drain_locked(host);
+  }
+
+  /// Block / unblock a bidirectional pair, and partition semantics matching
+  /// SimNetwork (a new grouping wholesale-replaces the previous one).
+  void set_blocked(NodeId a, NodeId b, bool blocked) {
+    std::lock_guard<std::mutex> lk(net_state_mu_);
+    if (blocked) {
+      blocked_.insert(ordered(a, b));
+    } else {
+      blocked_.erase(ordered(a, b));
+    }
+  }
+
+  void partition(const std::vector<std::vector<NodeId>>& groups) {
+    std::lock_guard<std::mutex> lk(net_state_mu_);
+    partition_blocked_.clear();
+    std::unordered_map<NodeId, int> group_of;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (NodeId n : groups[g]) group_of[n] = static_cast<int>(g);
+    }
+    std::vector<NodeId> all;
+    for (const auto& [id, g] : group_of) {
+      (void)g;
+      all.push_back(id);
+    }
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      for (std::size_t j = i + 1; j < all.size(); ++j) {
+        if (group_of[all[i]] != group_of[all[j]]) {
+          partition_blocked_.insert(ordered(all[i], all[j]));
+        }
+      }
+    }
+  }
+
+  void heal_partition() {
+    std::lock_guard<std::mutex> lk(net_state_mu_);
+    partition_blocked_.clear();
+  }
+
+  /// Fence off new sends/timers, join the timer thread, and wait until every
+  /// node loop has gone idle.  Idempotent; called by the destructor.
+  void stop() {
+    stop_requested_.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lk(timer_mu_);
+      stopping_ = true;
+      timer_cv_.notify_all();
+    }
+    if (timer_thread_.joinable()) timer_thread_.join();
+    std::unique_lock<std::mutex> lk(tasks_mu_);
+    tasks_cv_.wait(lk, [this]() { return tasks_in_flight_ == 0; });
+  }
+
+  // --- accounting ----------------------------------------------------------
+
+  std::uint64_t dropped_messages() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t reordered_messages() const {
+    return reordered_.load(std::memory_order_relaxed);
+  }
+  /// Frames evicted from full inbound queues (drop-oldest), totalled.
+  std::uint64_t overflow_dropped() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow_dropped(NodeId id) const {
+    const auto host = find_host(id);
+    if (!host) return 0;
+    std::lock_guard<std::mutex> lk(host->mu);
+    return host->overflow;
+  }
+  std::uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t handler_errors() const {
+    return handler_errors_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered_frames() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::size_t live_timer_count() const {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    return live_timers_.size();
+  }
+  std::size_t cancelled_pending() const {
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    return cancelled_.size();
+  }
+
+ private:
+  struct Frame {
+    NodeId from = 0;
+    std::shared_ptr<const Bytes> bytes;
+  };
+
+  struct Host {
+    mutable std::mutex mu;
+    Handler handler;
+    std::deque<Frame> inbox;                    ///< bounded, drop-oldest
+    std::deque<std::function<void()>> jobs;     ///< timers/posts, unbounded
+    bool draining = false;
+    std::uint64_t overflow = 0;
+  };
+
+  struct TimerEntry {
+    std::uint64_t id = 0;  ///< 0 = internal (not cancellable)
+    NodeId owner = 0;
+    /// Internal dispatches (delay-shaped frame releases) run on the timer
+    /// thread; user timers are posted onto the owner's loop.
+    bool direct = false;
+    std::function<void()> fn;
+  };
+
+  // Validation happens before the timer thread member starts: throwing
+  // after a joinable std::thread is constructed would std::terminate.
+  static Options validated(Options o) {
+    TOL_ENSURE(o.inbound_capacity >= 1,
+               "inbound queue capacity must be positive");
+    return o;
+  }
+
+  static std::pair<NodeId, NodeId> ordered(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::shared_ptr<Host> find_host(NodeId id) const {
+    std::lock_guard<std::mutex> lk(hosts_mu_);
+    const auto it = hosts_.find(id);
+    return it == hosts_.end() ? nullptr : it->second;
+  }
+
+  const LinkConfig& link_for(NodeId from, NodeId to) const {
+    return (from >= options_.client_floor || to >= options_.client_floor)
+               ? options_.client_link
+               : options_.replica_link;
+  }
+
+  void transmit(NodeId from, NodeId to,
+                std::shared_ptr<const Bytes> bytes) {
+    // The stop fence must cover the zero-delay fast path too: a handler
+    // that sends on every delivery (closed-loop traffic) would otherwise
+    // keep its own loop busy forever and stop() could never drain it.
+    if (stop_requested_.load(std::memory_order_acquire)) return;
+    {
+      std::lock_guard<std::mutex> lk(net_state_mu_);
+      const auto key = ordered(from, to);
+      if (blocked_.count(key) > 0 || partition_blocked_.count(key) > 0) {
+        return;
+      }
+    }
+    const LinkConfig& cfg = link_for(from, to);
+    double delay = cfg.base_delay;
+    {
+      std::lock_guard<std::mutex> lk(rng_mu_);
+      if (rng_.bernoulli(cfg.loss)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (cfg.jitter > 0.0) delay += rng_.uniform(0.0, cfg.jitter);
+      if (cfg.reorder > 0.0 && rng_.bernoulli(cfg.reorder)) {
+        delay += cfg.reorder_delay;
+        reordered_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    const auto now_tp = std::chrono::steady_clock::now();
+    auto when = now_tp + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(delay));
+    {
+      // FIFO per directed pair, like the TCP channels a real deployment
+      // runs on: jitter and reorder delays stretch latency, but a message
+      // never overtakes an earlier one on the same channel.  (MinBFT's
+      // counter-freshness check permanently discards a leapfrogged
+      // counter, so a transport without this guarantee stalls the
+      // protocol; the simulator gets the same property from its per-node
+      // arrival-order inbound queues.)
+      std::lock_guard<std::mutex> lk(channel_mu_);
+      auto& frontier = channel_frontier_[{from, to}];
+      if (when < frontier) when = frontier;
+      frontier = when;
+    }
+    if (when <= now_tp) {
+      enqueue_frame(to, Frame{from, std::move(bytes)});
+      return;
+    }
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    if (stopping_) return;
+    timers_.emplace(
+        when,
+        TimerEntry{0, to, /*direct=*/true,
+                   [this, to, f = Frame{from, std::move(bytes)}]() mutable {
+                     enqueue_frame(to, std::move(f));
+                   }});
+    timer_cv_.notify_all();
+  }
+
+  void enqueue_frame(NodeId to, Frame frame) {
+    const auto host = find_host(to);
+    if (!host) return;
+    std::lock_guard<std::mutex> lk(host->mu);
+    if (!host->handler) return;
+    if (host->inbox.size() >= options_.inbound_capacity) {
+      host->inbox.pop_front();
+      host->overflow += 1;
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+    }
+    host->inbox.push_back(std::move(frame));
+    maybe_start_drain_locked(host);
+  }
+
+  // Requires host->mu held.
+  void maybe_start_drain_locked(const std::shared_ptr<Host>& host) {
+    if (host->draining) return;
+    host->draining = true;
+    {
+      std::lock_guard<std::mutex> lk(tasks_mu_);
+      ++tasks_in_flight_;
+    }
+    pool_->submit([this, host]() { drain(host); });
+  }
+
+  void drain(const std::shared_ptr<Host>& host) {
+    // Dispatch a bounded burst, then requeue: one hot node cannot pin a
+    // pool worker while other loops starve.
+    for (int burst = 0; burst < kDrainBurst; ++burst) {
+      std::function<void()> job;
+      Frame frame;
+      Handler handler;
+      bool have_frame = false;
+      {
+        std::lock_guard<std::mutex> lk(host->mu);
+        if (!host->jobs.empty()) {
+          job = std::move(host->jobs.front());
+          host->jobs.pop_front();
+        } else if (!host->inbox.empty()) {
+          frame = std::move(host->inbox.front());
+          host->inbox.pop_front();
+          handler = host->handler;  // copy: unregister may clear it
+          have_frame = true;
+        } else {
+          host->draining = false;
+          finish_task();
+          return;
+        }
+      }
+      try {
+        if (job) {
+          job();
+        } else if (have_frame && handler) {
+          const auto msg = Codec::decode(frame.bytes->data(),
+                                         frame.bytes->size());
+          if (msg) {
+            delivered_.fetch_add(1, std::memory_order_relaxed);
+            handler(frame.from, *msg);
+          } else {
+            decode_errors_.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } catch (const std::exception&) {
+        // A throwing handler must not take down the pool worker; surface
+        // through the counter (tests assert it stays zero).
+        handler_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    pool_->submit([this, host]() { drain(host); });  // keep the task slot
+  }
+
+  void finish_task() {
+    std::lock_guard<std::mutex> lk(tasks_mu_);
+    if (--tasks_in_flight_ == 0) tasks_cv_.notify_all();
+  }
+
+  void timer_loop() {
+    std::unique_lock<std::mutex> lk(timer_mu_);
+    while (!stopping_) {
+      if (timers_.empty()) {
+        timer_cv_.wait(lk);
+        continue;
+      }
+      const auto when = timers_.begin()->first;
+      if (when > std::chrono::steady_clock::now()) {
+        timer_cv_.wait_until(lk, when);
+        continue;
+      }
+      // Collect everything due, then dispatch outside the lock (posting
+      // locks host mutexes; holding timer_mu_ across that invites
+      // lock-order cycles with schedule()).
+      std::vector<TimerEntry> due;
+      const auto now_tp = std::chrono::steady_clock::now();
+      while (!timers_.empty() && timers_.begin()->first <= now_tp) {
+        TimerEntry e = std::move(timers_.begin()->second);
+        timers_.erase(timers_.begin());
+        if (e.id != 0) {
+          live_timers_.erase(e.id);
+          if (cancelled_.erase(e.id) > 0) continue;
+        }
+        due.push_back(std::move(e));
+      }
+      lk.unlock();
+      for (TimerEntry& e : due) {
+        if (e.direct) {
+          e.fn();
+        } else {
+          post(e.owner, std::move(e.fn));
+        }
+      }
+      lk.lock();
+    }
+  }
+
+  static constexpr int kDrainBurst = 64;
+
+  util::ThreadPool* pool_;
+  Options options_;
+
+  mutable std::mutex rng_mu_;
+  Rng rng_;
+
+  const std::chrono::steady_clock::time_point start_;
+
+  mutable std::mutex hosts_mu_;
+  std::unordered_map<NodeId, std::shared_ptr<Host>> hosts_;
+
+  mutable std::mutex net_state_mu_;
+  std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::set<std::pair<NodeId, NodeId>> partition_blocked_;
+
+  std::mutex channel_mu_;
+  /// Latest scheduled arrival per directed pair (the FIFO frontier).
+  std::map<std::pair<NodeId, NodeId>,
+           std::chrono::steady_clock::time_point>
+      channel_frontier_;
+
+  std::atomic<bool> stop_requested_{false};  ///< lock-free send fence
+
+  mutable std::mutex timer_mu_;
+  std::condition_variable timer_cv_;
+  bool stopping_ = false;
+  std::uint64_t next_timer_id_ = 1;
+  std::multimap<std::chrono::steady_clock::time_point, TimerEntry> timers_;
+  std::unordered_set<std::uint64_t> live_timers_;
+  std::unordered_set<std::uint64_t> cancelled_;
+
+  std::mutex tasks_mu_;
+  std::condition_variable tasks_cv_;
+  int tasks_in_flight_ = 0;
+
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> reordered_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> handler_errors_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+
+  std::thread timer_thread_;  ///< last member: starts after state is ready
+};
+
+}  // namespace tolerance::net

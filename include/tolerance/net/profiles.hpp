@@ -1,0 +1,63 @@
+// Link shaping and the named network-profile catalog.
+//
+// LinkConfig is the per-directed-pair NETEM-style shaping knob set used by
+// both transport backends (deterministic SimNetwork and wall-clock
+// AsyncRuntime).  NetworkProfile bundles a replica-side and a client-side
+// LinkConfig plus optional partition-flapping under a name, mirroring the
+// paper's testbed (§VII-A: Gbit/s replica links, 100 Mbit/s client links)
+// and the lossy multi-hop regime of Mager et al. (arXiv 1804.08986).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tolerance::net {
+
+struct LinkConfig {
+  double base_delay = 1e-3;  ///< seconds
+  double jitter = 2e-4;      ///< uniform extra delay in [0, jitter)
+  double loss = 5e-4;        ///< drop probability (NETEM-style)
+  /// Probability that a message is held back by an extra `reorder_delay`
+  /// seconds (NETEM reorder: late-released packets overtake none, but
+  /// everything sent within the window overtakes them).  0 draws no
+  /// randomness, so pre-existing configurations keep their exact
+  /// delivery-time sequences.
+  double reorder = 0.0;
+  double reorder_delay = 0.0;  ///< extra delay for reordered messages
+};
+
+/// A named pair of link configurations plus partition-flap cadence.  The
+/// catalog entries are calibrated against public measurements, not tuned to
+/// make any benchmark look good:
+///  * LAN           — the paper's testbed: switched Ethernet, sub-ms RTT.
+///  * WAN           — inter-region links: tens of ms, jitter, light loss
+///                    and occasional reordering.
+///  * LOSSY_MULTIHOP — low-power wireless mesh à la Mager et al.: tens of
+///                    ms per traversal, heavy jitter, percent-level loss,
+///                    frequent reordering.
+///  * PARTITION_FLAP — LAN links, but the network repeatedly splits a
+///                    minority off for `flap_duration` every `flap_interval`
+///                    (drives the view-change and retransmission machinery).
+struct NetworkProfile {
+  std::string name;
+  LinkConfig replica_link;  ///< replica <-> replica
+  LinkConfig client_link;   ///< client <-> replica
+  /// Partition flapping: every `flap_interval` seconds, isolate a rotating
+  /// minority group for `flap_duration` seconds.  0 disables flapping.
+  double flap_interval = 0.0;
+  double flap_duration = 0.0;
+
+  static NetworkProfile lan();
+  static NetworkProfile wan();
+  static NetworkProfile lossy_multihop();
+  static NetworkProfile partition_flap();
+
+  /// Every named profile, in a stable order (benches sweep this).
+  static const std::vector<NetworkProfile>& catalog();
+  /// Lookup by name (case-sensitive); nullopt for unknown names.
+  static std::optional<NetworkProfile> by_name(std::string_view name);
+};
+
+}  // namespace tolerance::net

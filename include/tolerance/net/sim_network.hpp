@@ -2,54 +2,55 @@
 //
 // Replaces the paper testbed's Ethernet + NETEM setup (§VII-A: Gbit/s links
 // with 0.05% loss between replicas, 100 Mbit/s with 0.1% loss for clients).
-// Provides per-link delay distributions, probabilistic loss, partitions, a
-// simulated clock, cancellable timers, and a per-node CPU-busy model used to
-// account for cryptographic work (Fig. 10's throughput is dominated by
-// message count x crypto cost).
+// Provides per-link delay distributions, probabilistic loss and reordering,
+// partitions, a simulated clock, cancellable timers, and a per-node
+// CPU-busy model used to account for cryptographic work (Fig. 10's
+// throughput is dominated by message count x crypto cost).
+//
+// This is the deterministic lane of the two-lane transport design (see
+// net/transport.hpp): golden traces and model checking run here, while the
+// wall-clock lane (net/async_runtime.hpp) runs the same protocol logic on
+// real threads.
 //
 // Determinism: all randomness flows from the seed; events at equal times fire
 // in schedule order.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <queue>
 #include <set>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "tolerance/net/profiles.hpp"
+#include "tolerance/net/transport.hpp"
 #include "tolerance/util/ensure.hpp"
 #include "tolerance/util/rng.hpp"
 
 namespace tolerance::net {
 
-using NodeId = std::uint32_t;
-
-struct LinkConfig {
-  double base_delay = 1e-3;  ///< seconds
-  double jitter = 2e-4;      ///< uniform extra delay in [0, jitter)
-  double loss = 5e-4;        ///< drop probability (NETEM-style)
-};
-
 template <class Msg>
-class SimNetwork {
+class SimNetwork final : public Transport<Msg> {
  public:
-  using Handler = std::function<void(NodeId from, const Msg&)>;
+  using Handler = typename Transport<Msg>::Handler;
 
   explicit SimNetwork(std::uint64_t seed, LinkConfig default_link = LinkConfig{})
       : rng_(seed), default_link_(default_link) {}
 
-  double now() const { return now_; }
+  double now() const override { return now_; }
 
-  void register_host(NodeId id, Handler handler) {
+  void register_host(NodeId id, Handler handler) override {
     hosts_[id] = std::move(handler);
   }
 
-  void unregister_host(NodeId id) { hosts_.erase(id); }
+  void unregister_host(NodeId id) override { hosts_.erase(id); }
 
-  bool is_registered(NodeId id) const { return hosts_.count(id) > 0; }
+  bool is_registered(NodeId id) const override { return hosts_.count(id) > 0; }
 
   /// Override the link configuration for a directed pair.
   void set_link(NodeId from, NodeId to, LinkConfig cfg) {
@@ -66,7 +67,12 @@ class SimNetwork {
   }
 
   /// Partition the nodes into groups: traffic crosses groups only if allowed.
+  /// Replaces any previous partition wholesale — pairs blocked by an earlier
+  /// grouping but involving nodes absent from this one are unblocked, so a
+  /// shrinking repartition cannot leave stale islands behind.  Manual
+  /// set_blocked pairs are independent and survive repartitioning.
   void partition(const std::vector<std::vector<NodeId>>& groups) {
+    partition_blocked_.clear();
     std::unordered_map<NodeId, int> group_of;
     for (std::size_t g = 0; g < groups.size(); ++g) {
       for (NodeId n : groups[g]) group_of[n] = static_cast<int>(g);
@@ -78,16 +84,18 @@ class SimNetwork {
     }
     for (std::size_t i = 0; i < all.size(); ++i) {
       for (std::size_t j = i + 1; j < all.size(); ++j) {
-        set_blocked(all[i], all[j], group_of[all[i]] != group_of[all[j]]);
+        if (group_of[all[i]] != group_of[all[j]]) {
+          partition_blocked_.insert(ordered(all[i], all[j]));
+        }
       }
     }
   }
 
-  void heal_partition() { blocked_.clear(); }
+  void heal_partition() { partition_blocked_.clear(); }
 
   /// Account CPU time on a node (e.g. a signature); subsequent deliveries to
   /// and sends from this node are serialized after the busy period.
-  void consume_cpu(NodeId node, double seconds) {
+  void consume_cpu(NodeId node, double seconds) override {
     TOL_ENSURE(seconds >= 0.0, "CPU time must be non-negative");
     double& busy = busy_until_[node];
     busy = std::max(busy, now_) + seconds;
@@ -99,36 +107,33 @@ class SimNetwork {
   }
 
   /// Send a message; may be dropped (loss) or blocked (partition).
-  void send(NodeId from, NodeId to, Msg msg) {
-    if (blocked_.count(ordered(from, to)) > 0) return;
+  void send(NodeId from, NodeId to, Msg msg) override {
+    if (blocked(from, to)) return;
     const LinkConfig cfg = link(from, to);
     if (rng_.bernoulli(cfg.loss)) {
       ++dropped_;
       return;
     }
     const double depart = std::max(now_, busy_until(from));
-    const double delay = cfg.base_delay +
-                         (cfg.jitter > 0.0 ? rng_.uniform(0.0, cfg.jitter) : 0.0);
+    double delay = cfg.base_delay +
+                   (cfg.jitter > 0.0 ? rng_.uniform(0.0, cfg.jitter) : 0.0);
+    // NETEM-style reordering: a held-back message is overtaken by anything
+    // sent within the extra-delay window.  The draw only happens when the
+    // knob is on, so profiles without reordering keep their exact
+    // delivery-time sequences.
+    if (cfg.reorder > 0.0 && rng_.bernoulli(cfg.reorder)) {
+      delay += cfg.reorder_delay;
+      ++reordered_;
+    }
     const double arrival = depart + delay;
-    push_event(arrival, [this, from, to, m = std::move(msg)]() {
-      const auto it = hosts_.find(to);
-      if (it == hosts_.end()) return;  // host evicted/crashed
-      // Serialize after the receiver's CPU-busy period.
-      const double ready = busy_until(to);
-      if (ready > now_) {
-        const Msg copy = m;
-        push_event(ready, [this, from, to, copy]() {
-          const auto it2 = hosts_.find(to);
-          if (it2 != hosts_.end()) it2->second(from, copy);
-        });
-        return;
-      }
-      it->second(from, m);
+    push_event(arrival, [this, from, to, m = std::move(msg)]() mutable {
+      inbound_[to].emplace_back(from, std::move(m));
+      drain_or_defer(to);
     });
   }
 
   void broadcast(NodeId from, const std::vector<NodeId>& recipients,
-                 const Msg& msg) {
+                 const Msg& msg) override {
     for (NodeId to : recipients) {
       if (to != from) send(from, to, msg);
     }
@@ -138,14 +143,30 @@ class SimNetwork {
   std::uint64_t schedule(double delay, std::function<void()> fn) {
     TOL_ENSURE(delay >= 0.0, "delay must be non-negative");
     const std::uint64_t id = next_timer_id_++;
+    live_timers_.insert(id);
     push_event(now_ + delay, [this, id, f = std::move(fn)]() {
+      live_timers_.erase(id);
       if (cancelled_.erase(id) > 0) return;
       f();
     });
     return id;
   }
 
-  void cancel(std::uint64_t timer_id) { cancelled_.insert(timer_id); }
+  /// Transport overload: simulated time has one global event queue, so the
+  /// owning node is irrelevant here (the async backend routes the callback
+  /// onto the owner's event loop).
+  std::uint64_t schedule(NodeId owner, double delay,
+                         std::function<void()> fn) override {
+    (void)owner;
+    return schedule(delay, std::move(fn));
+  }
+
+  /// A no-op for already-fired or never-issued ids: only live timers are
+  /// marked, so repeated cancels of dead ids cannot grow the cancelled set
+  /// (and cannot poison a future timer that happens to reuse the id space).
+  void cancel(std::uint64_t timer_id) override {
+    if (live_timers_.count(timer_id) > 0) cancelled_.insert(timer_id);
+  }
 
   /// Process a single event; returns false when the queue is empty.
   bool step() {
@@ -172,7 +193,13 @@ class SimNetwork {
 
   std::size_t pending() const { return queue_.size(); }
   std::uint64_t dropped_messages() const { return dropped_; }
+  std::uint64_t reordered_messages() const { return reordered_; }
   std::uint64_t processed_events() const { return processed_; }
+  /// Timers scheduled but neither fired nor cancelled yet.
+  std::size_t live_timer_count() const { return live_timers_.size(); }
+  /// Cancelled-but-not-yet-fired timers (bounded by live timers at cancel
+  /// time; cancelling dead ids leaves this untouched).
+  std::size_t cancelled_pending() const { return cancelled_.size(); }
 
   Rng& rng() { return rng_; }
 
@@ -191,9 +218,51 @@ class SimNetwork {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  bool blocked(NodeId from, NodeId to) const {
+    const auto key = ordered(from, to);
+    return blocked_.count(key) > 0 || partition_blocked_.count(key) > 0;
+  }
+
   LinkConfig link(NodeId from, NodeId to) const {
     const auto it = links_.find({from, to});
     return it == links_.end() ? default_link_ : it->second;
+  }
+
+  /// Drain the receiver's inbound FIFO, serializing behind its CPU-busy
+  /// window.  The window is re-checked before every delivery: a handler may
+  /// consume CPU, pushing the window out for the messages still queued
+  /// behind it — delivering those mid-busy would undercount exactly the
+  /// crypto serialization this model exists to capture.  Deferral moves the
+  /// WHOLE queue, never an individual message: re-deferring per message
+  /// could leapfrog a later arrival past an earlier deferred one, and a
+  /// same-sender inversion is fatal to protocols that enforce FIFO by
+  /// counter freshness (MinBFT discards the leapfrogged counter forever).
+  void drain_or_defer(NodeId to) {
+    const auto qit = inbound_.find(to);
+    if (qit == inbound_.end()) return;
+    auto& queue = qit->second;
+    while (!queue.empty()) {
+      const double ready = busy_until(to);
+      if (ready > now_) {
+        // One pending drain per node is enough; duplicates would only burn
+        // event budget re-finding an empty or still-busy queue.
+        const auto dit = drain_at_.find(to);
+        if (dit == drain_at_.end() || dit->second > ready) {
+          drain_at_[to] = ready;
+          push_event(ready, [this, to]() {
+            drain_at_.erase(to);
+            drain_or_defer(to);
+          });
+        }
+        return;
+      }
+      auto [from, m] = std::move(queue.front());
+      queue.pop_front();
+      const auto it = hosts_.find(to);
+      if (it == hosts_.end()) continue;  // host evicted/crashed: drop
+      it->second(from, m);
+    }
+    inbound_.erase(qit);
   }
 
   void push_event(double time, std::function<void()> fn) {
@@ -206,13 +275,19 @@ class SimNetwork {
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_timer_id_ = 1;
   std::uint64_t dropped_ = 0;
+  std::uint64_t reordered_ = 0;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   std::unordered_map<NodeId, Handler> hosts_;
   std::map<std::pair<NodeId, NodeId>, LinkConfig> links_;
   std::set<std::pair<NodeId, NodeId>> blocked_;
+  std::set<std::pair<NodeId, NodeId>> partition_blocked_;
   std::unordered_map<NodeId, double> busy_until_;
-  std::set<std::uint64_t> cancelled_;
+  /// Per-receiver arrival-order FIFO (drained behind the busy window).
+  std::unordered_map<NodeId, std::deque<std::pair<NodeId, Msg>>> inbound_;
+  std::unordered_map<NodeId, double> drain_at_;  ///< pending drain wakeups
+  std::unordered_set<std::uint64_t> live_timers_;
+  std::unordered_set<std::uint64_t> cancelled_;
 };
 
 }  // namespace tolerance::net

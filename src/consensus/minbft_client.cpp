@@ -5,7 +5,7 @@
 namespace tolerance::consensus {
 
 MinBftClient::MinBftClient(ClientId id, int f, std::vector<ReplicaId> replicas,
-                           MinBftNet& net,
+                           MinBftTransport& net,
                            std::shared_ptr<crypto::KeyRegistry> registry,
                            std::uint64_t key_seed, double retry_timeout)
     : id_(id), f_(f), replicas_(std::move(replicas)), net_(&net),
@@ -55,7 +55,7 @@ void MinBftClient::cancel(std::uint64_t request_id) {
 void MinBftClient::arm_retry(std::uint64_t request_id) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
-  it->second.retry_timer = net_->schedule(retry_timeout_, [this, request_id]() {
+  it->second.retry_timer = net_->schedule(id_, retry_timeout_, [this, request_id]() {
     const auto p = pending_.find(request_id);
     if (p == pending_.end()) return;  // already completed
     transmit(p->second.request);      // Texec retransmission (Table 8)

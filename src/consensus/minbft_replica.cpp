@@ -58,7 +58,7 @@ crypto::Digest ReplicatedService::chain_digest(
 // ---------------------------------------------------------------------------
 
 MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
-                             MinBftConfig config, MinBftNet& net,
+                             MinBftConfig config, MinBftTransport& net,
                              std::shared_ptr<crypto::KeyRegistry> registry,
                              std::uint64_t key_seed, std::uint64_t usig_epoch)
     : id_(id), membership_(std::move(membership)), config_(config), net_(&net),
@@ -267,7 +267,7 @@ bool MinBftReplica::seal_one_batch() {
 void MinBftReplica::arm_batch_timer() {
   if (batch_timer_armed_) return;
   batch_timer_armed_ = true;
-  batch_timer_ = net_->schedule(config_.batch_timeout, [this]() {
+  batch_timer_ = net_->schedule(id_, config_.batch_timeout, [this]() {
     batch_timer_armed_ = false;
     if (mode_ == ByzantineMode::Silent) return;
     // The timeout half of the seal rule: a partial batch does not wait on
@@ -511,7 +511,7 @@ ReqViewChange MinBftReplica::make_req_view_change(View to_view) {
 void MinBftReplica::arm_view_change_timer() {
   if (vc_timer_armed_) return;
   vc_timer_armed_ = true;
-  vc_timer_ = net_->schedule(config_.view_change_timeout, [this]() {
+  vc_timer_ = net_->schedule(id_, config_.view_change_timeout, [this]() {
     vc_timer_armed_ = false;
     if (mode_ == ByzantineMode::Silent) return;
     // No progress within Tvc: ask everyone to move to the next view.

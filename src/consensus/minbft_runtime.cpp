@@ -1,0 +1,187 @@
+#include "tolerance/consensus/minbft_runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::consensus {
+
+namespace {
+
+int default_threads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::max(4, static_cast<int>(hw));
+}
+
+MinBftRuntime::Options runtime_options(const net::NetworkProfile& profile,
+                                       std::uint64_t seed) {
+  MinBftRuntime::Options o;
+  o.replica_link = profile.replica_link;
+  o.client_link = profile.client_link;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace
+
+MinBftRuntimeCluster::MinBftRuntimeCluster(int num_replicas,
+                                           MinBftConfig config,
+                                           std::uint64_t seed,
+                                           const net::NetworkProfile& profile,
+                                           int threads)
+    : config_(config), seed_(seed), profile_(profile),
+      pool_(default_threads(threads)),
+      runtime_(pool_, runtime_options(profile, seed)),
+      registry_(std::make_shared<crypto::KeyRegistry>()) {
+  TOL_ENSURE(num_replicas >= 2 * config.f + 1,
+             "MinBFT requires N >= 2f + 1 (hybrid failure model)");
+  for (int i = 0; i < num_replicas; ++i) {
+    membership_.push_back(static_cast<ReplicaId>(i));
+  }
+  // All key material is registered before any traffic flows; after this
+  // loop the registry is only read (verify), which is thread-safe.
+  for (ReplicaId id : membership_) {
+    auto replica = std::make_unique<MinBftReplica>(
+        id, membership_, config_, runtime_, registry_, seed_ ^ id);
+    MinBftReplica* raw = replica.get();
+    replicas_[id] = std::move(replica);
+    runtime_.register_host(id, [raw](net::NodeId from, const MinBftMsg& m) {
+      raw->on_message(from, m);
+    });
+  }
+}
+
+MinBftRuntimeCluster::~MinBftRuntimeCluster() { stop(); }
+
+void MinBftRuntimeCluster::stop() {
+  // Quiesce the transport FIRST: no event loop may touch a replica or
+  // client object once their destruction (member teardown) begins.
+  runtime_.stop();
+}
+
+MinBftReplica& MinBftRuntimeCluster::replica(ReplicaId id) {
+  const auto it = replicas_.find(id);
+  TOL_ENSURE(it != replicas_.end(), "unknown replica id");
+  return *it->second;
+}
+
+void MinBftRuntimeCluster::submit_next(ClientSlot* slot) {
+  // Runs on the client's serial event loop (initial posts and completion
+  // handlers both execute there), so slot state needs no lock.
+  if (load_stopped_.load(std::memory_order_relaxed)) return;
+  std::ostringstream op;
+  op << "w:" << slot->id << ":" << slot->serial++;
+  slot->client->submit(
+      op.str(), [this, slot](std::uint64_t, const std::string&, double lat) {
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        slot->latencies.push_back(lat);
+        submit_next(slot);
+      });
+}
+
+RuntimeLoadStats MinBftRuntimeCluster::run_closed_loop(
+    int num_clients, double duration_seconds, int in_flight_per_client) {
+  TOL_ENSURE(num_clients >= 1, "need at least one client");
+  TOL_ENSURE(duration_seconds > 0.0, "duration must be positive");
+  TOL_ENSURE(in_flight_per_client >= 1, "need at least one in-flight request");
+
+  for (int c = 0; c < num_clients; ++c) {
+    auto slot = std::make_unique<ClientSlot>();
+    slot->id = static_cast<ClientId>(10000 + c);
+    slot->client = std::make_unique<MinBftClient>(
+        slot->id, config_.f, membership_, runtime_, registry_,
+        seed_ ^ slot->id, config_.request_retry_timeout);
+    MinBftClient* raw = slot->client.get();
+    runtime_.register_host(slot->id,
+                           [raw](net::NodeId from, const MinBftMsg& m) {
+                             raw->on_message(from, m);
+                           });
+    clients_.push_back(std::move(slot));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& slot : clients_) {
+    ClientSlot* raw = slot.get();
+    runtime_.post(raw->id, [this, raw, in_flight_per_client]() {
+      for (int k = 0; k < in_flight_per_client; ++k) submit_next(raw);
+    });
+  }
+
+  // Wait out the measurement window on the calling thread, driving the
+  // profile's partition flaps if it has any (a rotating minority of f
+  // replicas is split off — the cluster keeps its 2f+1 quorum and must
+  // ride through on view changes / retransmissions).
+  const auto deadline =
+      start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double>(duration_seconds));
+  if (profile_.flap_interval > 0.0 && config_.f > 0) {
+    std::size_t flap_round = 0;
+    auto next_flap =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(profile_.flap_interval));
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (std::chrono::steady_clock::now() >= next_flap) {
+        std::vector<net::NodeId> minority, majority;
+        for (std::size_t i = 0; i < membership_.size(); ++i) {
+          const ReplicaId id = membership_[i];
+          if ((i + flap_round) % membership_.size() <
+              static_cast<std::size_t>(config_.f)) {
+            minority.push_back(id);
+          } else {
+            majority.push_back(id);
+          }
+        }
+        runtime_.partition({majority, minority});
+        std::this_thread::sleep_for(
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(profile_.flap_duration)));
+        runtime_.heal_partition();
+        ++flap_round;
+        next_flap += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(profile_.flap_interval));
+      } else {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+  } else {
+    std::this_thread::sleep_until(deadline);
+  }
+
+  const std::uint64_t completed = completed_.load(std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  load_stopped_.store(true, std::memory_order_relaxed);
+  runtime_.stop();  // drain loops; latencies vectors are safe to read now
+
+  RuntimeLoadStats stats;
+  stats.completed = completed;
+  stats.elapsed_seconds = elapsed;
+  stats.throughput = elapsed > 0.0 ? static_cast<double>(completed) / elapsed
+                                   : 0.0;
+  std::vector<double> lat;
+  for (const auto& slot : clients_) {
+    lat.insert(lat.end(), slot->latencies.begin(), slot->latencies.end());
+  }
+  if (!lat.empty()) {
+    std::sort(lat.begin(), lat.end());
+    double sum = 0.0;
+    for (double v : lat) sum += v;
+    stats.mean_latency = sum / static_cast<double>(lat.size());
+    stats.p50_latency = lat[lat.size() / 2];
+    stats.p99_latency = lat[std::min(lat.size() - 1, lat.size() * 99 / 100)];
+  }
+  stats.dropped = runtime_.dropped_messages();
+  stats.reordered = runtime_.reordered_messages();
+  stats.overflow_dropped = runtime_.overflow_dropped();
+  stats.decode_errors = runtime_.decode_errors();
+  stats.handler_errors = runtime_.handler_errors();
+  return stats;
+}
+
+}  // namespace tolerance::consensus

@@ -1,0 +1,77 @@
+#include "tolerance/net/profiles.hpp"
+
+namespace tolerance::net {
+
+NetworkProfile NetworkProfile::lan() {
+  NetworkProfile p;
+  p.name = "LAN";
+  // The paper's testbed (§VII-A): Gbit/s switched Ethernet between replicas
+  // (NETEM 0.05% loss), 100 Mbit/s with 0.1% loss towards clients.
+  p.replica_link.base_delay = 1e-3;
+  p.replica_link.jitter = 2e-4;
+  p.replica_link.loss = 5e-4;
+  p.client_link.base_delay = 2e-3;
+  p.client_link.jitter = 5e-4;
+  p.client_link.loss = 1e-3;
+  return p;
+}
+
+NetworkProfile NetworkProfile::wan() {
+  NetworkProfile p;
+  p.name = "WAN";
+  // Inter-region replica placement: ~35 ms one-way, a few ms of jitter,
+  // light loss, and ~1% of packets held back long enough to reorder.
+  p.replica_link.base_delay = 35e-3;
+  p.replica_link.jitter = 5e-3;
+  p.replica_link.loss = 1e-3;
+  p.replica_link.reorder = 0.01;
+  p.replica_link.reorder_delay = 10e-3;
+  p.client_link.base_delay = 20e-3;
+  p.client_link.jitter = 5e-3;
+  p.client_link.loss = 2e-3;
+  p.client_link.reorder = 0.01;
+  p.client_link.reorder_delay = 10e-3;
+  return p;
+}
+
+NetworkProfile NetworkProfile::lossy_multihop() {
+  NetworkProfile p;
+  p.name = "LOSSY_MULTIHOP";
+  // Low-power wireless mesh (Mager et al., arXiv 1804.08986): each message
+  // traverses several hops, so delay and jitter are large, loss is
+  // percent-level and reordering is routine.
+  p.replica_link.base_delay = 15e-3;
+  p.replica_link.jitter = 20e-3;
+  p.replica_link.loss = 0.03;
+  p.replica_link.reorder = 0.05;
+  p.replica_link.reorder_delay = 30e-3;
+  p.client_link.base_delay = 25e-3;
+  p.client_link.jitter = 25e-3;
+  p.client_link.loss = 0.05;
+  p.client_link.reorder = 0.05;
+  p.client_link.reorder_delay = 30e-3;
+  return p;
+}
+
+NetworkProfile NetworkProfile::partition_flap() {
+  NetworkProfile p = lan();
+  p.name = "PARTITION_FLAP";
+  p.flap_interval = 5.0;
+  p.flap_duration = 1.0;
+  return p;
+}
+
+const std::vector<NetworkProfile>& NetworkProfile::catalog() {
+  static const std::vector<NetworkProfile> profiles{
+      lan(), wan(), lossy_multihop(), partition_flap()};
+  return profiles;
+}
+
+std::optional<NetworkProfile> NetworkProfile::by_name(std::string_view name) {
+  for (const NetworkProfile& p : catalog()) {
+    if (p.name == name) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tolerance::net

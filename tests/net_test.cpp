@@ -135,6 +135,120 @@ TEST(SimNetwork, BroadcastSkipsSelf) {
   EXPECT_EQ(others, 2);
 }
 
+// Regression: a delivery deferred behind the receiver's busy window must
+// re-check the window when the deferred event fires — the receiver may have
+// consumed more CPU in between (another handler, a timer), and delivering
+// mid-busy undercounts the crypto serialization the model exists for.
+TEST(SimNetwork, DeferredDeliveryRechecksBusyWindow) {
+  TestNet net(1, lossless());
+  double delivered_at = -1.0;
+  net.register_host(2, [&](NodeId, const std::string&) {
+    delivered_at = net.now();
+  });
+  net.consume_cpu(2, 0.010);  // busy until 10 ms
+  net.send(1, 2, "m");        // arrives at 1 ms, deferred to 10 ms
+  // At 5 ms the receiver picks up MORE work: busy extends to 30 ms.  The
+  // deferred delivery must wait for the extended window, not the stale one.
+  net.schedule(0.005, [&]() { net.consume_cpu(2, 0.020); });
+  net.run();
+  EXPECT_NEAR(delivered_at, 0.030, 1e-9);
+}
+
+// Regression: deferral moves the receiver's whole inbound queue, never an
+// individual message — per-sender arrival order is preserved even when the
+// busy window shifts between deferrals (a same-sender inversion permanently
+// stalls counter-freshness protocols like MinBFT).
+TEST(SimNetwork, DeferredDeliveriesKeepArrivalOrder) {
+  TestNet net(1, lossless());
+  std::vector<std::string> received;
+  net.register_host(2, [&](NodeId, const std::string& m) {
+    received.push_back(m);
+    net.consume_cpu(2, 0.004);  // each delivery extends the busy window
+  });
+  net.consume_cpu(2, 0.010);
+  net.send(1, 2, "a");  // arrives 1 ms
+  net.schedule(0.002, [&]() { net.send(1, 2, "b"); });  // arrives 3 ms
+  net.schedule(0.004, [&]() { net.send(1, 2, "c"); });  // arrives 5 ms
+  net.run();
+  EXPECT_EQ(received, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+// Regression: cancelling a timer id that never existed (or already fired)
+// must be a no-op.  Pre-fix, the id was inserted into the cancelled set
+// unconditionally — unbounded growth, and a *future* timer that happened to
+// be assigned the same id was silently swallowed.
+TEST(SimNetwork, CancelOfUnissuedIdDoesNotPoisonFutureTimer) {
+  TestNet net(1, lossless());
+  net.cancel(3);  // ids are issued from 1; 3 does not exist yet
+  std::vector<int> fired;
+  net.schedule(0.1, [&]() { fired.push_back(1); });
+  net.schedule(0.2, [&]() { fired.push_back(2); });
+  net.schedule(0.3, [&]() { fired.push_back(3); });  // gets id 3
+  net.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(net.cancelled_pending(), 0u);
+}
+
+TEST(SimNetwork, CancelOfFiredTimerLeavesNoResidue) {
+  TestNet net(1, lossless());
+  int fired = 0;
+  const auto id = net.schedule(0.1, [&]() { ++fired; });
+  net.run();
+  EXPECT_EQ(fired, 1);
+  net.cancel(id);  // already fired: must not grow the cancelled set
+  net.cancel(id);
+  EXPECT_EQ(net.cancelled_pending(), 0u);
+  EXPECT_EQ(net.live_timer_count(), 0u);
+}
+
+// Regression: a repartition wholesale-replaces the previous grouping.  A
+// node absent from the new groups must not stay blocked against pairs from
+// the old one (pre-fix, stale blocked pairs accumulated forever).
+TEST(SimNetwork, RepartitionClearsStaleBlockedPairs) {
+  TestNet net(1, lossless());
+  int to3 = 0, between12 = 0;
+  net.register_host(1, [&](NodeId, const std::string&) { ++between12; });
+  net.register_host(2, [&](NodeId, const std::string&) { ++between12; });
+  net.register_host(3, [&](NodeId, const std::string&) { ++to3; });
+  net.partition({{1, 2}, {3}});  // 3 isolated
+  net.partition({{1}, {2}});     // new grouping: 3 not mentioned
+  net.send(1, 3, "a");           // must flow: old 1|3 block is stale
+  net.send(2, 3, "b");           // must flow: old 2|3 block is stale
+  net.send(1, 2, "c");           // blocked by the new grouping
+  net.run();
+  EXPECT_EQ(to3, 2);
+  EXPECT_EQ(between12, 0);
+}
+
+TEST(SimNetwork, ManualBlocksSurviveRepartition) {
+  TestNet net(1, lossless());
+  int received = 0;
+  net.register_host(2, [&](NodeId, const std::string&) { ++received; });
+  net.set_blocked(1, 2, true);
+  net.partition({{1, 2}, {3}});
+  net.heal_partition();
+  net.send(1, 2, "still blocked");
+  net.run();
+  EXPECT_EQ(received, 0);
+  net.set_blocked(1, 2, false);
+  net.send(1, 2, "open");
+  net.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST(SimNetwork, ReorderKnobDelaysSelectedMessages) {
+  LinkConfig cfg = lossless();
+  cfg.reorder = 0.5;
+  cfg.reorder_delay = 0.05;
+  TestNet net(11, cfg);
+  int received = 0;
+  net.register_host(2, [&](NodeId, const std::string&) { ++received; });
+  for (int i = 0; i < 200; ++i) net.send(1, 2, "m");
+  net.run();
+  EXPECT_EQ(received, 200);  // reordering delays, never drops
+  EXPECT_NEAR(net.reordered_messages() / 200.0, 0.5, 0.1);
+}
+
 TEST(SimNetwork, DeterministicGivenSeed) {
   auto run_once = [](std::uint64_t seed) {
     LinkConfig cfg;
