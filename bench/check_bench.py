@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare fresh bench JSON against committed baselines.
+
+Usage:
+    check_bench.py --consensus BENCH_consensus.json [--runtime BENCH_runtime.json]
+                   [--baseline-dir bench/baselines] [--tolerance 0.10]
+
+Two kinds of checks, matched to what each lane can promise:
+
+* BENCH_consensus.json comes from the deterministic simulated-time lane, so
+  its throughput numbers are reproducible modulo the C++ standard library's
+  distribution implementations.  Every per-cell metric must stay within
+  --tolerance (relative) of the committed baseline, and the boolean gates
+  (logs_match, speedup_ok, n7_throughput_ok) must hold outright.
+
+* BENCH_runtime.json comes from the wall-clock lane and is load/noise
+  dependent, so no numeric pinning: its own embedded gates (zero decode/
+  handler/auth errors, committed-log agreement, sim-lane equivalence, the
+  WAN improvement gate and the LAN regression guard) must all be true, and
+  the sweep must cover the expected (profile, n) grid.
+
+Exit status is non-zero on any drift, so CI fails the bench job.
+"""
+
+import argparse
+import json
+import sys
+
+EXPECTED_RUNTIME_GRID = {(p, n) for p in ("LAN", "WAN") for n in (3, 7, 13, 21, 31)}
+
+# Deterministic per-cell metrics worth pinning.  avg_batch is load-shaped and
+# usig_cache_hits is an implementation counter; throughput and speedup are
+# the observables the optimization work targets.
+CONSENSUS_CELL_METRICS = ("unbatched_req_s", "batched_req_s", "speedup")
+
+
+def fail(msg):
+    print(f"check_bench: FAIL: {msg}")
+    return 1
+
+
+def check_consensus(fresh, baseline, tolerance):
+    errors = 0
+    for key, value in baseline.get("gates", {}).items():
+        got = fresh.get("gates", {}).get(key)
+        if got is not True:
+            errors += fail(f"consensus gate {key!r} is {got!r}, expected true")
+    base_cells = {row["n"]: row for row in baseline.get("sweep", [])}
+    fresh_cells = {row["n"]: row for row in fresh.get("sweep", [])}
+    for n, base_row in sorted(base_cells.items()):
+        row = fresh_cells.get(n)
+        if row is None:
+            errors += fail(f"consensus sweep lost the n={n} cell")
+            continue
+        if not row.get("logs_match", False):
+            errors += fail(f"consensus n={n}: batched/unbatched logs diverge")
+        for metric in CONSENSUS_CELL_METRICS:
+            base_value = base_row.get(metric)
+            value = row.get(metric)
+            if base_value is None or value is None:
+                errors += fail(f"consensus n={n}: metric {metric!r} missing")
+                continue
+            rel = abs(value - base_value) / max(abs(base_value), 1e-9)
+            if rel > tolerance:
+                errors += fail(
+                    f"consensus n={n} {metric}: {value:g} drifted "
+                    f"{rel:.1%} from baseline {base_value:g} "
+                    f"(tolerance {tolerance:.0%})"
+                )
+    return errors
+
+
+def check_runtime(fresh):
+    errors = 0
+    gates = fresh.get("gates", {})
+    for key in ("cells_ok", "logs_ok", "sim_equivalence_ok", "gain_ok",
+                "wan_gain_ok", "ok"):
+        if gates.get(key) is not True:
+            errors += fail(f"runtime gate {key!r} is {gates.get(key)!r}")
+    seen = set()
+    for row in fresh.get("sweep", []):
+        seen.add((row.get("profile"), row.get("n")))
+        for side in ("baseline", "fast"):
+            for counter in ("decode_errors", "handler_errors", "auth_failures"):
+                value = row.get(f"{side}_{counter}", 0)
+                if value:
+                    errors += fail(
+                        f"runtime {row.get('profile')} n={row.get('n')}: "
+                        f"{side} {counter} = {value}"
+                    )
+        if not row.get("logs_valid", False):
+            errors += fail(
+                f"runtime {row.get('profile')} n={row.get('n')}: logs invalid"
+            )
+    missing = EXPECTED_RUNTIME_GRID - seen
+    if missing:
+        errors += fail(f"runtime sweep missing cells: {sorted(missing)}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--consensus", help="fresh BENCH_consensus.json")
+    ap.add_argument("--runtime", help="fresh BENCH_runtime.json")
+    ap.add_argument("--baseline-dir", default="bench/baselines")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="relative tolerance for deterministic metrics")
+    args = ap.parse_args()
+    if not args.consensus and not args.runtime:
+        ap.error("nothing to check: pass --consensus and/or --runtime")
+
+    errors = 0
+    if args.consensus:
+        with open(args.consensus) as f:
+            fresh = json.load(f)
+        with open(f"{args.baseline_dir}/BENCH_consensus.json") as f:
+            baseline = json.load(f)
+        errors += check_consensus(fresh, baseline, args.tolerance)
+    if args.runtime:
+        with open(args.runtime) as f:
+            errors += check_runtime(json.load(f))
+
+    if errors:
+        print(f"check_bench: {errors} failure(s)")
+        return 1
+    print("check_bench: all gates and baselines OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

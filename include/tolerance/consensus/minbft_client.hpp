@@ -23,7 +23,8 @@ class MinBftClient {
 
   MinBftClient(ClientId id, int f, std::vector<ReplicaId> replicas,
                MinBftTransport& net, std::shared_ptr<crypto::KeyRegistry> registry,
-               std::uint64_t key_seed, double retry_timeout = 30.0);
+               std::uint64_t key_seed, double retry_timeout = 30.0,
+               double spec_fallback_timeout = 0.0);
 
   ClientId id() const { return id_; }
 
@@ -46,18 +47,38 @@ class MinBftClient {
   void on_message(net::NodeId from, const MinBftMsg& msg);
 
   std::uint64_t completed_count() const { return completed_; }
+  /// Requests completed via the speculative fast path: ALL n replicas
+  /// returned matching tentative replies (any weaker quorum of speculative
+  /// replies proves nothing — up to f of them may roll back).  Final-reply
+  /// completions still require only f+1 matches.
+  std::uint64_t completed_speculative_count() const {
+    return completed_speculative_;
+  }
 
  private:
   struct Pending {
     Request request;
     std::map<std::string, std::set<ReplicaId>> votes;  // result -> replicas
+    /// Speculative replies tallied separately: tentative and final replies
+    /// for one request never mix into one quorum.
+    std::map<std::string, std::set<ReplicaId>> spec_votes;
     CompletionHandler on_complete;
     double submitted_at = 0.0;
     std::uint64_t retry_timer = 0;
+    /// One-shot early retransmission armed at the first speculative reply:
+    /// if the all-n quorum has not closed by then (a reply was lost or a
+    /// replica lags), the retransmission makes replicas resend from their
+    /// reply caches — FINAL once committed, completing via the f+1 rule.
+    std::uint64_t spec_fallback_timer = 0;
+    bool spec_fallback_armed = false;
   };
 
   void transmit(const Request& request);
   void arm_retry(std::uint64_t request_id);
+  /// True when every one of the n replicas vouched for `result` — counting a
+  /// tentative (speculative) reply and a committed (final) one alike, since
+  /// a final is the stronger claim.
+  bool all_n_vouched(const Pending& pending, const std::string& result) const;
 
   ClientId id_;
   int f_;
@@ -66,8 +87,10 @@ class MinBftClient {
   std::shared_ptr<crypto::KeyRegistry> registry_;
   crypto::Signer signer_;
   double retry_timeout_;
+  double spec_fallback_timeout_;
   std::uint64_t next_request_id_ = 0;
   std::uint64_t completed_ = 0;
+  std::uint64_t completed_speculative_ = 0;
   std::map<std::uint64_t, Pending> pending_;
 };
 

@@ -130,6 +130,12 @@ struct Reply {
   ClientId client = 0;
   std::uint64_t request_id = 0;
   std::string result;
+  /// Tentative result, sent at PREPARE before the commit quorum (the
+  /// Zyzzyva-style fast path).  A client acts on it only when ALL n replicas
+  /// return matching speculative replies; the final (speculative = false)
+  /// reply follows once the batch commits.  The flag is part of payload(),
+  /// so a speculative reply cannot be replayed as a final one.
+  bool speculative = false;
   crypto::Signature signature;
 
   std::string payload() const;
@@ -201,6 +207,24 @@ struct StateRequest {
   ReplicaId replica = 0;
 };
 
+/// Ask a peer to relay the PREPARE for `seq`.  Sent when a commit quorum has
+/// accumulated for a sequence number whose PREPARE never arrived (the
+/// network dropped it) — any committer necessarily holds that prepare.
+/// Unauthenticated on purpose: a forgery can only trigger a bounded resend
+/// of a message that is already public.
+struct FetchPrepare {
+  SeqNum seq = 0;
+  ReplicaId requester = 0;
+};
+
+/// A PREPARE relayed by a non-leader in answer to FetchPrepare.  The leader's
+/// USIG identifier inside still authenticates the content; the wrapper only
+/// tells the receiver to skip the monotonic-counter window (the counter is
+/// old by definition — the original broadcast already advanced it).
+struct RelayedPrepare {
+  Prepare prepare;
+};
+
 struct StateResponse {
   ReplicaId replica = 0;
   SeqNum last_executed = 0;
@@ -215,7 +239,8 @@ struct StateResponse {
 
 using MinBftMsg =
     std::variant<Request, Prepare, Commit, Reply, Checkpoint, ReqViewChange,
-                 ViewChange, NewView, StateRequest, StateResponse>;
+                 ViewChange, NewView, StateRequest, StateResponse,
+                 FetchPrepare, RelayedPrepare>;
 
 /// The deterministic simulated-time backend (golden traces, model checking).
 using MinBftNet = net::SimNetwork<MinBftMsg>;

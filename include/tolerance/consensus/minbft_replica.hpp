@@ -75,6 +75,35 @@ struct MinBftConfig {
   double batch_timeout = 0.05;
   /// Entries kept by the per-replica USIG verification cache.
   std::size_t usig_cache_capacity = 4096;
+  /// Speculative execution (the Zyzzyva-style fast path): execute a batch
+  /// tentatively as soon as its PREPARE verifies — before the commit quorum
+  /// — and reply with the speculative flag set.  Clients act on a
+  /// speculative result only when ALL n replicas return matching tentative
+  /// replies; a view change rolls uncommitted speculative state back to the
+  /// committed prefix and the re-proposed entries re-execute.  Entries
+  /// carrying join:/evict: operations never execute speculatively
+  /// (membership changes are not rolled back).
+  bool speculative = false;
+  /// Client-side safety valve for the speculative fast path: once a request
+  /// has gathered at least one speculative reply without completing, wait
+  /// this long, then retransmit once.  Replicas answer retransmissions from
+  /// their reply cache (FINAL once the entry committed), so a client whose
+  /// speculative quorum was spoiled by one lost reply recovers in a round
+  /// trip instead of a full request_retry_timeout.  0 disables the valve.
+  double spec_fallback_timeout = 0.0;
+  /// Grace period before fetching a PREPARE that a commit quorum refers to
+  /// but never arrived here.  Commit-before-prepare is usually plain
+  /// reordering (the prepare is buffered in a flush window or a slower
+  /// bundle) and resolves by itself; only when the prepare is still missing
+  /// after this long was it dropped, and a relay is worth the traffic.
+  double prepare_fetch_grace = 0.02;
+  /// Sim-lane model of the wall-clock lane's outbound authenticator
+  /// batching: when > 0, cpu_cost_per_send is charged per destination at
+  /// most once per this many (simulated) seconds — one MAC covers every
+  /// message flushed to that destination inside the window.  0 keeps the
+  /// one-MAC-per-message accounting.  Message *semantics* are unchanged
+  /// either way, which is what the batched≡unbatched log gate checks.
+  double mac_flush_window = 0.0;
 
   static constexpr int kUnboundedPipeline = std::numeric_limits<int>::max();
 
@@ -161,16 +190,40 @@ class MinBftReplica {
   std::uint64_t usig_cache_hits() const { return usig_cache_.hits(); }
   std::uint64_t usig_cache_misses() const { return usig_cache_.misses(); }
 
+  // Speculative-execution telemetry (tests and the runtime bench).
+  std::uint64_t spec_executions() const { return spec_executions_; }
+  std::uint64_t spec_rollbacks() const { return spec_rollbacks_; }
+  SeqNum last_speculated() const { return last_speculated_; }
+  /// The commit-quorum-backed prefix length of service().log(); anything
+  /// beyond it is speculative and may still roll back.
+  std::size_t committed_log_size() const { return committed_log_size_; }
+
  private:
   struct PendingEntry {
     Prepare prepare;
     std::set<ReplicaId> commits;  ///< distinct committers (incl. leader)
     bool executed = false;
+    // --- speculative-execution bookkeeping --------------------------------
+    /// Tentatively applied to the service before the commit quorum.
+    bool spec_executed = false;
+    /// Per-request results recorded at speculative execution; at commit the
+    /// reply cache flips to FINAL without re-execution (and without a second
+    /// reply — replicas reply once, Zyzzyva-style).  Empty string = the
+    /// request was a duplicate and was skipped.
+    std::vector<std::string> spec_results;
+    /// (client, request_id) keys THIS entry inserted into
+    /// executed_requests_ — exactly what a rollback must erase.
+    std::vector<std::pair<ClientId, std::uint64_t>> spec_applied;
+    /// Service state right after this entry applied; becomes the committed
+    /// snapshot when the entry commits (checkpoints and rollbacks use it).
+    std::size_t post_log_size = 0;
+    crypto::Digest post_digest{};
   };
 
   void handle_request(const Request& req);
-  void handle_prepare(const Prepare& p);
+  void handle_prepare(const Prepare& p, bool relayed = false);
   void handle_commit(const Commit& c);
+  void handle_fetch_prepare(const FetchPrepare& m);
   void handle_checkpoint(const Checkpoint& c);
   void handle_req_view_change(const ReqViewChange& r);
   void handle_view_change(const ViewChange& vc);
@@ -207,6 +260,25 @@ class MinBftReplica {
   ViewChange make_view_change(View to_view);
   void try_execute();
   void execute_entry(PendingEntry& entry);
+  /// Advance the speculative frontier: tentatively execute contiguous logged
+  /// entries above it that have no commit quorum yet, sending speculative
+  /// replies.  Stops at reconfiguration batches (never speculated).
+  void try_speculate();
+  /// Apply one entry tentatively: service execution + speculative replies,
+  /// with enough bookkeeping recorded to undo it (spec_applied) or finalize
+  /// it without re-execution (spec_results).
+  void speculate_entry(PendingEntry& entry);
+  /// Final replies for an entry that already executed speculatively: replay
+  /// the recorded results, touch nothing in the service.
+  void confirm_entry(PendingEntry& entry);
+  /// Undo every speculatively-executed, uncommitted entry: erase its
+  /// executed_requests_ keys and truncate the service back to the committed
+  /// prefix.  Called before a view installs or a state transfer lands —
+  /// the re-proposed entries then re-execute from the committed state.
+  void rollback_speculation();
+  void send_reply(const Request& req, std::string result, bool speculative);
+  /// True if any request in the batch is a join:/evict: operation.
+  static bool has_reconfiguration(const Prepare& p);
   void apply_reconfiguration(const std::string& op);
   void emit_checkpoint();
   void garbage_collect(SeqNum stable);
@@ -245,7 +317,28 @@ class MinBftReplica {
   View view_ = 0;
   SeqNum last_executed_ = 0;      ///< highest contiguously executed seq
   SeqNum stable_checkpoint_ = 0;
+  /// Highest contiguously (speculatively or finally) executed seq; always
+  /// >= last_executed_.  Entries in (last_executed_, last_speculated_] hold
+  /// tentative state that a view change rolls back.
+  SeqNum last_speculated_ = 0;
+  /// The service prefix backed by a commit quorum: what checkpoints digest,
+  /// state transfers ship, and rollbacks truncate to.  Equals the full
+  /// service state whenever no speculative entry is outstanding.
+  std::size_t committed_log_size_ = 0;
+  crypto::Digest committed_digest_{};
+  std::uint64_t spec_executions_ = 0;
+  std::uint64_t spec_rollbacks_ = 0;
+  /// Sim-lane MAC batching model: last simulated time cpu_cost_per_send was
+  /// charged per destination (see MinBftConfig::mac_flush_window).
+  std::map<ReplicaId, double> last_mac_charge_;
   std::map<SeqNum, PendingEntry> log_;
+  /// UI-verified COMMIT votes that arrived before their PREPARE (reordering,
+  /// or the prepare was dropped): (seq -> voter -> endorsed batch digest).
+  /// Folded into the log entry when the prepare shows up; when a full f+1
+  /// quorum stashes up with still no prepare, the prepare was lost and we
+  /// fetch a relay of it from a committer (see handle_commit).
+  std::map<SeqNum, std::map<ReplicaId, crypto::Digest>> early_commits_;
+  std::set<SeqNum> fetched_;  ///< seqs we already sent a FetchPrepare for
   /// Last accepted (usig epoch, counter) per replica — FIFO ordering and
   /// replay protection across recoveries.
   std::map<ReplicaId, std::pair<std::uint64_t, std::uint64_t>> last_counter_;
@@ -265,7 +358,21 @@ class MinBftReplica {
   bool in_view_change_ = false;
   std::uint64_t vc_timer_ = 0;
   bool vc_timer_armed_ = false;
-  std::map<ClientId, std::uint64_t> last_replied_;
+  /// Last reply per client, kept so a retransmitted request can be answered
+  /// from cache instead of silently dropped (the liveness path for lost
+  /// replies — essential under speculation, where a spec-executed entry's
+  /// commit sends no second reply).  `committed` flips at the commit quorum;
+  /// a cached resend is re-signed with the current status.
+  struct CachedReply {
+    std::uint64_t request_id = 0;
+    /// The reply exactly as last signed and sent (flag + signature).  A
+    /// retransmission resends these bytes verbatim — re-signing only when
+    /// `committed` has flipped since, so serving a lagging client costs a
+    /// signature at most once per status change, not once per probe.
+    Reply reply;
+    bool committed = false;  ///< current status (may be newer than the flag)
+  };
+  std::map<ClientId, CachedReply> reply_cache_;
   std::map<crypto::Digest, std::set<ReplicaId>> state_votes_;
   std::map<crypto::Digest, StateResponse> pending_state_;
 

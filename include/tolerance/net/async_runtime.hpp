@@ -24,12 +24,23 @@
 // share SimNetwork's cancellation semantics: cancel is a no-op for dead
 // ids, live-id tracking keeps the cancelled set bounded.
 //
+// Authenticator batching (the wall-clock fast path): every frame travels
+// inside a bundle authenticated by one HMAC-SHA256 tag under a per-directed-
+// pair link key (modelling pre-shared session keys).  With flush_window = 0
+// each message is its own bundle — the classic one-MAC-per-message cost.
+// With flush_window > 0 outbound frames per destination coalesce behind a
+// short flush timer, so one authenticator (and one shaping/queueing pass)
+// covers the whole flush; the receiver verifies the single tag, then
+// decodes and dispatches each frame in order.  A bundle that fails
+// authentication is dropped whole and counted (auth_failures).
+//
 // Shutdown: stop() fences off new sends and timers, joins the timer
 // thread, then waits for every in-flight node loop to go idle.  The
 // destructor calls stop(), so a scoped runtime never leaks tasks into the
 // pool it borrowed.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -46,6 +57,7 @@
 #include <utility>
 #include <vector>
 
+#include "tolerance/crypto/hmac.hpp"
 #include "tolerance/net/profiles.hpp"
 #include "tolerance/net/transport.hpp"
 #include "tolerance/util/ensure.hpp"
@@ -74,7 +86,17 @@ class AsyncRuntime final : public Transport<Msg> {
     /// default: the wall-clock lane measures the real crypto the node
     /// actually performs, not the sim lane's modelled costs.
     bool honor_cpu_costs = false;
-    std::uint64_t seed = 1;  ///< loss/jitter/reorder draws
+    /// Outbound authenticator-batching window in seconds.  0 ships every
+    /// message as its own authenticated bundle (one HMAC per message);
+    /// > 0 coalesces frames per destination for up to this long so one
+    /// HMAC-SHA256 tag covers the whole flush.
+    double flush_window = 0.0;
+    /// Size trigger for the coalescing window: a buffered bundle that
+    /// reaches this many frames ships immediately instead of waiting out
+    /// the window, so a high-rate pair pays amortized MACs without the
+    /// full window's latency tax.
+    std::size_t flush_max_frames = 16;
+    std::uint64_t seed = 1;  ///< loss/jitter/reorder draws + link keys
   };
 
   AsyncRuntime(util::ThreadPool& pool, Options options)
@@ -97,6 +119,7 @@ class AsyncRuntime final : public Transport<Msg> {
 
   void register_host(NodeId id, Handler handler) override {
     auto host = std::make_shared<Host>();
+    host->id = id;
     host->handler = std::move(handler);
     std::lock_guard<std::mutex> lk(hosts_mu_);
     hosts_[id] = std::move(host);
@@ -149,9 +172,13 @@ class AsyncRuntime final : public Transport<Msg> {
     if (stopping_) return 0;  // cancel(0) is a no-op
     const std::uint64_t id = next_timer_id_++;
     live_timers_.insert(id);
+    const bool new_front = timers_.empty() || when < timers_.begin()->first;
     timers_.emplace(when, TimerEntry{id, owner, /*direct=*/false,
                                      std::move(fn)});
-    timer_cv_.notify_all();
+    // The timer thread sleeps until the earliest deadline; inserting a
+    // later one does not change its wake-up time, so skip the notify (at
+    // load, most timers are retransmission guards far in the future).
+    if (new_front) timer_cv_.notify_all();
     return id;
   }
 
@@ -266,6 +293,26 @@ class AsyncRuntime final : public Transport<Msg> {
   std::uint64_t delivered_frames() const {
     return delivered_.load(std::memory_order_relaxed);
   }
+  /// Bundle authenticators computed at senders (== bundles shipped); the
+  /// amortization the flush window buys is bundled_frames / macs_computed.
+  std::uint64_t macs_computed() const {
+    return macs_computed_.load(std::memory_order_relaxed);
+  }
+  /// Frames carried inside those bundles.
+  std::uint64_t bundled_frames() const {
+    return bundled_frames_.load(std::memory_order_relaxed);
+  }
+  /// Bundles dropped whole because their HMAC tag did not verify.
+  std::uint64_t auth_failures() const {
+    return auth_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Test hook: enqueue raw bytes at `to` as if they arrived from `from`,
+  /// bypassing the sender path — how a tampered or spoofed bundle reaches
+  /// the authentication check.
+  void inject_frame(NodeId from, NodeId to, Bytes raw) {
+    enqueue_frame(to, Frame{from, std::make_shared<const Bytes>(std::move(raw))});
+  }
   std::size_t live_timer_count() const {
     std::lock_guard<std::mutex> lk(timer_mu_);
     return live_timers_.size();
@@ -283,6 +330,7 @@ class AsyncRuntime final : public Transport<Msg> {
 
   struct Host {
     mutable std::mutex mu;
+    NodeId id = 0;
     Handler handler;
     std::deque<Frame> inbox;                    ///< bounded, drop-oldest
     std::deque<std::function<void()>> jobs;     ///< timers/posts, unbounded
@@ -323,11 +371,156 @@ class AsyncRuntime final : public Transport<Msg> {
                : options_.replica_link;
   }
 
+  // --- authenticator batching ----------------------------------------------
+
+  /// Pre-shared link key per directed pair, derived from the runtime seed
+  /// (a closed system: every legitimate sender/receiver pair shares it).
+  std::string pair_key(NodeId from, NodeId to) const {
+    return "link:" + std::to_string(options_.seed) + ":" +
+           std::to_string(from) + ">" + std::to_string(to);
+  }
+
+  static void put_varint(Bytes& out, std::uint64_t v) {
+    while (v >= 0x80) {
+      out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  static bool get_varint(const Bytes& b, std::size_t& pos,
+                         std::uint64_t& out) {
+    out = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos >= b.size()) return false;
+      const std::uint8_t byte = b[pos++];
+      out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+    }
+    return false;
+  }
+
+  /// Bundle layout: varint frame count, then per frame a varint length and
+  /// the frame bytes, then the 32-byte HMAC-SHA256 tag over everything
+  /// before it.
+  std::shared_ptr<const Bytes> make_bundle(
+      NodeId from, NodeId to,
+      const std::vector<std::shared_ptr<const Bytes>>& frames) {
+    Bytes out;
+    std::size_t payload = 0;
+    for (const auto& f : frames) payload += f->size() + 10;
+    out.reserve(payload + crypto::Digest{}.size() + 4);
+    put_varint(out, frames.size());
+    for (const auto& f : frames) {
+      put_varint(out, f->size());
+      out.insert(out.end(), f->begin(), f->end());
+    }
+    const crypto::Digest tag = crypto::hmac_sha256(
+        pair_key(from, to),
+        std::string_view(reinterpret_cast<const char*>(out.data()),
+                         out.size()));
+    out.insert(out.end(), tag.begin(), tag.end());
+    macs_computed_.fetch_add(1, std::memory_order_relaxed);
+    bundled_frames_.fetch_add(frames.size(), std::memory_order_relaxed);
+    return std::make_shared<const Bytes>(std::move(out));
+  }
+
   void transmit(NodeId from, NodeId to,
                 std::shared_ptr<const Bytes> bytes) {
     // The stop fence must cover the zero-delay fast path too: a handler
     // that sends on every delivery (closed-loop traffic) would otherwise
     // keep its own loop busy forever and stop() could never drain it.
+    if (stop_requested_.load(std::memory_order_acquire)) return;
+    if (options_.flush_window <= 0.0) {
+      // One bundle (and one authenticator) per message.
+      ship_bundle(from, to, make_bundle(from, to, {std::move(bytes)}));
+      return;
+    }
+    // Nagle-style coalescing: a message onto a quiet channel ships at once
+    // (batching must not tax the latency-critical first message of a burst);
+    // messages that FOLLOW within the window — the N^2 fan-out bursts of a
+    // loaded consensus step — buffer behind one flush timer and share one
+    // authenticator.  Per pair that bounds the MAC (and shaping) rate to two
+    // bundles per window, and FIFO order is preserved: while anything is
+    // buffered or armed, nothing bypasses the queue.
+    const auto window =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.flush_window));
+    bool ship_now = false;
+    bool arm = false;
+    std::vector<std::shared_ptr<const Bytes>> full;  // size-triggered flush
+    {
+      BundleShard& shard = shard_for(from);
+      std::lock_guard<std::mutex> lk(shard.mu);
+      const auto now_tp = std::chrono::steady_clock::now();
+      PairState& pair = shard.pairs[{from, to}];
+      if (pair.queued.empty() && !pair.armed &&
+          now_tp - pair.last_ship >= window) {
+        pair.last_ship = now_tp;
+        ship_now = true;
+      }
+      if (!ship_now) {
+        pair.queued.push_back(std::move(bytes));
+        if (pair.queued.size() >= options_.flush_max_frames) {
+          // Full bundle: ship at once.  A pending flush timer (if armed)
+          // finds an empty queue and no-ops.
+          full.swap(pair.queued);
+          pair.last_ship = now_tp;
+        } else if (!pair.armed) {
+          pair.armed = true;
+          arm = true;
+        }
+      }
+    }
+    if (ship_now) {
+      // Outside the shard lock: make_bundle runs real crypto and
+      // ship_bundle takes the shaping locks.
+      ship_bundle(from, to, make_bundle(from, to, {std::move(bytes)}));
+      return;
+    }
+    if (!full.empty()) {
+      ship_bundle(from, to, make_bundle(from, to, full));
+      return;
+    }
+    if (!arm) return;  // an earlier message already armed the flush
+    // Arm the per-pair flush: a direct (timer-thread) dispatch, like the
+    // delay-shaped frame releases.
+    const auto when =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options_.flush_window));
+    std::lock_guard<std::mutex> lk(timer_mu_);
+    if (stopping_) return;
+    const bool new_front = timers_.empty() || when < timers_.begin()->first;
+    timers_.emplace(when, TimerEntry{0, to, /*direct=*/true,
+                                     [this, from, to]() {
+                                       flush_pair(from, to);
+                                     }});
+    if (new_front) timer_cv_.notify_all();
+  }
+
+  void flush_pair(NodeId from, NodeId to) {
+    std::vector<std::shared_ptr<const Bytes>> frames;
+    {
+      BundleShard& shard = shard_for(from);
+      std::lock_guard<std::mutex> lk(shard.mu);
+      const auto it = shard.pairs.find({from, to});
+      if (it == shard.pairs.end()) return;
+      frames.swap(it->second.queued);
+      it->second.armed = false;
+      if (!frames.empty()) {
+        it->second.last_ship = std::chrono::steady_clock::now();
+      }
+    }
+    if (frames.empty()) return;
+    ship_bundle(from, to, make_bundle(from, to, frames));
+  }
+
+  /// Link shaping, FIFO-channel clamping, and delivery of one authenticated
+  /// bundle — the loss/jitter/reorder draws apply per bundle, exactly like
+  /// the packets a real network would carry.
+  void ship_bundle(NodeId from, NodeId to,
+                   std::shared_ptr<const Bytes> bytes) {
     if (stop_requested_.load(std::memory_order_acquire)) return;
     {
       std::lock_guard<std::mutex> lk(net_state_mu_);
@@ -373,13 +566,14 @@ class AsyncRuntime final : public Transport<Msg> {
     }
     std::lock_guard<std::mutex> lk(timer_mu_);
     if (stopping_) return;
+    const bool new_front = timers_.empty() || when < timers_.begin()->first;
     timers_.emplace(
         when,
         TimerEntry{0, to, /*direct=*/true,
                    [this, to, f = Frame{from, std::move(bytes)}]() mutable {
                      enqueue_frame(to, std::move(f));
                    }});
-    timer_cv_.notify_all();
+    if (new_front) timer_cv_.notify_all();
   }
 
   void enqueue_frame(NodeId to, Frame frame) {
@@ -435,22 +629,71 @@ class AsyncRuntime final : public Transport<Msg> {
         if (job) {
           job();
         } else if (have_frame && handler) {
-          const auto msg = Codec::decode(frame.bytes->data(),
-                                         frame.bytes->size());
-          if (msg) {
-            delivered_.fetch_add(1, std::memory_order_relaxed);
-            handler(frame.from, *msg);
-          } else {
-            decode_errors_.fetch_add(1, std::memory_order_relaxed);
-          }
+          dispatch_bundle(host->id, frame, handler);
         }
       } catch (const std::exception&) {
-        // A throwing handler must not take down the pool worker; surface
+        // A throwing job must not take down the pool worker; surface
         // through the counter (tests assert it stays zero).
         handler_errors_.fetch_add(1, std::memory_order_relaxed);
       }
     }
     pool_->submit([this, host]() { drain(host); });  // keep the task slot
+  }
+
+  /// Authenticate one inbound bundle, then decode and dispatch its frames
+  /// in order.  A malformed bundle counts one decode error; a bad tag
+  /// counts one auth failure and drops every frame inside.
+  void dispatch_bundle(NodeId self, const Frame& frame,
+                       const Handler& handler) {
+    const Bytes& b = *frame.bytes;
+    const std::size_t tag_size = crypto::Digest{}.size();
+    std::size_t pos = 0;
+    std::uint64_t count = 0;
+    if (!get_varint(b, pos, count) || count > b.size()) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> spans;
+    spans.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t len = 0;
+      if (!get_varint(b, pos, len) || len > b.size() - pos ||
+          b.size() - pos - static_cast<std::size_t>(len) < tag_size) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      spans.emplace_back(pos, static_cast<std::size_t>(len));
+      pos += static_cast<std::size_t>(len);
+    }
+    if (b.size() - pos != tag_size) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    crypto::Digest tag{};
+    std::copy(b.begin() + static_cast<std::ptrdiff_t>(pos), b.end(),
+              tag.begin());
+    if (!crypto::hmac_verify(
+            pair_key(frame.from, self),
+            std::string_view(reinterpret_cast<const char*>(b.data()), pos),
+            tag)) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    for (const auto& [off, len] : spans) {
+      const auto msg = Codec::decode(b.data() + off, len);
+      if (!msg) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        handler(frame.from, *msg);
+      } catch (const std::exception&) {
+        // A throwing handler must not poison the rest of the bundle (or
+        // the pool worker); surface through the counter.
+        handler_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
   }
 
   void finish_task() {
@@ -519,6 +762,26 @@ class AsyncRuntime final : public Transport<Msg> {
            std::chrono::steady_clock::time_point>
       channel_frontier_;
 
+  /// Per-pair coalescing state (only touched when flush_window > 0):
+  /// `queued` holds frames awaiting the armed flush; `last_ship` is the
+  /// last bundle departure — a quiet channel (no departure within the
+  /// window) ships the next message immediately, Nagle-style.  Sharded by
+  /// sender so the hot path never funnels every node through one mutex.
+  struct PairState {
+    std::vector<std::shared_ptr<const Bytes>> queued;
+    bool armed = false;
+    std::chrono::steady_clock::time_point last_ship{};
+  };
+  struct BundleShard {
+    std::mutex mu;
+    std::map<std::pair<NodeId, NodeId>, PairState> pairs;
+  };
+  static constexpr std::size_t kBundleShards = 64;
+  BundleShard& shard_for(NodeId from) {
+    return bundle_shards_[static_cast<std::size_t>(from) % kBundleShards];
+  }
+  std::array<BundleShard, kBundleShards> bundle_shards_;
+
   std::atomic<bool> stop_requested_{false};  ///< lock-free send fence
 
   mutable std::mutex timer_mu_;
@@ -539,6 +802,9 @@ class AsyncRuntime final : public Transport<Msg> {
   std::atomic<std::uint64_t> decode_errors_{0};
   std::atomic<std::uint64_t> handler_errors_{0};
   std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> macs_computed_{0};
+  std::atomic<std::uint64_t> bundled_frames_{0};
+  std::atomic<std::uint64_t> auth_failures_{0};
 
   std::thread timer_thread_;  ///< last member: starts after state is ready
 };

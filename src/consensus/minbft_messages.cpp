@@ -92,7 +92,7 @@ crypto::Digest Commit::body_digest() const {
 std::string Reply::payload() const {
   std::ostringstream os;
   os << "reply|" << replica << '|' << client << '|' << request_id << '|'
-     << result;
+     << result << '|' << (speculative ? "spec" : "final");
   return os.str();
 }
 

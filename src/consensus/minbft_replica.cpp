@@ -88,8 +88,29 @@ ReplicaId MinBftReplica::current_leader() const {
 
 void MinBftReplica::broadcast(const MinBftMsg& msg) {
   if (config_.cpu_cost_per_send > 0.0 && membership_.size() > 1) {
-    net_->consume_cpu(id_, config_.cpu_cost_per_send *
-                               static_cast<double>(membership_.size() - 1));
+    if (config_.mac_flush_window <= 0.0) {
+      net_->consume_cpu(id_, config_.cpu_cost_per_send *
+                                 static_cast<double>(membership_.size() - 1));
+    } else {
+      // Authenticator batching (sim-lane model): one MAC covers every
+      // message flushed to a destination within the window, so the
+      // per-send cost is charged per destination at most once per window.
+      const double now = net_->now();
+      int charged = 0;
+      for (const ReplicaId peer : membership_) {
+        if (peer == id_) continue;
+        const auto it = last_mac_charge_.find(peer);
+        if (it == last_mac_charge_.end() ||
+            now - it->second >= config_.mac_flush_window) {
+          last_mac_charge_[peer] = now;
+          ++charged;
+        }
+      }
+      if (charged > 0) {
+        net_->consume_cpu(id_, config_.cpu_cost_per_send *
+                                   static_cast<double>(charged));
+      }
+    }
   }
   net_->broadcast(id_, membership_, msg);
 }
@@ -154,6 +175,10 @@ void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
           handle_state_request(from, m);
         } else if constexpr (std::is_same_v<T, StateResponse>) {
           handle_state_response(m);
+        } else if constexpr (std::is_same_v<T, FetchPrepare>) {
+          handle_fetch_prepare(m);
+        } else if constexpr (std::is_same_v<T, RelayedPrepare>) {
+          handle_prepare(m.prepare, /*relayed=*/true);
         } else {
           static_assert(std::is_same_v<T, Reply>, "unhandled message type");
           // Replies are client-side; replicas ignore them.
@@ -166,7 +191,26 @@ void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
 }
 
 void MinBftReplica::handle_request(const Request& req) {
-  if (executed_requests_.count({req.client, req.request_id}) > 0) return;
+  if (executed_requests_.count({req.client, req.request_id}) > 0) {
+    // Already applied: the client must have lost our reply (or is probing
+    // after a speculative stall) — answer from the cache with the CURRENT
+    // status, so a request that has since committed earns a final reply.
+    const auto it = reply_cache_.find(req.client);
+    if (it != reply_cache_.end() && it->second.request_id == req.request_id &&
+        verify_request(req)) {
+      CachedReply& cached = it->second;
+      const bool spec_now = !cached.committed;
+      if (cached.reply.speculative != spec_now) {
+        // The entry committed since the tentative reply went out: re-sign
+        // once with the FINAL flag and keep the fresh signature cached.
+        cached.reply.speculative = spec_now;
+        net_->consume_cpu(id_, reply_cost());
+        cached.reply.signature = signer_.sign(cached.reply.payload());
+      }
+      net_->send(id_, req.client, MinBftMsg{cached.reply});
+    }
+    return;
+  }
   if (!verify_request(req)) return;
   if (is_leader() && !in_view_change_) {
     enqueue_request(req);
@@ -261,6 +305,7 @@ bool MinBftReplica::seal_one_batch() {
   log_[seq] = std::move(entry);
   highest_assigned_ = std::max(highest_assigned_, seq);
   broadcast(p);
+  try_speculate();  // the leader's own batch is speculable immediately
   return true;
 }
 
@@ -306,15 +351,20 @@ void MinBftReplica::resync_assignment_watermark() {
 // Agreement
 // ---------------------------------------------------------------------------
 
-void MinBftReplica::handle_prepare(const Prepare& p) {
+void MinBftReplica::handle_prepare(const Prepare& p, bool relayed) {
   if (p.view != view_ || in_view_change_) return;
   const ReplicaId leader =
       membership_[static_cast<std::size_t>(p.view % membership_.size())];
   if (p.ui.replica != leader || leader == id_) return;
   if (p.requests.empty()) return;  // malformed; honest leaders never send it
   if (!verify_ui(p.body_digest(), p.ui)) return;
-  // Monotonic counters prevent replay; the USIG guarantees uniqueness.
-  if (!accept_counter(p.ui)) return;
+  // Monotonic counters prevent replay; the USIG guarantees uniqueness.  A
+  // relayed prepare (answering our FetchPrepare) carries a counter that is
+  // old by definition — the leader's original broadcast already advanced
+  // our window past it — so only the UI itself vouches there.  Replay of a
+  // UI-bound prepare is idempotent: the log and checkpoint guards below
+  // dedup it.
+  if (!relayed && !accept_counter(p.ui)) return;
   if (p.seq <= stable_checkpoint_) return;
   // Every request in the batch must carry its client's own signature — a
   // compromised leader can bind garbage to a valid UI, but it cannot forge
@@ -343,8 +393,21 @@ void MinBftReplica::handle_prepare(const Prepare& p) {
     entry.commits.insert(leader);
     log_[p.seq] = std::move(entry);
   }
+  // Fold in any COMMIT votes that overtook this prepare (only those that
+  // endorse this batch — a stale or corrupt digest never counts).
+  const auto early = early_commits_.find(p.seq);
+  if (early != early_commits_.end()) {
+    PendingEntry& entry = log_[p.seq];
+    const crypto::Digest batch = entry.prepare.batch_digest();
+    for (const auto& [voter, digest] : early->second) {
+      if (crypto::digest_equal(batch, digest)) entry.commits.insert(voter);
+    }
+    early_commits_.erase(early);
+  }
+  fetched_.erase(p.seq);
   send_commit(p);
   arm_view_change_timer();
+  try_speculate();
   try_execute();
 }
 
@@ -383,8 +446,38 @@ void MinBftReplica::handle_commit(const Commit& c) {
   if (!accept_counter(c.ui)) return;
   if (c.seq <= stable_checkpoint_) return;
   const auto it = log_.find(c.seq);
-  if (it == log_.end()) return;  // commit precedes prepare; PREPARE rebroadcast
-                                 // or view change will resolve it
+  if (it == log_.end()) {
+    // Commit precedes prepare: either plain reordering (the prepare is a
+    // moment away) or the prepare was dropped.  Stash the verified vote —
+    // its counter is consumed, the committer will not resend it — and once
+    // a full f+1 quorum piles up with still no prepare, stop waiting and
+    // fetch a relay of the prepare from this committer.  Without the fetch
+    // a lost PREPARE stalls execution (and speculation) at the gap until
+    // the next stable checkpoint triggers state transfer.
+    if (c.seq > stable_checkpoint_ + config_.log_watermark) return;
+    auto& votes = early_commits_[c.seq];
+    votes[c.replica] = c.batch_digest;
+    if (static_cast<int>(votes.size()) >= config_.f + 1 &&
+        fetched_.insert(c.seq).second) {
+      // After a grace period: commit-before-prepare is usually reordering
+      // (the prepare sits in a flush window) and fetching eagerly would
+      // relay full batches for prepares that were a moment away.
+      const View v = view_;
+      const SeqNum seq = c.seq;
+      const ReplicaId committer = c.replica;
+      net_->schedule(id_, config_.prepare_fetch_grace,
+                     [this, v, seq, committer]() {
+                       if (view_ != v || in_view_change_) return;
+                       if (seq <= stable_checkpoint_ ||
+                           log_.count(seq) != 0) {
+                         return;  // resolved itself
+                       }
+                       net_->send(id_, committer,
+                                  MinBftMsg{FetchPrepare{seq, id_}});
+                     });
+    }
+    return;
+  }
   // Votes only count when they endorse the prepared batch.
   if (!crypto::digest_equal(it->second.prepare.batch_digest(),
                             c.batch_digest)) {
@@ -401,17 +494,149 @@ void MinBftReplica::try_execute() {
     if (it == log_.end()) break;
     if (static_cast<int>(it->second.commits.size()) < config_.f + 1) break;
     if (!it->second.executed) {
-      execute_entry(it->second);
+      if (it->second.spec_executed) {
+        // The state change already happened tentatively; the commit quorum
+        // only finalizes it (recorded results, no re-execution).
+        confirm_entry(it->second);
+      } else {
+        execute_entry(it->second);
+      }
       it->second.executed = true;
       progressed = true;
     }
     ++last_executed_;
+    if (last_speculated_ < last_executed_) last_speculated_ = last_executed_;
+    // The committed snapshot advances with the quorum, not with speculative
+    // application: checkpoints digest it, rollbacks truncate to it.
+    committed_log_size_ = it->second.post_log_size;
+    committed_digest_ = it->second.post_digest;
     if (last_executed_ % config_.checkpoint_period == 0) emit_checkpoint();
   }
   if (progressed) {
     // Progress observed: the leader is alive.
     disarm_view_change_timer();
   }
+}
+
+bool MinBftReplica::has_reconfiguration(const Prepare& p) {
+  for (const Request& r : p.requests) {
+    if (r.operation.rfind("join:", 0) == 0 ||
+        r.operation.rfind("evict:", 0) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void MinBftReplica::send_reply(const Request& req, std::string result,
+                               bool speculative) {
+  if (mode_ == ByzantineMode::Random) result = "garbage";
+  Reply reply;
+  reply.replica = id_;
+  reply.client = req.client;
+  reply.request_id = req.request_id;
+  reply.result = std::move(result);
+  reply.speculative = speculative;
+  net_->consume_cpu(id_, reply_cost());
+  reply.signature = signer_.sign(reply.payload());
+  net_->send(id_, req.client, MinBftMsg{reply});
+  reply_cache_[req.client] = CachedReply{req.request_id, reply, !speculative};
+}
+
+void MinBftReplica::try_speculate() {
+  if (!config_.speculative || in_view_change_) return;
+  if (last_speculated_ < last_executed_) last_speculated_ = last_executed_;
+  while (true) {
+    const auto it = log_.find(last_speculated_ + 1);
+    if (it == log_.end()) break;
+    PendingEntry& entry = it->second;
+    if (!entry.executed && !entry.spec_executed) {
+      // Membership changes are never applied tentatively: rolling back an
+      // evict/join would fork the very membership the quorum rules use.
+      if (has_reconfiguration(entry.prepare)) break;
+      speculate_entry(entry);
+      entry.spec_executed = true;
+      ++spec_executions_;
+    }
+    ++last_speculated_;
+  }
+}
+
+void MinBftReplica::speculate_entry(PendingEntry& entry) {
+  entry.spec_results.clear();
+  entry.spec_applied.clear();
+  for (const Request& req : entry.prepare.requests) {
+    if (!executed_requests_.insert({req.client, req.request_id}).second) {
+      entry.spec_results.emplace_back();  // duplicate: skipped, no reply
+      continue;
+    }
+    entry.spec_applied.emplace_back(req.client, req.request_id);
+    std::string result = service_.execute(req.operation);
+    entry.spec_results.push_back(result);
+    send_reply(req, std::move(result), /*speculative=*/true);
+  }
+  entry.post_log_size = service_.log().size();
+  entry.post_digest = service_.state_digest();
+}
+
+void MinBftReplica::confirm_entry(PendingEntry& entry) {
+  // The speculative reply already went out at PREPARE.  The f+1 lowest-id
+  // members (a baseline-sized quorum) follow it with a FINAL reply at the
+  // commit quorum, so the client completes at min(all-n tentative vouches,
+  // f+1 finals): one replica that missed its PREPARE (and therefore cannot
+  // vouch) degrades the request to baseline latency instead of stalling it
+  // behind a retransmission timeout.  The remaining members stay quiet —
+  // Zyzzyva's replicas reply once — and only flip their cached status so a
+  // retransmission is served FINAL.  A quiet designated replica is not a
+  // liveness hole: the prepare-fetch path bounds how long any member can
+  // lag, and the client's fallback valve re-asks answered replicas.
+  const auto rank = static_cast<std::size_t>(
+      std::find(membership_.begin(), membership_.end(), id_) -
+      membership_.begin());
+  const bool designated = rank < static_cast<std::size_t>(config_.f) + 1;
+  for (std::size_t i = 0; i < entry.prepare.requests.size(); ++i) {
+    if (i >= entry.spec_results.size() || entry.spec_results[i].empty()) {
+      continue;  // was a duplicate at speculation time
+    }
+    const Request& req = entry.prepare.requests[i];
+    const auto it = reply_cache_.find(req.client);
+    if (it == reply_cache_.end() || it->second.request_id != req.request_id) {
+      continue;  // a newer request from this client superseded the slot
+    }
+    it->second.committed = true;
+    if (designated && it->second.reply.speculative) {
+      it->second.reply.speculative = false;
+      net_->consume_cpu(id_, reply_cost());
+      it->second.reply.signature = signer_.sign(it->second.reply.payload());
+      net_->send(id_, req.client, MinBftMsg{it->second.reply});
+    }
+  }
+}
+
+void MinBftReplica::rollback_speculation() {
+  bool rolled_back = false;
+  for (auto it = log_.upper_bound(last_executed_); it != log_.end(); ++it) {
+    PendingEntry& entry = it->second;
+    if (!entry.spec_executed || entry.executed) continue;
+    for (const auto& key : entry.spec_applied) executed_requests_.erase(key);
+    entry.spec_executed = false;
+    entry.spec_results.clear();
+    entry.spec_applied.clear();
+    rolled_back = true;
+  }
+  if (rolled_back) {
+    // Truncate the service to the committed prefix; the re-proposed entries
+    // re-execute from here (clients that accepted an all-n speculative
+    // reply are safe: such an entry survives into any f+1 proof set and is
+    // re-proposed at the same sequence number).
+    std::vector<std::string> prefix(
+        service_.log().begin(),
+        service_.log().begin() +
+            static_cast<std::ptrdiff_t>(committed_log_size_));
+    service_.install(std::move(prefix), committed_digest_);
+    ++spec_rollbacks_;
+  }
+  last_speculated_ = last_executed_;
 }
 
 void MinBftReplica::execute_entry(PendingEntry& entry) {
@@ -422,17 +647,10 @@ void MinBftReplica::execute_entry(PendingEntry& entry) {
     }
     std::string result = service_.execute(req.operation);
     apply_reconfiguration(req.operation);
-    if (mode_ == ByzantineMode::Random) result = "garbage";
-    Reply reply;
-    reply.replica = id_;
-    reply.client = req.client;
-    reply.request_id = req.request_id;
-    reply.result = std::move(result);
-    net_->consume_cpu(id_, reply_cost());
-    reply.signature = signer_.sign(reply.payload());
-    net_->send(id_, req.client, MinBftMsg{reply});
-    last_replied_[req.client] = req.request_id;
+    send_reply(req, std::move(result), /*speculative=*/false);
   }
+  entry.post_log_size = service_.log().size();
+  entry.post_digest = service_.state_digest();
 }
 
 void MinBftReplica::apply_reconfiguration(const std::string& op) {
@@ -458,7 +676,10 @@ void MinBftReplica::emit_checkpoint() {
   Checkpoint cp;
   cp.replica = id_;
   cp.last_executed = last_executed_;
-  cp.state_digest = service_.state_digest();
+  // The committed snapshot, never the live service state: with speculation
+  // on, the service may be running ahead of the quorum, and a checkpoint
+  // must only ever certify state that cannot roll back.
+  cp.state_digest = committed_digest_;
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   cp.ui = usig_.create(cp.body_digest());
   checkpoint_votes_[cp.last_executed][cp.state_digest][id_] = cp;
@@ -486,9 +707,16 @@ void MinBftReplica::handle_checkpoint(const Checkpoint& c) {
 void MinBftReplica::garbage_collect(SeqNum stable) {
   if (stable <= stable_checkpoint_) return;
   stable_checkpoint_ = stable;
+  // Fell behind the cluster: entries about to be erased may hold tentative
+  // state — undo it before their bookkeeping disappears (the state transfer
+  // below reinstalls the authoritative log).
+  if (last_executed_ < stable) rollback_speculation();
   log_.erase(log_.begin(), log_.lower_bound(stable + 1));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(stable + 1));
+  early_commits_.erase(early_commits_.begin(),
+                       early_commits_.lower_bound(stable + 1));
+  fetched_.erase(fetched_.begin(), fetched_.lower_bound(stable + 1));
   // A replica that fell behind the stable checkpoint catches up via state
   // transfer rather than replay (Fig. 17d).
   if (last_executed_ < stable) request_state_transfer();
@@ -662,6 +890,10 @@ ViewChange MinBftReplica::make_view_change(View to_view) {
 void MinBftReplica::start_view_change(View to_view) {
   if (to_view <= view_) return;
   in_view_change_ = true;
+  // Stashed early commits are votes for the dying view; the new view
+  // re-proposes undecided entries with fresh prepares and commits.
+  early_commits_.clear();
+  fetched_.clear();
   disarm_view_change_timer();
   disarm_batch_timer();  // sealing is paused until the new view installs
   const ViewChange vc = make_view_change(to_view);
@@ -720,6 +952,9 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   // any NEW-VIEW that deviates, so even a compromised leader could not
   // tamper with it here.
   nv.reproposed = assemble_reproposals(nv.proofs, nv.view);
+  // Uncommitted tentative state does not survive a view change: truncate to
+  // the committed prefix, then the reproposals below re-execute from it.
+  rollback_speculation();
   log_.clear();
   for (Prepare& p : nv.reproposed) {
     net_->consume_cpu(id_, config_.crypto_cost_sign);
@@ -734,6 +969,7 @@ void MinBftReplica::handle_view_change(const ViewChange& vc) {
   nv.ui = usig_.create(nv.body_digest());
   resync_assignment_watermark();
   broadcast(nv);
+  try_speculate();
   try_execute();
   // The new leader drains any requests that queued up during the change.
   try_seal_batches();
@@ -793,6 +1029,7 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
   view_ = nv.view;
   in_view_change_ = false;
   disarm_view_change_timer();
+  rollback_speculation();
   log_.clear();
   for (const Prepare& p : nv.reproposed) {
     if (p.seq <= stable_checkpoint_) continue;
@@ -808,6 +1045,7 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
     // problem now; clients retransmit them.
     drop_pending_requests();
   }
+  try_speculate();
   try_execute();
   try_seal_batches();
 }
@@ -815,6 +1053,15 @@ void MinBftReplica::handle_new_view(const NewView& nv) {
 // ---------------------------------------------------------------------------
 // State transfer
 // ---------------------------------------------------------------------------
+
+void MinBftReplica::handle_fetch_prepare(const FetchPrepare& m) {
+  if (!is_member(m.requester) || m.requester == id_) return;
+  const auto it = log_.find(m.seq);
+  if (it == log_.end()) return;  // checkpointed away or never seen
+  // No signing needed: the prepare's own leader UI authenticates it at the
+  // receiver no matter who relays it.
+  net_->send(id_, m.requester, MinBftMsg{RelayedPrepare{it->second.prepare}});
+}
 
 void MinBftReplica::request_state_transfer() {
   broadcast(StateRequest{id_});
@@ -825,8 +1072,13 @@ void MinBftReplica::handle_state_request(net::NodeId from,
   StateResponse resp;
   resp.replica = id_;
   resp.last_executed = last_executed_;
-  resp.log = service_.log();
-  resp.state_digest = service_.state_digest();
+  // Ship only the committed prefix: tentative speculative state must never
+  // be transferred (the receiver would install operations that can still
+  // roll back here).
+  resp.log.assign(service_.log().begin(),
+                  service_.log().begin() +
+                      static_cast<std::ptrdiff_t>(committed_log_size_));
+  resp.state_digest = committed_digest_;
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   resp.signature = signer_.sign(resp.payload());
   net_->send(id_, from, MinBftMsg{resp});
@@ -860,8 +1112,14 @@ void MinBftReplica::handle_state_response(const StateResponse& r) {
     state_votes_.erase(r.state_digest);
     return;
   }
+  // Locally speculated state is superseded by the transferred log; undo its
+  // bookkeeping before the install wipes the service underneath it.
+  rollback_speculation();
   service_.install(adopt.log, adopt.state_digest);
   last_executed_ = adopt.last_executed;
+  last_speculated_ = adopt.last_executed;
+  committed_log_size_ = service_.log().size();
+  committed_digest_ = adopt.state_digest;
   if (adopt.last_executed > stable_checkpoint_) {
     stable_checkpoint_ = adopt.last_executed;
     // This stable point is vouched by the state-digest quorum, not by a
@@ -872,6 +1130,8 @@ void MinBftReplica::handle_state_response(const StateResponse& r) {
   }
   for (const std::string& op : adopt.log) apply_reconfiguration(op);
   log_.clear();
+  early_commits_.clear();
+  fetched_.clear();
   state_votes_.clear();
   pending_state_.clear();
   resync_assignment_watermark();

@@ -18,11 +18,15 @@ int default_threads(int requested) {
 }
 
 MinBftRuntime::Options runtime_options(const net::NetworkProfile& profile,
-                                       std::uint64_t seed) {
+                                       std::uint64_t seed,
+                                       double flush_window) {
   MinBftRuntime::Options o;
   o.replica_link = profile.replica_link;
   o.client_link = profile.client_link;
   o.seed = seed;
+  // One knob drives both lanes: the sim lane charges the modelled MAC cost
+  // once per window, the wall-clock lane actually coalesces frames.
+  o.flush_window = flush_window;
   return o;
 }
 
@@ -35,7 +39,7 @@ MinBftRuntimeCluster::MinBftRuntimeCluster(int num_replicas,
                                            int threads)
     : config_(config), seed_(seed), profile_(profile),
       pool_(default_threads(threads)),
-      runtime_(pool_, runtime_options(profile, seed)),
+      runtime_(pool_, runtime_options(profile, seed, config.mac_flush_window)),
       registry_(std::make_shared<crypto::KeyRegistry>()) {
   TOL_ENSURE(num_replicas >= 2 * config.f + 1,
              "MinBFT requires N >= 2f + 1 (hybrid failure model)");
@@ -94,7 +98,8 @@ RuntimeLoadStats MinBftRuntimeCluster::run_closed_loop(
     slot->id = static_cast<ClientId>(10000 + c);
     slot->client = std::make_unique<MinBftClient>(
         slot->id, config_.f, membership_, runtime_, registry_,
-        seed_ ^ slot->id, config_.request_retry_timeout);
+        seed_ ^ slot->id, config_.request_retry_timeout,
+        config_.spec_fallback_timeout);
     MinBftClient* raw = slot->client.get();
     runtime_.register_host(slot->id,
                            [raw](net::NodeId from, const MinBftMsg& m) {
@@ -181,6 +186,17 @@ RuntimeLoadStats MinBftRuntimeCluster::run_closed_loop(
   stats.overflow_dropped = runtime_.overflow_dropped();
   stats.decode_errors = runtime_.decode_errors();
   stats.handler_errors = runtime_.handler_errors();
+  stats.auth_failures = runtime_.auth_failures();
+  stats.macs_computed = runtime_.macs_computed();
+  stats.bundled_frames = runtime_.bundled_frames();
+  for (const auto& slot : clients_) {
+    stats.completed_speculative += slot->client->completed_speculative_count();
+  }
+  for (const auto& [id, replica] : replicas_) {
+    (void)id;
+    stats.spec_executions += replica->spec_executions();
+    stats.spec_rollbacks += replica->spec_rollbacks();
+  }
   return stats;
 }
 

@@ -19,6 +19,8 @@ enum Tag : std::uint8_t {
   kNewView = 7,
   kStateRequest = 8,
   kStateResponse = 9,
+  kFetchPrepare = 10,
+  kRelayedPrepare = 11,
 };
 
 // --- field-group encoders ---------------------------------------------------
@@ -211,6 +213,7 @@ wire::Bytes MinBftCodec::encode(const MinBftMsg& msg) {
           w.varint(m.client);
           w.varint(m.request_id);
           w.str(m.result);
+          w.u8(m.speculative ? 1 : 0);
           put_signature(w, m.signature);
         } else if constexpr (std::is_same_v<T, Checkpoint>) {
           w.u8(kCheckpoint);
@@ -236,6 +239,13 @@ wire::Bytes MinBftCodec::encode(const MinBftMsg& msg) {
         } else if constexpr (std::is_same_v<T, StateRequest>) {
           w.u8(kStateRequest);
           w.varint(m.replica);
+        } else if constexpr (std::is_same_v<T, FetchPrepare>) {
+          w.u8(kFetchPrepare);
+          w.varint(m.seq);
+          w.varint(m.requester);
+        } else if constexpr (std::is_same_v<T, RelayedPrepare>) {
+          w.u8(kRelayedPrepare);
+          put_prepare(w, m.prepare);
         } else {
           static_assert(std::is_same_v<T, StateResponse>,
                         "unhandled message type");
@@ -293,7 +303,11 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
       const auto client = r.varint();
       const auto request_id = r.varint();
       auto result = r.str();
-      if (!replica || !client || !request_id || !result) break;
+      const auto speculative = r.u8();
+      if (!replica || !client || !request_id || !result || !speculative ||
+          *speculative > 1) {
+        break;
+      }
       const auto sig = get_signature(r);
       if (!sig) break;
       Reply rep;
@@ -301,6 +315,7 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
       rep.client = static_cast<ClientId>(*client);
       rep.request_id = *request_id;
       rep.result = std::move(*result);
+      rep.speculative = (*speculative == 1);
       rep.signature = *sig;
       out = std::move(rep);
       break;
@@ -370,6 +385,18 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
       const auto replica = r.varint();
       if (!replica) break;
       out = StateRequest{static_cast<ReplicaId>(*replica)};
+      break;
+    }
+    case kFetchPrepare: {
+      const auto seq = r.varint();
+      const auto requester = r.varint();
+      if (!seq || !requester) break;
+      out = FetchPrepare{*seq, static_cast<ReplicaId>(*requester)};
+      break;
+    }
+    case kRelayedPrepare: {
+      auto p = get_prepare(r);
+      if (p) out = RelayedPrepare{std::move(*p)};
       break;
     }
     case kStateResponse: {

@@ -862,6 +862,150 @@ TEST(MinBftBatching, BodyDigestsAreMemoizedAndInvalidatable) {
 }
 
 // ---------------------------------------------------------------------------
+// MinBFT: speculative execution (the wall-clock fast path, sim-lane checked)
+// ---------------------------------------------------------------------------
+
+MinBftConfig speculative_config(int f) {
+  MinBftConfig cfg = fast_config(f);
+  cfg.speculative = true;
+  return cfg;
+}
+
+TEST(MinBftSpeculative, AllNMatchingTentativeRepliesCompleteTheFastPath) {
+  // Every replica speculates at PREPARE and replies tentatively; the client
+  // commits on n-of-n matching speculative replies without waiting for the
+  // commit round.  (With cfg.speculative = false this test fails: no
+  // tentative replies ever go out and the speculative counters stay zero.)
+  MinBftCluster cluster(3, speculative_config(1), 31, fast_link());
+  auto& client = cluster.add_client();
+  const auto result = cluster.submit_and_run(client, "spec-w");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(*result, "ok:1");
+  EXPECT_EQ(client.completed_speculative_count(), 1u);
+  cluster.run_for(1.0);
+  for (ReplicaId id : cluster.replica_ids()) {
+    EXPECT_GE(cluster.replica(id).spec_executions(), 1u) << "replica " << id;
+    EXPECT_EQ(cluster.replica(id).spec_rollbacks(), 0u) << "replica " << id;
+    // The commit round caught up and finalized the tentative execution.
+    EXPECT_EQ(cluster.replica(id).committed_log_size(), 1u) << "replica " << id;
+  }
+}
+
+TEST(MinBftSpeculative, ViewChangeMidSpeculationRollsBackWithoutDoubleApply) {
+  // Wedge a cluster mid-speculation: with follower<->follower links blocked
+  // at n=5 (f=2), a follower receiving the PREPARE holds 2 of the f+1 = 3
+  // required commit votes (leader + self) forever — it speculates, replies
+  // tentatively, and cannot commit.  The client still completes on the
+  // all-n speculative quorum.  Crashing the leader then forces a view
+  // change: followers must roll the tentative execution back to the
+  // committed prefix (empty) and re-execute the entry once it is reproposed
+  // at the same sequence number — the client-visible result survives and no
+  // replica applies the operation twice.  (With cfg.speculative = false the
+  // speculative assertions below fail: nothing completes before the view
+  // change and no rollback ever happens.)
+  MinBftCluster cluster(5, speculative_config(2), 33, fast_link());
+  for (ReplicaId a = 1; a <= 4; ++a) {
+    for (ReplicaId b = static_cast<ReplicaId>(a + 1); b <= 4; ++b) {
+      cluster.network().set_blocked(a, b, true);
+    }
+  }
+  auto& client = cluster.add_client();
+  int completions = 0;
+  std::string result;
+  client.submit("spec-w", [&](std::uint64_t, const std::string& r, double) {
+    ++completions;
+    result = r;
+  });
+  cluster.run_for(1.0);
+  // Speculative completion happened; followers are executed-ahead-of-commit.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(result, "ok:1");
+  EXPECT_EQ(client.completed_speculative_count(), 1u);
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(cluster.replica(id).spec_executions(), 1u) << "replica " << id;
+    EXPECT_EQ(cluster.replica(id).service().log().size(), 1u);
+    EXPECT_EQ(cluster.replica(id).committed_log_size(), 0u)
+        << "replica " << id << " committed without a quorum";
+  }
+  // Kill the leader mid-speculation and let the survivors talk again.
+  cluster.crash_replica(0);
+  for (ReplicaId a = 1; a <= 4; ++a) {
+    for (ReplicaId b = static_cast<ReplicaId>(a + 1); b <= 4; ++b) {
+      cluster.network().set_blocked(a, b, false);
+    }
+  }
+  cluster.run_for(30.0);
+  // The view change rolled the tentative execution back, reproposed the
+  // prepared entry, and committed it: exactly one application survives.
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    auto& replica = cluster.replica(id);
+    EXPECT_GT(replica.view(), 0u) << "replica " << id;
+    EXPECT_GE(replica.spec_rollbacks(), 1u) << "replica " << id;
+    ASSERT_EQ(replica.service().log().size(), 1u)
+        << "replica " << id << " lost or double-applied the operation";
+    EXPECT_EQ(replica.service().log().front(), "spec-w");
+    EXPECT_EQ(replica.committed_log_size(), 1u) << "replica " << id;
+  }
+  // The client never saw a second completion and its result still matches
+  // the committed execution.
+  EXPECT_EQ(completions, 1);
+  EXPECT_EQ(result, "ok:1");
+}
+
+TEST(MinBftSpeculative, ByzantineLeaderDivergingBatchIsDenouncedNotSpeculated) {
+  // Behaviour (c) as leader under the fast path: the corrupted batch fails
+  // the per-request client-signature check at honest followers *before* any
+  // tentative execution, so nothing has to roll back — the followers
+  // denounce the leader and the operation commits in the next view.  The
+  // client cannot complete speculatively (the compromised replica's reply
+  // diverges, and the all-n quorum requires every replica to match), so it
+  // falls back to f+1 matching FINAL replies served from the reply caches
+  // on retransmission.
+  MinBftCluster cluster(3, speculative_config(1), 35, fast_link());
+  cluster.replica(0).set_mode(ByzantineMode::Random);  // view-0 leader
+  auto& client = cluster.add_client();
+  std::optional<std::string> result;
+  client.submit("legit", [&](std::uint64_t, const std::string& r, double) {
+    result = r;
+  });
+  cluster.run_for(30.0);
+  ASSERT_TRUE(result.has_value()) << "cluster never recovered from the "
+                                     "diverging speculative leader";
+  EXPECT_NE(*result, "garbage");
+  EXPECT_EQ(client.completed_speculative_count(), 0u)
+      << "a diverging batch must never complete on the speculative quorum";
+  for (ReplicaId id : {ReplicaId{1}, ReplicaId{2}}) {
+    for (const std::string& op : cluster.replica(id).service().log()) {
+      EXPECT_EQ(op.find("|garbage"), std::string::npos)
+          << "diverging batch executed tentatively on replica " << id;
+    }
+    EXPECT_GT(cluster.replica(id).view(), 0u);
+  }
+}
+
+TEST(MinBftSpeculative, SpeculativeAndBatchedLogsMatchBaseline) {
+  // The sim-lane half of the CI bench gate, as a unit test: under the same
+  // deterministic workload, speculation and MAC batching are pure latency
+  // levers — the committed operation logs stay equivalent to the plain
+  // configuration (same multiset, same per-client order).
+  MinBftConfig cfg = fast_config(1);
+  const int clients = 6, ops = 10;
+  const auto baseline = tagged_workload(cfg, 3, clients, ops, 37);
+  MinBftConfig spec = cfg;
+  spec.speculative = true;
+  const auto speculated = tagged_workload(spec, 3, clients, ops, 37);
+  MinBftConfig mac = cfg;
+  mac.mac_flush_window = 0.002;
+  const auto batched = tagged_workload(mac, 3, clients, ops, 37);
+  ASSERT_EQ(baseline.log.size(), static_cast<std::size_t>(clients * ops));
+  std::string err;
+  EXPECT_TRUE(logs_equivalent(speculated.log, baseline.log, clients, &err))
+      << err;
+  EXPECT_TRUE(logs_equivalent(batched.log, baseline.log, clients, &err))
+      << err;
+}
+
+// ---------------------------------------------------------------------------
 // Raft
 // ---------------------------------------------------------------------------
 

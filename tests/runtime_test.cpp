@@ -105,6 +105,7 @@ std::vector<consensus::MinBftMsg> all_message_kinds() {
   rep.client = 10001;
   rep.request_id = 5;
   rep.result = "ok:5";
+  rep.speculative = true;  // exercise the fast-path flag in every sweep
   rep.signature = test_signature(1, 0x23);
   msgs.emplace_back(rep);
   msgs.emplace_back(test_checkpoint(2));
@@ -132,6 +133,11 @@ std::vector<consensus::MinBftMsg> all_message_kinds() {
   resp.state_digest = test_digest(0x55);
   resp.signature = test_signature(2, 0x66);
   msgs.emplace_back(resp);
+  consensus::FetchPrepare fp;
+  fp.seq = 17;
+  fp.requester = 4;
+  msgs.emplace_back(fp);
+  msgs.emplace_back(consensus::RelayedPrepare{test_prepare()});
   return msgs;
 }
 
@@ -166,6 +172,43 @@ TEST(WireCodec, MalformedBuffersReturnNullopt) {
   const net::wire::Bytes bad_tag{0xff, 0x00, 0x00};
   EXPECT_FALSE(net::MinBftCodec::decode(bad_tag).has_value());
   EXPECT_FALSE(net::MinBftCodec::decode(nullptr, 0).has_value());
+}
+
+// The speculative flag on a Reply is a strict boolean on the wire: both
+// values round-trip, the two encodings differ in exactly the flag byte, and
+// any other value at that position is rejected (a compromised replica must
+// not be able to smuggle out-of-domain bytes past the codec).
+TEST(WireCodec, SpeculativeReplyFlagRoundTripsAndRejectsBadByte) {
+  consensus::Reply rep;
+  rep.replica = 1;
+  rep.client = 10001;
+  rep.request_id = 5;
+  rep.result = "ok:5";
+  rep.signature = test_signature(1, 0x23);
+  rep.speculative = false;
+  const auto plain = net::MinBftCodec::encode(consensus::MinBftMsg{rep});
+  rep.speculative = true;
+  const auto tentative = net::MinBftCodec::encode(consensus::MinBftMsg{rep});
+  for (const bool spec : {false, true}) {
+    const auto decoded =
+        net::MinBftCodec::decode(spec ? tentative : plain);
+    ASSERT_TRUE(decoded.has_value());
+    const auto* r = std::get_if<consensus::Reply>(&*decoded);
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->speculative, spec);
+  }
+  ASSERT_EQ(plain.size(), tentative.size());
+  std::size_t flag_at = plain.size();
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    if (plain[i] != tentative[i]) {
+      ASSERT_EQ(flag_at, plain.size()) << "flag must occupy exactly one byte";
+      flag_at = i;
+    }
+  }
+  ASSERT_LT(flag_at, plain.size());
+  auto forged = tentative;
+  forged[flag_at] = 2;  // out of the boolean domain
+  EXPECT_FALSE(net::MinBftCodec::decode(forged).has_value());
 }
 
 // A forged length prefix must not trigger a huge allocation: counts are
@@ -367,6 +410,94 @@ TEST(AsyncRuntime, StopQuiescesUnderCrossTraffic) {
   EXPECT_TRUE(eventually([&]() { return hops.load() > 1000; }));
   rt.stop();  // must terminate: fences sends, drains loops
   SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// AuthBatching: per-destination authenticator coalescing on the wire
+// ---------------------------------------------------------------------------
+
+/// LEB128, matching the bundle header layout (frame count + per-frame len).
+void put_varint(net::wire::Bytes& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+TEST(AuthBatching, FlushWindowCoalescesABurstBehindFewAuthenticators) {
+  util::ThreadPool pool(4);
+  StringRuntime::Options o = instant_options();
+  o.flush_window = 0.05;  // generous: the burst below fits well inside
+  StringRuntime rt(pool, o);
+  std::vector<std::string> received;  // host 2's serial loop only
+  std::atomic<int> got{0};
+  rt.register_host(2, [&](net::NodeId, const std::string& m) {
+    received.push_back(m);
+    got.fetch_add(1);
+  });
+  const int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) rt.send(1, 2, std::to_string(i));
+  ASSERT_TRUE(eventually([&]() { return got.load() == kMessages; }));
+  rt.stop();
+  // Every frame arrived, in order, under ONE tag per bundle: far fewer
+  // HMACs than messages (a quiet-channel head may ship alone, the rest
+  // ride the flush timer).
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[i], std::to_string(i));
+  EXPECT_EQ(rt.bundled_frames(), static_cast<std::uint64_t>(kMessages));
+  EXPECT_LT(rt.macs_computed(), static_cast<std::uint64_t>(kMessages) / 2);
+  EXPECT_GE(rt.macs_computed(), 1u);
+  EXPECT_EQ(rt.auth_failures(), 0u);
+  EXPECT_EQ(rt.decode_errors(), 0u);
+}
+
+TEST(AuthBatching, ZeroWindowShipsOneAuthenticatorPerMessage) {
+  // flush_window = 0 is the unbatched baseline: bundle == frame, and the
+  // delivered stream is identical to the coalesced one above.
+  util::ThreadPool pool(4);
+  StringRuntime rt(pool, instant_options());
+  std::vector<std::string> received;
+  std::atomic<int> got{0};
+  rt.register_host(2, [&](net::NodeId, const std::string& m) {
+    received.push_back(m);
+    got.fetch_add(1);
+  });
+  const int kMessages = 100;
+  for (int i = 0; i < kMessages; ++i) rt.send(1, 2, std::to_string(i));
+  ASSERT_TRUE(eventually([&]() { return got.load() == kMessages; }));
+  rt.stop();
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(kMessages));
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[i], std::to_string(i));
+  EXPECT_EQ(rt.macs_computed(), static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(rt.bundled_frames(), static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(AuthBatching, ForgedOrMalformedBundlesAreRejectedWithoutDelivery) {
+  util::ThreadPool pool(4);
+  StringRuntime rt(pool, instant_options());
+  std::atomic<int> got{0};
+  rt.register_host(2, [&](net::NodeId, const std::string&) {
+    got.fetch_add(1);
+  });
+  // Structurally valid single-frame bundle whose 32-byte tag is wrong: the
+  // authenticator check must drop the whole bundle before any frame decode.
+  const auto payload = StringCodec::encode("evil");
+  net::wire::Bytes forged;
+  put_varint(forged, 1);
+  put_varint(forged, payload.size());
+  forged.insert(forged.end(), payload.begin(), payload.end());
+  forged.insert(forged.end(), 32, std::uint8_t{0});
+  rt.inject_frame(1, 2, forged);
+  // Garbage that is not even a bundle: a decode error, not an auth failure.
+  rt.inject_frame(1, 2, net::wire::Bytes{0xff, 0xff, 0xff});
+  // A legitimate message must still get through on the same channel.
+  rt.send(1, 2, "legit");
+  ASSERT_TRUE(eventually([&]() { return got.load() == 1; }));
+  rt.stop();
+  EXPECT_EQ(got.load(), 1);
+  EXPECT_EQ(rt.auth_failures(), 1u);
+  EXPECT_GE(rt.decode_errors(), 1u);
 }
 
 // ---------------------------------------------------------------------------
