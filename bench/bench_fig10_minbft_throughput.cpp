@@ -9,6 +9,11 @@
 // verify per message); binding a whole request batch to one USIG counter
 // amortizes the per-batch work and flattens the curve.
 //
+// Two extra lanes share this binary: --runtime (wall-clock AsyncRuntime
+// sweep, BENCH_runtime.json) and --overload (admission-control valve vs
+// flood scenarios, BENCH_overload.json, gated on admitted-request
+// availability and bounded queue depth).
+//
 // Emits BENCH_consensus.json and exits non-zero unless
 //  * batched and unbatched clusters commit identical operation logs at every
 //    swept cluster size (same per-client order, same multiset), and
@@ -29,7 +34,10 @@
 #include "tolerance/consensus/minbft_cluster.hpp"
 #include "tolerance/consensus/minbft_runtime.hpp"
 #include "tolerance/consensus/minbft_workload.hpp"
+#include "tolerance/emulation/scenario_runner.hpp"
+#include "tolerance/emulation/scenarios.hpp"
 #include "tolerance/net/profiles.hpp"
+#include "tolerance/util/stopwatch.hpp"
 
 namespace {
 
@@ -459,6 +467,132 @@ int run_runtime_mode(const std::string& out_path,
   return ok ? 0 : 1;
 }
 
+// --- overload (--overload) mode --------------------------------------------
+
+struct OverloadRow {
+  std::string label;
+  bool valve = false;
+  emulation::ScenarioResult result;
+  double seconds = 0.0;
+};
+
+/// One overload cell: a flood scenario episode with the admission valve on
+/// or off.  Scenarios come from the shared catalog so the bench, the ctest
+/// battery, and the golden calibration all exercise identical workloads.
+OverloadRow run_overload_cell(emulation::Scenario s, const std::string& label,
+                              bool valve) {
+  OverloadRow row;
+  row.label = label;
+  row.valve = valve;
+  s.admission_control = valve;
+  Stopwatch clock;
+  row.result = emulation::make_scenario_runner(s, 42).run(7);
+  row.seconds = clock.elapsed_seconds();
+  return row;
+}
+
+/// The admission-control sweep: spike multipliers (10x within capacity,
+/// 100x far past it), a retry storm, and a slow-loris flood, each with the
+/// valve on and off.  CI gates:
+///  * valve on  -> admitted-request availability >= 0.95 and the sampled
+///    per-replica queue depth (backlog + transport inbox) <= --max-queue;
+///  * valve on at 10x -> the valve is TRANSPARENT when capacity suffices
+///    (it must not shed a load the cluster can serve);
+///  * valve off at 100x -> the baseline still demonstrably violates both
+///    bounds; if it stops melting, the scenario no longer proves anything
+///    and the calibration must be redone.
+int run_overload_mode(const std::string& out_path, int max_queue) {
+  using tolerance::ConsoleTable;
+  std::cout << "\n--- overload sweep (flood scenarios from the shared "
+               "catalog; valve on vs off; seed 42, episode 7) ---\n\n";
+
+  emulation::Scenario spike100 = emulation::find_scenario("load-spike-100x");
+  emulation::Scenario spike10 = spike100;
+  spike10.name = "load-spike-10x";
+  // Same 20 flood clients, a tenth of the per-cycle request volume: ~50
+  // requests per cycle against a ~200-per-cycle serving capacity.
+  for (auto& e : spike10.events) e.magnitude = spike100.events[0].magnitude / 10.0;
+
+  std::vector<OverloadRow> rows;
+  for (const bool valve : {true, false}) {
+    rows.push_back(run_overload_cell(spike10, "load-spike-10x", valve));
+    rows.push_back(run_overload_cell(spike100, "load-spike-100x", valve));
+    rows.push_back(run_overload_cell(
+        emulation::find_scenario("retry-storm"), "retry-storm", valve));
+    rows.push_back(run_overload_cell(
+        emulation::find_scenario("slow-loris-flood"), "slow-loris-flood",
+        valve));
+  }
+
+  ConsoleTable table({"scenario", "valve", "adm(A)", "svc(A)", "qmax",
+                      "submitted", "completed", "rejected", "backoffs",
+                      "views", "seconds"});
+  bool on_ok = true, transparent_ok = true, baseline_violates = false;
+  for (const OverloadRow& row : rows) {
+    const auto& r = row.result;
+    table.add_row({row.label, row.valve ? "on" : "off",
+                   ConsoleTable::num(r.admitted_availability, 3),
+                   ConsoleTable::num(r.service_availability, 3),
+                   std::to_string(r.max_queue_depth),
+                   std::to_string(r.flood_submitted),
+                   std::to_string(r.flood_completed),
+                   std::to_string(r.flood_rejections),
+                   std::to_string(r.flood_backoffs),
+                   std::to_string(r.final_view),
+                   ConsoleTable::num(row.seconds, 2)});
+    if (row.valve) {
+      if (r.admitted_availability < 0.95 || r.max_queue_depth > max_queue) {
+        on_ok = false;
+      }
+      if (row.label == "load-spike-10x" &&
+          (r.flood_rejections > r.flood_submitted / 10 ||
+           r.flood_completed < r.flood_submitted * 9 / 10)) {
+        transparent_ok = false;
+      }
+    } else if (row.label == "load-spike-100x") {
+      baseline_violates =
+          r.admitted_availability < 0.6 && r.max_queue_depth > 100000;
+    }
+  }
+  table.print(std::cout);
+
+  const bool ok = on_ok && transparent_ok && baseline_violates;
+  std::cout << "\ngates:\n"
+            << "  valve on: adm >= 0.95 and qmax <= " << max_queue << ": "
+            << (on_ok ? "OK" : "FAILED") << '\n'
+            << "  valve transparent at 10x (no shedding within capacity): "
+            << (transparent_ok ? "OK" : "FAILED") << '\n'
+            << "  valve off at 100x still melts (adm < 0.6, qmax > 100000): "
+            << (baseline_violates ? "OK" : "FAILED — recalibrate the flood")
+            << '\n';
+
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"consensus_overload\",\n  \"config\": "
+      << "{\"seed\": 42, \"episode\": 7, \"max_queue\": " << max_queue
+      << "},\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i].result;
+    out << "    {\"scenario\": \"" << rows[i].label << "\", \"valve\": "
+        << (rows[i].valve ? "true" : "false")
+        << ", \"admitted_availability\": " << r.admitted_availability
+        << ", \"service_availability\": " << r.service_availability
+        << ", \"max_queue_depth\": " << r.max_queue_depth
+        << ", \"flood_submitted\": " << r.flood_submitted
+        << ", \"flood_completed\": " << r.flood_completed
+        << ", \"flood_rejections\": " << r.flood_rejections
+        << ", \"flood_backoffs\": " << r.flood_backoffs
+        << ", \"final_view\": " << r.final_view
+        << ", \"seconds\": " << rows[i].seconds << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"gates\": {\"valve_on_ok\": " << (on_ok ? "true" : "false")
+      << ", \"transparent_at_10x\": " << (transparent_ok ? "true" : "false")
+      << ", \"baseline_violates\": " << (baseline_violates ? "true" : "false")
+      << ", \"ok\": " << (ok ? "true" : "false") << "}\n}\n";
+  std::cout << "wrote " << out_path << '\n';
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -469,6 +603,9 @@ int main(int argc, char** argv) {
   double min_speedup = 5.0;
   double min_n7 = 0.0;
   bool runtime_mode = false;
+  bool overload_mode = false;
+  std::string overload_out = "BENCH_overload.json";
+  int overload_max_queue = 2048;
   std::string runtime_out = "BENCH_runtime.json";
   int runtime_clients = kDefaultRuntimeClients;
   double runtime_duration = default_runtime_duration();
@@ -482,6 +619,10 @@ int main(int argc, char** argv) {
       min_speedup = std::atof(argv[i + 1]);
     if (arg == "--min-n7" && i + 1 < argc) min_n7 = std::atof(argv[i + 1]);
     if (arg == "--runtime") runtime_mode = true;
+    if (arg == "--overload") overload_mode = true;
+    if (arg == "--overload-out" && i + 1 < argc) overload_out = argv[i + 1];
+    if (arg == "--max-queue" && i + 1 < argc)
+      overload_max_queue = std::atoi(argv[i + 1]);
     if (arg == "--runtime-out" && i + 1 < argc) runtime_out = argv[i + 1];
     if (arg == "--runtime-clients" && i + 1 < argc)
       runtime_clients = std::atoi(argv[i + 1]);
@@ -507,6 +648,12 @@ int main(int argc, char** argv) {
   if (runtime_mode) {
     return run_runtime_mode(runtime_out, runtime_profiles, runtime_clients,
                             runtime_duration, min_fast_gain, min_wan_gain);
+  }
+
+  // Overload lane: the admission-control valve under flood scenarios,
+  // sim-lane deterministic, with its own artifact and gates.
+  if (overload_mode) {
+    return run_overload_mode(overload_out, overload_max_queue);
   }
 
   // --- The paper's figure: unbatched protocol, 1 vs 20 clients -------------

@@ -12,6 +12,7 @@
 //   --out PATH     artifact path (default: BENCH_scenarios.json)
 // Exits non-zero if any scenario's episode stats are not bit-identical
 // between the serial and the parallel run.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -42,13 +43,14 @@ int main(int argc, char** argv) {
     seeds.push_back(1000 + static_cast<std::uint64_t>(i));
   }
 
-  ConsoleTable table({"scenario", "T(A)", "svc(A)", "T(R)", "churn/cycle",
-                      "stalls", "minM", "seconds"});
+  ConsoleTable table({"scenario", "T(A)", "svc(A)", "adm(A)", "qmax", "T(R)",
+                      "churn/cycle", "stalls", "minM", "seconds"});
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"scenarios\",\n  \"seeds\": " << num_seeds
       << ",\n  \"threads\": " << threads << ",\n  \"scenarios\": [\n";
 
   bool identical_everywhere = true;
+  bool all_gates_ok = true;
   bool first = true;
   double total_seconds = 0.0;
   for (const auto& scenario : emulation::scenario_catalog()) {
@@ -66,35 +68,55 @@ int main(int argc, char** argv) {
 
     double availability = 0.0;
     double service = 0.0;
+    double admitted = 0.0;
     double ttr = 0.0;
     double churn = 0.0;
     long stalls = 0;
     int min_membership = scenario.max_nodes;
+    int max_queue = 0;
     for (const auto& r : results) {
       availability += r.availability;
       service += r.service_availability;
+      admitted += r.admitted_availability;
       ttr += r.time_to_recovery;
       churn += static_cast<double>(r.recoveries + r.evictions + r.additions) /
                scenario.horizon;
       stalls += r.quorum_stalls;
       min_membership = std::min(min_membership, r.min_membership);
+      max_queue = std::max(max_queue, r.max_queue_depth);
     }
     const auto n = static_cast<double>(results.size());
     availability /= n;
     service /= n;
+    admitted /= n;
     ttr /= n;
     churn /= n;
 
+    // Overload gates, CI-enforced via the exit code: flood scenarios run
+    // with the admission valve on, and the valve's contract is (a) every
+    // admitted request completes and (b) queues stay bounded.  The no-valve
+    // baseline violates both by orders of magnitude (see the ScenarioOverload
+    // tests); a regression here means the valve stopped earning its keep.
+    const bool flood = emulation::has_flood_events(scenario);
+    const bool gates_ok =
+        !flood || (admitted >= 0.95 && max_queue <= 2048);
+    all_gates_ok = all_gates_ok && gates_ok;
+
     table.add_row({scenario.name, ConsoleTable::num(availability, 3),
-                   ConsoleTable::num(service, 3), ConsoleTable::num(ttr, 2),
-                   ConsoleTable::num(churn, 3), std::to_string(stalls),
-                   std::to_string(min_membership),
+                   ConsoleTable::num(service, 3),
+                   flood ? ConsoleTable::num(admitted, 3) : std::string("-"),
+                   flood ? std::to_string(max_queue) : std::string("-"),
+                   ConsoleTable::num(ttr, 2), ConsoleTable::num(churn, 3),
+                   std::to_string(stalls), std::to_string(min_membership),
                    ConsoleTable::num(seconds, 2)});
 
     if (!first) out << ",\n";
     first = false;
     out << "    {\"name\": \"" << scenario.name << "\", \"availability\": "
         << availability << ", \"service_availability\": " << service
+        << ", \"admitted_availability\": " << admitted
+        << ", \"max_queue_depth\": " << max_queue
+        << ", \"overload_gates_ok\": " << (gates_ok ? "true" : "false")
         << ", \"time_to_recovery\": " << ttr << ", \"churn_per_cycle\": "
         << churn << ", \"quorum_stalls\": " << stalls
         << ", \"min_membership\": " << min_membership << ", \"seconds\": "
@@ -102,12 +124,15 @@ int main(int argc, char** argv) {
         << (identical ? "true" : "false") << "}";
   }
   out << "\n  ],\n  \"seconds_total\": " << total_seconds
+      << ",\n  \"overload_gates_ok\": " << (all_gates_ok ? "true" : "false")
       << ",\n  \"bit_identical\": "
       << (identical_everywhere ? "true" : "false") << "\n}\n";
 
   table.print(std::cout);
   std::cout << "\nbit-identical parallel vs serial episodes: "
             << (identical_everywhere ? "YES" : "NO — BUG") << '\n'
+            << "overload gates (adm >= 0.95, qmax <= 2048 on floods): "
+            << (all_gates_ok ? "PASS" : "FAIL") << '\n'
             << "wrote " << out_path << '\n';
-  return identical_everywhere ? 0 : 1;
+  return identical_everywhere && all_gates_ok ? 0 : 1;
 }

@@ -3,9 +3,10 @@
 
 Usage:
     check_bench.py --consensus BENCH_consensus.json [--runtime BENCH_runtime.json]
+                   [--overload BENCH_overload.json]
                    [--baseline-dir bench/baselines] [--tolerance 0.10]
 
-Two kinds of checks, matched to what each lane can promise:
+Three kinds of checks, matched to what each lane can promise:
 
 * BENCH_consensus.json comes from the deterministic simulated-time lane, so
   its throughput numbers are reproducible modulo the C++ standard library's
@@ -19,7 +20,15 @@ Two kinds of checks, matched to what each lane can promise:
   WAN improvement gate and the LAN regression guard) must all be true, and
   the sweep must cover the expected (profile, n) grid.
 
-Exit status is non-zero on any drift, so CI fails the bench job.
+* BENCH_overload.json comes from the admission-control sweep (simulated
+  time, so deterministic): every valve-on flood cell must keep admitted
+  availability >= 0.95 and queue depth bounded, and the embedded gates
+  (valve effective, transparent at 10x, no-valve baseline still melts)
+  must hold outright.
+
+On failure every offending metric is named with its cell, the baseline
+value, the fresh value, and the relative drift, so the CI log reads as a
+diff rather than a bare non-zero exit.
 """
 
 import argparse
@@ -39,6 +48,24 @@ def fail(msg):
     return 1
 
 
+def rel_drift(value, base):
+    """Relative drift of a fresh value against its baseline."""
+    return abs(value - base) / max(abs(base), 1e-9)
+
+
+def diff_metric(cell, metric, base_value, value, tolerance):
+    """Return a readable one-line diff if the metric drifted, else None."""
+    if base_value is None or value is None:
+        return f"{cell} {metric}: missing (baseline={base_value!r}, fresh={value!r})"
+    rel = rel_drift(value, base_value)
+    if rel <= tolerance:
+        return None
+    return (
+        f"{cell:<10} {metric:<16} baseline={base_value:<12g} "
+        f"fresh={value:<12g} drift={rel:+.1%} (tolerance ±{tolerance:.0%})"
+    )
+
+
 def check_consensus(fresh, baseline, tolerance):
     errors = 0
     for key, value in baseline.get("gates", {}).items():
@@ -55,18 +82,39 @@ def check_consensus(fresh, baseline, tolerance):
         if not row.get("logs_match", False):
             errors += fail(f"consensus n={n}: batched/unbatched logs diverge")
         for metric in CONSENSUS_CELL_METRICS:
-            base_value = base_row.get(metric)
-            value = row.get(metric)
-            if base_value is None or value is None:
-                errors += fail(f"consensus n={n}: metric {metric!r} missing")
-                continue
-            rel = abs(value - base_value) / max(abs(base_value), 1e-9)
-            if rel > tolerance:
-                errors += fail(
-                    f"consensus n={n} {metric}: {value:g} drifted "
-                    f"{rel:.1%} from baseline {base_value:g} "
-                    f"(tolerance {tolerance:.0%})"
-                )
+            diff = diff_metric(f"n={n}", metric, base_row.get(metric),
+                               row.get(metric), tolerance)
+            if diff is not None:
+                errors += fail(f"consensus {diff}")
+    return errors
+
+
+def check_overload(fresh, min_admitted=0.95, max_queue=2048):
+    errors = 0
+    for key in ("valve_on_ok", "transparent_at_10x", "baseline_violates", "ok"):
+        got = fresh.get("gates", {}).get(key)
+        if got is not True:
+            errors += fail(f"overload gate {key!r} is {got!r}, expected true")
+    seen_on = 0
+    for row in fresh.get("sweep", []):
+        if not row.get("valve", False):
+            continue  # valve-off rows are the melt baseline, not gated
+        seen_on += 1
+        cell = row.get("scenario", "?")
+        admitted = row.get("admitted_availability", 0.0)
+        depth = row.get("max_queue_depth", 0)
+        if admitted < min_admitted:
+            errors += fail(
+                f"overload {cell}: admitted_availability {admitted:g} "
+                f"< {min_admitted:g} with the valve on"
+            )
+        if depth > max_queue:
+            errors += fail(
+                f"overload {cell}: max_queue_depth {depth} > {max_queue} "
+                f"with the valve on"
+            )
+    if seen_on == 0:
+        errors += fail("overload sweep has no valve-on cells")
     return errors
 
 
@@ -102,12 +150,14 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--consensus", help="fresh BENCH_consensus.json")
     ap.add_argument("--runtime", help="fresh BENCH_runtime.json")
+    ap.add_argument("--overload", help="fresh BENCH_overload.json")
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="relative tolerance for deterministic metrics")
     args = ap.parse_args()
-    if not args.consensus and not args.runtime:
-        ap.error("nothing to check: pass --consensus and/or --runtime")
+    if not args.consensus and not args.runtime and not args.overload:
+        ap.error("nothing to check: pass --consensus, --runtime and/or "
+                 "--overload")
 
     errors = 0
     if args.consensus:
@@ -119,6 +169,9 @@ def main():
     if args.runtime:
         with open(args.runtime) as f:
             errors += check_runtime(json.load(f))
+    if args.overload:
+        with open(args.overload) as f:
+            errors += check_overload(json.load(f))
 
     if errors:
         print(f"check_bench: {errors} failure(s)")

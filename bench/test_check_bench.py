@@ -1,0 +1,146 @@
+"""Unit tests for check_bench.py's tolerance and gate logic.
+
+Plain stdlib unittest so the suite runs both under CI's
+`python3 -m pytest bench/` and locally via
+`python3 -m unittest discover bench` on machines without pytest.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import check_bench  # noqa: E402
+
+
+def consensus_doc(gates=None, sweep=None):
+    return {
+        "gates": gates if gates is not None else {"speedup_ok": True},
+        "sweep": sweep if sweep is not None else [],
+    }
+
+
+def cell(n, unbatched=1000.0, batched=3000.0, speedup=3.0, logs_match=True):
+    return {
+        "n": n,
+        "unbatched_req_s": unbatched,
+        "batched_req_s": batched,
+        "speedup": speedup,
+        "logs_match": logs_match,
+    }
+
+
+def overload_doc(**overrides):
+    doc = {
+        "gates": {
+            "valve_on_ok": True,
+            "transparent_at_10x": True,
+            "baseline_violates": True,
+            "ok": True,
+        },
+        "sweep": [
+            {"scenario": "load-spike-100x", "valve": True,
+             "admitted_availability": 1.0, "max_queue_depth": 134},
+            {"scenario": "load-spike-100x", "valve": False,
+             "admitted_availability": 0.39, "max_queue_depth": 1173845},
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class RelDriftTest(unittest.TestCase):
+    def test_zero_drift(self):
+        self.assertEqual(check_bench.rel_drift(100.0, 100.0), 0.0)
+
+    def test_relative_not_absolute(self):
+        self.assertAlmostEqual(check_bench.rel_drift(110.0, 100.0), 0.10)
+        self.assertAlmostEqual(check_bench.rel_drift(1.1, 1.0), 0.10)
+
+    def test_zero_baseline_does_not_divide_by_zero(self):
+        self.assertGreater(check_bench.rel_drift(1.0, 0.0), 1.0)
+
+
+class DiffMetricTest(unittest.TestCase):
+    def test_within_tolerance_is_silent(self):
+        self.assertIsNone(
+            check_bench.diff_metric("n=7", "speedup", 3.0, 3.2, 0.10))
+
+    def test_drift_names_cell_metric_and_values(self):
+        diff = check_bench.diff_metric("n=7", "speedup", 3.0, 4.0, 0.10)
+        self.assertIsNotNone(diff)
+        for needle in ("n=7", "speedup", "baseline=3", "fresh=4", "drift="):
+            self.assertIn(needle, diff)
+
+    def test_missing_value_is_reported(self):
+        diff = check_bench.diff_metric("n=7", "speedup", 3.0, None, 0.10)
+        self.assertIn("missing", diff)
+
+
+class CheckConsensusTest(unittest.TestCase):
+    def test_identical_docs_pass(self):
+        doc = consensus_doc(sweep=[cell(3), cell(7)])
+        self.assertEqual(check_bench.check_consensus(doc, doc, 0.10), 0)
+
+    def test_drift_within_tolerance_passes(self):
+        base = consensus_doc(sweep=[cell(3)])
+        fresh = consensus_doc(sweep=[cell(3, batched=3000.0 * 1.05)])
+        self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 0)
+
+    def test_drift_beyond_tolerance_fails(self):
+        base = consensus_doc(sweep=[cell(3)])
+        fresh = consensus_doc(sweep=[cell(3, batched=3000.0 * 1.25)])
+        self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 1)
+
+    def test_tolerance_is_symmetric(self):
+        base = consensus_doc(sweep=[cell(3)])
+        fresh = consensus_doc(sweep=[cell(3, batched=3000.0 * 0.75)])
+        self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 1)
+
+    def test_lost_cell_fails(self):
+        base = consensus_doc(sweep=[cell(3), cell(7)])
+        fresh = consensus_doc(sweep=[cell(3)])
+        self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 1)
+
+    def test_false_gate_fails(self):
+        base = consensus_doc(gates={"speedup_ok": True})
+        fresh = consensus_doc(gates={"speedup_ok": False})
+        self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 1)
+
+    def test_diverging_logs_fail(self):
+        base = consensus_doc(sweep=[cell(3)])
+        fresh = consensus_doc(sweep=[cell(3, logs_match=False)])
+        self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 1)
+
+
+class CheckOverloadTest(unittest.TestCase):
+    def test_healthy_sweep_passes(self):
+        self.assertEqual(check_bench.check_overload(overload_doc()), 0)
+
+    def test_false_gate_fails(self):
+        doc = overload_doc()
+        doc["gates"]["baseline_violates"] = False
+        self.assertEqual(check_bench.check_overload(doc), 1)
+
+    def test_valve_on_low_availability_fails(self):
+        doc = overload_doc()
+        doc["sweep"][0]["admitted_availability"] = 0.80
+        self.assertEqual(check_bench.check_overload(doc), 1)
+
+    def test_valve_on_unbounded_queue_fails(self):
+        doc = overload_doc()
+        doc["sweep"][0]["max_queue_depth"] = 4096
+        self.assertEqual(check_bench.check_overload(doc), 1)
+
+    def test_valve_off_melt_rows_are_not_gated(self):
+        doc = overload_doc()
+        doc["sweep"][1]["max_queue_depth"] = 10**7
+        self.assertEqual(check_bench.check_overload(doc), 0)
+
+    def test_empty_sweep_fails(self):
+        self.assertEqual(check_bench.check_overload(overload_doc(sweep=[])), 1)
+
+
+if __name__ == "__main__":
+    unittest.main()

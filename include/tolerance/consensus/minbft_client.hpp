@@ -12,6 +12,7 @@
 #include <string>
 
 #include "tolerance/consensus/minbft_messages.hpp"
+#include "tolerance/util/rng.hpp"
 
 namespace tolerance::consensus {
 
@@ -55,6 +56,26 @@ class MinBftClient {
     return completed_speculative_;
   }
 
+  // Overload-backoff telemetry (tests and the overload scenarios).
+  /// Signed Overloaded rejections accepted (after signature verification).
+  std::uint64_t overloaded_replies() const { return overloaded_replies_; }
+  /// Times this client actually backed off (an f+1 rejection quorum formed).
+  std::uint64_t overload_backoffs() const { return overload_backoffs_; }
+  /// The most recent backoff delay chosen (seconds, jitter included).
+  double last_backoff_delay() const { return last_backoff_delay_; }
+  /// Pending requests currently in the valve's custody: ever rejected by an
+  /// f+1 quorum and not yet completed.  The overload scenarios subtract
+  /// these from the offered load when computing admitted-request
+  /// availability — shed traffic is the valve doing its job, not a failure.
+  std::size_t shed_pending_count() const {
+    std::size_t n = 0;
+    for (const auto& [rid, p] : pending_) {
+      (void)rid;
+      if (p.was_shed) ++n;
+    }
+    return n;
+  }
+
  private:
   struct Pending {
     Request request;
@@ -71,10 +92,33 @@ class MinBftClient {
     /// reply caches — FINAL once committed, completing via the f+1 rule.
     std::uint64_t spec_fallback_timer = 0;
     bool spec_fallback_armed = false;
+    // --- overload-backoff state -------------------------------------------
+    /// Distinct replicas that rejected this request with a (verified)
+    /// Overloaded.  Backoff requires f+1 of them: at least one is honest,
+    /// so a single Byzantine replica advertising fake HARD pressure cannot
+    /// starve the client while a quorum still serves.
+    std::set<ReplicaId> overloaded_from;
+    std::uint64_t retry_after_hint_ms = 0;  ///< max hint across rejecters
+    int backoff_attempts = 0;               ///< exponent for the next delay
+    bool backing_off = false;               ///< a backoff timer is armed
+    bool was_shed = false;  ///< an f+1 rejection quorum ever formed (sticky)
   };
 
   void transmit(const Request& request);
-  void arm_retry(std::uint64_t request_id);
+  /// Arm the retransmission timer; `delay` < 0 means the flat
+  /// retry_timeout_.  Rejections stretch the delay (see handle_overloaded);
+  /// the timer always re-arms itself at the flat timeout afterwards.
+  void arm_retry(std::uint64_t request_id, double delay = -1.0);
+  void handle_overloaded(const Overloaded& ov);
+  /// Flat retry timeout stretched by the rejection hint (bounded multiple):
+  /// used for sub-quorum rejections and post-backoff re-probes, where an
+  /// overloaded cluster's answer is expected to be slow.
+  double stretched_retry_delay(const Pending& p) const;
+  /// Replace the flat retry timer with a jittered exponential backoff:
+  /// delay = max(hint, floor) * 2^attempts, capped, scaled by a uniform
+  /// [0.5, 1.5) draw from this client's private Rng stream so storms
+  /// desynchronize instead of re-arriving in lockstep.
+  void schedule_backoff(std::uint64_t request_id);
   /// True when every one of the n replicas vouched for `result` — counting a
   /// tentative (speculative) reply and a committed (final) one alike, since
   /// a final is the stronger claim.
@@ -91,6 +135,10 @@ class MinBftClient {
   std::uint64_t next_request_id_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t completed_speculative_ = 0;
+  std::uint64_t overloaded_replies_ = 0;
+  std::uint64_t overload_backoffs_ = 0;
+  double last_backoff_delay_ = 0.0;
+  Rng rng_;  ///< jitter source, split per client from the key seed
   std::map<std::uint64_t, Pending> pending_;
 };
 

@@ -29,6 +29,10 @@ class MinBftCluster {
 
   /// Create a client (ids start at 10000 to avoid clashing with replicas).
   MinBftClient& add_client();
+  /// Same, with a per-client retransmission timeout — how the overload
+  /// scenarios build retry-storm floods (aggressive timeout) and slow-loris
+  /// floods (a timeout beyond the horizon, so requests just linger).
+  MinBftClient& add_client(double retry_timeout);
 
   /// Submit through a client and run the network until completion or the
   /// event budget is exhausted; returns the result if completed.

@@ -237,10 +237,28 @@ struct StateResponse {
   std::string payload() const;
 };
 
+/// Typed overload rejection: a replica in SOFT/HARD admission mode answers a
+/// request it cannot take with this instead of silently dropping it, so the
+/// client backs off deliberately (jittered exponential, honoring the hint)
+/// rather than retrying into the storm.  The mode and hint are inside
+/// payload(), so a forged or replayed Overloaded fails signature
+/// verification; clients additionally require f+1 distinct senders before
+/// backing off, so one Byzantine replica faking HARD cannot starve them.
+struct Overloaded {
+  ReplicaId replica = 0;
+  ClientId client = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t retry_after_ms = 0;
+  std::uint8_t mode = 1;  ///< AdmissionMode: 1 = soft, 2 = hard (never 0)
+  crypto::Signature signature;
+
+  std::string payload() const;
+};
+
 using MinBftMsg =
     std::variant<Request, Prepare, Commit, Reply, Checkpoint, ReqViewChange,
                  ViewChange, NewView, StateRequest, StateResponse,
-                 FetchPrepare, RelayedPrepare>;
+                 FetchPrepare, RelayedPrepare, Overloaded>;
 
 /// The deterministic simulated-time backend (golden traces, model checking).
 using MinBftNet = net::SimNetwork<MinBftMsg>;

@@ -38,6 +38,7 @@
 #include <set>
 #include <string>
 
+#include "tolerance/consensus/admission.hpp"
 #include "tolerance/consensus/minbft_messages.hpp"
 
 namespace tolerance::consensus {
@@ -104,6 +105,11 @@ struct MinBftConfig {
   /// one-MAC-per-message accounting.  Message *semantics* are unchanged
   /// either way, which is what the batched≡unbatched log gate checks.
   double mac_flush_window = 0.0;
+  /// Client-facing admission control (EWMA pressure + NORMAL/SOFT/HARD mode
+  /// machine + per-mode token budgets).  Disabled by default — enabling it
+  /// changes no protocol semantics, only whether a replica may answer a
+  /// REQUEST with a typed Overloaded rejection instead of queueing it.
+  AdmissionConfig admission;
 
   static constexpr int kUnboundedPipeline = std::numeric_limits<int>::max();
 
@@ -189,6 +195,19 @@ class MinBftReplica {
   }
   std::uint64_t usig_cache_hits() const { return usig_cache_.hits(); }
   std::uint64_t usig_cache_misses() const { return usig_cache_.misses(); }
+
+  // Admission-control telemetry and fault injection (tests, scenarios).
+  const AdmissionController& admission() const { return admission_; }
+  std::uint64_t requests_admitted() const { return admission_.admitted(); }
+  std::uint64_t requests_rejected() const { return admission_.rejected(); }
+  /// Replace the admission configuration (and reset the controller state).
+  /// Scenario fault injection uses this to make one replica advertise fake
+  /// HARD pressure: hard_enter = 0 with a zero token budget rejects every
+  /// request with a validly signed Overloaded.
+  void set_admission_config(const AdmissionConfig& cfg) {
+    config_.admission = cfg;
+    admission_ = AdmissionController(cfg);
+  }
 
   // Speculative-execution telemetry (tests and the runtime bench).
   std::uint64_t spec_executions() const { return spec_executions_; }
@@ -277,6 +296,23 @@ class MinBftReplica {
   /// the re-proposed entries then re-execute from the committed state.
   void rollback_speculation();
   void send_reply(const Request& req, std::string result, bool speculative);
+  /// The admission gate's verdict on one arriving request.
+  enum class AdmissionOutcome {
+    kAdmit,      ///< proceed to verification / enqueue
+    kReject,     ///< over budget — an Overloaded rejection has been sent
+    kDuplicate,  ///< already backlogged or in flight here; dropped silently
+  };
+  /// The admission gate: feed the pressure loop one arrival and decide.
+  /// Retransmissions of requests this replica already carries are signal,
+  /// not work: they raise err* but neither burn a token (that would
+  /// double-queue) nor draw a rejection (the client would back off a
+  /// request that is already on its way).  Always kAdmit when admission is
+  /// disabled.
+  AdmissionOutcome admit_request(const Request& req);
+  void send_overloaded(const Request& req);
+  /// queue* input: leader backlog + unexecuted in-flight batch requests +
+  /// the transport's undelivered inbound queue for this node.
+  double queue_signal() const;
   /// True if any request in the batch is a join:/evict: operation.
   static bool has_reconfiguration(const Prepare& p);
   void apply_reconfiguration(const std::string& op);
@@ -313,6 +349,17 @@ class MinBftReplica {
   crypto::Usig usig_;
   ReplicatedService service_;
   ByzantineMode mode_ = ByzantineMode::Honest;
+  AdmissionController admission_;
+  /// Arrival time of the head of the current leader backlog (lat* input):
+  /// set when pending_requests_ goes non-empty, cleared when it drains.
+  double backlog_since_ = 0.0;
+  /// Keys this valve rejected and has not admitted since.  A retransmission
+  /// of a rejected request is not carried anywhere in pending/log state, so
+  /// without this memory it would look like a fresh arrival and the err*
+  /// pressure term would read near zero in the middle of a retry storm —
+  /// the valve would flap back to NORMAL and mint admissions far beyond its
+  /// token budget.  Bounded like verified_requests_: cleared on overflow.
+  std::set<std::pair<ClientId, std::uint64_t>> rejected_keys_;
 
   View view_ = 0;
   SeqNum last_executed_ = 0;      ///< highest contiguously executed seq

@@ -40,9 +40,24 @@ struct ScenarioResult {
   int min_membership = 0;    ///< smallest consensus membership observed
   int max_membership = 0;
   std::uint64_t final_view = 0;  ///< max view over live replicas at the end
+  // --- overload telemetry (flood scenarios; defaults elsewhere) -----------
+  std::uint64_t flood_submitted = 0;  ///< legitimate flood requests offered
+  std::uint64_t flood_completed = 0;  ///< ... of those, completed by horizon
+  std::uint64_t flood_rejections = 0;  ///< verified Overloaded replies seen
+  std::uint64_t flood_backoffs = 0;    ///< f+1 rejection quorums -> backoff
+  /// completed / (submitted - shed-at-horizon) over the legitimate flood
+  /// clients (RequestFlood / RetryStorm; slow-loris clients are adversarial
+  /// load and excluded).  Shed requests — those an f+1 rejection quorum put
+  /// into backoff custody — are the valve working as designed, so they do
+  /// not count against the traffic the valve admitted.  1.0 with no floods.
+  double admitted_availability = 1.0;
+  /// Max over cycles and replicas of the per-replica queue depth (leader
+  /// backlog + undelivered transport inbox), sampled at each cycle end.
+  int max_queue_depth = 0;
   /// One line per control cycle (integer fields only, so the golden-trace
   /// regression is robust): "t=3 s=4 N=5 H=4 M=5 svc=1 rec=[2] evt=[] add=0
-  /// defer=0 stall=0".
+  /// defer=0 stall=0" — flood scenarios append " fs=.. fc=.. fr=.. q=.."
+  /// (cumulative submitted/completed/rejections + this cycle's max depth).
   std::vector<std::string> trace;
 };
 

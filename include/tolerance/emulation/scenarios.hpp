@@ -33,13 +33,24 @@ struct ScenarioEvent {
                       ///< `duration` cycles (IDS noise on healthy nodes)
     LoadSpike,        ///< add `magnitude` background sessions for `duration`
                       ///< cycles (slow-loris style)
+    // --- service-boundary overload events (PR 8) --------------------------
+    // These flood the MinBFT service itself with client requests, not the
+    // IDS/background layer: `count` flood clients each submit `magnitude`
+    // requests per control cycle for `duration` cycles.  They differ only
+    // in the flood clients' retransmission discipline.
+    RequestFlood,    ///< plain spike: default client retry timeout
+    RetryStorm,      ///< aggressive 1 s retry timeout — synchronized
+                     ///< retransmission storms amplify the offered load
+    SlowLorisFlood,  ///< retry timeout beyond the horizon: requests are
+                     ///< submitted once and linger, tying up queue slots
   };
 
   int step = 1;
   Kind kind = Kind::ForceCompromise;
-  int count = 1;         ///< nodes affected (ForceCompromise / ForceCrash)
-  int duration = 1;      ///< cycles the condition lasts (storm / spike)
-  double magnitude = 0.0;  ///< extra alerts per cycle, or extra sessions
+  int count = 1;         ///< nodes affected, or flood clients (floods)
+  int duration = 1;      ///< cycles the condition lasts (storm / spike / flood)
+  double magnitude = 0.0;  ///< extra alerts per cycle, extra sessions, or
+                           ///< requests per flood client per cycle
   /// Post-compromise behaviour for ForceCompromise (§VIII-A a/b/c).
   CompromisedBehavior behavior = CompromisedBehavior::Participate;
 };
@@ -57,8 +68,21 @@ struct Scenario {
   double epsilon_a = 0.9;            ///< availability target for Alg. 2
   pomdp::NodeParams node_params;     ///< belief-model parameters (Table 8)
   TestbedConfig testbed;             ///< environment parameters
+  /// Enable the replicas' admission-control valve (EWMA pressure, token
+  /// budgets, typed Overloaded rejections).  The overload catalog entries
+  /// set this; the bench's no-admission baselines clear it on a copy.
+  bool admission_control = false;
   std::vector<ScenarioEvent> events;
 };
+
+/// True for the service-boundary overload kinds (RequestFlood / RetryStorm /
+/// SlowLorisFlood) — the events that make a scenario's timing depend on the
+/// consensus batching knobs (so the batched-vs-unbatched equivalence suite
+/// skips it) and that extend its trace with overload telemetry.
+bool is_flood_event(ScenarioEvent::Kind kind);
+
+/// True when any event in `s` is a flood event.
+bool has_flood_events(const Scenario& s);
 
 /// The library of named adversarial scenarios (see README "Scenarios").
 const std::vector<Scenario>& scenario_catalog();

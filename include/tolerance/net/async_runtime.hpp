@@ -284,6 +284,15 @@ class AsyncRuntime final : public Transport<Msg> {
     std::lock_guard<std::mutex> lk(host->mu);
     return host->overflow;
   }
+  /// Frames waiting in `id`'s bounded inbox — the wall-clock lane's queue*
+  /// input to admission control (same meaning as SimNetwork's per-receiver
+  /// FIFO depth, so both lanes feed the pressure loop identically).
+  std::size_t queue_depth(NodeId id) const override {
+    const auto host = find_host(id);
+    if (!host) return 0;
+    std::lock_guard<std::mutex> lk(host->mu);
+    return host->inbox.size();
+  }
   std::uint64_t decode_errors() const {
     return decode_errors_.load(std::memory_order_relaxed);
   }

@@ -106,6 +106,13 @@ class SimNetwork final : public Transport<Msg> {
     return it == busy_until_.end() ? 0.0 : it->second;
   }
 
+  /// Messages parked in `node`'s arrival-order FIFO behind its busy window —
+  /// the sim lane's queue* input to admission control.
+  std::size_t queue_depth(NodeId node) const override {
+    const auto it = inbound_.find(node);
+    return it == inbound_.end() ? 0 : it->second.size();
+  }
+
   /// Send a message; may be dropped (loss) or blocked (partition).
   void send(NodeId from, NodeId to, Msg msg) override {
     if (blocked(from, to)) return;

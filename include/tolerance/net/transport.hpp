@@ -11,6 +11,7 @@
 // event loop, seeding, link surgery mid-run) stay on the concrete classes.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -59,6 +60,15 @@ class Transport {
   /// async backend's nodes burn real CPU instead and treat the modelled
   /// cost as documentation (unless configured to honor it).
   virtual void consume_cpu(NodeId node, double seconds) = 0;
+
+  /// Undelivered inbound messages currently queued for `node` — the
+  /// transport's contribution to the admission controller's queue* signal.
+  /// SimNetwork reports its per-receiver FIFO; AsyncRuntime reports the
+  /// node's bounded inbox.  0 for unknown nodes.
+  virtual std::size_t queue_depth(NodeId node) const {
+    (void)node;
+    return 0;
+  }
 };
 
 }  // namespace tolerance::net

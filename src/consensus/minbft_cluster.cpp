@@ -75,10 +75,14 @@ std::vector<ReplicaId> MinBftCluster::current_membership() const {
 }
 
 MinBftClient& MinBftCluster::add_client() {
+  return add_client(config_.request_retry_timeout);
+}
+
+MinBftClient& MinBftCluster::add_client(double retry_timeout) {
   const ClientId id = next_client_id_++;
   auto client = std::make_unique<MinBftClient>(
       id, config_.f, current_membership(), net_, registry_, seed_ ^ id,
-      config_.request_retry_timeout, config_.spec_fallback_timeout);
+      retry_timeout, config_.spec_fallback_timeout);
   MinBftClient* raw = client.get();
   net_.register_host(id, [raw](net::NodeId from, const MinBftMsg& m) {
     raw->on_message(from, m);

@@ -111,6 +111,13 @@ std::string ReqViewChange::payload() const {
   return os.str();
 }
 
+std::string Overloaded::payload() const {
+  std::ostringstream os;
+  os << "overloaded|" << replica << '|' << client << '|' << request_id << '|'
+     << retry_after_ms << '|' << static_cast<unsigned>(mode);
+  return os.str();
+}
+
 std::string StateResponse::payload() const {
   std::ostringstream os;
   os << "stateresponse|" << replica << '|' << last_executed << '|'

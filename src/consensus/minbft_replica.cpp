@@ -13,6 +13,17 @@ namespace {
 /// Cap on the verified-request digest cache; cleared wholesale (determinism
 /// beats LRU bookkeeping at this scale) when exceeded.
 constexpr std::size_t kVerifiedRequestCap = 8192;
+/// Cap on the valve's rejected-request memory (err* retry detection); same
+/// clear-wholesale policy — a brief signal loss, not a correctness issue.
+constexpr std::size_t kRejectedKeyCap = 16384;
+/// View-change timeout multiplier while this replica's own valve is closed
+/// (SOFT/HARD).  Admission decisions are per-replica, so under overload a
+/// follower may admit a request the leader shed — "my admitted request is
+/// not executing" is then evidence of load, not of a faulty leader, and a
+/// failover (the most expensive thing a saturated cluster can do) would
+/// make the overload strictly worse.  The timer stretches rather than
+/// disarms: a genuinely dead leader is still denounced, just patiently.
+constexpr double kOverloadViewChangeStretch = 8.0;
 
 }  // namespace
 
@@ -67,7 +78,7 @@ MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
       usig_(id, registry_->register_principal(id + crypto::kUsigPrincipalOffset,
                                               key_seed ^ 0x5a5au),
             usig_epoch),
-      usig_cache_(config.usig_cache_capacity) {
+      admission_(config.admission), usig_cache_(config.usig_cache_capacity) {
   TOL_ENSURE(!membership_.empty(), "membership must be non-empty");
   TOL_ENSURE(config_.batch_size >= 1, "batch_size must be >= 1");
   TOL_ENSURE(config_.pipeline_depth >= 1, "pipeline_depth must be >= 1");
@@ -180,8 +191,11 @@ void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
         } else if constexpr (std::is_same_v<T, RelayedPrepare>) {
           handle_prepare(m.prepare, /*relayed=*/true);
         } else {
-          static_assert(std::is_same_v<T, Reply>, "unhandled message type");
-          // Replies are client-side; replicas ignore them.
+          static_assert(std::is_same_v<T, Reply> ||
+                            std::is_same_v<T, Overloaded>,
+                        "unhandled message type");
+          // Replies and Overloaded rejections are client-side; replicas
+          // ignore them.
         }
       },
       msg);
@@ -211,6 +225,12 @@ void MinBftReplica::handle_request(const Request& req) {
     }
     return;
   }
+  // The admission valve sits before the signature check on purpose: under a
+  // 10-100x spike the whole point is to shed load *cheaper* than serving it,
+  // and the per-request verify cost is the bulk of the serving cost.  The
+  // executed-duplicate path above stays in front of the valve, so a client
+  // that only lost a reply is never told to back off.
+  if (admit_request(req) != AdmissionOutcome::kAdmit) return;
   if (!verify_request(req)) return;
   if (is_leader() && !in_view_change_) {
     enqueue_request(req);
@@ -219,6 +239,76 @@ void MinBftReplica::handle_request(const Request& req) {
     // Tvc the leader is suspected (Fig. 17b).
     arm_view_change_timer();
   }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control: the service-boundary feedback loop
+// ---------------------------------------------------------------------------
+
+double MinBftReplica::queue_signal() const {
+  std::size_t in_flight = 0;
+  for (auto it = log_.upper_bound(last_executed_); it != log_.end(); ++it) {
+    in_flight += it->second.prepare.requests.size();
+  }
+  return static_cast<double>(pending_requests_.size() + in_flight +
+                             net_->queue_depth(id_));
+}
+
+MinBftReplica::AdmissionOutcome MinBftReplica::admit_request(
+    const Request& req) {
+  if (!config_.admission.enabled) return AdmissionOutcome::kAdmit;
+  const double now = net_->now();
+  // A retransmission is the client-side timeout made visible — the err*
+  // component of the pressure metric.  Two distinguishable cases: the
+  // request is carried here (backlogged or in flight), or it was rejected
+  // earlier and the client is probing again.  Both are retries for err*,
+  // but only a carried request is dropped silently — a previously rejected
+  // one must either win a token now or draw a fresh rejection, or the
+  // client's backoff loop would starve waiting for a quorum that never
+  // re-forms.
+  const auto key = std::make_pair(req.client, req.request_id);
+  bool carried = pending_keys_.count(key) > 0;
+  for (auto it = log_.upper_bound(last_executed_);
+       !carried && it != log_.end(); ++it) {
+    for (const Request& r : it->second.prepare.requests) {
+      if (r.client == req.client && r.request_id == req.request_id) {
+        carried = true;
+        break;
+      }
+    }
+  }
+  const bool retry = carried || rejected_keys_.count(key) > 0;
+  admission_.observe_request(retry);
+  const double oldest_wait =
+      pending_requests_.empty() ? 0.0 : now - backlog_since_;
+  admission_.update(now, queue_signal(), oldest_wait);
+  if (carried) return AdmissionOutcome::kDuplicate;
+  if (admission_.try_admit(now)) {
+    rejected_keys_.erase(key);
+    return AdmissionOutcome::kAdmit;
+  }
+  if (rejected_keys_.size() >= kRejectedKeyCap) rejected_keys_.clear();
+  rejected_keys_.insert(key);
+  send_overloaded(req);
+  return AdmissionOutcome::kReject;
+}
+
+void MinBftReplica::send_overloaded(const Request& req) {
+  Overloaded ov;
+  ov.replica = id_;
+  ov.client = req.client;
+  ov.request_id = req.request_id;
+  ov.retry_after_ms = admission_.retry_after_ms();
+  ov.mode = static_cast<std::uint8_t>(admission_.mode());
+  // Rejections are authenticated (clients only count signed Overloaded
+  // messages toward their f+1 backoff quorum, so a spoofed rejection is
+  // discarded at verification) but priced at the session-MAC constant, far
+  // below a full reply even under a heavyweight signature cost model: a
+  // valve whose rejections cost as much as serving would melt under the
+  // very storm it exists to shed.
+  net_->consume_cpu(id_, crypto::KeyRegistry::kVerifyCost);
+  ov.signature = signer_.sign(ov.payload());
+  net_->send(id_, req.client, MinBftMsg{ov});
 }
 
 // ---------------------------------------------------------------------------
@@ -235,6 +325,7 @@ void MinBftReplica::enqueue_request(const Request& req) {
       if (r.client == req.client && r.request_id == req.request_id) return;
     }
   }
+  if (pending_requests_.empty()) backlog_since_ = net_->now();
   pending_requests_.push_back(req);
   pending_keys_.insert(key);
 }
@@ -739,9 +830,23 @@ ReqViewChange MinBftReplica::make_req_view_change(View to_view) {
 void MinBftReplica::arm_view_change_timer() {
   if (vc_timer_armed_) return;
   vc_timer_armed_ = true;
-  vc_timer_ = net_->schedule(id_, config_.view_change_timeout, [this]() {
+  double timeout = config_.view_change_timeout;
+  if (config_.admission.enabled &&
+      admission_.mode() != AdmissionMode::kNormal) {
+    timeout *= kOverloadViewChangeStretch;
+  }
+  vc_timer_ = net_->schedule(id_, timeout, [this]() {
     vc_timer_armed_ = false;
     if (mode_ == ByzantineMode::Silent) return;
+    // Overload may have been declared AFTER the timer was armed (a spike's
+    // first wave is admitted in NORMAL mode, whose timer is the short flat
+    // one).  Re-check at fire time: while the valve is closed, missing
+    // progress is load evidence, so re-arm patiently instead of denouncing.
+    if (config_.admission.enabled &&
+        admission_.mode() != AdmissionMode::kNormal) {
+      arm_view_change_timer();
+      return;
+    }
     // No progress within Tvc: ask everyone to move to the next view.
     const ReqViewChange rvc = make_req_view_change(view_ + 1);
     broadcast(rvc);

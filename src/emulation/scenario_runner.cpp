@@ -60,7 +60,13 @@ bool identical(const ScenarioResult& a, const ScenarioResult& b) {
          a.deferred_evictions == b.deferred_evictions &&
          a.min_membership == b.min_membership &&
          a.max_membership == b.max_membership &&
-         a.final_view == b.final_view && a.trace == b.trace;
+         a.final_view == b.final_view &&
+         a.flood_submitted == b.flood_submitted &&
+         a.flood_completed == b.flood_completed &&
+         a.flood_rejections == b.flood_rejections &&
+         a.flood_backoffs == b.flood_backoffs &&
+         a.admitted_availability == b.admitted_availability &&
+         a.max_queue_depth == b.max_queue_depth && a.trace == b.trace;
 }
 
 ScenarioRunner::ScenarioRunner(Scenario scenario, FittedDetector detector,
@@ -115,10 +121,61 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
   cfg.request_retry_timeout = 4.0;
   cfg.batch_size = options_.consensus_batch_size;
   cfg.pipeline_depth = options_.consensus_pipeline_depth;
+  const bool has_flood = has_flood_events(scenario_);
+  if (has_flood) {
+    // Flood scenarios use a heavier crypto cost model so the scripted
+    // request volumes are genuinely past serving capacity: 0.2 s batch
+    // signatures and 0.25 s per-reply authentication put one replica's
+    // ceiling near 200 requests per 60 s cycle.  A rejection costs only a
+    // cheap authenticator (see send_overloaded), keeping shedding cheaper
+    // than serving — the property the valve depends on.
+    cfg.crypto_cost_sign = 0.2;
+    cfg.crypto_cost_verify = 0.01;
+    cfg.crypto_cost_reply = 0.25;
+  }
+  if (scenario_.admission_control) {
+    cfg.admission.enabled = true;
+    cfg.admission.queue_capacity = 64.0;
+    cfg.admission.latency_ref = 5.0;
+    // Release half a cycle long: the replica's inbound queue drains to zero
+    // between serving bursts even mid-storm, and a fast-release filter would
+    // reopen the valve at every trough.  Holding the peak for ~30 s keeps
+    // the valve closed across troughs while still reopening within a cycle
+    // or two after the flood really stops.
+    cfg.admission.release_tau = 30.0;
+    // Token rates target ~30% serving utilization (capacity is ~200
+    // requests per cycle): the headroom is what keeps rejections cheap and
+    // prompt, so backoff quorums form before clients' flat retries fire.
+    cfg.admission.soft_rate = 1.0;   // tokens/s: ~60 admits per 60 s cycle
+    cfg.admission.soft_burst = 10.0;
+    cfg.admission.hard_rate = 0.25;  // ~15 admits per cycle under storms
+    cfg.admission.hard_burst = 5.0;
+    // Bands sit below the w_queue weight (0.5) on purpose: a spike's FIRST
+    // wave arrives with err* = 0 and lat* = 0, so queue saturation alone
+    // must be able to close the valve — with the default soft_enter of
+    // 0.55 every replica would admit the entire onset burst in NORMAL mode
+    // and spend whole cycles paying that serving debt.  Sustained-storm
+    // pressure then plateaus near 0.7, so the default hard_enter of 0.85
+    // would never engage HARD's trickle budget either.
+    cfg.admission.soft_enter = 0.45;
+    cfg.admission.soft_exit = 0.30;
+    cfg.admission.hard_enter = 0.65;
+    cfg.admission.hard_exit = 0.50;
+    // Hints sized to the 60 s control cycle: the client backoff cap scales
+    // with the hint, so shed requests re-probe roughly once a cycle instead
+    // of pounding the valve on the flat retransmission timer.
+    cfg.admission.retry_after_soft_ms = 8000;
+    cfg.admission.retry_after_hard_ms = 30000;
+  }
   net::LinkConfig link;
   link.loss = 0.0;  // loss resilience is covered by the consensus suite
   MinBftCluster cluster(scenario_.initial_nodes, cfg, seed ^ 0x5eed, link);
   consensus::MinBftClient& probe = cluster.add_client();
+  // Flood clients, one pool per flood event, created lazily at the event's
+  // first active cycle.  RetryStorm pools retransmit aggressively (1 s),
+  // SlowLorisFlood pools effectively never (their requests just linger).
+  std::vector<std::vector<consensus::MinBftClient*>> flood_pools(
+      scenario_.events.size());
   // Stable testbed node id -> consensus replica id.
   std::map<int, ReplicaId> node_to_replica;
   {
@@ -194,6 +251,10 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
           spike_until = t + e.duration - 1;
           testbed.set_extra_load(static_cast<int>(e.magnitude));
           break;
+        case ScenarioEvent::Kind::RequestFlood:
+        case ScenarioEvent::Kind::RetryStorm:
+        case ScenarioEvent::Kind::SlowLorisFlood:
+          break;  // handled below: floods act every active cycle, not once
       }
     }
     const bool storm_active = t <= storm_until;
@@ -350,6 +411,42 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
       }
     }
 
+    // --- Service-boundary floods: each active flood event's clients offer
+    // `magnitude` requests apiece this cycle, before the probe so the probe
+    // contends with the spike like any legitimate request. ---
+    for (std::size_t ei = 0; ei < scenario_.events.size(); ++ei) {
+      const ScenarioEvent& e = scenario_.events[ei];
+      if (!is_flood_event(e.kind)) continue;
+      if (t < e.step || t >= e.step + e.duration) continue;
+      auto& pool = flood_pools[ei];
+      if (pool.empty()) {
+        const double retry =
+            e.kind == ScenarioEvent::Kind::RetryStorm ? 1.0
+            : e.kind == ScenarioEvent::Kind::SlowLorisFlood
+                ? 1.0e9  // beyond any horizon: submit once, linger
+                : cfg.request_retry_timeout;
+        for (int c = 0; c < e.count; ++c) {
+          pool.push_back(&cluster.add_client(retry));
+        }
+      }
+      const bool legit = e.kind != ScenarioEvent::Kind::SlowLorisFlood;
+      for (consensus::MinBftClient* client : pool) {
+        client->set_replicas(cluster.membership());
+        for (int k = 0; k < static_cast<int>(e.magnitude); ++k) {
+          std::ostringstream fop;
+          fop << "flood:" << t << ':' << client->id() << ':' << k;
+          if (legit) {
+            ++result.flood_submitted;
+            client->submit(fop.str(),
+                           [&result](std::uint64_t, const std::string&,
+                                     double) { ++result.flood_completed; });
+          } else {
+            client->submit(fop.str(), nullptr);
+          }
+        }
+      }
+    }
+
     // --- Service probe: one client operation with a one-cycle deadline. ---
     probe.set_replicas(cluster.membership());
     bool service_ok = false;
@@ -364,6 +461,29 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
                                 options_.cycle_seconds);
     if (!service_ok) probe.cancel(rid);
     if (service_ok) ++service_cycles;
+
+    // --- Overload telemetry: per-replica queue depth at cycle end, plus
+    // cumulative rejection/backoff counters from the flood clients. ---
+    int cycle_queue_depth = 0;
+    for (const ReplicaId replica_id : cluster.replica_ids()) {
+      const int depth = static_cast<int>(
+          cluster.replica(replica_id).pending_request_count() +
+          cluster.network().queue_depth(replica_id));
+      cycle_queue_depth = std::max(cycle_queue_depth, depth);
+    }
+    result.max_queue_depth = std::max(result.max_queue_depth, cycle_queue_depth);
+    if (has_flood) {
+      std::uint64_t rejections = 0;
+      std::uint64_t backoffs = 0;
+      for (const auto& pool : flood_pools) {
+        for (const consensus::MinBftClient* client : pool) {
+          rejections += client->overloaded_replies();
+          backoffs += client->overload_backoffs();
+        }
+      }
+      result.flood_rejections = rejections;
+      result.flood_backoffs = backoffs;
+    }
 
     // --- Metrics + trace. ---
     const int membership_size = static_cast<int>(cluster.membership().size());
@@ -381,6 +501,13 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
            << " evt=" << join_ids(evicted_ids) << " add=" << added
            << " defer=" << decision.deferred_evictions
            << " stall=" << result.quorum_stalls;
+      if (has_flood) {
+        // Overload suffix only for flood scenarios, so the golden traces of
+        // every pre-existing scenario stay byte-for-byte unchanged.
+        line << " fs=" << result.flood_submitted
+             << " fc=" << result.flood_completed
+             << " fr=" << result.flood_rejections << " q=" << cycle_queue_depth;
+      }
       result.trace.push_back(line.str());
     }
   }
@@ -396,6 +523,27 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
 
   for (const ReplicaId id : cluster.replica_ids()) {
     result.final_view = std::max(result.final_view, cluster.replica(id).view());
+  }
+  if (result.flood_submitted > 0) {
+    // Shed requests (an f+1 rejection quorum put them into backoff custody)
+    // are the valve doing its job: subtract them from the offered load so
+    // admitted_availability measures how the *admitted* traffic fared.
+    std::uint64_t shed = 0;
+    for (std::size_t ei = 0; ei < scenario_.events.size(); ++ei) {
+      if (scenario_.events[ei].kind == ScenarioEvent::Kind::SlowLorisFlood) {
+        continue;  // adversarial load, excluded from flood_submitted too
+      }
+      for (const consensus::MinBftClient* client : flood_pools[ei]) {
+        shed += client->shed_pending_count();
+      }
+    }
+    shed = std::min(shed, result.flood_submitted);
+    const double denom =
+        static_cast<double>(result.flood_submitted - shed);
+    result.admitted_availability =
+        denom > 0.0
+            ? static_cast<double>(result.flood_completed) / denom
+            : 1.0;
   }
   result.availability =
       static_cast<double>(available_cycles) / scenario_.horizon;

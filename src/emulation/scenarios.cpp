@@ -205,10 +205,98 @@ std::vector<Scenario> build_catalog() {
     catalog.push_back(s);
   }
 
+  // --- Service-boundary overload family (PR 8). --------------------------
+  // All three keep the attacker quiet (the stress is client load, not
+  // intrusions) and run with the admission valve enabled; the overload
+  // bench re-runs them with admission_control cleared as the no-backpressure
+  // baseline.  Request volumes are calibrated against the flood scenarios'
+  // crypto cost model in ScenarioRunner (a replica sustains roughly 200
+  // requests per 60 s cycle), so the 100x spike is genuinely past capacity.
+
+  // 10. 100x request spike: 20 flood clients x 25 requests per cycle vs a
+  // baseline probe load of ~5 — far beyond what the replicas can serve.
+  {
+    Scenario s = base_scenario(
+        "load-spike-100x",
+        "100x client request spike; the admission valve sheds the excess "
+        "while the probe stays served");
+    s.horizon = 30;
+    s.testbed.attacker.start_probability = 0.0;
+    s.node_params.p_attack = 0.02;
+    s.admission_control = true;
+    ScenarioEvent e;
+    e.step = 6;
+    e.kind = Kind::RequestFlood;
+    e.count = 20;
+    e.duration = 25;
+    e.magnitude = 25.0;
+    s.events.push_back(e);
+    catalog.push_back(s);
+  }
+
+  // 11. Synchronized retry storm: a smaller offered load, but every flood
+  // client retransmits on a 1 s timer, so without backpressure the storm
+  // feeds on its own queueing delay.  The jittered exponential backoff must
+  // desynchronize and calm it.
+  {
+    Scenario s = base_scenario(
+        "retry-storm",
+        "synchronized 1 s client retransmissions amplify a spike; jittered "
+        "backoff must calm the storm");
+    s.horizon = 30;
+    s.testbed.attacker.start_probability = 0.0;
+    s.node_params.p_attack = 0.02;
+    s.admission_control = true;
+    ScenarioEvent e;
+    e.step = 6;
+    e.kind = Kind::RetryStorm;
+    e.count = 20;
+    e.duration = 20;
+    e.magnitude = 10.0;
+    s.events.push_back(e);
+    catalog.push_back(s);
+  }
+
+  // 12. Slow-loris request flood: many clients, each parking a few requests
+  // with a retry timeout beyond the horizon.  The lingering requests tie up
+  // queue slots instead of completing-and-leaving; the valve must keep the
+  // backlog bounded so the probe still meets its per-cycle deadline.
+  {
+    Scenario s = base_scenario(
+        "slow-loris-flood",
+        "lingering no-retry request flood ties up queue slots; the valve "
+        "bounds the backlog");
+    s.horizon = 30;
+    s.testbed.attacker.start_probability = 0.0;
+    s.node_params.p_attack = 0.02;
+    s.admission_control = true;
+    ScenarioEvent e;
+    e.step = 6;
+    e.kind = Kind::SlowLorisFlood;
+    e.count = 40;
+    e.duration = 20;
+    e.magnitude = 10.0;  // 400 lingering requests per cycle, ~2x capacity
+    s.events.push_back(e);
+    catalog.push_back(s);
+  }
+
   return catalog;
 }
 
 }  // namespace
+
+bool is_flood_event(ScenarioEvent::Kind kind) {
+  return kind == ScenarioEvent::Kind::RequestFlood ||
+         kind == ScenarioEvent::Kind::RetryStorm ||
+         kind == ScenarioEvent::Kind::SlowLorisFlood;
+}
+
+bool has_flood_events(const Scenario& s) {
+  for (const ScenarioEvent& e : s.events) {
+    if (is_flood_event(e.kind)) return true;
+  }
+  return false;
+}
 
 const std::vector<Scenario>& scenario_catalog() {
   static const std::vector<Scenario> catalog = build_catalog();

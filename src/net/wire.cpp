@@ -21,6 +21,7 @@ enum Tag : std::uint8_t {
   kStateResponse = 9,
   kFetchPrepare = 10,
   kRelayedPrepare = 11,
+  kOverloaded = 12,
 };
 
 // --- field-group encoders ---------------------------------------------------
@@ -246,6 +247,14 @@ wire::Bytes MinBftCodec::encode(const MinBftMsg& msg) {
         } else if constexpr (std::is_same_v<T, RelayedPrepare>) {
           w.u8(kRelayedPrepare);
           put_prepare(w, m.prepare);
+        } else if constexpr (std::is_same_v<T, Overloaded>) {
+          w.u8(kOverloaded);
+          w.varint(m.replica);
+          w.varint(m.client);
+          w.varint(m.request_id);
+          w.varint(m.retry_after_ms);
+          w.u8(m.mode);
+          put_signature(w, m.signature);
         } else {
           static_assert(std::is_same_v<T, StateResponse>,
                         "unhandled message type");
@@ -426,6 +435,30 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
       resp.state_digest = *state;
       resp.signature = *sig;
       out = std::move(resp);
+      break;
+    }
+    case kOverloaded: {
+      const auto replica = r.varint();
+      const auto client = r.varint();
+      const auto request_id = r.varint();
+      const auto retry_after = r.varint();
+      const auto mode = r.u8();
+      // Strict byte domain: the only modes that reject requests are soft (1)
+      // and hard (2); a normal-mode (0) or out-of-range byte is a forgery.
+      if (!replica || !client || !request_id || !retry_after || !mode ||
+          *mode < 1 || *mode > 2) {
+        break;
+      }
+      const auto sig = get_signature(r);
+      if (!sig) break;
+      Overloaded ov;
+      ov.replica = static_cast<ReplicaId>(*replica);
+      ov.client = static_cast<ClientId>(*client);
+      ov.request_id = *request_id;
+      ov.retry_after_ms = *retry_after;
+      ov.mode = *mode;
+      ov.signature = *sig;
+      out = std::move(ov);
       break;
     }
     default:

@@ -138,6 +138,14 @@ std::vector<consensus::MinBftMsg> all_message_kinds() {
   fp.requester = 4;
   msgs.emplace_back(fp);
   msgs.emplace_back(consensus::RelayedPrepare{test_prepare()});
+  consensus::Overloaded ov;
+  ov.replica = 2;
+  ov.client = 10001;
+  ov.request_id = 5;
+  ov.retry_after_ms = 250;
+  ov.mode = 2;  // hard
+  ov.signature = test_signature(2, 0x49);
+  msgs.emplace_back(ov);
   return msgs;
 }
 
@@ -209,6 +217,47 @@ TEST(WireCodec, SpeculativeReplyFlagRoundTripsAndRejectsBadByte) {
   auto forged = tentative;
   forged[flag_at] = 2;  // out of the boolean domain
   EXPECT_FALSE(net::MinBftCodec::decode(forged).has_value());
+}
+
+// The Overloaded mode byte is a strict enum on the wire: soft (1) and hard
+// (2) round-trip, and any other value is rejected — a compromised replica
+// must not be able to smuggle a fake "mode" (e.g. NORMAL, which is never
+// sent, or garbage) past the codec and into client backoff decisions.
+TEST(WireCodec, OverloadedModeByteRoundTripsAndRejectsBadByte) {
+  consensus::Overloaded ov;
+  ov.replica = 2;
+  ov.client = 10001;
+  ov.request_id = 5;
+  ov.retry_after_ms = 250;
+  ov.signature = test_signature(2, 0x49);
+  ov.mode = 1;
+  const auto soft = net::MinBftCodec::encode(consensus::MinBftMsg{ov});
+  ov.mode = 2;
+  const auto hard = net::MinBftCodec::encode(consensus::MinBftMsg{ov});
+  for (const std::uint8_t mode : {std::uint8_t{1}, std::uint8_t{2}}) {
+    const auto decoded = net::MinBftCodec::decode(mode == 1 ? soft : hard);
+    ASSERT_TRUE(decoded.has_value());
+    const auto* o = std::get_if<consensus::Overloaded>(&*decoded);
+    ASSERT_NE(o, nullptr);
+    EXPECT_EQ(o->mode, mode);
+    EXPECT_EQ(o->retry_after_ms, 250u);
+  }
+  ASSERT_EQ(soft.size(), hard.size());
+  std::size_t mode_at = soft.size();
+  for (std::size_t i = 0; i < soft.size(); ++i) {
+    if (soft[i] != hard[i]) {
+      ASSERT_EQ(mode_at, soft.size()) << "mode must occupy exactly one byte";
+      mode_at = i;
+    }
+  }
+  ASSERT_LT(mode_at, soft.size());
+  for (const std::uint8_t bad : {std::uint8_t{0}, std::uint8_t{3},
+                                 std::uint8_t{0xff}}) {
+    auto forged = hard;
+    forged[mode_at] = bad;
+    EXPECT_FALSE(net::MinBftCodec::decode(forged).has_value())
+        << "mode byte " << static_cast<int>(bad) << " decoded";
+  }
 }
 
 // A forged length prefix must not trigger a huge allocation: counts are
