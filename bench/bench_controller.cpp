@@ -1,0 +1,221 @@
+// Controller fault-injection sweep: runs the controller-fault scenario
+// family (crash mid-intrusion, GC pause, poisoned solver, slow solve under
+// churn) with the asynchronous level-2 controller's staleness failsafe ON
+// and with the inline/no-failsafe baseline OFF, over a seed sweep, and
+// writes a BENCH_controller.json artifact (CI uploads it each run).
+//
+// The CI-enforced gates mirror the ScenarioController test battery:
+//   - failsafe ON: availability and service hold (>= 0.95 mean), the ladder
+//     actually engages FALLBACK on the fault scenarios, and no cycle is
+//     ever frozen;
+//   - failsafe OFF: the scripted fault freezes the level-2 step, and on the
+//     fault scenarios the baseline's worst-seed service measurably trails
+//     the failsafe's.
+//
+// Flags:
+//   --threads N    parallel worker count (default: TOLERANCE_THREADS or
+//                  hardware concurrency)
+//   --seeds M      episodes per scenario (default: 4, or 16 at
+//                  TOLERANCE_BENCH_FULL=1)
+//   --out PATH     artifact path (default: BENCH_controller.json)
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tolerance/emulation/scenario_runner.hpp"
+#include "tolerance/util/stopwatch.hpp"
+
+namespace {
+
+constexpr const char* kFamily[] = {
+    "controller-crash-mid-intrusion",
+    "controller-gc-pause",
+    "controller-solver-failures",
+    "controller-slow-solve-churn",
+};
+
+// Slow-solve-churn is the no-fault control of the family: the ladder rides
+// FRESH<->HOLD and the inline baseline is decision-identical, so the
+// degradation gates only apply to the three fault scenarios.
+bool has_fault(const std::string& name) {
+  return name != "controller-slow-solve-churn";
+}
+
+struct Aggregate {
+  double availability = 0.0;
+  double service = 0.0;
+  double worst_min_avail = 1.0;  ///< min over seeds of min(avail, svc)
+  std::uint64_t policy_epoch = 0;
+  long resolves = 0;
+  long rejected = 0;
+  long hold_cycles = 0;
+  long fallback_cycles = 0;
+  long frozen_cycles = 0;
+  int max_staleness = 0;
+  std::string mode;
+};
+
+Aggregate aggregate(const std::vector<tolerance::emulation::ScenarioResult>& rs) {
+  Aggregate a;
+  for (const auto& r : rs) {
+    a.availability += r.availability;
+    a.service += r.service_availability;
+    a.worst_min_avail = std::min(
+        a.worst_min_avail, std::min(r.availability, r.service_availability));
+    a.policy_epoch = std::max(a.policy_epoch, r.policy_epoch);
+    a.resolves += r.controller_resolves;
+    a.rejected += r.controller_rejected;
+    a.hold_cycles += r.controller_hold_cycles;
+    a.fallback_cycles += r.controller_fallback_cycles;
+    a.frozen_cycles += r.controller_frozen_cycles;
+    a.max_staleness = std::max(a.max_staleness, r.controller_max_staleness);
+  }
+  const auto n = static_cast<double>(rs.size());
+  a.availability /= n;
+  a.service /= n;
+  a.mode = rs.front().controller_mode;
+  return a;
+}
+
+void emit(std::ofstream& out, const char* key, const Aggregate& a) {
+  out << "    \"" << key << "\": {\"availability\": " << a.availability
+      << ", \"service_availability\": " << a.service
+      << ", \"worst_min_availability\": " << a.worst_min_avail
+      << ", \"policy_epoch\": " << a.policy_epoch
+      << ", \"resolves\": " << a.resolves << ", \"rejected\": " << a.rejected
+      << ", \"hold_cycles\": " << a.hold_cycles
+      << ", \"fallback_cycles\": " << a.fallback_cycles
+      << ", \"frozen_cycles\": " << a.frozen_cycles
+      << ", \"max_staleness\": " << a.max_staleness << ", \"mode\": \""
+      << a.mode << "\"}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tolerance;
+  bench::header("Controller fault-injection sweep — staleness failsafe",
+                "the robustness evaluation of the level-2 re-solver: "
+                "FRESH/HOLD/FALLBACK ladder vs. a frozen inline baseline");
+  const int threads = bench::parse_threads(argc, argv);
+  bench::print_threads(threads);
+
+  int num_seeds = bench::scaled(4, 16);
+  std::string out_path = "BENCH_controller.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) num_seeds = std::atoi(argv[i + 1]);
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+  }
+  if (num_seeds <= 0) num_seeds = 4;
+  std::vector<std::uint64_t> seeds;
+  for (int i = 0; i < num_seeds; ++i) {
+    seeds.push_back(7 + 7 * static_cast<std::uint64_t>(i));
+  }
+
+  ConsoleTable table({"scenario", "failsafe", "T(A)", "svc(A)", "ep", "res",
+                      "rej", "hold", "fb", "frozen", "stale", "mode",
+                      "seconds"});
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"controller\",\n  \"seeds\": " << num_seeds
+      << ",\n  \"threads\": " << threads << ",\n  \"scenarios\": [\n";
+
+  bool all_gates_ok = true;
+  bool first = true;
+  double total_seconds = 0.0;
+  for (const char* name : kFamily) {
+    const auto& scenario = emulation::find_scenario(name);
+    emulation::ScenarioRunner::Options on_opt;
+    on_opt.async_controller = true;
+    emulation::ScenarioRunner::Options off_opt;
+    off_opt.async_controller = false;
+    const auto on_runner =
+        emulation::make_scenario_runner(scenario, 42, 60, on_opt);
+    const auto off_runner =
+        emulation::make_scenario_runner(scenario, 42, 60, off_opt);
+
+    Stopwatch clock;
+    const auto on = aggregate(on_runner.run_many(seeds, threads));
+    const double on_seconds = clock.elapsed_seconds();
+    clock.reset();
+    const auto off = aggregate(off_runner.run_many(seeds, threads));
+    const double off_seconds = clock.elapsed_seconds();
+    total_seconds += on_seconds + off_seconds;
+
+    const bool fault = has_fault(name);
+    const bool poison = std::string(name) == "controller-solver-failures";
+    // The gates are per-scenario, matching what each scenario demonstrates.
+    //
+    // failsafe_availability_ok — crash / GC pause: mean availability AND
+    // service hold with the failsafe on.  Solver failures: availability
+    // holds (service varies with detector luck, not with the controller —
+    // the scenario's point is the poison guard).  Slow-solve churn (the
+    // no-fault control): the async controller must not CHANGE the outcome —
+    // its means are bit-equal to the inline baseline's.
+    const bool failsafe_availability_ok =
+        fault ? (on.availability >= 0.95 && (poison || on.service >= 0.95))
+              : (on.availability == off.availability &&
+                 on.service == off.service);
+    // The failsafe never freezes a cycle; the ladder engages FALLBACK on
+    // every fault scenario and stays sheathed on the no-fault control.
+    const bool no_frozen_cycles = on.frozen_cycles == 0;
+    const bool fallback_engages =
+        fault ? on.fallback_cycles > 0 : on.fallback_cycles == 0;
+    // Every episode ends recovered: mode FRESH with at least one post-fault
+    // flip landed, and on the poison scenario every scripted bad solve was
+    // rejected (5 per episode) without a single one reaching the live table.
+    const bool policy_recovers = on.mode == "fresh" && on.policy_epoch >= 2 &&
+                                 (!poison || on.rejected == 5L * num_seeds);
+    // The inline baseline freezes for the scripted window; on the scenarios
+    // whose fault hits mid-incident (crash / GC pause) its worst seed
+    // measurably trails the failsafe's.
+    const bool baseline_degrades =
+        !fault || (off.frozen_cycles > 0 &&
+                   (poison || off.worst_min_avail < on.worst_min_avail));
+    const bool ok = failsafe_availability_ok && no_frozen_cycles &&
+                    fallback_engages && policy_recovers && baseline_degrades;
+    all_gates_ok = all_gates_ok && ok;
+
+    const auto row = [&](const char* label, const Aggregate& a,
+                         double seconds) {
+      table.add_row({std::string(name), label, ConsoleTable::num(a.availability, 3),
+                     ConsoleTable::num(a.service, 3),
+                     std::to_string(a.policy_epoch), std::to_string(a.resolves),
+                     std::to_string(a.rejected), std::to_string(a.hold_cycles),
+                     std::to_string(a.fallback_cycles),
+                     std::to_string(a.frozen_cycles),
+                     std::to_string(a.max_staleness), a.mode,
+                     ConsoleTable::num(seconds, 2)});
+    };
+    row("on", on, on_seconds);
+    row("off", off, off_seconds);
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "   {\"name\": \"" << name << "\",\n";
+    emit(out, "failsafe_on", on);
+    out << ",\n";
+    emit(out, "failsafe_off", off);
+    out << ",\n    \"gates\": {\"failsafe_availability_ok\": "
+        << (failsafe_availability_ok ? "true" : "false")
+        << ", \"no_frozen_cycles\": " << (no_frozen_cycles ? "true" : "false")
+        << ", \"fallback_engages\": " << (fallback_engages ? "true" : "false")
+        << ", \"policy_recovers\": " << (policy_recovers ? "true" : "false")
+        << ", \"baseline_degrades\": " << (baseline_degrades ? "true" : "false")
+        << ", \"ok\": " << (ok ? "true" : "false") << "},\n    \"seconds\": "
+        << on_seconds + off_seconds << "\n   }";
+  }
+  out << "\n  ],\n  \"seconds_total\": " << total_seconds
+      << ",\n  \"controller_gates_ok\": " << (all_gates_ok ? "true" : "false")
+      << "\n}\n";
+
+  table.print(std::cout);
+  std::cout << "\ncontroller gates (failsafe holds availability, FALLBACK "
+               "engages, zero frozen cycles, frozen baseline degrades): "
+            << (all_gates_ok ? "PASS" : "FAIL") << '\n'
+            << "wrote " << out_path << '\n';
+  return all_gates_ok ? 0 : 1;
+}

@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   }
 
   ConsoleTable table({"scenario", "T(A)", "svc(A)", "adm(A)", "qmax", "T(R)",
-                      "churn/cycle", "stalls", "minM", "seconds"});
+                      "churn/cycle", "stalls", "minM", "ep", "stale", "mode",
+                      "seconds"});
   std::ofstream out(out_path);
   out << "{\n  \"bench\": \"scenarios\",\n  \"seeds\": " << num_seeds
       << ",\n  \"threads\": " << threads << ",\n  \"scenarios\": [\n";
@@ -74,6 +75,8 @@ int main(int argc, char** argv) {
     long stalls = 0;
     int min_membership = scenario.max_nodes;
     int max_queue = 0;
+    std::uint64_t policy_epoch = 0;
+    int max_staleness = 0;
     for (const auto& r : results) {
       availability += r.availability;
       service += r.service_availability;
@@ -84,7 +87,13 @@ int main(int argc, char** argv) {
       stalls += r.quorum_stalls;
       min_membership = std::min(min_membership, r.min_membership);
       max_queue = std::max(max_queue, r.max_queue_depth);
+      policy_epoch = std::max(policy_epoch, r.policy_epoch);
+      max_staleness = std::max(max_staleness, r.controller_max_staleness);
     }
+    // Horizon-end controller mode — identical across episodes of the async
+    // scenarios in the catalog (the fault scripts, not the seeds, drive the
+    // ladder), so report the first episode's.
+    const std::string& mode = results.front().controller_mode;
     const auto n = static_cast<double>(results.size());
     availability /= n;
     service /= n;
@@ -108,7 +117,8 @@ int main(int argc, char** argv) {
                    flood ? std::to_string(max_queue) : std::string("-"),
                    ConsoleTable::num(ttr, 2), ConsoleTable::num(churn, 3),
                    std::to_string(stalls), std::to_string(min_membership),
-                   ConsoleTable::num(seconds, 2)});
+                   std::to_string(policy_epoch), std::to_string(max_staleness),
+                   mode, ConsoleTable::num(seconds, 2)});
 
     if (!first) out << ",\n";
     first = false;
@@ -119,7 +129,10 @@ int main(int argc, char** argv) {
         << ", \"overload_gates_ok\": " << (gates_ok ? "true" : "false")
         << ", \"time_to_recovery\": " << ttr << ", \"churn_per_cycle\": "
         << churn << ", \"quorum_stalls\": " << stalls
-        << ", \"min_membership\": " << min_membership << ", \"seconds\": "
+        << ", \"min_membership\": " << min_membership
+        << ", \"policy_epoch\": " << policy_epoch
+        << ", \"controller_max_staleness\": " << max_staleness
+        << ", \"controller_mode\": \"" << mode << "\", \"seconds\": "
         << seconds << ", \"bit_identical\": "
         << (identical ? "true" : "false") << "}";
   }

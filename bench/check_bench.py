@@ -4,9 +4,10 @@
 Usage:
     check_bench.py --consensus BENCH_consensus.json [--runtime BENCH_runtime.json]
                    [--overload BENCH_overload.json]
+                   [--controller BENCH_controller.json]
                    [--baseline-dir bench/baselines] [--tolerance 0.10]
 
-Three kinds of checks, matched to what each lane can promise:
+Four kinds of checks, matched to what each lane can promise:
 
 * BENCH_consensus.json comes from the deterministic simulated-time lane, so
   its throughput numbers are reproducible modulo the C++ standard library's
@@ -25,6 +26,13 @@ Three kinds of checks, matched to what each lane can promise:
   availability >= 0.95 and queue depth bounded, and the embedded gates
   (valve effective, transparent at 10x, no-valve baseline still melts)
   must hold outright.
+
+* BENCH_controller.json comes from the controller fault-injection sweep
+  (simulated time, so deterministic): the four named fault scenarios must
+  all be present, each cell's embedded gates (failsafe availability holds,
+  FALLBACK engages, zero frozen cycles, the policy recovers to FRESH, the
+  frozen inline baseline degrades) must hold outright, and the failsafe-on
+  cells must report zero frozen cycles and an advanced policy epoch.
 
 On failure every offending metric is named with its cell, the baseline
 value, the fresh value, and the relative drift, so the CI log reads as a
@@ -118,6 +126,61 @@ def check_overload(fresh, min_admitted=0.95, max_queue=2048):
     return errors
 
 
+EXPECTED_CONTROLLER_SCENARIOS = (
+    "controller-crash-mid-intrusion",
+    "controller-gc-pause",
+    "controller-solver-failures",
+    "controller-slow-solve-churn",
+)
+
+CONTROLLER_GATES = (
+    "failsafe_availability_ok",
+    "no_frozen_cycles",
+    "fallback_engages",
+    "policy_recovers",
+    "baseline_degrades",
+    "ok",
+)
+
+
+def check_controller(fresh):
+    errors = 0
+    if fresh.get("controller_gates_ok") is not True:
+        errors += fail("controller sweep-level gate 'controller_gates_ok' "
+                       f"is {fresh.get('controller_gates_ok')!r}")
+    cells = {row.get("name"): row for row in fresh.get("scenarios", [])}
+    missing = [n for n in EXPECTED_CONTROLLER_SCENARIOS if n not in cells]
+    if missing:
+        errors += fail(f"controller sweep missing scenarios: {missing}")
+    for name, row in sorted(cells.items()):
+        for key in CONTROLLER_GATES:
+            got = row.get("gates", {}).get(key)
+            if got is not True:
+                errors += fail(
+                    f"controller {name}: gate {key!r} is {got!r}, "
+                    "expected true"
+                )
+        on = row.get("failsafe_on", {})
+        if on.get("frozen_cycles", -1) != 0:
+            errors += fail(
+                f"controller {name}: failsafe-on run reports "
+                f"{on.get('frozen_cycles')!r} frozen cycles, expected 0"
+            )
+        if on.get("policy_epoch", 0) < 2:
+            errors += fail(
+                f"controller {name}: failsafe-on policy epoch "
+                f"{on.get('policy_epoch')!r} never advanced past the seed "
+                "table"
+            )
+        if on.get("mode") != "fresh":
+            errors += fail(
+                f"controller {name}: failsafe-on horizon mode is "
+                f"{on.get('mode')!r}, expected 'fresh' (the ladder must "
+                "recover)"
+            )
+    return errors
+
+
 def check_runtime(fresh):
     errors = 0
     gates = fresh.get("gates", {})
@@ -151,13 +214,15 @@ def main():
     ap.add_argument("--consensus", help="fresh BENCH_consensus.json")
     ap.add_argument("--runtime", help="fresh BENCH_runtime.json")
     ap.add_argument("--overload", help="fresh BENCH_overload.json")
+    ap.add_argument("--controller", help="fresh BENCH_controller.json")
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="relative tolerance for deterministic metrics")
     args = ap.parse_args()
-    if not args.consensus and not args.runtime and not args.overload:
-        ap.error("nothing to check: pass --consensus, --runtime and/or "
-                 "--overload")
+    if (not args.consensus and not args.runtime and not args.overload
+            and not args.controller):
+        ap.error("nothing to check: pass --consensus, --runtime, "
+                 "--overload and/or --controller")
 
     errors = 0
     if args.consensus:
@@ -172,6 +237,9 @@ def main():
     if args.overload:
         with open(args.overload) as f:
             errors += check_overload(json.load(f))
+    if args.controller:
+        with open(args.controller) as f:
+            errors += check_controller(json.load(f))
 
     if errors:
         print(f"check_bench: {errors} failure(s)")

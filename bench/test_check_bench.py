@@ -114,6 +114,46 @@ class CheckConsensusTest(unittest.TestCase):
         self.assertEqual(check_bench.check_consensus(fresh, base, 0.10), 1)
 
 
+def controller_cell(name, fault=True):
+    rejected = 20 if name == "controller-solver-failures" else 0
+    return {
+        "name": name,
+        "failsafe_on": {
+            "availability": 0.994, "service_availability": 0.994,
+            "worst_min_availability": 0.975, "policy_epoch": 9,
+            "resolves": 32, "rejected": rejected, "hold_cycles": 32,
+            "fallback_cycles": 80 if fault else 0, "frozen_cycles": 0,
+            "max_staleness": 36, "mode": "fresh",
+        },
+        "failsafe_off": {
+            "availability": 0.909, "service_availability": 0.872,
+            "worst_min_availability": 0.600, "policy_epoch": 0,
+            "resolves": 0, "rejected": 0, "hold_cycles": 0,
+            "fallback_cycles": 0, "frozen_cycles": 120 if fault else 0,
+            "max_staleness": 0, "mode": "inline",
+        },
+        "gates": {
+            "failsafe_availability_ok": True, "no_frozen_cycles": True,
+            "fallback_engages": True, "policy_recovers": True,
+            "baseline_degrades": True, "ok": True,
+        },
+    }
+
+
+def controller_doc(**overrides):
+    doc = {
+        "controller_gates_ok": True,
+        "scenarios": [
+            controller_cell("controller-crash-mid-intrusion"),
+            controller_cell("controller-gc-pause"),
+            controller_cell("controller-solver-failures"),
+            controller_cell("controller-slow-solve-churn", fault=False),
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
 class CheckOverloadTest(unittest.TestCase):
     def test_healthy_sweep_passes(self):
         self.assertEqual(check_bench.check_overload(overload_doc()), 0)
@@ -140,6 +180,43 @@ class CheckOverloadTest(unittest.TestCase):
 
     def test_empty_sweep_fails(self):
         self.assertEqual(check_bench.check_overload(overload_doc(sweep=[])), 1)
+
+
+class CheckControllerTest(unittest.TestCase):
+    def test_healthy_sweep_passes(self):
+        self.assertEqual(check_bench.check_controller(controller_doc()), 0)
+
+    def test_sweep_level_gate_false_fails(self):
+        doc = controller_doc(controller_gates_ok=False)
+        self.assertEqual(check_bench.check_controller(doc), 1)
+
+    def test_missing_scenario_fails(self):
+        doc = controller_doc()
+        doc["scenarios"] = doc["scenarios"][:-1]  # drop slow-solve-churn
+        self.assertEqual(check_bench.check_controller(doc), 1)
+
+    def test_every_named_gate_is_checked(self):
+        for gate in check_bench.CONTROLLER_GATES:
+            doc = controller_doc()
+            doc["scenarios"][0]["gates"][gate] = False
+            self.assertEqual(
+                check_bench.check_controller(doc), 1,
+                f"flipping gate {gate!r} must fail the check")
+
+    def test_frozen_cycles_with_failsafe_on_fails(self):
+        doc = controller_doc()
+        doc["scenarios"][1]["failsafe_on"]["frozen_cycles"] = 24
+        self.assertEqual(check_bench.check_controller(doc), 1)
+
+    def test_stuck_policy_epoch_fails(self):
+        doc = controller_doc()
+        doc["scenarios"][0]["failsafe_on"]["policy_epoch"] = 1
+        self.assertEqual(check_bench.check_controller(doc), 1)
+
+    def test_unrecovered_mode_fails(self):
+        doc = controller_doc()
+        doc["scenarios"][2]["failsafe_on"]["mode"] = "fallback"
+        self.assertEqual(check_bench.check_controller(doc), 1)
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "tolerance/core/async_controller.hpp"
 #include "tolerance/solvers/cmdp_lp.hpp"
 
 namespace tolerance::core {
@@ -34,6 +35,11 @@ struct SystemDecision {
   bool add_node = false;   ///< increase the replication factor
   int state = 0;           ///< the aggregated state s_t used for the decision
   int deferred_evictions = 0;  ///< crashed nodes kept to honour SystemLimits
+  // Controller-health accounting (asynchronous level-2 controller only;
+  // inline solves report mode == Inline with epoch/staleness zero).
+  ControllerMode mode = ControllerMode::Inline;
+  std::uint64_t policy_epoch = 0;  ///< epoch of the table behind this decision
+  int staleness_cycles = 0;        ///< cycles since that table was published
 };
 
 class SystemController {
@@ -54,11 +60,20 @@ class SystemController {
   SystemDecision step(const std::vector<double>& beliefs,
                       const std::vector<bool>& reported);
 
-  bool adaptive() const { return strategy_.has_value(); }
+  /// Route add-node decisions through an asynchronous controller instead of
+  /// the inline strategy table.  Non-owning; the controller must outlive
+  /// this object, and the caller drives its begin_cycle once per step.  In
+  /// FRESH/HOLD the decision consumes the same Bernoulli draw as the inline
+  /// path would (so a fault-free async run is decision-identical to inline);
+  /// in FALLBACK it takes the deterministic threshold action.
+  void attach_async(AsyncCmdpController* controller) { async_ = controller; }
+
+  bool adaptive() const { return strategy_.has_value() || async_ != nullptr; }
   const SystemLimits& limits() const { return limits_; }
 
  private:
   std::optional<solvers::CmdpSolution> strategy_;
+  AsyncCmdpController* async_ = nullptr;
   int max_nodes_;
   SystemLimits limits_;
   Rng rng_;

@@ -19,6 +19,7 @@
 
 #include "tolerance/emulation/estimation.hpp"
 #include "tolerance/emulation/scenarios.hpp"
+#include "tolerance/pomdp/system_model.hpp"
 #include "tolerance/solvers/cmdp_lp.hpp"
 
 namespace tolerance::emulation {
@@ -54,6 +55,18 @@ struct ScenarioResult {
   /// Max over cycles and replicas of the per-replica queue depth (leader
   /// backlog + undelivered transport inbox), sampled at each cycle end.
   int max_queue_depth = 0;
+  // --- controller-health telemetry (async level-2 controller; inline runs
+  // report mode "inline" with zero epochs) ---------------------------------
+  std::uint64_t policy_epoch = 0;  ///< last published policy epoch
+  long controller_resolves = 0;    ///< accepted background re-solves
+  long controller_rejected = 0;    ///< poisoned re-solves the guard rejected
+  long controller_hold_cycles = 0;
+  long controller_fallback_cycles = 0;
+  /// Inline/no-failsafe baseline only: cycles where a scripted controller
+  /// fault froze the level-2 step outright (no evictions, no additions).
+  long controller_frozen_cycles = 0;
+  int controller_max_staleness = 0;
+  std::string controller_mode = "inline";  ///< mode at the horizon
   /// One line per control cycle (integer fields only, so the golden-trace
   /// regression is robust): "t=3 s=4 N=5 H=4 M=5 svc=1 rec=[2] evt=[] add=0
   /// defer=0 stall=0" — flood scenarios append " fs=.. fc=.. fr=.. q=.."
@@ -79,6 +92,12 @@ struct ScenarioOptions {
   /// equivalence suite asserts across the whole catalog.
   int consensus_batch_size = 16;
   int consensus_pipeline_depth = 4;
+  /// Override the scenario's ScenarioController::async flag: true forces the
+  /// asynchronous level-2 controller on (requires the runner to hold the
+  /// system CMDP for re-solving), false forces the legacy inline solve (the
+  /// bench uses this as the no-failsafe baseline for the controller-fault
+  /// family).  nullopt follows the scenario.
+  std::optional<bool> async_controller;
 };
 
 class ScenarioRunner {
@@ -87,9 +106,13 @@ class ScenarioRunner {
 
   /// `replication` is the Algorithm 2 strategy; std::nullopt runs a static
   /// replication factor (evictions still happen, nodes are never added).
+  /// `cmdp` is the system CMDP behind `replication` — required when the
+  /// asynchronous controller is enabled (scenario or options), because the
+  /// background re-solver needs the model to re-solve.
   ScenarioRunner(Scenario scenario, FittedDetector detector,
                  std::optional<solvers::CmdpSolution> replication,
-                 Options options = {});
+                 Options options = {},
+                 std::optional<pomdp::SystemCmdp> cmdp = std::nullopt);
 
   const Scenario& scenario() const { return scenario_; }
 
@@ -107,6 +130,7 @@ class ScenarioRunner {
   FittedDetector detector_;
   std::optional<solvers::CmdpSolution> replication_;
   Options options_;
+  std::optional<pomdp::SystemCmdp> cmdp_;
 };
 
 /// Convenience: fit a pooled detector and solve the replication LP for

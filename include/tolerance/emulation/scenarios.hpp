@@ -43,6 +43,16 @@ struct ScenarioEvent {
                      ///< retransmission storms amplify the offered load
     SlowLorisFlood,  ///< retry timeout beyond the horizon: requests are
                      ///< submitted once and linger, tying up queue slots
+    // --- level-2 controller faults (PR 9) ---------------------------------
+    // These target the CMDP re-solver itself (core/async_controller.hpp),
+    // not the replicas: the decision loop must degrade through the
+    // FRESH/HOLD/FALLBACK ladder instead of freezing.
+    ControllerCrash,  ///< re-solver crashes for `duration` cycles; the
+                      ///< in-flight solve is lost and the restart is cold
+    ControllerStall,  ///< GC pause: solves neither complete nor launch for
+                      ///< `duration` cycles (the results park until it ends)
+    SolverFailure,    ///< the next `count` re-solves return poisoned
+                      ///< (infeasible) tables the guard must reject
   };
 
   int step = 1;
@@ -53,6 +63,21 @@ struct ScenarioEvent {
                            ///< requests per flood client per cycle
   /// Post-compromise behaviour for ForceCompromise (§VIII-A a/b/c).
   CompromisedBehavior behavior = CompromisedBehavior::Participate;
+};
+
+/// Level-2 controller configuration for a scenario: whether the CMDP
+/// re-solve runs asynchronously (core/async_controller.hpp) and the
+/// staleness-ladder knobs.  Defaults mirror AsyncControllerConfig; `async`
+/// is false so the legacy catalog keeps its inline-solve (and byte-identical
+/// golden-trace) behaviour, and the controller-fault family switches it on.
+struct ScenarioController {
+  bool async = false;
+  int resolve_period = 5;
+  int solve_latency_cycles = 1;
+  int staleness_budget = 8;
+  int fallback_deadline = 16;
+  int retry_backoff_cycles = 2;
+  int max_retry_backoff_cycles = 16;
 };
 
 /// A named, self-contained closed-loop experiment.
@@ -72,6 +97,8 @@ struct Scenario {
   /// budgets, typed Overloaded rejections).  The overload catalog entries
   /// set this; the bench's no-admission baselines clear it on a copy.
   bool admission_control = false;
+  /// Level-2 controller wiring (async re-solver + staleness failsafe).
+  ScenarioController controller;
   std::vector<ScenarioEvent> events;
 };
 
@@ -83,6 +110,15 @@ bool is_flood_event(ScenarioEvent::Kind kind);
 
 /// True when any event in `s` is a flood event.
 bool has_flood_events(const Scenario& s);
+
+/// True for the controller-fault kinds (ControllerCrash / ControllerStall /
+/// SolverFailure) — events that target the level-2 re-solver rather than
+/// the replicas, and that extend a scenario's trace with controller
+/// epoch/staleness/mode telemetry.
+bool is_controller_event(ScenarioEvent::Kind kind);
+
+/// True when any event in `s` is a controller-fault event.
+bool has_controller_events(const Scenario& s);
 
 /// The library of named adversarial scenarios (see README "Scenarios").
 const std::vector<Scenario>& scenario_catalog();

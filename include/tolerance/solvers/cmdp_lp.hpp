@@ -58,6 +58,14 @@ struct CmdpSolution {
   /// is monotone, so out-of-range states inherit the boundary action).
   double add_probability_at(int s) const;
   int act_clamped(int s, Rng& rng) const;
+
+  /// Poison guard for the asynchronous publish path (core/policy_buffer.hpp):
+  /// true iff the solve converged (Optimal), the policy table is non-empty,
+  /// and every entry is a finite probability in [0, 1], with a finite
+  /// average cost.  A background re-solve that comes back infeasible,
+  /// unbounded or NaN-laden must be rejected by the controller, never
+  /// flipped into the live table the decision path reads.
+  bool valid_policy() const;
 };
 
 /// Solve Prob. 2 exactly (Algorithm 2).

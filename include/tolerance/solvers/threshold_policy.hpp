@@ -45,4 +45,43 @@ class ThresholdPolicy {
   int delta_r_;
 };
 
+struct CmdpSolution;  // solvers/cmdp_lp.hpp
+
+/// Level-2 analogue of Theorem 1's threshold structure: the deterministic
+/// degraded-mode replication strategy the asynchronous controller falls back
+/// to when the CMDP re-solver is crashed or hung past its deadline
+/// (core/async_controller.hpp, FALLBACK rung).
+///
+/// Theorem 2 proves the optimal randomized policy is a mixture
+/// kappa*pi_{beta1} + (1-kappa)*pi_{beta2} of two threshold strategies with
+/// beta1 <= beta2 (add a node iff s <= beta).  A failsafe must be
+/// deterministic and stateless, so we collapse the mixture onto its dominant
+/// component: beta2 when kappa >= 1/2 puts the majority weight on the wider
+/// threshold, beta1 otherwise.  This preserves the monotone add-iff-low-
+/// healthy-count structure the theorem guarantees while dropping the
+/// randomization that needs a live solver to justify.
+class SystemThresholdPolicy {
+ public:
+  /// `beta` < 0 means "never add"; otherwise add a node iff s <= beta.
+  explicit SystemThresholdPolicy(int beta) : beta_(beta) {}
+
+  /// Dominant threshold component of a Thm. 2 mixture.  `fallback` is used
+  /// when the solution carries no threshold decomposition (beta1 and beta2
+  /// both unset).
+  static int dominant_threshold(int beta1, int beta2, double kappa,
+                                int fallback);
+
+  /// Collapse a solved CMDP mixture onto its dominant component.
+  static SystemThresholdPolicy from_solution(const CmdpSolution& solution,
+                                             int fallback_beta);
+
+  /// Deterministic action: add a node iff s <= beta.
+  bool add(int s) const { return beta_ >= 0 && s <= beta_; }
+
+  int beta() const { return beta_; }
+
+ private:
+  int beta_;
+};
+
 }  // namespace tolerance::solvers

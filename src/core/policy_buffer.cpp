@@ -1,0 +1,48 @@
+#include "tolerance/core/policy_buffer.hpp"
+
+#include <thread>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::core {
+
+void PolicyBuffer::publish(Table table) {
+  TOL_ENSURE(table.epoch > epoch_.load(std::memory_order_acquire),
+             "published epochs must be strictly increasing");
+  const int back = 1 - active_.load(std::memory_order_acquire);
+  // Wait for stragglers: a reader that loaded the old active index but has
+  // not yet re-checked it may still pin this slot.  Readers hold a slot only
+  // for one table copy, so this spin is bounded and short; the *decision*
+  // path never spins (readers never wait for the writer).
+  while (readers_[static_cast<std::size_t>(back)].load(
+             std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  slots_[static_cast<std::size_t>(back)] = std::move(table);
+  const std::uint64_t epoch = slots_[static_cast<std::size_t>(back)].epoch;
+  // The flip: readers that acquire the new index also see the slot contents
+  // written above (release/acquire on active_).
+  active_.store(back, std::memory_order_release);
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+PolicyBuffer::Table PolicyBuffer::snapshot() const {
+  for (;;) {
+    const int idx = active_.load(std::memory_order_acquire);
+    readers_[static_cast<std::size_t>(idx)].fetch_add(
+        1, std::memory_order_acq_rel);
+    if (active_.load(std::memory_order_acquire) == idx) {
+      Table copy = slots_[static_cast<std::size_t>(idx)];
+      readers_[static_cast<std::size_t>(idx)].fetch_sub(
+          1, std::memory_order_release);
+      return copy;
+    }
+    // Lost the race with a flip between the index load and the pin: the
+    // writer may already be rewriting this slot.  Unpin and retry on the
+    // new active slot (at most one extra iteration per concurrent flip).
+    readers_[static_cast<std::size_t>(idx)].fetch_sub(
+        1, std::memory_order_release);
+  }
+}
+
+}  // namespace tolerance::core

@@ -52,8 +52,24 @@ SystemDecision SystemController::step(const std::vector<double>& beliefs,
     decision.evict.resize(static_cast<std::size_t>(allowed));
   }
   decision.state = static_cast<int>(std::floor(expected_healthy));  // (8)
-  if (strategy_.has_value() && live < max_nodes_) {
-    decision.add_node = strategy_->act_clamped(decision.state, rng_) == 1;
+  if (adaptive() && live < max_nodes_) {
+    if (async_ != nullptr) {
+      const PolicyQuery query = async_->policy_at(decision.state);
+      decision.mode = query.mode;
+      decision.policy_epoch = query.epoch;
+      decision.staleness_cycles = query.staleness;
+      if (query.mode == ControllerMode::Fallback) {
+        // Degraded mode: deterministic Thm. 2 threshold action; no draw is
+        // consumed (the failsafe must not depend on controller RNG state).
+        decision.add_node = query.fallback_add;
+      } else {
+        // Same draw the inline path takes (act_clamped), so a fault-free
+        // async episode is decision-identical to the inline one.
+        decision.add_node = rng_.bernoulli(query.add_probability);
+      }
+    } else {
+      decision.add_node = strategy_->act_clamped(decision.state, rng_) == 1;
+    }
     // A deferral caused by the membership floor (not the per-cycle f cap)
     // means the cluster is pinned at 2f + 1 with dead weight aboard:
     // repair the floor deterministically instead of waiting for the

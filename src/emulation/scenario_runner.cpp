@@ -1,12 +1,15 @@
 #include "tolerance/emulation/scenario_runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "tolerance/consensus/minbft_cluster.hpp"
+#include "tolerance/core/async_controller.hpp"
 #include "tolerance/core/node_controller.hpp"
 #include "tolerance/core/system_controller.hpp"
 #include "tolerance/pomdp/system_model.hpp"
@@ -66,14 +69,24 @@ bool identical(const ScenarioResult& a, const ScenarioResult& b) {
          a.flood_rejections == b.flood_rejections &&
          a.flood_backoffs == b.flood_backoffs &&
          a.admitted_availability == b.admitted_availability &&
-         a.max_queue_depth == b.max_queue_depth && a.trace == b.trace;
+         a.max_queue_depth == b.max_queue_depth &&
+         a.policy_epoch == b.policy_epoch &&
+         a.controller_resolves == b.controller_resolves &&
+         a.controller_rejected == b.controller_rejected &&
+         a.controller_hold_cycles == b.controller_hold_cycles &&
+         a.controller_fallback_cycles == b.controller_fallback_cycles &&
+         a.controller_frozen_cycles == b.controller_frozen_cycles &&
+         a.controller_max_staleness == b.controller_max_staleness &&
+         a.controller_mode == b.controller_mode && a.trace == b.trace;
 }
 
 ScenarioRunner::ScenarioRunner(Scenario scenario, FittedDetector detector,
                                std::optional<solvers::CmdpSolution> replication,
-                               Options options)
+                               Options options,
+                               std::optional<pomdp::SystemCmdp> cmdp)
     : scenario_(std::move(scenario)), detector_(std::move(detector)),
-      replication_(std::move(replication)), options_(options) {
+      replication_(std::move(replication)), options_(options),
+      cmdp_(std::move(cmdp)) {
   TOL_ENSURE(scenario_.horizon > 0, "horizon must be positive");
   TOL_ENSURE(scenario_.f >= 1, "tolerance threshold f must be >= 1");
   TOL_ENSURE(scenario_.initial_nodes >= 2 * scenario_.f + 1,
@@ -84,6 +97,11 @@ ScenarioRunner::ScenarioRunner(Scenario scenario, FittedDetector detector,
     TOL_ENSURE(e.step >= 1 && e.step <= scenario_.horizon,
                "scenario event outside the horizon");
     TOL_ENSURE(e.count >= 1 && e.duration >= 1, "malformed scenario event");
+  }
+  if (options_.async_controller.value_or(scenario_.controller.async)) {
+    TOL_ENSURE(replication_.has_value() && cmdp_.has_value(),
+               "async controller needs the CMDP strategy and model to "
+               "re-solve in the background");
   }
 }
 
@@ -112,6 +130,38 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
   limits.min_nodes = 2 * scenario_.f + 1;
   core::SystemController system(replication_, scenario_.max_nodes,
                                 seed ^ 0xabcd, limits);
+
+  // --- Asynchronous level-2 controller: the CMDP re-solve off the decision
+  // path behind the FRESH/HOLD/FALLBACK staleness ladder.  Inline mode (the
+  // legacy default) keeps acting on the solution computed at training time;
+  // when a scenario scripts controller faults against inline mode, the
+  // level-2 step freezes outright for the fault window — the no-failsafe
+  // baseline the controller bench degrades against.
+  const bool use_async =
+      options_.async_controller.value_or(scenario_.controller.async);
+  const bool has_ctrl_events = has_controller_events(scenario_);
+  std::unique_ptr<core::AsyncCmdpController> async;
+  if (use_async) {
+    core::AsyncControllerConfig acfg;
+    acfg.resolve_period = scenario_.controller.resolve_period;
+    acfg.solve_latency_cycles = scenario_.controller.solve_latency_cycles;
+    acfg.staleness_budget = scenario_.controller.staleness_budget;
+    acfg.fallback_deadline = scenario_.controller.fallback_deadline;
+    acfg.retry_backoff_cycles = scenario_.controller.retry_backoff_cycles;
+    acfg.max_retry_backoff_cycles =
+        scenario_.controller.max_retry_backoff_cycles;
+    // Deterministic lane: publishes land at fixed simulated cycles so
+    // episodes stay bit-identical at any thread count.
+    acfg.deterministic = true;
+    async = std::make_unique<core::AsyncCmdpController>(
+        *replication_,
+        [cmdp = *cmdp_](const lp::SimplexBasis* warm) {
+          return solvers::solve_replication_lp(cmdp, {}, warm);
+        },
+        acfg, seed ^ 0x51a1eULL);
+    system.attach_async(async.get());
+  }
+  long frozen_until = 0;  // inline baseline: level-2 frozen while t < this
 
   // --- Consensus layer: live MinBFT cluster mirroring the testbed. ---
   consensus::MinBftConfig cfg;
@@ -255,6 +305,29 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
         case ScenarioEvent::Kind::RetryStorm:
         case ScenarioEvent::Kind::SlowLorisFlood:
           break;  // handled below: floods act every active cycle, not once
+        case ScenarioEvent::Kind::ControllerCrash:
+          if (async) {
+            async->inject_crash(t, e.duration);
+          } else {
+            frozen_until = std::max<long>(frozen_until, t + e.duration);
+          }
+          break;
+        case ScenarioEvent::Kind::ControllerStall:
+          if (async) {
+            async->inject_stall(t, e.duration);
+          } else {
+            frozen_until = std::max<long>(frozen_until, t + e.duration);
+          }
+          break;
+        case ScenarioEvent::Kind::SolverFailure:
+          if (async) {
+            async->inject_solver_failure(e.count);
+          } else {
+            // Inline equivalent: the solver keeps failing on the decision
+            // path for the event's duration.
+            frozen_until = std::max<long>(frozen_until, t + e.duration);
+          }
+          break;
       }
     }
     const bool storm_active = t <= storm_until;
@@ -332,6 +405,7 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
     }
 
     // --- Global level: the CMDP decision, executed through consensus. ---
+    if (async) async->begin_cycle(t);
     std::vector<double> beliefs;
     std::vector<bool> reported;
     for (int i = 0; i < testbed.num_nodes(); ++i) {
@@ -340,7 +414,22 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
       reported.push_back(alive);
       beliefs.push_back(alive ? controllers[idx].belief() : 1.0);
     }
-    const core::SystemDecision decision = system.step(beliefs, reported);
+    const bool frozen = !async && t < frozen_until;
+    core::SystemDecision decision;
+    if (frozen) {
+      // Inline/no-failsafe baseline under a scripted controller fault: the
+      // solve sits on the decision path, so a crashed or hung solver takes
+      // the whole level-2 step with it — no evictions, no additions.  Only
+      // the aggregated state remains observable for the trace.
+      double expected_healthy = 0.0;
+      for (std::size_t i = 0; i < beliefs.size(); ++i) {
+        if (reported[i]) expected_healthy += 1.0 - beliefs[i];
+      }
+      decision.state = static_cast<int>(std::floor(expected_healthy));
+      ++result.controller_frozen_cycles;
+    } else {
+      decision = system.step(beliefs, reported);
+    }
     result.deferred_evictions += decision.deferred_evictions;
     std::vector<int> evicted_ids;
     for (auto it = decision.evict.rbegin(); it != decision.evict.rend();
@@ -508,6 +597,14 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
              << " fc=" << result.flood_completed
              << " fr=" << result.flood_rejections << " q=" << cycle_queue_depth;
       }
+      if (use_async || has_ctrl_events) {
+        // Controller suffix only when the async controller or a scripted
+        // controller fault is in play — same golden-trace rationale.
+        // md: F(resh) / H(old) / B (fallback) / I(nline) / Z (frozen).
+        line << " ep=" << decision.policy_epoch
+             << " st=" << decision.staleness_cycles
+             << " md=" << (frozen ? 'Z' : core::mode_letter(decision.mode));
+      }
       result.trace.push_back(line.str());
     }
   }
@@ -523,6 +620,16 @@ ScenarioResult ScenarioRunner::run(std::uint64_t seed) const {
 
   for (const ReplicaId id : cluster.replica_ids()) {
     result.final_view = std::max(result.final_view, cluster.replica(id).view());
+  }
+  if (async) {
+    const core::AsyncControllerStats ctrl = async->stats();
+    result.policy_epoch = ctrl.policy_epoch;
+    result.controller_resolves = ctrl.resolves;
+    result.controller_rejected = ctrl.rejected;
+    result.controller_hold_cycles = ctrl.hold_cycles;
+    result.controller_fallback_cycles = ctrl.fallback_cycles;
+    result.controller_max_staleness = ctrl.max_staleness;
+    result.controller_mode = core::to_string(async->mode());
   }
   if (result.flood_submitted > 0) {
     // Shed requests (an f+1 rejection quorum put them into backoff custody)
@@ -590,7 +697,7 @@ ScenarioRunner make_scenario_runner(const Scenario& scenario,
     strategy = std::move(replication);
   }
   return ScenarioRunner(scenario, std::move(detector), std::move(strategy),
-                        options);
+                        options, cmdp);
 }
 
 }  // namespace tolerance::emulation

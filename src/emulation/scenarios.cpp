@@ -280,6 +280,115 @@ std::vector<Scenario> build_catalog() {
     catalog.push_back(s);
   }
 
+  // --- Controller-fault family (PR 9). -----------------------------------
+  // All four run the level-2 CMDP re-solver asynchronously
+  // (controller.async = true) and script faults against the *controller*
+  // rather than the replicas.  They keep the crash-wave style elevated
+  // crash rates so the level-2 loop (evict crashed, add replacements)
+  // actually matters: the inline/no-failsafe baseline — which freezes the
+  // level-2 step for the fault window — measurably degrades, while the
+  // FRESH/HOLD/FALLBACK ladder keeps deciding every cycle.
+
+  auto controller_base = [](std::string name, std::string description) {
+    Scenario s = base_scenario(std::move(name), std::move(description));
+    s.initial_nodes = 5;
+    s.max_nodes = 9;
+    s.horizon = 80;
+    s.controller.async = true;
+    s.testbed.p_crash_healthy = 2e-3;
+    s.testbed.p_crash_compromised = 2e-2;
+    s.node_params.p_crash_healthy = 2e-3;
+    s.node_params.p_crash_compromised = 2e-2;
+    return s;
+  };
+
+  // 13. Controller crash in the middle of an intrusion: the re-solver dies
+  // for 30 cycles just before a forced compromise, long past the fallback
+  // deadline — the Thm. 2 threshold failsafe must carry the loop until the
+  // cold restart re-flips a fresh epoch.
+  {
+    Scenario s = controller_base(
+        "controller-crash-mid-intrusion",
+        "re-solver crashes for 30 cycles across a forced compromise; the "
+        "threshold failsafe must engage until the cold restart");
+    ScenarioEvent crash;
+    crash.step = 18;
+    crash.kind = Kind::ControllerCrash;
+    crash.duration = 30;
+    s.events.push_back(crash);
+    ScenarioEvent compromise;
+    compromise.step = 22;
+    compromise.kind = Kind::ForceCompromise;
+    compromise.count = 2;
+    compromise.behavior = CompromisedBehavior::Participate;
+    s.events.push_back(compromise);
+    catalog.push_back(s);
+  }
+
+  // 14. GC pause: solves freeze for 24 cycles (they park, nothing publishes,
+  // nothing launches).  Staleness climbs through HOLD into FALLBACK; the
+  // parked solve flips in the moment the pause lifts.
+  {
+    Scenario s = controller_base(
+        "controller-gc-pause",
+        "24-cycle GC pause stalls every re-solve; HOLD then FALLBACK, with "
+        "recovery on the first post-pause flip");
+    ScenarioEvent stall;
+    stall.step = 15;
+    stall.kind = Kind::ControllerStall;
+    stall.duration = 24;
+    s.events.push_back(stall);
+    ScenarioEvent compromise;
+    compromise.step = 25;
+    compromise.kind = Kind::ForceCompromise;
+    compromise.count = 1;
+    compromise.behavior = CompromisedBehavior::Participate;
+    s.events.push_back(compromise);
+    catalog.push_back(s);
+  }
+
+  // 15. Repeated solver failure: five consecutive re-solves come back
+  // poisoned (infeasible).  The guard must reject every one (epoch never
+  // flips to garbage) and the jittered backoff must still converge to a
+  // good solve before the fallback deadline would be a steady state.
+  {
+    Scenario s = controller_base(
+        "controller-solver-failures",
+        "five consecutive poisoned re-solves; the guard rejects them all "
+        "and jittered retries recover the epoch flow");
+    // Cap the exponential backoff low enough that the sixth (good) solve
+    // lands well inside the horizon even on the unluckiest jitter draws.
+    s.controller.max_retry_backoff_cycles = 6;
+    ScenarioEvent failure;
+    failure.step = 5;
+    failure.kind = Kind::SolverFailure;
+    failure.count = 5;
+    failure.duration = 25;  // inline-baseline freeze window equivalent
+    s.events.push_back(failure);
+    catalog.push_back(s);
+  }
+
+  // 16. Slow solve under churn: the LP takes 4 cycles against a 4-cycle
+  // staleness budget while crashes churn the membership, so the loop
+  // oscillates FRESH <-> HOLD without ever reaching FALLBACK.
+  {
+    Scenario s = controller_base(
+        "controller-slow-solve-churn",
+        "4-cycle solve latency vs a 4-cycle staleness budget under crash "
+        "churn; HOLD cycles without fallback");
+    s.controller.resolve_period = 6;
+    s.controller.solve_latency_cycles = 4;
+    s.controller.staleness_budget = 4;
+    for (int step : {20, 21, 45}) {
+      ScenarioEvent e;
+      e.step = step;
+      e.kind = Kind::ForceCrash;
+      e.count = 1;
+      s.events.push_back(e);
+    }
+    catalog.push_back(s);
+  }
+
   return catalog;
 }
 
@@ -294,6 +403,19 @@ bool is_flood_event(ScenarioEvent::Kind kind) {
 bool has_flood_events(const Scenario& s) {
   for (const ScenarioEvent& e : s.events) {
     if (is_flood_event(e.kind)) return true;
+  }
+  return false;
+}
+
+bool is_controller_event(ScenarioEvent::Kind kind) {
+  return kind == ScenarioEvent::Kind::ControllerCrash ||
+         kind == ScenarioEvent::Kind::ControllerStall ||
+         kind == ScenarioEvent::Kind::SolverFailure;
+}
+
+bool has_controller_events(const Scenario& s) {
+  for (const ScenarioEvent& e : s.events) {
+    if (is_controller_event(e.kind)) return true;
   }
   return false;
 }

@@ -29,6 +29,16 @@ int CmdpSolution::act_clamped(int s, Rng& rng) const {
   return rng.bernoulli(add_probability_at(s)) ? 1 : 0;
 }
 
+bool CmdpSolution::valid_policy() const {
+  if (status != lp::LpStatus::Optimal) return false;
+  if (add_probability.empty()) return false;
+  if (!std::isfinite(average_cost)) return false;
+  for (const double p : add_probability) {
+    if (!std::isfinite(p) || p < 0.0 || p > 1.0) return false;
+  }
+  return true;
+}
+
 CmdpSolution solve_replication_lp(const pomdp::SystemCmdp& cmdp,
                                   lp::SimplexSolver::Options lp_options,
                                   const lp::SimplexBasis* warm) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "tolerance/solvers/cmdp_lp.hpp"
 #include "tolerance/util/ensure.hpp"
 
 namespace tolerance::solvers {
@@ -44,6 +45,25 @@ pomdp::NodePolicy ThresholdPolicy::as_policy() const {
   return [policy = *this](double belief, int t) {
     return policy.action(belief, t);
   };
+}
+
+int SystemThresholdPolicy::dominant_threshold(int beta1, int beta2,
+                                              double kappa, int fallback) {
+  // By the extraction convention in cmdp_lp.cpp, kappa is the add
+  // probability on the randomized band: pi(1|s) = kappa for
+  // beta1 < s <= beta2.  kappa >= 1/2 means the policy adds more often than
+  // not on that band, so the dominant deterministic component extends to
+  // beta2; below 1/2 it contracts to beta1.
+  if (beta1 < 0 && beta2 < 0) return fallback;
+  if (beta2 < 0) return beta1;
+  if (beta1 < 0) return kappa >= 0.5 ? beta2 : fallback;
+  return kappa >= 0.5 ? beta2 : beta1;
+}
+
+SystemThresholdPolicy SystemThresholdPolicy::from_solution(
+    const CmdpSolution& solution, int fallback_beta) {
+  return SystemThresholdPolicy(dominant_threshold(
+      solution.beta1, solution.beta2, solution.kappa, fallback_beta));
 }
 
 }  // namespace tolerance::solvers

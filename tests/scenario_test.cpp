@@ -48,7 +48,9 @@ TEST(ScenarioCatalog, HasTheDocumentedScenarios) {
        {"baseline-intrusion", "staggered-intrusions", "false-positive-storms",
         "correlated-burst-exceeds-f", "silent-saboteurs", "slow-loris",
         "crash-wave", "aggressive-attacker", "golden-small",
-        "load-spike-100x", "retry-storm", "slow-loris-flood"}) {
+        "load-spike-100x", "retry-storm", "slow-loris-flood",
+        "controller-crash-mid-intrusion", "controller-gc-pause",
+        "controller-solver-failures", "controller-slow-solve-churn"}) {
     EXPECT_EQ(set.count(expected), 1u) << expected;
   }
   EXPECT_EQ(set.size(), names.size()) << "duplicate scenario names";
@@ -313,6 +315,143 @@ TEST(ScenarioOverload, SlowLorisFloodIsShedAndQueuesStayBounded) {
       << "the HARD trickle must keep some probes alive";
   const auto off = run_without_admission("slow-loris-flood");
   EXPECT_GT(off.max_queue_depth, 2000);
+}
+
+// ---------------------------------------------------------------------------
+// Controller-fault battery: the asynchronous level-2 controller's staleness
+// failsafe vs. the inline/no-failsafe baseline on the same scenarios.  Each
+// gate pairs the failsafe run (FALLBACK engages, zero frozen cycles, service
+// holds) with an inline baseline run whose controller-fault windows freeze
+// the whole level-2 step — demonstrating the ladder earns its keep.
+// ---------------------------------------------------------------------------
+
+ScenarioResult run_controller(const std::string& name, std::uint64_t seed,
+                              bool async) {
+  ScenarioRunner::Options opt;
+  opt.async_controller = async;
+  return emulation::make_scenario_runner(emulation::find_scenario(name), 42,
+                                         60, opt)
+      .run(seed);
+}
+
+TEST(ScenarioController, CrashFailsafeBeatsFrozenBaseline) {
+  for (std::uint64_t seed : kBatterySeeds) {
+    const auto on = run_controller("controller-crash-mid-intrusion", seed,
+                                   /*async=*/true);
+    // Failsafe ON: the ladder degrades through HOLD into FALLBACK while the
+    // re-solver is down, keeps evicting/adding on the threshold policy, and
+    // recovers to FRESH once the cold restart's first flip lands.
+    EXPECT_EQ(on.controller_frozen_cycles, 0) << "seed " << seed;
+    EXPECT_GT(on.controller_fallback_cycles, 0) << "seed " << seed;
+    EXPECT_GT(on.controller_hold_cycles, 0) << "seed " << seed;
+    EXPECT_GE(on.policy_epoch, 2u) << "no flip landed after the restart";
+    EXPECT_EQ(on.controller_mode, "fresh") << "seed " << seed;
+    EXPECT_GE(std::min(on.availability, on.service_availability), 0.95)
+        << "seed " << seed;
+    // Failsafe OFF: the crash window freezes the level-2 step outright.
+    const auto off = run_controller("controller-crash-mid-intrusion", seed,
+                                    /*async=*/false);
+    EXPECT_EQ(off.controller_frozen_cycles, 30) << "seed " << seed;
+    EXPECT_EQ(off.policy_epoch, 0u);
+    EXPECT_LE(std::min(off.availability, off.service_availability), 0.87)
+        << "baseline must measurably degrade, or the scenario is toothless "
+           "(seed "
+        << seed << ")";
+  }
+}
+
+TEST(ScenarioController, GcPauseFailsafeHoldsService) {
+  double worst_inline_availability = 1.0;
+  for (std::uint64_t seed : kBatterySeeds) {
+    const auto on = run_controller("controller-gc-pause", seed, true);
+    EXPECT_EQ(on.controller_frozen_cycles, 0) << "seed " << seed;
+    EXPECT_GT(on.controller_fallback_cycles, 0) << "seed " << seed;
+    EXPECT_EQ(on.controller_mode, "fresh") << "seed " << seed;
+    EXPECT_GE(on.availability, 0.999) << "seed " << seed;
+    EXPECT_GE(on.service_availability, 0.999) << "seed " << seed;
+    // The stall parks the in-flight solve rather than losing it: once the
+    // pause lifts, the harvest publishes without a cold restart.
+    EXPECT_GE(on.controller_resolves, 5L) << "seed " << seed;
+    const auto off = run_controller("controller-gc-pause", seed, false);
+    EXPECT_EQ(off.controller_frozen_cycles, 24) << "seed " << seed;
+    worst_inline_availability =
+        std::min(worst_inline_availability,
+                 std::min(off.availability, off.service_availability));
+  }
+  EXPECT_LT(worst_inline_availability, 1.0)
+      << "the frozen baseline must drop probes for at least one seed";
+}
+
+TEST(ScenarioController, SolverFailuresAreRejectedAndRecovered) {
+  for (std::uint64_t seed : kBatterySeeds) {
+    const auto on = run_controller("controller-solver-failures", seed, true);
+    // Exactly the five scripted poisoned solves are rejected; the guard
+    // never flips one in, and the jittered retries eventually land a good
+    // re-solve that returns the ladder to FRESH.
+    EXPECT_EQ(on.controller_rejected, 5L) << "seed " << seed;
+    EXPECT_GE(on.controller_resolves, 5L) << "seed " << seed;
+    EXPECT_GE(on.policy_epoch, 6u) << "seed " << seed;
+    EXPECT_EQ(on.controller_mode, "fresh") << "seed " << seed;
+    EXPECT_GT(on.controller_fallback_cycles, 0L) << "seed " << seed;
+    EXPECT_EQ(on.controller_frozen_cycles, 0L) << "seed " << seed;
+    EXPECT_GE(on.availability, 0.999) << "seed " << seed;
+    EXPECT_GE(on.service_availability, 0.999) << "seed " << seed;
+    const auto off = run_controller("controller-solver-failures", seed, false);
+    EXPECT_EQ(off.controller_frozen_cycles, 25) << "seed " << seed;
+    EXPECT_EQ(off.controller_rejected, 0L) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioController, SlowSolveChurnHoldsWithoutFallback) {
+  const Scenario& s = emulation::find_scenario("controller-slow-solve-churn");
+  for (std::uint64_t seed : kBatterySeeds) {
+    const auto on = run_controller("controller-slow-solve-churn", seed, true);
+    // Staleness rides above the (deliberately tight) budget while each slow
+    // solve is in flight, but never reaches the fallback deadline: the
+    // ladder oscillates FRESH <-> HOLD and the failsafe stays sheathed.
+    EXPECT_GT(on.controller_hold_cycles, 0L) << "seed " << seed;
+    EXPECT_EQ(on.controller_fallback_cycles, 0L) << "seed " << seed;
+    EXPECT_LE(on.controller_max_staleness, s.controller.fallback_deadline)
+        << "seed " << seed;
+    EXPECT_GT(on.controller_max_staleness, s.controller.staleness_budget)
+        << "seed " << seed;
+    // No controller fault is scripted, so in FRESH/HOLD the async controller
+    // consumes the decision RNG exactly like the inline solve: the episode
+    // outcomes must be identical, telemetry aside.
+    const auto off = run_controller("controller-slow-solve-churn", seed, false);
+    EXPECT_EQ(on.availability, off.availability) << "seed " << seed;
+    EXPECT_EQ(on.service_availability, off.service_availability)
+        << "seed " << seed;
+    EXPECT_EQ(on.evictions, off.evictions) << "seed " << seed;
+    EXPECT_EQ(on.additions, off.additions) << "seed " << seed;
+    EXPECT_EQ(on.recoveries, off.recoveries) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioController, AsyncNoFaultMatchesInlineOnLegacyCatalog) {
+  // Forcing the async controller onto a legacy (fault-free) scenario must
+  // not change a single decision: scalars are equal and each async trace
+  // line is the inline line plus the controller-telemetry suffix.
+  const auto on = run_controller("golden-small", 2024, true);
+  const auto off = run_controller("golden-small", 2024, false);
+  EXPECT_EQ(on.availability, off.availability);
+  EXPECT_EQ(on.service_availability, off.service_availability);
+  EXPECT_EQ(on.avg_nodes, off.avg_nodes);
+  EXPECT_EQ(on.recoveries, off.recoveries);
+  EXPECT_EQ(on.evictions, off.evictions);
+  EXPECT_EQ(on.additions, off.additions);
+  EXPECT_EQ(on.compromises, off.compromises);
+  EXPECT_EQ(on.final_view, off.final_view);
+  EXPECT_GE(on.policy_epoch, 1u);
+  EXPECT_EQ(off.policy_epoch, 0u);
+  ASSERT_EQ(on.trace.size(), off.trace.size());
+  for (std::size_t i = 0; i < on.trace.size(); ++i) {
+    EXPECT_EQ(on.trace[i].rfind(off.trace[i], 0), 0u)
+        << "async trace line " << i
+        << " does not extend the inline line:\n  inline: " << off.trace[i]
+        << "\n  async:  " << on.trace[i];
+    EXPECT_NE(on.trace[i].find(" ep="), std::string::npos) << "line " << i;
+  }
 }
 
 // ---------------------------------------------------------------------------
