@@ -1,0 +1,292 @@
+// Chaos battery for the wall-clock MinBFT lane: seeded fault plans (crash +
+// restart, frame-corruption storm, targeted state-transfer blackhole) are
+// executed against live closed-loop clusters, and the run writes a
+// BENCH_chaos.json artifact (CI uploads it each run).
+//
+// The CI-enforced gates:
+//   - recovery_ok     — every plan-driven restart caught the cluster's
+//                       committed high-water mark within the bound;
+//   - convergence_ok  — after the run, all live replicas' committed logs
+//                       are pairwise prefix-consistent and the restarted
+//                       replica holds committed state again;
+//   - zero_decode / zero_handler — no corrupted or raced frame EVER reached
+//                       a codec or protocol handler (corruption must die in
+//                       the HMAC layer, counted as auth failures);
+//   - corruption_exercised / retry_exercised — the battery actually
+//                       injected what it claims to test (a green gate over
+//                       zero injections would be vacuous).
+//
+// Flags:
+//   --seeds M      runs per scenario (default: 2, or 5 at
+//                  TOLERANCE_BENCH_FULL=1)
+//   --out PATH     artifact path (default: BENCH_chaos.json)
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "tolerance/consensus/minbft_runtime.hpp"
+#include "tolerance/net/profiles.hpp"
+
+namespace {
+
+using namespace tolerance;
+
+consensus::MinBftConfig chaos_config() {
+  consensus::MinBftConfig cfg;
+  cfg.f = 1;
+  // Fine checkpoints: a recovering replica converges boundary by boundary
+  // (each anchored install reaches the latest stable checkpoint), so the
+  // period bounds how far behind the live head each round leaves it.
+  cfg.checkpoint_period = 10;
+  cfg.view_change_timeout = 2.0;
+  cfg.request_retry_timeout = 0.4;
+  // Lost commit votes must heal well inside the recovery bound: a wedged
+  // peer freezes the checkpoint quorum the anchored transfer depends on.
+  cfg.commit_repair_timeout = 0.25;
+  cfg.batch_timeout = 0.005;
+  cfg.state_transfer_timeout = 0.2;
+  cfg.state_transfer_backoff = 1.5;
+  cfg.state_transfer_max_attempts = 8;
+  return cfg;
+}
+
+struct ScenarioSpec {
+  std::string name;
+  net::NetworkProfile profile;
+  consensus::ChaosOptions chaos;
+  double duration = 3.0;
+  /// Gate knobs: which exercised-gates apply, and the recovery bound.
+  bool expects_restart = false;
+  bool expects_corruption = false;
+  bool expects_retry = false;
+  double recovery_bound = 2.0;  ///< seconds from restart to caught-up
+};
+
+struct ScenarioOutcome {
+  consensus::RuntimeLoadStats stats;
+  bool convergence_ok = true;
+  bool recovery_ok = true;
+};
+
+std::vector<ScenarioSpec> battery() {
+  std::vector<ScenarioSpec> specs;
+  {
+    // Crash-restart on a lossy multi-hop path (latency and loss compressed
+    // so a seconds-long run commits plenty, but loss and reordering stay
+    // real): recovery must ride through retransmissions, not a clean LAN.
+    ScenarioSpec s;
+    s.name = "crash-restart-lossy";
+    s.profile = net::NetworkProfile::lossy_multihop();
+    s.profile.replica_link.base_delay = 2e-3;
+    s.profile.replica_link.jitter = 3e-3;
+    s.profile.replica_link.loss = 0.01;
+    s.profile.replica_link.reorder_delay = 4e-3;
+    s.profile.client_link.base_delay = 2e-3;
+    s.profile.client_link.jitter = 3e-3;
+    s.profile.client_link.loss = 0.01;
+    s.chaos.plan.events = {
+        {0.4, net::FaultKind::kCrash, 2},
+        {0.9, net::FaultKind::kRestart, 2},
+    };
+    s.chaos.watchdog_window = 5.0;
+    s.duration = 4.5;
+    s.expects_restart = true;
+    // Convergence rides the checkpoint cadence, and at lossy-multihop
+    // commit rates a boundary stabilizes roughly every second.
+    s.recovery_bound = 3.0;
+    specs.push_back(std::move(s));
+  }
+  {
+    // Corruption storm at the view-0 leader: a quarter of its outbound
+    // bundles get seeded bit flips for a full second.  Everything must die
+    // in the HMAC check; commits continue on retransmissions.
+    ScenarioSpec s;
+    s.name = "corruption-storm";
+    s.profile = net::NetworkProfile::lan();
+    net::FaultEvent storm;
+    storm.at = 0.3;
+    storm.kind = net::FaultKind::kCorruptFrames;
+    storm.node = 0;
+    storm.rate = 0.25;
+    storm.duration = 1.0;
+    s.chaos.plan.events = {storm};
+    s.chaos.watchdog_window = 5.0;
+    s.duration = 2.0;
+    s.expects_corruption = true;
+    specs.push_back(std::move(s));
+  }
+  {
+    // Targeted blackhole of the recovering replica's outbound across its
+    // restart: the first state request dies on the wire, so rejoining is
+    // only possible through the retry machine (rotation + backoff).
+    ScenarioSpec s;
+    s.name = "targeted-drop-recovery";
+    s.profile = net::NetworkProfile::lan();
+    net::FaultEvent blackhole;
+    blackhole.at = 0.55;
+    blackhole.kind = net::FaultKind::kDropPair;
+    blackhole.node = 2;  // peer defaults to kAllPeers: full outbound cut
+    blackhole.rate = 1.0;
+    blackhole.duration = 0.6;
+    s.chaos.plan.events = {
+        {0.3, net::FaultKind::kCrash, 2},
+        blackhole,
+        {0.6, net::FaultKind::kRestart, 2},
+    };
+    s.chaos.watchdog_window = 5.0;
+    s.duration = 3.5;
+    s.expects_restart = true;
+    s.expects_retry = true;
+    s.recovery_bound = 2.6;  // the blackhole itself eats the first ~1.15s
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+ScenarioOutcome run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  consensus::MinBftRuntimeCluster cluster(3, chaos_config(), seed,
+                                          spec.profile, 4);
+  consensus::ChaosOptions chaos = spec.chaos;
+  chaos.plan.seed = seed ^ 0xc4a05ull;
+  cluster.set_chaos(chaos);
+  ScenarioOutcome out;
+  out.stats = cluster.run_closed_loop(6, spec.duration);
+
+  // Convergence: live replicas' committed logs pairwise prefix-consistent,
+  // and after a restart the rejoined replica holds committed state again.
+  const auto live = cluster.live_replicas();
+  std::vector<std::vector<std::string>> logs;
+  for (const auto id : live) {
+    auto& r = cluster.replica(id);
+    const auto& full = r.service().log();
+    const std::size_t committed = std::min(r.committed_log_size(), full.size());
+    logs.emplace_back(full.begin(),
+                      full.begin() + static_cast<std::ptrdiff_t>(committed));
+  }
+  for (std::size_t a = 0; a < logs.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs.size(); ++b) {
+      const auto& s = logs[a].size() <= logs[b].size() ? logs[a] : logs[b];
+      const auto& l = logs[a].size() <= logs[b].size() ? logs[b] : logs[a];
+      if (!std::equal(s.begin(), s.end(), l.begin())) {
+        out.convergence_ok = false;
+      }
+    }
+  }
+  if (spec.expects_restart) {
+    out.convergence_ok = out.convergence_ok && live.size() == 3 &&
+                         out.stats.st_completions >= 1;
+    out.recovery_ok = !out.stats.recovery_seconds.empty();
+    for (const double r : out.stats.recovery_seconds) {
+      out.recovery_ok = out.recovery_ok && r <= spec.recovery_bound;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header("Chaos battery — crash-restart, corruption, blackholes",
+                "the intrusion-tolerant service layer under injected "
+                "transport and node faults (the recovery half of §VII)");
+  int num_seeds = bench::scaled(2, 5);
+  std::string out_path = "BENCH_chaos.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seeds" && i + 1 < argc) num_seeds = std::atoi(argv[i + 1]);
+    if (arg == "--out" && i + 1 < argc) out_path = argv[i + 1];
+  }
+  if (num_seeds <= 0) num_seeds = 2;
+
+  ConsoleTable table({"scenario", "seed", "completed", "crash/restart",
+                      "recovery(s)", "st a/r/c", "corrupt", "auth", "stalls",
+                      "ok"});
+  std::ofstream out(out_path);
+  out << "{\n  \"bench\": \"chaos\",\n  \"seeds\": " << num_seeds
+      << ",\n  \"scenarios\": [\n";
+
+  bool all_ok = true;
+  bool first = true;
+  for (const ScenarioSpec& spec : battery()) {
+    // Aggregated over seeds; gates are all-seeds-must-hold.
+    bool recovery_ok = true, convergence_ok = true;
+    bool zero_decode = true, zero_handler = true;
+    std::uint64_t corruptions = 0, retries = 0, completed = 0, stalls = 0;
+    double worst_recovery = 0.0;
+    for (int i = 0; i < num_seeds; ++i) {
+      const std::uint64_t seed = 1000 + 17 * static_cast<std::uint64_t>(i);
+      const ScenarioOutcome o = run_scenario(spec, seed);
+      recovery_ok = recovery_ok && o.recovery_ok;
+      convergence_ok = convergence_ok && o.convergence_ok;
+      zero_decode = zero_decode && o.stats.decode_errors == 0;
+      zero_handler = zero_handler && o.stats.handler_errors == 0;
+      corruptions += o.stats.injected_corruptions;
+      retries += o.stats.st_retries;
+      completed += o.stats.completed;
+      stalls += o.stats.stall_reports;
+      for (const double r : o.stats.recovery_seconds) {
+        worst_recovery = std::max(worst_recovery, r);
+      }
+      std::string recovery_cell = "-";
+      if (!o.stats.recovery_seconds.empty()) {
+        recovery_cell = ConsoleTable::num(o.stats.recovery_seconds.front(), 2);
+      }
+      table.add_row(
+          {spec.name, std::to_string(seed),
+           std::to_string(o.stats.completed),
+           std::to_string(o.stats.crashes) + "/" +
+               std::to_string(o.stats.restarts),
+           recovery_cell,
+           std::to_string(o.stats.st_attempts) + "/" +
+               std::to_string(o.stats.st_retries) + "/" +
+               std::to_string(o.stats.st_completions),
+           std::to_string(o.stats.injected_corruptions),
+           std::to_string(o.stats.auth_failures),
+           std::to_string(o.stats.stall_reports),
+           (o.recovery_ok && o.convergence_ok && o.stats.decode_errors == 0 &&
+            o.stats.handler_errors == 0)
+               ? "yes"
+               : "NO"});
+    }
+    const bool corruption_exercised = !spec.expects_corruption ||
+                                      corruptions > 0;
+    const bool retry_exercised = !spec.expects_retry || retries > 0;
+    const bool progress_ok = completed > 0;
+    const bool ok = recovery_ok && convergence_ok && zero_decode &&
+                    zero_handler && corruption_exercised && retry_exercised &&
+                    progress_ok;
+    all_ok = all_ok && ok;
+
+    if (!first) out << ",\n";
+    first = false;
+    out << "   {\"name\": \"" << spec.name << "\",\n"
+        << "    \"completed\": " << completed
+        << ", \"injected_corruptions\": " << corruptions
+        << ", \"st_retries\": " << retries
+        << ", \"stall_reports\": " << stalls
+        << ", \"worst_recovery_seconds\": " << worst_recovery
+        << ", \"recovery_bound_seconds\": " << spec.recovery_bound << ",\n"
+        << "    \"gates\": {\"recovery_ok\": "
+        << (recovery_ok ? "true" : "false")
+        << ", \"convergence_ok\": " << (convergence_ok ? "true" : "false")
+        << ", \"zero_decode\": " << (zero_decode ? "true" : "false")
+        << ", \"zero_handler\": " << (zero_handler ? "true" : "false")
+        << ", \"corruption_exercised\": "
+        << (corruption_exercised ? "true" : "false")
+        << ", \"retry_exercised\": " << (retry_exercised ? "true" : "false")
+        << ", \"progress_ok\": " << (progress_ok ? "true" : "false")
+        << ", \"ok\": " << (ok ? "true" : "false") << "}\n   }";
+  }
+  out << "\n  ],\n  \"chaos_gates_ok\": " << (all_ok ? "true" : "false")
+      << "\n}\n";
+
+  table.print(std::cout);
+  std::cout << "\nchaos gates (bounded recovery, committed convergence, "
+               "corruption dies in the auth layer): "
+            << (all_ok ? "PASS" : "FAIL") << '\n'
+            << "wrote " << out_path << '\n';
+  return all_ok ? 0 : 1;
+}

@@ -5,6 +5,7 @@ Usage:
     check_bench.py --consensus BENCH_consensus.json [--runtime BENCH_runtime.json]
                    [--overload BENCH_overload.json]
                    [--controller BENCH_controller.json]
+                   [--chaos BENCH_chaos.json]
                    [--baseline-dir bench/baselines] [--tolerance 0.10]
 
 Four kinds of checks, matched to what each lane can promise:
@@ -26,6 +27,13 @@ Four kinds of checks, matched to what each lane can promise:
   availability >= 0.95 and queue depth bounded, and the embedded gates
   (valve effective, transparent at 10x, no-valve baseline still melts)
   must hold outright.
+
+* BENCH_chaos.json comes from the wall-clock chaos battery (crash-restart,
+  frame corruption, targeted blackholes), so no numeric pinning: all three
+  scenarios must be present, every embedded gate (bounded recovery,
+  committed-log convergence, corruption dying in the auth layer, the
+  injections actually exercised) must hold, the liveness watchdog must
+  report zero stalls, and the worst recovery must sit inside its bound.
 
 * BENCH_controller.json comes from the controller fault-injection sweep
   (simulated time, so deterministic): the four named fault scenarios must
@@ -181,6 +189,57 @@ def check_controller(fresh):
     return errors
 
 
+EXPECTED_CHAOS_SCENARIOS = (
+    "crash-restart-lossy",
+    "corruption-storm",
+    "targeted-drop-recovery",
+)
+
+CHAOS_GATES = (
+    "recovery_ok",
+    "convergence_ok",
+    "zero_decode",
+    "zero_handler",
+    "corruption_exercised",
+    "retry_exercised",
+    "progress_ok",
+    "ok",
+)
+
+
+def check_chaos(fresh):
+    errors = 0
+    if fresh.get("chaos_gates_ok") is not True:
+        errors += fail("chaos sweep-level gate 'chaos_gates_ok' "
+                       f"is {fresh.get('chaos_gates_ok')!r}")
+    cells = {row.get("name"): row for row in fresh.get("scenarios", [])}
+    missing = [n for n in EXPECTED_CHAOS_SCENARIOS if n not in cells]
+    if missing:
+        errors += fail(f"chaos battery missing scenarios: {missing}")
+    for name, row in sorted(cells.items()):
+        for key in CHAOS_GATES:
+            got = row.get("gates", {}).get(key)
+            if got is not True:
+                errors += fail(
+                    f"chaos {name}: gate {key!r} is {got!r}, expected true"
+                )
+        if row.get("stall_reports", -1) != 0:
+            errors += fail(
+                f"chaos {name}: watchdog reported "
+                f"{row.get('stall_reports')!r} liveness stalls, expected 0"
+            )
+        worst = row.get("worst_recovery_seconds")
+        bound = row.get("recovery_bound_seconds")
+        if worst is None or bound is None:
+            errors += fail(f"chaos {name}: missing recovery timing fields")
+        elif worst > bound:
+            errors += fail(
+                f"chaos {name}: worst recovery {worst:g}s exceeds the "
+                f"{bound:g}s bound"
+            )
+    return errors
+
+
 def check_runtime(fresh):
     errors = 0
     gates = fresh.get("gates", {})
@@ -215,14 +274,15 @@ def main():
     ap.add_argument("--runtime", help="fresh BENCH_runtime.json")
     ap.add_argument("--overload", help="fresh BENCH_overload.json")
     ap.add_argument("--controller", help="fresh BENCH_controller.json")
+    ap.add_argument("--chaos", help="fresh BENCH_chaos.json")
     ap.add_argument("--baseline-dir", default="bench/baselines")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="relative tolerance for deterministic metrics")
     args = ap.parse_args()
     if (not args.consensus and not args.runtime and not args.overload
-            and not args.controller):
+            and not args.controller and not args.chaos):
         ap.error("nothing to check: pass --consensus, --runtime, "
-                 "--overload and/or --controller")
+                 "--overload, --controller and/or --chaos")
 
     errors = 0
     if args.consensus:
@@ -240,6 +300,9 @@ def main():
     if args.controller:
         with open(args.controller) as f:
             errors += check_controller(json.load(f))
+    if args.chaos:
+        with open(args.chaos) as f:
+            errors += check_chaos(json.load(f))
 
     if errors:
         print(f"check_bench: {errors} failure(s)")

@@ -219,5 +219,73 @@ class CheckControllerTest(unittest.TestCase):
         self.assertEqual(check_bench.check_controller(doc), 1)
 
 
+def chaos_cell(name, restart=True):
+    return {
+        "name": name,
+        "completed": 3514,
+        "injected_corruptions": 115 if name == "corruption-storm" else 0,
+        "st_retries": 10 if name == "targeted-drop-recovery" else 0,
+        "stall_reports": 0,
+        "worst_recovery_seconds": 0.257 if restart else 0.0,
+        "recovery_bound_seconds": 3.0,
+        "gates": {
+            "recovery_ok": True, "convergence_ok": True,
+            "zero_decode": True, "zero_handler": True,
+            "corruption_exercised": True, "retry_exercised": True,
+            "progress_ok": True, "ok": True,
+        },
+    }
+
+
+def chaos_doc(**overrides):
+    doc = {
+        "chaos_gates_ok": True,
+        "scenarios": [
+            chaos_cell("crash-restart-lossy"),
+            chaos_cell("corruption-storm", restart=False),
+            chaos_cell("targeted-drop-recovery"),
+        ],
+    }
+    doc.update(overrides)
+    return doc
+
+
+class CheckChaosTest(unittest.TestCase):
+    def test_healthy_battery_passes(self):
+        self.assertEqual(check_bench.check_chaos(chaos_doc()), 0)
+
+    def test_sweep_level_gate_false_fails(self):
+        doc = chaos_doc(chaos_gates_ok=False)
+        self.assertEqual(check_bench.check_chaos(doc), 1)
+
+    def test_missing_scenario_fails(self):
+        doc = chaos_doc()
+        doc["scenarios"] = doc["scenarios"][:-1]  # drop targeted-drop
+        self.assertEqual(check_bench.check_chaos(doc), 1)
+
+    def test_every_named_gate_is_checked(self):
+        for gate in check_bench.CHAOS_GATES:
+            doc = chaos_doc()
+            doc["scenarios"][0]["gates"][gate] = False
+            self.assertEqual(
+                check_bench.check_chaos(doc), 1,
+                f"flipping gate {gate!r} must fail the check")
+
+    def test_watchdog_stalls_fail(self):
+        doc = chaos_doc()
+        doc["scenarios"][0]["stall_reports"] = 3
+        self.assertEqual(check_bench.check_chaos(doc), 1)
+
+    def test_recovery_beyond_bound_fails(self):
+        doc = chaos_doc()
+        doc["scenarios"][0]["worst_recovery_seconds"] = 3.5
+        self.assertEqual(check_bench.check_chaos(doc), 1)
+
+    def test_missing_recovery_fields_fail(self):
+        doc = chaos_doc()
+        del doc["scenarios"][0]["worst_recovery_seconds"]
+        self.assertEqual(check_bench.check_chaos(doc), 1)
+
+
 if __name__ == "__main__":
     unittest.main()

@@ -203,8 +203,14 @@ struct NewView {
 };
 
 /// State-transfer for recovered or joining replicas (Fig. 17 d-e).
+/// `ops_executed` is the requester's committed operation count: responders
+/// ship only the log suffix above it, so a lagging (but not amnesiac)
+/// replica on a long-lived cluster is not mailed megabytes of history it
+/// already holds.  A freshly restarted replica reports 0 and gets the full
+/// committed log.
 struct StateRequest {
   ReplicaId replica = 0;
+  std::uint64_t ops_executed = 0;
 };
 
 /// Ask a peer to relay the PREPARE for `seq`.  Sent when a commit quorum has
@@ -228,12 +234,32 @@ struct RelayedPrepare {
 struct StateResponse {
   ReplicaId replica = 0;
   SeqNum last_executed = 0;
-  std::vector<std::string> log;  ///< executed operations in order
+  /// Operation count of the committed prefix NOT shipped: `log` holds the
+  /// sender's committed operations [prefix_ops, end).  The receiver splices
+  /// its own first `prefix_ops` committed operations in front and verifies
+  /// the chained digest of the whole against `state_digest`, so a truncated
+  /// response carries exactly the same integrity guarantee as a full one.
+  std::uint64_t prefix_ops = 0;
+  std::vector<std::string> log;  ///< committed operations above prefix_ops
   crypto::Digest state_digest{};
+  /// Checkpoint-anchored sidecar (anchor_seq == 0 when absent): the
+  /// responder's stable checkpoint — an execution boundary every replica
+  /// crosses at the same operation count — together with the f+1 checkpoint
+  /// certificate that stabilized it.  The head digest above requires f+1
+  /// byte-identical responses to install, which under continuous commit
+  /// traffic rarely happens (each responder answers at a different live
+  /// head); the anchor is self-certifying, so ONE response suffices for the
+  /// receiver to recover to the boundary when head matching stalls.  The
+  /// anchored prefix is log[0, anchor_ops - prefix_ops) of this response.
+  SeqNum anchor_seq = 0;
+  std::uint64_t anchor_ops = 0;
+  crypto::Digest anchor_digest{};
+  std::vector<Checkpoint> anchor_cert;
   crypto::Signature signature;  ///< sender's signature over payload()
 
-  /// Covers (replica, last_executed, state_digest); the log itself is bound
-  /// through the chained state digest.
+  /// Covers (replica, last_executed, prefix_ops, state_digest) plus the
+  /// anchor scalars; the log is bound through the chained state digest and
+  /// the anchor_cert checkpoints each carry their own USIG identifier.
   std::string payload() const;
 };
 

@@ -30,6 +30,7 @@
 // check and answered with a view change.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <limits>
 #include <map>
@@ -40,6 +41,7 @@
 
 #include "tolerance/consensus/admission.hpp"
 #include "tolerance/consensus/minbft_messages.hpp"
+#include "tolerance/util/rng.hpp"
 
 namespace tolerance::consensus {
 
@@ -53,6 +55,26 @@ struct MinBftConfig {
   SeqNum log_watermark = 1000;     ///< L in Table 8
   double view_change_timeout = 280.0;  ///< Tvc in Table 8 (seconds)
   double request_retry_timeout = 30.0; ///< Texec in Table 8
+  /// Commit votes are fire-and-forget: if the one commit a peer still
+  /// needed is lost, that peer wedges on a fully-prepared entry forever —
+  /// and with n = 2f+1 its stall freezes the checkpoint quorum for the
+  /// whole cluster.  After this many seconds sitting on an unquorate
+  /// next-to-execute entry we re-broadcast our own vote; peers answer a
+  /// duplicate vote by echoing theirs back (see handle_commit), so the
+  /// hole closes from either side.  Zero disables the repair clock: the
+  /// wall-clock runtime lane force-enables it (lost frames are a fact of
+  /// life there), while the sim emulation lane leaves failure dynamics to
+  /// the view-change machinery its scenario calibrations assume.
+  double commit_repair_timeout = 0.0;
+  /// When true, a replica constructed with usig_epoch > 0 (a post-crash
+  /// restart: the trusted counter survived, the log did not) starts
+  /// PASSIVE — it only processes checkpoints and state responses until its
+  /// first state install, so it cannot re-vote sequences it voted before
+  /// the crash or contribute an amnesiac prepared-set to a view change
+  /// (either forks the committed log).  The wall-clock runtime lane turns
+  /// this on; the sim emulation lane keeps the legacy immediate-rejoin so
+  /// controller-driven recovery waves cannot starve the checkpoint quorum.
+  bool passive_recovery = false;
   double crypto_cost_sign = crypto::KeyRegistry::kSignCost;
   double crypto_cost_verify = crypto::KeyRegistry::kVerifyCost;
   /// CPU cost per outgoing message (marshalling + per-link MAC); dominates
@@ -110,6 +132,18 @@ struct MinBftConfig {
   /// changes no protocol semantics, only whether a replica may answer a
   /// REQUEST with a typed Overloaded rejection instead of queueing it.
   AdmissionConfig admission;
+  /// Per-attempt deadline for state transfer (seconds): if no f+1 digest
+  /// quorum installed within this long of sending a StateRequest, re-request
+  /// from a rotated peer window.  The deadline grows by
+  /// state_transfer_backoff per attempt (with up to +25% seeded jitter, so
+  /// simultaneously recovering replicas do not re-request in lockstep).
+  /// Generous by default: on a healthy link the first attempt always wins,
+  /// which keeps the sim lane's traces on the one-broadcast path.
+  double state_transfer_timeout = 15.0;
+  double state_transfer_backoff = 2.0;
+  /// Attempts before giving up (telemetry records the give-up; the next
+  /// checkpoint that shows this replica behind starts a fresh cycle).
+  int state_transfer_max_attempts = 6;
 
   static constexpr int kUnboundedPipeline = std::numeric_limits<int>::max();
 
@@ -217,6 +251,33 @@ class MinBftReplica {
   /// beyond it is speculative and may still roll back.
   std::size_t committed_log_size() const { return committed_log_size_; }
 
+  // State-transfer retry telemetry (the chaos lane's recovery gates).
+  std::uint64_t state_transfer_attempts() const { return st_attempts_; }
+  /// Attempts beyond the first per cycle (re-requests after a deadline).
+  std::uint64_t state_transfer_retries() const { return st_retries_; }
+  std::uint64_t state_transfer_completions() const { return st_completions_; }
+  std::uint64_t state_transfer_giveups() const { return st_giveups_; }
+  /// A transfer cycle is running (request sent, no install / give-up yet).
+  bool state_transfer_active() const { return st_active_; }
+  /// Passive post-restart phase: no votes until the first state install.
+  bool recovering() const { return recovering_; }
+  // Bookkeeping bounds (tests assert these stay pruned).
+  std::size_t state_vote_count() const { return state_votes_.size(); }
+  std::size_t pending_state_count() const { return pending_state_.size(); }
+
+  /// Cross-thread progress telemetry for the liveness watchdog: plain
+  /// relaxed atomics published from the replica's own event loop after every
+  /// message, readable from the chaos control thread while the run is live
+  /// (every other accessor on this class is loop-thread-only).
+  struct ProgressCounters {
+    std::atomic<std::uint64_t> committed_ops{0};
+    std::atomic<std::uint64_t> view{0};
+    std::atomic<std::uint64_t> st_attempts{0};
+    std::atomic<std::uint64_t> st_completions{0};
+    std::atomic<std::uint64_t> st_giveups{0};
+  };
+  const ProgressCounters& progress() const { return progress_; }
+
  private:
   struct PendingEntry {
     Prepare prepare;
@@ -237,6 +298,12 @@ class MinBftReplica {
     /// snapshot when the entry commits (checkpoints and rollbacks use it).
     std::size_t post_log_size = 0;
     crypto::Digest post_digest{};
+    /// Last time we echoed our commit vote in response to a duplicate
+    /// (repair nudge).  Echoes are capped at one per repair window per
+    /// entry: two replicas each missing a THIRD party's vote would
+    /// otherwise treat each other's echoes as fresh nudges and ping-pong
+    /// re-signed commits at network RTT rate forever.
+    double last_echo = -1e300;
   };
 
   void handle_request(const Request& req);
@@ -258,6 +325,43 @@ class MinBftReplica {
   SeqNum certified_stable(const ViewChange& proof);
   void handle_state_request(net::NodeId from, const StateRequest& r);
   void handle_state_response(const StateResponse& r);
+
+  // --- state-transfer retry machine ---------------------------------------
+  /// Send one StateRequest: attempt 1 broadcasts (the fast, common path);
+  /// retries target a rotating window of f+1 peers — enough that at least
+  /// one is honest, without re-triggering the full response fan-in.
+  void send_state_request();
+  void arm_state_transfer_timer();
+  void disarm_state_transfer_timer();
+  /// Deadline expired with no install: back off and re-request, or give up.
+  void on_state_transfer_deadline();
+  /// Install the stashed certificate-vouched anchor (if any survives the
+  /// re-checks) and chase the responder's head.  Returns true if a state
+  /// was installed — the current transfer cycle is finished then.
+  bool try_install_anchor();
+  /// End the cycle (installed or gave up): cancel the deadline timer and
+  /// prune ALL transfer bookkeeping — stale digests from slow or Byzantine
+  /// responders must not outlive the cycle that solicited them.
+  void finish_state_transfer(bool installed);
+  /// Drop one candidate digest (failed chain verification) without ending
+  /// the cycle.
+  void discard_state_candidate(const crypto::Digest& digest);
+  /// True when the response's checkpoint-anchored sidecar is usable here:
+  /// it advances us, its prefix is spliceable from our own committed log,
+  /// and its certificate carries f+1 distinct members' valid USIG-certified
+  /// CHECKPOINTs for (anchor_seq, anchor_digest).
+  bool anchor_certified(const StateResponse& r);
+  /// Splice our committed prefix under `count` shipped operations and, if
+  /// the chained digest of the whole matches, install it and end the cycle.
+  /// `cert` becomes the new stable certificate (empty for a head install,
+  /// whose stable point is vouched by the digest quorum instead).
+  bool install_transferred_state(std::uint64_t prefix_ops,
+                                 const std::vector<std::string>& shipped,
+                                 std::size_t count,
+                                 const crypto::Digest& digest, SeqNum seq,
+                                 std::vector<Checkpoint> cert);
+  /// Publish committed progress / view to the watchdog-visible atomics.
+  void publish_progress();
 
   void enqueue_request(const Request& req);
   /// Seal pending requests into batches while the pipeline window has room.
@@ -322,6 +426,14 @@ class MinBftReplica {
   void arm_view_change_timer();
   void disarm_view_change_timer();
   void send_commit(const Prepare& p);
+  /// Re-sign and re-send our commit vote for a logged entry — to one peer
+  /// (a repair echo) or to everyone (a repair nudge).  No-op unless we
+  /// voted for the entry in the current view.
+  void resend_commit(SeqNum seq, std::optional<ReplicaId> to);
+  /// Arm the commit-repair timer when the next-to-execute entry holds our
+  /// vote but no quorum (see MinBftConfig::commit_repair_timeout).
+  void maybe_arm_commit_repair();
+  void on_commit_repair();
   void broadcast(const MinBftMsg& msg);
   double reply_cost() const {
     return config_.crypto_cost_reply < 0.0 ? config_.crypto_cost_sign
@@ -405,6 +517,15 @@ class MinBftReplica {
   bool in_view_change_ = false;
   std::uint64_t vc_timer_ = 0;
   bool vc_timer_armed_ = false;
+  std::uint64_t repair_timer_ = 0;  ///< commit-repair nudge (see config)
+  bool repair_timer_armed_ = false;
+  /// last_executed_ snapshot taken when the repair timer was armed.  The
+  /// nudge only fires if a FULL window passed with zero execution progress
+  /// — a true wedge.  Merely-slow progress (CPU overload, deep queues)
+  /// re-arms quietly: resending commits into a saturated cluster adds
+  /// sign/verify load exactly when there is none to spare, and that
+  /// feedback loop can turn a survivable overload into a collapse.
+  SeqNum repair_snapshot_ = 0;
   /// Last reply per client, kept so a retransmitted request can be answered
   /// from cache instead of silently dropped (the liveness path for lost
   /// replies — essential under speculation, where a spec-executed entry's
@@ -420,8 +541,56 @@ class MinBftReplica {
     bool committed = false;  ///< current status (may be newer than the flag)
   };
   std::map<ClientId, CachedReply> reply_cache_;
+  /// Digest votes / stored responses for the LIVE transfer cycle only.  One
+  /// vote per member (a replica's newest response supersedes its older one),
+  /// so both maps are bounded by the membership size; finish_state_transfer
+  /// clears them outright.
   std::map<crypto::Digest, std::set<ReplicaId>> state_votes_;
   std::map<crypto::Digest, StateResponse> pending_state_;
+  /// Best (highest-anchor) certificate-vouched response seen this cycle.
+  /// Head-digest matching stays the primary install path; if the deadline
+  /// fires first, this candidate recovers us to the checkpoint boundary —
+  /// the path that converges when continuous commits keep the live heads
+  /// of any two responders from ever matching exactly.
+  std::optional<StateResponse> st_anchor_;
+  /// (ops, digest) of our committed log at each checkpoint boundary we
+  /// emitted, so handle_state_request can vouch for the stable checkpoint
+  /// with an exact spliceable slice.  Pruned below stable on GC and bounded
+  /// by the watermark; cleared (re-seeded) on install.
+  std::map<SeqNum, std::pair<std::uint64_t, crypto::Digest>>
+      checkpoint_anchors_;
+
+  // --- state-transfer retry machine ----------------------------------------
+  /// True from a recovery restart (usig_epoch > 0) until the first state
+  /// install: a recovering replica is passive — it casts no votes, proposes
+  /// nothing and joins no view change, because the votes it cast before
+  /// crashing are forgotten and contradicting them could fork the committed
+  /// log.  See the recovering_ gate at the top of on_message.
+  bool recovering_ = false;
+  /// View-change quarantine: installing transferred state clears log_, so
+  /// the prepared entries this replica voted for above the install point
+  /// are forgotten.  A view-change proof with that amnesiac (empty)
+  /// prepared set can displace entries a commit quorum including our
+  /// pre-wipe votes decided, forking the committed log.  Any vote we could
+  /// have cast was bounded by stable + log_watermark, so we withhold
+  /// view-change participation until the stable checkpoint passes
+  /// install_seq + log_watermark — from then on every forgotten seq is
+  /// covered by a checkpoint certificate, not prepared sets.
+  SeqNum vc_quarantine_until_ = 0;
+  bool vc_quarantined() const {
+    return stable_checkpoint_ < vc_quarantine_until_;
+  }
+  bool st_active_ = false;
+  int st_attempt_ = 0;           ///< attempts in the current cycle
+  std::size_t st_rotation_ = 0;  ///< retry peer-window cursor
+  std::uint64_t st_timer_ = 0;
+  bool st_timer_armed_ = false;
+  std::uint64_t st_attempts_ = 0;  // telemetry, lifetime totals
+  std::uint64_t st_retries_ = 0;
+  std::uint64_t st_completions_ = 0;
+  std::uint64_t st_giveups_ = 0;
+  Rng st_rng_;  ///< deadline jitter only — never the transport's stream
+  ProgressCounters progress_;
 
   // --- batching / pipelining state (leader role) ---------------------------
   std::deque<Request> pending_requests_;  ///< verified, not yet sealed

@@ -1,0 +1,77 @@
+// Cluster liveness watchdog for the wall-clock lane.
+//
+// The watchdog is pure logic: the chaos control thread samples each
+// replica's ProgressCounters (relaxed atomics published from the replica
+// event loops) and feeds the totals here; the watchdog decides whether the
+// cluster as a whole made commit progress within the stall window and, if
+// not, emits a StallReport with per-replica diagnostics so a chaos failure
+// names the replica that wedged instead of just "no throughput".
+//
+// Crash-aware: a replica the harness deliberately crashed is reported as
+// such, not counted as a liveness anomaly — a watchdog that pages on its
+// own fault plan is noise.  Threading: the watchdog itself has no locks and
+// must only be driven from one thread (the harness control loop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tolerance/net/sim_network.hpp"
+
+namespace tolerance::consensus {
+
+/// One replica's progress sample, as read by the control thread.
+struct ReplicaDiag {
+  net::NodeId replica = 0;
+  bool alive = true;  ///< false while deliberately crashed by the harness
+  std::uint64_t committed_ops = 0;
+  std::uint64_t view = 0;
+  std::uint64_t st_attempts = 0;
+  std::uint64_t st_completions = 0;
+  std::uint64_t st_giveups = 0;
+};
+
+/// Emitted when no live replica advanced its committed count for a full
+/// stall window.  `stalled_for` is the time since the last observed advance.
+struct StallReport {
+  double at = 0.0;           ///< sample timestamp (seconds, harness clock)
+  double stalled_for = 0.0;  ///< seconds since the last commit advance
+  std::uint64_t max_committed = 0;  ///< cluster-wide high-water mark
+  std::vector<ReplicaDiag> replicas;
+
+  /// One-line rendering for logs and bench JSON notes.
+  std::string describe() const;
+};
+
+class LivenessWatchdog {
+ public:
+  /// `window` — seconds without any commit advance before flagging a stall.
+  /// Each additional full window while still stalled emits another report
+  /// (so a long wedge shows up as N reports, not one).
+  explicit LivenessWatchdog(double window);
+
+  /// Feed one sample.  `now` is the harness clock in seconds (monotone,
+  /// caller-supplied so tests can drive synthetic time); `diags` holds one
+  /// entry per replica the harness knows about, crashed ones marked
+  /// !alive.  Returns true when this sample crossed a stall threshold and
+  /// appended to reports().
+  bool sample(double now, const std::vector<ReplicaDiag>& diags);
+
+  const std::vector<StallReport>& reports() const { return reports_; }
+  std::uint64_t max_committed() const { return max_committed_; }
+  /// Longest observed gap between commit advances, including the tail gap
+  /// that never crossed the stall window.
+  double longest_gap() const { return longest_gap_; }
+
+ private:
+  double window_;
+  bool primed_ = false;       ///< first sample seeds the baseline
+  double last_advance_ = 0.0; ///< harness time of the last commit advance
+  double next_report_ = 0.0;  ///< stall time at which the next report fires
+  std::uint64_t max_committed_ = 0;
+  double longest_gap_ = 0.0;
+  std::vector<StallReport> reports_;
+};
+
+}  // namespace tolerance::consensus

@@ -31,7 +31,9 @@ struct Signature {
 class KeyRegistry {
  public:
   /// Generates and stores a fresh secret for the principal; returns it so a
-  /// Signer can be constructed.  Re-registering rotates the key.
+  /// Signer can be constructed.  Re-registering with a different seed
+  /// rotates the key; re-registering with the same seed is a no-op (no
+  /// write), so a restarted node can re-register while other threads read.
   std::string register_principal(PrincipalId id, std::uint64_t seed);
 
   bool known(PrincipalId id) const;

@@ -58,6 +58,7 @@
 #include <vector>
 
 #include "tolerance/crypto/hmac.hpp"
+#include "tolerance/net/fault_injector.hpp"
 #include "tolerance/net/profiles.hpp"
 #include "tolerance/net/transport.hpp"
 #include "tolerance/util/ensure.hpp"
@@ -142,6 +143,38 @@ class AsyncRuntime final : public Transport<Msg> {
     host->jobs.clear();
   }
 
+  /// unregister_host plus a quiesce wait: returns only once no drain task is
+  /// dispatching into the host, so the caller may destroy the object behind
+  /// the (now cleared) handler.  This is the crash path of the chaos lane —
+  /// plain unregister_host only guarantees that a drain observes the cleared
+  /// handler *before its next dispatch*, not that an in-flight one finished.
+  void detach_host(NodeId id) {
+    std::shared_ptr<Host> host;
+    {
+      std::lock_guard<std::mutex> lk(hosts_mu_);
+      const auto it = hosts_.find(id);
+      if (it == hosts_.end()) return;
+      host = it->second;
+      hosts_.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lk(host->mu);
+      host->handler = nullptr;
+      host->inbox.clear();
+      host->jobs.clear();
+    }
+    // An in-flight drain copied the handler before we cleared it and may be
+    // mid-dispatch; `draining` stays true until that burst parks on the
+    // emptied queues.  Crash-path only, so a short sleep-poll is fine.
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(host->mu);
+        if (!host->draining) return;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
   bool is_registered(NodeId id) const override {
     std::lock_guard<std::mutex> lk(hosts_mu_);
     return hosts_.count(id) > 0;
@@ -213,6 +246,16 @@ class AsyncRuntime final : public Transport<Msg> {
     if (!host->handler) return;
     host->jobs.push_back(std::move(fn));
     maybe_start_drain_locked(host);
+  }
+
+  /// Attach (or detach, with nullptr) a chaos-lane fault injector.  Consulted
+  /// on the sender path for every outbound bundle AFTER the authenticator is
+  /// computed — injected corruption therefore always lands on authenticated
+  /// bytes and dies in the receiver's HMAC check, never in a codec or
+  /// handler.  The injector must outlive the runtime (the cluster harness
+  /// owns both).
+  void set_fault_injector(FaultInjector* injector) {
+    fault_injector_.store(injector, std::memory_order_release);
   }
 
   /// Block / unblock a bidirectional pair, and partition semantics matching
@@ -538,6 +581,23 @@ class AsyncRuntime final : public Transport<Msg> {
         return;
       }
     }
+    if (FaultInjector* fi =
+            fault_injector_.load(std::memory_order_acquire)) {
+      switch (fi->on_bundle(from, to)) {
+        case FaultInjector::Action::kDrop:
+          return;
+        case FaultInjector::Action::kCorrupt: {
+          // Corrupt a private copy: broadcast fan-outs share `bytes`, and
+          // only this directed pair drew the fault.
+          Bytes mangled = *bytes;
+          fi->corrupt(mangled);
+          bytes = std::make_shared<const Bytes>(std::move(mangled));
+          break;
+        }
+        case FaultInjector::Action::kDeliver:
+          break;
+      }
+    }
     const LinkConfig& cfg = link_for(from, to);
     double delay = cfg.base_delay;
     {
@@ -649,16 +709,35 @@ class AsyncRuntime final : public Transport<Msg> {
     pool_->submit([this, host]() { drain(host); });  // keep the task slot
   }
 
-  /// Authenticate one inbound bundle, then decode and dispatch its frames
-  /// in order.  A malformed bundle counts one decode error; a bad tag
-  /// counts one auth failure and drops every frame inside.
+  /// Authenticate one inbound bundle FIRST, then parse and dispatch its
+  /// frames in order.  Verifying the tag before touching the bundle
+  /// structure means any tampering — header, frame bytes, or tag — dies as
+  /// one auth failure; the parser below only ever sees bytes an honest
+  /// sender authenticated, so a decode error there flags a sender-side bug
+  /// (or an injected frame too short to even carry a tag), never line noise.
   void dispatch_bundle(NodeId self, const Frame& frame,
                        const Handler& handler) {
     const Bytes& b = *frame.bytes;
     const std::size_t tag_size = crypto::Digest{}.size();
+    if (b.size() < tag_size + 1) {
+      // Not even a tag plus a frame-count byte: not a bundle at all.
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const std::size_t body = b.size() - tag_size;
+    crypto::Digest tag{};
+    std::copy(b.begin() + static_cast<std::ptrdiff_t>(body), b.end(),
+              tag.begin());
+    if (!crypto::hmac_verify(
+            pair_key(frame.from, self),
+            std::string_view(reinterpret_cast<const char*>(b.data()), body),
+            tag)) {
+      auth_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     std::size_t pos = 0;
     std::uint64_t count = 0;
-    if (!get_varint(b, pos, count) || count > b.size()) {
+    if (!get_varint(b, pos, count) || pos > body || count > body) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
@@ -666,26 +745,16 @@ class AsyncRuntime final : public Transport<Msg> {
     spans.reserve(static_cast<std::size_t>(count));
     for (std::uint64_t i = 0; i < count; ++i) {
       std::uint64_t len = 0;
-      if (!get_varint(b, pos, len) || len > b.size() - pos ||
-          b.size() - pos - static_cast<std::size_t>(len) < tag_size) {
+      if (!get_varint(b, pos, len) || pos > body ||
+          len > body - pos) {
         decode_errors_.fetch_add(1, std::memory_order_relaxed);
         return;
       }
       spans.emplace_back(pos, static_cast<std::size_t>(len));
       pos += static_cast<std::size_t>(len);
     }
-    if (b.size() - pos != tag_size) {
+    if (pos != body) {
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
-    crypto::Digest tag{};
-    std::copy(b.begin() + static_cast<std::ptrdiff_t>(pos), b.end(),
-              tag.begin());
-    if (!crypto::hmac_verify(
-            pair_key(frame.from, self),
-            std::string_view(reinterpret_cast<const char*>(b.data()), pos),
-            tag)) {
-      auth_failures_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     for (const auto& [off, len] : spans) {
@@ -792,6 +861,9 @@ class AsyncRuntime final : public Transport<Msg> {
   std::array<BundleShard, kBundleShards> bundle_shards_;
 
   std::atomic<bool> stop_requested_{false};  ///< lock-free send fence
+
+  /// Chaos-lane fault injector (nullptr = faults off); owned by the caller.
+  std::atomic<FaultInjector*> fault_injector_{nullptr};
 
   mutable std::mutex timer_mu_;
   std::condition_variable timer_cv_;

@@ -121,7 +121,8 @@ std::string Overloaded::payload() const {
 std::string StateResponse::payload() const {
   std::ostringstream os;
   os << "stateresponse|" << replica << '|' << last_executed << '|'
-     << hex(state_digest);
+     << prefix_ops << '|' << hex(state_digest) << '|' << anchor_seq << '|'
+     << anchor_ops << '|' << hex(anchor_digest);
   return os.str();
 }
 

@@ -8,6 +8,7 @@
 
 namespace tolerance::consensus {
 
+
 namespace {
 
 /// Cap on the verified-request digest cache; cleared wholesale (determinism
@@ -78,7 +79,8 @@ MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
       usig_(id, registry_->register_principal(id + crypto::kUsigPrincipalOffset,
                                               key_seed ^ 0x5a5au),
             usig_epoch),
-      admission_(config.admission), usig_cache_(config.usig_cache_capacity) {
+      admission_(config.admission), st_rng_(key_seed ^ 0x57a7eull),
+      usig_cache_(config.usig_cache_capacity) {
   TOL_ENSURE(!membership_.empty(), "membership must be non-empty");
   TOL_ENSURE(config_.batch_size >= 1, "batch_size must be >= 1");
   TOL_ENSURE(config_.pipeline_depth >= 1, "pipeline_depth must be >= 1");
@@ -86,11 +88,17 @@ MinBftReplica::MinBftReplica(ReplicaId id, std::vector<ReplicaId> membership,
   TOL_ENSURE(std::find(membership_.begin(), membership_.end(), id_) !=
                  membership_.end(),
              "replica must be part of the membership");
+  // A bumped USIG epoch marks a recovery restart: volatile state (including
+  // every vote this replica ever cast) is gone, so start passive until a
+  // state transfer rebuilds a committed prefix to stand on (opt-in; see
+  // MinBftConfig::passive_recovery).
+  recovering_ = config_.passive_recovery && usig_epoch > 0;
 }
 
 MinBftReplica::~MinBftReplica() {
   disarm_view_change_timer();
   disarm_batch_timer();
+  disarm_state_transfer_timer();
 }
 
 ReplicaId MinBftReplica::current_leader() const {
@@ -165,6 +173,29 @@ bool MinBftReplica::accept_counter(const crypto::UniqueIdentifier& ui) {
 
 void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
   if (mode_ == ByzantineMode::Silent) return;  // behaviour (b) of §VIII-A
+  // A recovering replica is PASSIVE until its first state install: a restart
+  // wiped the votes it cast before crashing, so letting it vote again (or
+  // contribute an empty prepared-set to a view change) would let a commit
+  // quorum it belonged to be contradicted — a fork, observed as divergent
+  // committed logs among live replicas.  With it passive, a view change
+  // needs every non-crashed replica's proof, and any commit quorum contains
+  // at least one of those.  It still processes checkpoints (to learn the
+  // stable boundary and trigger/retarget its transfer) and state responses
+  // (to finish recovering); everything else is dropped on the floor.
+  if (recovering_) {
+    std::visit(
+        [&](const auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, Checkpoint>) {
+            handle_checkpoint(m);
+          } else if constexpr (std::is_same_v<T, StateResponse>) {
+            handle_state_response(m);
+          }
+        },
+        msg);
+    publish_progress();
+    return;
+  }
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
@@ -202,6 +233,12 @@ void MinBftReplica::on_message(net::NodeId from, const MinBftMsg& msg) {
   // Any message may have freed pipeline room (commits executing a batch, a
   // checkpoint advancing the watermark) — flush pending requests.
   try_seal_batches();
+  // If execution is now parked on a self-voted entry short of quorum, start
+  // the repair clock (idempotent while armed).
+  maybe_arm_commit_repair();
+  // Every protocol mutation flows through here (timers re-enter via their
+  // own broadcasts), so one epilogue publish keeps the watchdog current.
+  publish_progress();
 }
 
 void MinBftReplica::handle_request(const Request& req) {
@@ -503,6 +540,7 @@ void MinBftReplica::handle_prepare(const Prepare& p, bool relayed) {
 }
 
 void MinBftReplica::denounce_leader() {
+  if (vc_quarantined()) return;
   const ReqViewChange rvc = make_req_view_change(view_ + 1);
   broadcast(rvc);
   handle_req_view_change(rvc);  // count our own vote
@@ -524,6 +562,109 @@ void MinBftReplica::send_commit(const Prepare& p) {
   c.ui = usig_.create(c.body_digest());
   log_[p.seq].commits.insert(id_);
   broadcast(c);
+}
+
+void MinBftReplica::resend_commit(SeqNum seq, std::optional<ReplicaId> to) {
+  const auto it = log_.find(seq);
+  if (it == log_.end()) return;
+  const PendingEntry& entry = it->second;
+  // Only a vote we genuinely cast, for the current view's prepare, can be
+  // re-signed: a fresh UI over anything else would be a fabricated vote.
+  if (entry.commits.count(id_) == 0) return;
+  if (entry.prepare.view != view_ || entry.prepare.seq != seq) return;
+  Commit c;
+  c.view = entry.prepare.view;
+  c.seq = seq;
+  c.replica = id_;
+  c.batch_digest = entry.prepare.batch_digest();
+  if (mode_ == ByzantineMode::Random) c.batch_digest[0] ^= 0xff;
+  c.leader_ui = entry.prepare.ui;
+  net_->consume_cpu(id_, config_.crypto_cost_sign);
+  c.ui = usig_.create(c.body_digest());
+  if (to.has_value()) {
+    net_->send(id_, *to, MinBftMsg{c});
+  } else {
+    broadcast(c);
+  }
+}
+
+void MinBftReplica::maybe_arm_commit_repair() {
+  if (config_.commit_repair_timeout <= 0.0) return;  // disabled (sim lane)
+  if (repair_timer_armed_ || in_view_change_) return;
+  const SeqNum next = last_executed_ + 1;
+  const auto it = log_.find(next);
+  if (it != log_.end()) {
+    // Entry present: repairable once we voted and the quorum stalled.
+    const PendingEntry& e = it->second;
+    if (e.commits.count(id_) == 0) return;
+    if (static_cast<int>(e.commits.size()) >= config_.f + 1) return;
+  } else {
+    // Entry absent: repairable only if something proves the cluster moved
+    // past us — a stashed commit vote for it, or a logged later prepare.
+    // (Neither present is the ordinary quiescent state: nothing to do.)
+    if (early_commits_.count(next) == 0 && log_.upper_bound(next) == log_.end())
+      return;
+  }
+  repair_timer_armed_ = true;
+  repair_snapshot_ = last_executed_;
+  repair_timer_ =
+      net_->schedule(id_, config_.commit_repair_timeout, [this]() {
+        repair_timer_armed_ = false;
+        on_commit_repair();
+      });
+}
+
+void MinBftReplica::on_commit_repair() {
+  if (in_view_change_) return;
+  // Any execution progress during the window means the pipeline is moving,
+  // just slowly (overload, deep queues) — stay quiet and keep watching.
+  // Resending into a merely-slow cluster adds crypto load it cannot spare.
+  if (last_executed_ != repair_snapshot_) {
+    maybe_arm_commit_repair();
+    return;
+  }
+  const SeqNum next = last_executed_ + 1;
+  if (next <= stable_checkpoint_) return;  // state transfer owns this gap
+  // Repair the whole stalled frontier in one round, not just the next
+  // seq: under loss each replica accumulates a multi-entry gap, and
+  // healing one seq per window lets the cluster drift apart faster than
+  // the repair closes holes.  The frontier is bounded by the highest
+  // evidence we hold (logged prepare or stashed vote), capped to keep a
+  // pathological gap from bursting the transport.
+  SeqNum high = next;
+  if (!log_.empty()) high = std::max(high, log_.rbegin()->first);
+  if (!early_commits_.empty())
+    high = std::max(high, early_commits_.rbegin()->first);
+  high = std::min(high, next + 63);
+  for (SeqNum s = next; s <= high; ++s) {
+    const auto it = log_.find(s);
+    if (it != log_.end()) {
+      const PendingEntry& e = it->second;
+      if (e.commits.count(id_) != 0 &&
+          static_cast<int>(e.commits.size()) < config_.f + 1) {
+        // A fully-prepared, self-voted entry sat a whole repair window
+        // short of quorum: the missing commits were lost in transit (they
+        // are never retransmitted on their own).  Re-broadcast our vote;
+        // any peer that already counted it answers the duplicate by
+        // echoing its own vote back (handle_commit), closing the hole
+        // from either side.
+        resend_commit(s, std::nullopt);
+      }
+    } else {
+      // The prepare itself is missing.  The eager fetch path waits for
+      // f+1 distinct commit voters, which a single crash can make
+      // unreachable (n = 2f+1); here any single stashed vote — or a later
+      // logged prepare — is evidence enough to ask for a relay.  Ask
+      // everyone: a targeted peer can itself have lost the entry (its log
+      // cleared by a state install), and re-asking one dead end forever
+      // wedges us.  Peers without the entry ignore the fetch.
+      if (early_commits_.count(s) != 0 ||
+          log_.upper_bound(s) != log_.end()) {
+        broadcast(MinBftMsg{FetchPrepare{s, id_}});
+      }
+    }
+  }
+  maybe_arm_commit_repair();
 }
 
 void MinBftReplica::handle_commit(const Commit& c) {
@@ -574,7 +715,21 @@ void MinBftReplica::handle_commit(const Commit& c) {
                             c.batch_digest)) {
     return;
   }
-  it->second.commits.insert(c.replica);
+  if (!it->second.commits.insert(c.replica).second) {
+    // A vote we already counted can only arrive re-signed (replays fail the
+    // USIG counter check above): it is a repair nudge from a peer whose
+    // quorum never completed.  Echo our own vote back so it can close the
+    // hole — commits are otherwise never retransmitted.  At most one echo
+    // per repair window per entry: our echo is itself a duplicate at a
+    // peer that already counted us, and unthrottled mutual echoes become a
+    // message storm.
+    const double now = net_->now();
+    if (now - it->second.last_echo >= config_.commit_repair_timeout) {
+      it->second.last_echo = now;
+      resend_commit(c.seq, c.replica);
+    }
+    return;
+  }
   try_execute();
 }
 
@@ -771,6 +926,11 @@ void MinBftReplica::emit_checkpoint() {
   // on, the service may be running ahead of the quorum, and a checkpoint
   // must only ever certify state that cannot roll back.
   cp.state_digest = committed_digest_;
+  // Remember the exact committed slice behind this boundary: if this
+  // checkpoint stabilizes, state responses vouch for it (the digest alone
+  // cannot reconstruct which operations it covers).
+  checkpoint_anchors_[cp.last_executed] = {committed_log_size_,
+                                           committed_digest_};
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   cp.ui = usig_.create(cp.body_digest());
   checkpoint_votes_[cp.last_executed][cp.state_digest][id_] = cp;
@@ -805,6 +965,9 @@ void MinBftReplica::garbage_collect(SeqNum stable) {
   log_.erase(log_.begin(), log_.lower_bound(stable + 1));
   checkpoint_votes_.erase(checkpoint_votes_.begin(),
                           checkpoint_votes_.lower_bound(stable + 1));
+  // Keep the stable boundary's own anchor — it is what state responses ship.
+  checkpoint_anchors_.erase(checkpoint_anchors_.begin(),
+                            checkpoint_anchors_.lower_bound(stable));
   early_commits_.erase(early_commits_.begin(),
                        early_commits_.lower_bound(stable + 1));
   fetched_.erase(fetched_.begin(), fetched_.lower_bound(stable + 1));
@@ -844,6 +1007,12 @@ void MinBftReplica::arm_view_change_timer() {
     // progress is load evidence, so re-arm patiently instead of denouncing.
     if (config_.admission.enabled &&
         admission_.mode() != AdmissionMode::kNormal) {
+      arm_view_change_timer();
+      return;
+    }
+    // A quarantined replica (fresh state install) casts no view-change
+    // votes; re-arm and let the un-wiped majority drive any change.
+    if (vc_quarantined()) {
       arm_view_change_timer();
       return;
     }
@@ -994,6 +1163,11 @@ ViewChange MinBftReplica::make_view_change(View to_view) {
 
 void MinBftReplica::start_view_change(View to_view) {
   if (to_view <= view_) return;
+  // Quarantined after a state install: our prepared set is amnesiac, so we
+  // contribute no proof.  We keep operating in the current view and adopt
+  // the outcome when the new leader's NEW-VIEW arrives (handle_new_view
+  // accepts any newer view without a proof from us).
+  if (vc_quarantined()) return;
   in_view_change_ = true;
   // Stashed early commits are votes for the dying view; the new view
   // re-proposes undecided entries with fresh prepares and commits.
@@ -1013,6 +1187,12 @@ void MinBftReplica::start_view_change(View to_view) {
 
 void MinBftReplica::handle_view_change(const ViewChange& vc) {
   if (vc.to_view <= view_) return;
+  // A quarantined leader-elect must not assemble the NEW-VIEW: the
+  // have_own splice below would inject its amnesiac prepared set into the
+  // reproposal derivation.  The change stalls until peers escalate to a
+  // view led by an un-wiped replica (a liveness corner only when a crash
+  // and a recovery overlap, i.e. beyond the f the quorums tolerate).
+  if (vc_quarantined()) return;
   const ReplicaId expected_leader =
       membership_[static_cast<std::size_t>(vc.to_view % membership_.size())];
   if (expected_leader != id_) return;
@@ -1169,33 +1349,220 @@ void MinBftReplica::handle_fetch_prepare(const FetchPrepare& m) {
 }
 
 void MinBftReplica::request_state_transfer() {
-  broadcast(StateRequest{id_});
+  // Idempotent while a cycle runs: garbage_collect fires on every checkpoint
+  // quorum observed while behind, and re-broadcasting each time would turn
+  // one recovery into a request storm.  The live cycle's deadline timer
+  // already guarantees a retry if the outstanding request went nowhere.
+  if (st_active_) return;
+  st_active_ = true;
+  st_attempt_ = 0;
+  send_state_request();
+}
+
+void MinBftReplica::send_state_request() {
+  ++st_attempt_;
+  ++st_attempts_;
+  if (st_attempt_ > 1) ++st_retries_;
+  StateRequest req;
+  req.replica = id_;
+  req.ops_executed = committed_log_size_;
+  if (st_attempt_ == 1) {
+    // First shot fans out to everyone: the fastest f+1 honest responders
+    // form the digest quorum, exactly the pre-retry behaviour.
+    broadcast(MinBftMsg{req});
+  } else {
+    // Re-request from a rotating window of f+1 peers.  Rotation routes
+    // around crashed or Byzantine-silent peers (a fixed window could be all
+    // dead); the f+1 width bounds response amplification while still
+    // guaranteeing an honest member in every window.
+    std::vector<ReplicaId> peers;
+    peers.reserve(membership_.size());
+    for (const ReplicaId peer : membership_) {
+      if (peer != id_) peers.push_back(peer);
+    }
+    if (!peers.empty()) {
+      const std::size_t window =
+          std::min(peers.size(), static_cast<std::size_t>(config_.f) + 1);
+      for (std::size_t i = 0; i < window; ++i) {
+        net_->send(id_, peers[(st_rotation_ + i) % peers.size()],
+                   MinBftMsg{req});
+      }
+      st_rotation_ = (st_rotation_ + window) % peers.size();
+    }
+  }
+  arm_state_transfer_timer();
+  publish_progress();
+}
+
+void MinBftReplica::arm_state_transfer_timer() {
+  disarm_state_transfer_timer();
+  double deadline = config_.state_transfer_timeout;
+  for (int i = 1; i < st_attempt_; ++i) {
+    deadline *= config_.state_transfer_backoff;
+  }
+  // Private jitter stream: simultaneous recoverers desynchronize without
+  // perturbing the transport's seeded loss/reorder draws.
+  deadline *= 1.0 + st_rng_.uniform(0.0, 0.25);
+  st_timer_armed_ = true;
+  st_timer_ = net_->schedule(id_, deadline, [this]() {
+    st_timer_armed_ = false;
+    on_state_transfer_deadline();
+  });
+}
+
+void MinBftReplica::disarm_state_transfer_timer() {
+  if (!st_timer_armed_) return;
+  st_timer_armed_ = false;
+  net_->cancel(st_timer_);
+}
+
+void MinBftReplica::on_state_transfer_deadline() {
+  if (!st_active_) return;
+  // Head matching stalled for a whole attempt window.  Before burning a
+  // retry (or the cycle), fall back to the best certificate-vouched anchor:
+  // it only reaches the checkpoint boundary, not the live head, but under
+  // continuous commits the next checkpoint quorum restarts the cycle and
+  // each round closes the remaining gap.
+  if (try_install_anchor()) return;
+  if (st_attempt_ >= config_.state_transfer_max_attempts) {
+    // Give up the cycle rather than retry forever: the next checkpoint
+    // quorum we observe while still behind restarts it (garbage_collect),
+    // so a partitioned replica re-engages once the network heals.
+    ++st_giveups_;
+    finish_state_transfer(/*installed=*/false);
+    return;
+  }
+  send_state_request();
+}
+
+bool MinBftReplica::try_install_anchor() {
+  if (!st_anchor_.has_value()) return false;
+  const StateResponse cand = std::move(*st_anchor_);
+  st_anchor_.reset();
+  if (cand.anchor_seq > last_executed_ &&
+      cand.prefix_ops <= committed_log_size_ &&
+      install_transferred_state(
+          cand.prefix_ops, cand.log,
+          static_cast<std::size_t>(cand.anchor_ops - cand.prefix_ops),
+          cand.anchor_digest, cand.anchor_seq, cand.anchor_cert)) {
+    // The anchor only reaches the checkpoint boundary; the responder's
+    // head was visibly further (its response had to beat our executed
+    // count to be accepted at all).  Chase it now instead of waiting for
+    // the next checkpoint quorum — each round either head-matches or
+    // installs the next stabilized boundary.
+    if (cand.last_executed > last_executed_) request_state_transfer();
+    return true;
+  }
+  return false;
+}
+
+void MinBftReplica::finish_state_transfer(bool installed) {
+  st_active_ = false;
+  st_attempt_ = 0;
+  disarm_state_transfer_timer();
+  // Prune ALL cycle bookkeeping: votes and stored responses for losing or
+  // stale digests must not accumulate across cycles (a slow or equivocating
+  // responder could otherwise grow these maps without bound).
+  state_votes_.clear();
+  pending_state_.clear();
+  st_anchor_.reset();
+  if (installed) ++st_completions_;
+  publish_progress();
+}
+
+void MinBftReplica::discard_state_candidate(const crypto::Digest& digest) {
+  pending_state_.erase(digest);
+  state_votes_.erase(digest);
+}
+
+void MinBftReplica::publish_progress() {
+  progress_.committed_ops.store(committed_log_size_,
+                                std::memory_order_relaxed);
+  progress_.view.store(view_, std::memory_order_relaxed);
+  progress_.st_attempts.store(st_attempts_, std::memory_order_relaxed);
+  progress_.st_completions.store(st_completions_, std::memory_order_relaxed);
+  progress_.st_giveups.store(st_giveups_, std::memory_order_relaxed);
 }
 
 void MinBftReplica::handle_state_request(net::NodeId from,
-                                         const StateRequest&) {
+                                         const StateRequest& r) {
   StateResponse resp;
   resp.replica = id_;
   resp.last_executed = last_executed_;
-  // Ship only the committed prefix: tentative speculative state must never
-  // be transferred (the receiver would install operations that can still
-  // roll back here).
-  resp.log.assign(service_.log().begin(),
+  // Ship only the committed suffix above the requester's own committed
+  // prefix: tentative speculative state must never be transferred, and a
+  // lagging (but not amnesiac) replica must not be mailed history it already
+  // holds — full-log responses on a long-lived cluster would churn the
+  // drop-oldest inboxes the recovery itself depends on.
+  const std::size_t prefix = static_cast<std::size_t>(
+      std::min<std::uint64_t>(r.ops_executed, committed_log_size_));
+  resp.prefix_ops = prefix;
+  resp.log.assign(service_.log().begin() +
+                      static_cast<std::ptrdiff_t>(prefix),
                   service_.log().begin() +
                       static_cast<std::ptrdiff_t>(committed_log_size_));
   resp.state_digest = committed_digest_;
+  // Vouch for the stable checkpoint too, when we hold both its committed
+  // slice and the f+1 certificate that stabilized it.  The head digest
+  // above needs f+1 byte-identical responses; under continuous commits no
+  // two responders sit at the same head, so the self-certifying anchor is
+  // what lets the requester recover off a single response (the deadline
+  // path in on_state_transfer_deadline).
+  const auto anchor = checkpoint_anchors_.find(stable_checkpoint_);
+  if (stable_checkpoint_ > 0 && anchor != checkpoint_anchors_.end() &&
+      !stable_cert_.empty() &&
+      stable_cert_.front().last_executed == stable_checkpoint_ &&
+      anchor->second.first >= prefix) {
+    resp.anchor_seq = stable_checkpoint_;
+    resp.anchor_ops = anchor->second.first;
+    resp.anchor_digest = anchor->second.second;
+    resp.anchor_cert = stable_cert_;
+  }
   net_->consume_cpu(id_, config_.crypto_cost_sign);
   resp.signature = signer_.sign(resp.payload());
   net_->send(id_, from, MinBftMsg{resp});
 }
 
 void MinBftReplica::handle_state_response(const StateResponse& r) {
+  // Only the cycle that solicited responses accepts them: unsolicited or
+  // post-install stragglers must not accumulate votes (or trigger installs
+  // nobody asked for).
+  if (!st_active_) return;
   if (r.last_executed <= last_executed_) return;
+  // A suffix above a prefix we do not hold cannot be spliced.  An honest
+  // responder never sends one — prefix_ops is clamped to OUR reported
+  // committed count, which only grows.
+  if (r.prefix_ops > committed_log_size_) return;
   // f+1 matching digests are only meaningful if each vote really comes from
   // the member it names.
   if (!is_member(r.replica) || r.signature.signer != r.replica) return;
   net_->consume_cpu(id_, config_.crypto_cost_verify);
   if (!registry_->verify(r.payload(), r.signature)) return;
+  // Stash the best certificate-vouched anchor as the deadline fallback
+  // (one candidate, overwritten by a higher boundary: bounded by design).
+  if (anchor_certified(r) &&
+      (!st_anchor_.has_value() || r.anchor_seq > st_anchor_->anchor_seq)) {
+    st_anchor_ = r;
+  }
+  // The first attempt window belongs to head matching (two lockstep
+  // responders recover us to the live head in one shot).  Once a full
+  // window has passed without a match, waiting out each backed-off
+  // deadline just lets the cluster race further ahead — install the
+  // certified boundary the moment we hold it and chase from there.
+  if (st_attempt_ >= 2 && try_install_anchor()) return;
+  // One live vote per member: a replica's newest response supersedes any
+  // earlier one, so the vote and response maps stay bounded by the
+  // membership size no matter how often a responder re-answers (retries
+  // solicit duplicates by design) or equivocates.
+  for (auto vit = state_votes_.begin(); vit != state_votes_.end();) {
+    vit->second.erase(r.replica);
+    if (vit->second.empty()) {
+      pending_state_.erase(vit->first);
+      vit = state_votes_.erase(vit);
+    } else {
+      ++vit;
+    }
+  }
   // The state is installed once f+1 replicas vouch for the same digest
   // (§VII-C: "its state is initialized with the (identical) state from f+1
   // other replicas").
@@ -1207,39 +1574,115 @@ void MinBftReplica::handle_state_response(const StateResponse& r) {
   }
   const auto it = pending_state_.find(r.state_digest);
   const StateResponse& adopt = it != pending_state_.end() ? it->second : r;
-  // The digest quorum vouches for the state digest, not for whichever log
-  // happened to arrive with it: recompute the chain before installing, so a
-  // single Byzantine responder cannot smuggle fabricated operations (e.g.
-  // forged join:/evict: entries) under an honest digest.
-  if (!crypto::digest_equal(ReplicatedService::chain_digest(adopt.log),
-                            adopt.state_digest)) {
-    pending_state_.erase(r.state_digest);
-    state_votes_.erase(r.state_digest);
-    return;
+  if (adopt.prefix_ops > committed_log_size_ ||
+      !install_transferred_state(adopt.prefix_ops, adopt.log,
+                                 adopt.log.size(), adopt.state_digest,
+                                 adopt.last_executed, /*cert=*/{})) {
+    discard_state_candidate(r.state_digest);
+  }
+}
+
+bool MinBftReplica::anchor_certified(const StateResponse& r) {
+  if (r.anchor_seq == 0 || r.anchor_cert.empty()) return false;
+  if (r.anchor_seq <= last_executed_) return false;
+  // The anchored slice must be reconstructible from this very response:
+  // our first prefix_ops committed operations plus the shipped operations
+  // up to the boundary's count.
+  if (r.anchor_ops < r.prefix_ops || r.prefix_ops > committed_log_size_)
+    return false;
+  if (r.anchor_ops - r.prefix_ops > r.log.size()) return false;
+  // Same rule as certified_stable: f+1 distinct current members' valid
+  // USIG-certified CHECKPOINTs for exactly (anchor_seq, anchor_digest).
+  std::set<ReplicaId> voters;
+  for (const Checkpoint& c : r.anchor_cert) {
+    if (c.last_executed != r.anchor_seq) continue;
+    if (!crypto::digest_equal(c.state_digest, r.anchor_digest)) continue;
+    if (!is_member(c.replica) || c.replica != c.ui.replica) continue;
+    if (!verify_ui(c.body_digest(), c.ui)) continue;
+    voters.insert(c.replica);
+  }
+  return static_cast<int>(voters.size()) >= config_.f + 1;
+}
+
+bool MinBftReplica::install_transferred_state(
+    std::uint64_t prefix_ops, const std::vector<std::string>& shipped,
+    std::size_t count, const crypto::Digest& digest, SeqNum seq,
+    std::vector<Checkpoint> cert) {
+  // Splice our own committed prefix under the shipped operations, then
+  // verify the chain of the WHOLE log against the vouched digest.  The
+  // quorum (digest votes or checkpoint certificate) vouches for the digest,
+  // not for whichever operations happened to arrive with it: recomputing
+  // the chain means a single Byzantine responder cannot smuggle fabricated
+  // operations (e.g. forged join:/evict: entries) under an honest digest —
+  // and the splice extends that guarantee to truncated responses (a wrong
+  // prefix claim simply fails the chain).
+  if (count > shipped.size()) return false;
+  std::vector<std::string> full;
+  full.reserve(static_cast<std::size_t>(prefix_ops) + count);
+  full.assign(service_.log().begin(),
+              service_.log().begin() + static_cast<std::ptrdiff_t>(prefix_ops));
+  full.insert(full.end(), shipped.begin(),
+              shipped.begin() + static_cast<std::ptrdiff_t>(count));
+  if (!crypto::digest_equal(ReplicatedService::chain_digest(full), digest)) {
+    return false;
   }
   // Locally speculated state is superseded by the transferred log; undo its
   // bookkeeping before the install wipes the service underneath it.
   rollback_speculation();
-  service_.install(adopt.log, adopt.state_digest);
-  last_executed_ = adopt.last_executed;
-  last_speculated_ = adopt.last_executed;
+  service_.install(std::move(full), digest);
+  last_executed_ = seq;
+  last_speculated_ = seq;
   committed_log_size_ = service_.log().size();
-  committed_digest_ = adopt.state_digest;
-  if (adopt.last_executed > stable_checkpoint_) {
-    stable_checkpoint_ = adopt.last_executed;
-    // This stable point is vouched by the state-digest quorum, not by a
-    // checkpoint quorum we witnessed: our view-change claims go uncertified
-    // until the next checkpoint (peers ignore them, which is safe — our log
-    // is empty after the transfer anyway).
-    stable_cert_.clear();
+  committed_digest_ = digest;
+  checkpoint_anchors_.clear();
+  // A checkpoint-anchored install lands exactly on a stable boundary and
+  // carries the certificate that stabilized it, so our view-change claims
+  // stay certified; a head install's stable point is vouched by the
+  // state-digest quorum instead, and our claims go uncertified until the
+  // next checkpoint (peers ignore them, which is safe — our log above the
+  // transfer is empty anyway).  A cert for a boundary older than the stable
+  // seq we already learned from a checkpoint quorum must not be adopted: it
+  // would mislabel the newer stable point.
+  if (seq > stable_checkpoint_) {
+    stable_checkpoint_ = seq;
+    stable_cert_ = std::move(cert);
+  } else if (seq == stable_checkpoint_ && !cert.empty()) {
+    stable_cert_ = std::move(cert);
   }
-  for (const std::string& op : adopt.log) apply_reconfiguration(op);
-  log_.clear();
-  early_commits_.clear();
-  fetched_.clear();
-  state_votes_.clear();
-  pending_state_.clear();
+  if (!stable_cert_.empty() && stable_checkpoint_ == seq) {
+    checkpoint_anchors_[seq] = {committed_log_size_, committed_digest_};
+  }
+  for (const std::string& op : service_.log()) apply_reconfiguration(op);
+  // Erase only the bookkeeping the install supersedes.  Entries ABOVE the
+  // installed point are kept: they hold prepares we already verified and
+  // commit votes we and our peers already cast, and wiping them here is
+  // what used to wedge clusters — two followers installing a boundary
+  // would both forget the suffix the leader had committed with their
+  // pre-install votes, leaving nobody able to repair it.
+  log_.erase(log_.begin(), log_.upper_bound(seq));
+  early_commits_.erase(early_commits_.begin(),
+                       early_commits_.upper_bound(seq));
+  fetched_.erase(fetched_.begin(), fetched_.upper_bound(seq));
   resync_assignment_watermark();
+  if (recovering_) {
+    // First install after a recovery restart ends the passive phase: we
+    // now stand on a vouched committed prefix and may vote again.  But the
+    // votes we cast BEFORE crashing are forgotten forever, so quarantine
+    // our view-change participation until the stable checkpoint covers
+    // everything we could have voted on (any such vote was bounded by our
+    // then-stable + log_watermark <= seq + log_watermark).  Agreement
+    // voting resumes immediately — only the amnesiac prepared-set proof is
+    // dangerous.  Live (non-restart) installs keep their suffix above and
+    // need no quarantine.
+    recovering_ = false;
+    vc_quarantine_until_ =
+        std::max(vc_quarantine_until_, seq + config_.log_watermark);
+  }
+  finish_state_transfer(/*installed=*/true);
+  // Anything the kept suffix already quorate can execute right away on top
+  // of the installed state.
+  try_execute();
+  return true;
 }
 
 }  // namespace tolerance::consensus

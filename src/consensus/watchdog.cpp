@@ -1,0 +1,66 @@
+#include "tolerance/consensus/watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "tolerance/util/ensure.hpp"
+
+namespace tolerance::consensus {
+
+std::string StallReport::describe() const {
+  std::ostringstream os;
+  os << "stall at t=" << at << "s (" << stalled_for
+     << "s without commit advance, high-water " << max_committed << "):";
+  for (const ReplicaDiag& d : replicas) {
+    os << " [r" << d.replica << (d.alive ? "" : " CRASHED")
+       << " committed=" << d.committed_ops << " view=" << d.view
+       << " st=" << d.st_completions << '/' << d.st_attempts;
+    if (d.st_giveups > 0) os << " giveups=" << d.st_giveups;
+    os << ']';
+  }
+  return os.str();
+}
+
+LivenessWatchdog::LivenessWatchdog(double window) : window_(window) {
+  TOL_ENSURE(window > 0.0, "stall window must be positive");
+}
+
+bool LivenessWatchdog::sample(double now,
+                              const std::vector<ReplicaDiag>& diags) {
+  std::uint64_t high = 0;
+  for (const ReplicaDiag& d : diags) {
+    // Crashed replicas keep their last published count; including it in the
+    // high-water mark is fine (it was genuinely committed), but only a LIVE
+    // advance below resets the stall clock.
+    high = std::max(high, d.committed_ops);
+  }
+  if (!primed_) {
+    primed_ = true;
+    last_advance_ = now;
+    next_report_ = window_;
+    max_committed_ = high;
+    return false;
+  }
+  if (high > max_committed_) {
+    max_committed_ = high;
+    longest_gap_ = std::max(longest_gap_, now - last_advance_);
+    last_advance_ = now;
+    next_report_ = window_;
+    return false;
+  }
+  const double stalled = now - last_advance_;
+  longest_gap_ = std::max(longest_gap_, stalled);
+  if (stalled < next_report_) return false;
+  StallReport r;
+  r.at = now;
+  r.stalled_for = stalled;
+  r.max_committed = max_committed_;
+  r.replicas = diags;
+  reports_.push_back(std::move(r));
+  // Re-arm one window out so a persistent wedge produces a report per
+  // window instead of one per 5 ms poll.
+  next_report_ = stalled + window_;
+  return true;
+}
+
+}  // namespace tolerance::consensus

@@ -13,6 +13,12 @@ std::string KeyRegistry::register_principal(PrincipalId id,
   material << "tolerance-key|" << id << '|' << seed;
   const Digest d = Sha256::hash(material.str());
   std::string secret(reinterpret_cast<const char*>(d.data()), d.size());
+  // Same (id, seed) => same key: return without touching the map.  This is
+  // what makes a crash-restart's re-registration safe in the wall-clock
+  // lane, where other nodes' event loops read this entry concurrently —
+  // an identical re-assignment would still be a data race.
+  const auto it = secrets_.find(id);
+  if (it != secrets_.end() && it->second == secret) return secret;
   secrets_[id] = secret;
   return secret;
 }

@@ -240,6 +240,7 @@ wire::Bytes MinBftCodec::encode(const MinBftMsg& msg) {
         } else if constexpr (std::is_same_v<T, StateRequest>) {
           w.u8(kStateRequest);
           w.varint(m.replica);
+          w.varint(m.ops_executed);
         } else if constexpr (std::is_same_v<T, FetchPrepare>) {
           w.u8(kFetchPrepare);
           w.varint(m.seq);
@@ -261,9 +262,15 @@ wire::Bytes MinBftCodec::encode(const MinBftMsg& msg) {
           w.u8(kStateResponse);
           w.varint(m.replica);
           w.varint(m.last_executed);
+          w.varint(m.prefix_ops);
           w.varint(m.log.size());
           for (const std::string& op : m.log) w.str(op);
           w.digest(m.state_digest);
+          w.varint(m.anchor_seq);
+          w.varint(m.anchor_ops);
+          w.digest(m.anchor_digest);
+          w.varint(m.anchor_cert.size());
+          for (const Checkpoint& c : m.anchor_cert) put_checkpoint(w, c);
           put_signature(w, m.signature);
         }
       },
@@ -392,8 +399,9 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
     }
     case kStateRequest: {
       const auto replica = r.varint();
-      if (!replica) break;
-      out = StateRequest{static_cast<ReplicaId>(*replica)};
+      const auto ops_executed = r.varint();
+      if (!replica || !ops_executed) break;
+      out = StateRequest{static_cast<ReplicaId>(*replica), *ops_executed};
       break;
     }
     case kFetchPrepare: {
@@ -411,13 +419,16 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
     case kStateResponse: {
       const auto replica = r.varint();
       const auto last_executed = r.varint();
+      const auto prefix_ops = r.varint();
       const auto count = r.varint();
-      if (!replica || !last_executed || !count || !count_plausible(r, *count)) {
+      if (!replica || !last_executed || !prefix_ops || !count ||
+          !count_plausible(r, *count)) {
         break;
       }
       StateResponse resp;
       resp.replica = static_cast<ReplicaId>(*replica);
       resp.last_executed = *last_executed;
+      resp.prefix_ops = *prefix_ops;
       bool ok = true;
       for (std::uint64_t i = 0; i < *count; ++i) {
         auto op = r.str();
@@ -430,6 +441,26 @@ std::optional<MinBftMsg> MinBftCodec::decode(const std::uint8_t* data,
       if (!ok) break;
       const auto state = r.digest();
       if (!state) break;
+      const auto anchor_seq = r.varint();
+      const auto anchor_ops = r.varint();
+      const auto anchor_digest = r.digest();
+      const auto cert_count = r.varint();
+      if (!anchor_seq || !anchor_ops || !anchor_digest || !cert_count ||
+          !count_plausible(r, *cert_count)) {
+        break;
+      }
+      resp.anchor_seq = *anchor_seq;
+      resp.anchor_ops = *anchor_ops;
+      resp.anchor_digest = *anchor_digest;
+      for (std::uint64_t i = 0; i < *cert_count; ++i) {
+        auto c = get_checkpoint(r);
+        if (!c) {
+          ok = false;
+          break;
+        }
+        resp.anchor_cert.push_back(std::move(*c));
+      }
+      if (!ok) break;
       const auto sig = get_signature(r);
       if (!sig) break;
       resp.state_digest = *state;

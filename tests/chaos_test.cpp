@@ -1,0 +1,408 @@
+// Chaos lane: deterministic fault injection on the wall-clock transport,
+// crash-restart recovery through retried state transfer, and the cluster
+// liveness watchdog.  The FaultInjector/ChaosRecovery/LivenessWatchdog
+// suites run under TSan in CI — crash/restart/injector toggles race against
+// live event loops by design.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "tolerance/consensus/minbft_client.hpp"
+#include "tolerance/consensus/minbft_runtime.hpp"
+#include "tolerance/consensus/watchdog.hpp"
+#include "tolerance/net/fault_injector.hpp"
+#include "tolerance/net/profiles.hpp"
+
+namespace tolerance {
+namespace {
+
+using namespace std::chrono_literals;
+
+template <class Cond>
+bool eventually(Cond&& cond, std::chrono::milliseconds budget = 5000ms) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return cond();
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjector, VerdictsAreDeterministicPerSeed) {
+  net::FaultInjector a(42), b(42), c(43);
+  for (auto* fi : {&a, &b, &c}) {
+    fi->set_drop(1, net::FaultEvent::kAllPeers, 0.5);
+    fi->set_corrupt(2, 0.5);
+  }
+  std::vector<int> va, vb, vc;
+  for (int i = 0; i < 200; ++i) {
+    const net::NodeId from = i % 2 == 0 ? 1 : 2;
+    va.push_back(static_cast<int>(a.on_bundle(from, 3)));
+    vb.push_back(static_cast<int>(b.on_bundle(from, 3)));
+    vc.push_back(static_cast<int>(c.on_bundle(from, 3)));
+  }
+  EXPECT_EQ(va, vb);   // same seed, same plan -> same verdict sequence
+  EXPECT_NE(va, vc);   // a different seed genuinely reshuffles
+}
+
+TEST(FaultInjector, DirectedPairRuleBeatsWildcardAndClears) {
+  net::FaultInjector fi(7);
+  fi.set_drop(1, net::FaultEvent::kAllPeers, 1.0);
+  EXPECT_EQ(fi.on_bundle(1, 2), net::FaultInjector::Action::kDrop);
+  EXPECT_EQ(fi.on_bundle(1, 9), net::FaultInjector::Action::kDrop);
+  EXPECT_EQ(fi.on_bundle(2, 1), net::FaultInjector::Action::kDeliver);
+  // An exact pair entry is consulted before the wildcard.
+  fi.set_drop(1, 2, 1e-12);  // effectively never drops
+  EXPECT_EQ(fi.on_bundle(1, 2), net::FaultInjector::Action::kDeliver);
+  EXPECT_EQ(fi.on_bundle(1, 9), net::FaultInjector::Action::kDrop);
+  EXPECT_EQ(fi.active_rules(), 2u);
+  fi.set_drop(1, 2, 0.0);
+  fi.set_drop(1, net::FaultEvent::kAllPeers, -1.0);
+  EXPECT_EQ(fi.active_rules(), 0u);
+  EXPECT_EQ(fi.on_bundle(1, 9), net::FaultInjector::Action::kDeliver);
+  EXPECT_GT(fi.injected_drops(), 0u);
+}
+
+TEST(FaultInjector, DropRuleWinsOverCorruption) {
+  net::FaultInjector fi(11);
+  fi.set_drop(4, 5, 1.0);
+  fi.set_corrupt(4, 1.0);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fi.on_bundle(4, 5), net::FaultInjector::Action::kDrop);
+  }
+  EXPECT_EQ(fi.injected_corruptions(), 0u);
+  EXPECT_EQ(fi.on_bundle(4, 6), net::FaultInjector::Action::kCorrupt);
+  EXPECT_EQ(fi.injected_corruptions(), 1u);
+}
+
+TEST(FaultInjector, CorruptFlipsBetweenOneAndFourBits) {
+  net::FaultInjector fi(13);
+  for (int round = 0; round < 100; ++round) {
+    net::FaultInjector::Bytes bytes(64, 0x00);
+    fi.corrupt(bytes);
+    ASSERT_EQ(bytes.size(), 64u);  // corruption never resizes
+    int flipped = 0;
+    for (const std::uint8_t b : bytes) {
+      for (int bit = 0; bit < 8; ++bit) flipped += (b >> bit) & 1;
+    }
+    // 1-4 draws, possibly hitting the same bit twice (an even re-flip).
+    EXPECT_GE(flipped, 0);
+    EXPECT_LE(flipped, 4);
+    if (flipped == 0) continue;  // rare double-flip of one bit
+  }
+  net::FaultInjector::Bytes empty;
+  fi.corrupt(empty);  // must be a no-op, not UB
+  EXPECT_TRUE(empty.empty());
+}
+
+// ---------------------------------------------------------------------------
+// LivenessWatchdog
+// ---------------------------------------------------------------------------
+
+consensus::ReplicaDiag diag(net::NodeId id, std::uint64_t committed,
+                            bool alive = true) {
+  consensus::ReplicaDiag d;
+  d.replica = id;
+  d.alive = alive;
+  d.committed_ops = committed;
+  return d;
+}
+
+TEST(LivenessWatchdog, SteadyProgressNeverFlags) {
+  consensus::LivenessWatchdog wd(0.5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(wd.sample(0.2 * i, {diag(0, 10ull * (i + 1)),
+                                     diag(1, 10ull * (i + 1))}));
+  }
+  EXPECT_TRUE(wd.reports().empty());
+  EXPECT_EQ(wd.max_committed(), 200u);
+  EXPECT_LT(wd.longest_gap(), 0.5);
+}
+
+TEST(LivenessWatchdog, FlagsStallOncePerWindowAndRecovers) {
+  consensus::LivenessWatchdog wd(1.0);
+  EXPECT_FALSE(wd.sample(0.0, {diag(0, 50)}));  // primes the baseline
+  EXPECT_FALSE(wd.sample(0.5, {diag(0, 50)}));  // stalled 0.5 < window
+  EXPECT_TRUE(wd.sample(1.1, {diag(0, 50)}));   // first full window
+  EXPECT_FALSE(wd.sample(1.6, {diag(0, 50)}));  // within the re-arm window
+  EXPECT_TRUE(wd.sample(2.2, {diag(0, 50)}));   // second window, second flag
+  ASSERT_EQ(wd.reports().size(), 2u);
+  EXPECT_GE(wd.reports()[0].stalled_for, 1.0);
+  // Progress resets the clock: no flag until another full window passes.
+  EXPECT_FALSE(wd.sample(2.5, {diag(0, 51)}));
+  EXPECT_FALSE(wd.sample(3.0, {diag(0, 51)}));
+  EXPECT_TRUE(wd.sample(3.6, {diag(0, 51)}));
+  EXPECT_GE(wd.longest_gap(), 2.2);
+}
+
+TEST(LivenessWatchdog, ReportNamesCrashedReplicaAndTransfers) {
+  consensus::LivenessWatchdog wd(0.2);
+  wd.sample(0.0, {diag(0, 9), diag(1, 9)});
+  auto dead = diag(1, 9, /*alive=*/false);
+  dead.st_attempts = 3;
+  dead.st_giveups = 1;
+  ASSERT_TRUE(wd.sample(0.5, {diag(0, 9), dead}));
+  const auto& report = wd.reports().front();
+  ASSERT_EQ(report.replicas.size(), 2u);
+  EXPECT_EQ(report.max_committed, 9u);
+  const std::string text = report.describe();
+  EXPECT_NE(text.find("CRASHED"), std::string::npos);
+  EXPECT_NE(text.find("giveups=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ChaosRecovery (wall-clock cluster)
+// ---------------------------------------------------------------------------
+
+consensus::MinBftConfig chaos_config(int st_max_attempts) {
+  consensus::MinBftConfig cfg;
+  cfg.f = 1;
+  cfg.checkpoint_period = 10;
+  cfg.view_change_timeout = 2.0;
+  cfg.request_retry_timeout = 1.0;
+  cfg.batch_timeout = 0.005;
+  cfg.state_transfer_timeout = 0.15;
+  cfg.state_transfer_backoff = 1.5;
+  cfg.state_transfer_max_attempts = st_max_attempts;
+  return cfg;
+}
+
+/// Drive `n` sequential requests through an auxiliary client wired onto the
+/// cluster's runtime; returns once all completed (committed on a quorum).
+/// Manual-phase tests need this because run_closed_loop owns the whole
+/// lifecycle (it quiesces the transport on return).
+class ManualLoad {
+ public:
+  explicit ManualLoad(consensus::MinBftRuntimeCluster& cluster,
+                      std::vector<consensus::ReplicaId> replicas)
+      : cluster_(cluster),
+        client_(20000, 1, std::move(replicas), cluster.runtime(),
+                cluster.registry(), 0xfeedu, /*retry_timeout=*/1.0) {
+    cluster_.runtime().register_host(
+        20000, [this](net::NodeId from, const consensus::MinBftMsg& m) {
+          client_.on_message(from, m);
+        });
+  }
+
+  ~ManualLoad() {
+    // The client object dies with this wrapper; nothing may dispatch into
+    // it afterwards.
+    cluster_.runtime().detach_host(20000);
+  }
+
+  bool run(int n) {
+    remaining_.store(n, std::memory_order_relaxed);
+    cluster_.runtime().post(20000, [this]() { submit_next(); });
+    return eventually(
+        [&]() { return remaining_.load(std::memory_order_relaxed) == 0; },
+        10000ms);
+  }
+
+ private:
+  void submit_next() {  // runs on the client's serial loop
+    if (remaining_.load(std::memory_order_relaxed) <= 0) return;
+    client_.submit("w:20000:" + std::to_string(serial_++),
+                   [this](std::uint64_t, const std::string&, double) {
+                     if (remaining_.fetch_sub(1, std::memory_order_relaxed) >
+                         1) {
+                       submit_next();
+                     }
+                   });
+  }
+
+  consensus::MinBftRuntimeCluster& cluster_;
+  consensus::MinBftClient client_;
+  std::uint64_t serial_ = 0;
+  std::atomic<int> remaining_{0};
+};
+
+std::uint64_t committed_ops(consensus::MinBftRuntimeCluster& cluster,
+                            consensus::ReplicaId id) {
+  return cluster.replica(id).progress().committed_ops.load(
+      std::memory_order_relaxed);
+}
+
+// THE regression pinning down why retries exist: with the pre-hardening
+// behaviour (a single state-request broadcast, never re-sent), a replica
+// whose one request is lost rejoins NOTHING when no checkpoint traffic
+// arrives to re-trigger recovery — it is stranded forever.  The retried
+// path in the next test recovers from the identical fault.
+TEST(ChaosRecovery, OneShotStateTransferStrandsAcrossOutage) {
+  const int kOps = 30;
+  consensus::MinBftRuntimeCluster cluster(3, chaos_config(/*attempts=*/1),
+                                          907, net::NetworkProfile::lan(), 4);
+  {
+    ManualLoad load(cluster, {0, 1, 2});
+    ASSERT_TRUE(load.run(kOps));
+  }
+  ASSERT_TRUE(eventually([&]() {
+    return committed_ops(cluster, 0) >= kOps &&
+           committed_ops(cluster, 1) >= kOps &&
+           committed_ops(cluster, 2) >= kOps;
+  }));
+
+  cluster.crash_replica(2);
+  EXPECT_TRUE(cluster.is_crashed(2));
+  // Blackhole the recovering node's outbound: its one and only state
+  // request dies on the wire.
+  cluster.injector().set_drop(2, net::FaultEvent::kAllPeers, 1.0);
+  cluster.restart_replica(2);
+  ASSERT_TRUE(eventually([&]() {
+    return cluster.replica(2).progress().st_giveups.load(
+               std::memory_order_relaxed) >= 1;
+  }));
+  // Lift the outage.  Nothing re-triggers recovery (no traffic, hence no
+  // checkpoint quorums to observe) — the replica stays empty.
+  cluster.injector().set_drop(2, net::FaultEvent::kAllPeers, 0.0);
+  std::this_thread::sleep_for(500ms);
+  EXPECT_EQ(committed_ops(cluster, 2), 0u);
+  EXPECT_EQ(cluster.replica(2).progress().st_completions.load(
+                std::memory_order_relaxed),
+            0u);
+  cluster.stop();
+}
+
+TEST(ChaosRecovery, RetriedStateTransferRecoversAcrossOutage) {
+  const int kOps = 30;
+  consensus::MinBftRuntimeCluster cluster(3, chaos_config(/*attempts=*/6),
+                                          907, net::NetworkProfile::lan(), 4);
+  {
+    ManualLoad load(cluster, {0, 1, 2});
+    ASSERT_TRUE(load.run(kOps));
+  }
+  ASSERT_TRUE(eventually([&]() {
+    return committed_ops(cluster, 0) >= kOps &&
+           committed_ops(cluster, 1) >= kOps &&
+           committed_ops(cluster, 2) >= kOps;
+  }));
+
+  cluster.crash_replica(2);
+  cluster.injector().set_drop(2, net::FaultEvent::kAllPeers, 1.0);
+  cluster.restart_replica(2);
+  // Let the outage eat at least one retry, then heal: a later attempt of
+  // the SAME cycle must get through and install.
+  ASSERT_TRUE(eventually([&]() {
+    return cluster.replica(2).progress().st_attempts.load(
+               std::memory_order_relaxed) >= 2;
+  }));
+  cluster.injector().set_drop(2, net::FaultEvent::kAllPeers, 0.0);
+  ASSERT_TRUE(eventually([&]() {
+    return committed_ops(cluster, 2) >= kOps;
+  }));
+  EXPECT_GE(cluster.replica(2).progress().st_completions.load(
+                std::memory_order_relaxed),
+            1u);
+  cluster.stop();
+  // Quiesced: loop-confined telemetry is safe to read.  The install must
+  // have pruned every vote and stored response (the unbounded-growth fix).
+  EXPECT_GE(cluster.replica(2).state_transfer_retries(), 1u);
+  EXPECT_FALSE(cluster.replica(2).state_transfer_active());
+  EXPECT_EQ(cluster.replica(2).state_vote_count(), 0u);
+  EXPECT_EQ(cluster.replica(2).pending_state_count(), 0u);
+  EXPECT_EQ(cluster.runtime().decode_errors(), 0u);
+  EXPECT_EQ(cluster.runtime().handler_errors(), 0u);
+}
+
+TEST(ChaosRecovery, PlannedCrashRestartRecoversUnderLoad) {
+  consensus::ChaosOptions chaos;
+  chaos.plan.seed = 31;
+  chaos.plan.events = {
+      {0.4, net::FaultKind::kCrash, 2},
+      {0.8, net::FaultKind::kRestart, 2},
+  };
+  chaos.watchdog_window = 5.0;  // must not fire on a recovering run
+  consensus::MinBftRuntimeCluster cluster(3, chaos_config(6), 77,
+                                          net::NetworkProfile::lan(), 4);
+  cluster.set_chaos(chaos);
+  const auto stats = cluster.run_closed_loop(6, 2.5);
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_EQ(stats.restarts, 1u);
+  EXPECT_GE(stats.st_completions, 1u);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(stats.handler_errors, 0u);
+  EXPECT_EQ(stats.stall_reports, 0u);
+  ASSERT_FALSE(stats.recovery_seconds.empty());
+  EXPECT_LT(stats.recovery_seconds.front(), 2.0);
+  // The rejoined replica converged onto the same committed history.
+  const auto live = cluster.live_replicas();
+  ASSERT_EQ(live.size(), 3u);
+  std::vector<std::vector<std::string>> logs;
+  for (const auto id : live) {
+    auto& r = cluster.replica(id);
+    const auto& full = r.service().log();
+    logs.emplace_back(full.begin(),
+                      full.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                         r.committed_log_size(), full.size())));
+  }
+  for (std::size_t a = 0; a < logs.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs.size(); ++b) {
+      const auto& s = logs[a].size() <= logs[b].size() ? logs[a] : logs[b];
+      const auto& l = logs[a].size() <= logs[b].size() ? logs[b] : logs[a];
+      EXPECT_TRUE(std::equal(s.begin(), s.end(), l.begin()))
+          << "live replicas diverged after recovery";
+    }
+  }
+}
+
+TEST(ChaosRecovery, CorruptionStormDiesInAuthLayerOnly) {
+  consensus::ChaosOptions chaos;
+  chaos.plan.seed = 99;
+  net::FaultEvent storm;
+  storm.at = 0.2;
+  storm.kind = net::FaultKind::kCorruptFrames;
+  storm.node = 0;  // the view-0 leader: every PREPARE lane is exposed
+  storm.rate = 0.25;
+  storm.duration = 0.8;
+  chaos.plan.events = {storm};
+  consensus::MinBftRuntimeCluster cluster(3, chaos_config(6), 5150,
+                                          net::NetworkProfile::lan(), 4);
+  cluster.set_chaos(chaos);
+  const auto stats = cluster.run_closed_loop(6, 1.5);
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_GT(stats.injected_corruptions, 0u);
+  // The load-bearing chaos property: every flipped bundle died in the HMAC
+  // check — none reached a codec or a protocol handler.
+  EXPECT_GE(stats.auth_failures, stats.injected_corruptions);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(stats.handler_errors, 0u);
+}
+
+TEST(ChaosRecovery, WatchdogFlagsQuorumLossWithDiagnostics) {
+  consensus::ChaosOptions chaos;
+  chaos.plan.seed = 17;
+  chaos.plan.events = {
+      {0.3, net::FaultKind::kCrash, 1},
+      {0.3, net::FaultKind::kCrash, 2},
+  };
+  chaos.watchdog_window = 0.4;
+  consensus::MinBftRuntimeCluster cluster(3, chaos_config(6), 4242,
+                                          net::NetworkProfile::lan(), 4);
+  cluster.set_chaos(chaos);
+  const auto stats = cluster.run_closed_loop(4, 1.6);
+  EXPECT_EQ(stats.crashes, 2u);
+  EXPECT_GE(stats.stall_reports, 1u);
+  EXPECT_GE(stats.longest_commit_gap, 0.4);
+  ASSERT_NE(cluster.watchdog(), nullptr);
+  ASSERT_FALSE(cluster.watchdog()->reports().empty());
+  const auto& report = cluster.watchdog()->reports().front();
+  int crashed_in_report = 0;
+  for (const auto& d : report.replicas) {
+    if (!d.alive) ++crashed_in_report;
+  }
+  EXPECT_EQ(crashed_in_report, 2);
+  EXPECT_NE(report.describe().find("CRASHED"), std::string::npos);
+  EXPECT_EQ(stats.decode_errors, 0u);
+  EXPECT_EQ(stats.handler_errors, 0u);
+}
+
+}  // namespace
+}  // namespace tolerance

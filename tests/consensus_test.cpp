@@ -952,6 +952,45 @@ TEST(MinBftSpeculative, ViewChangeMidSpeculationRollsBackWithoutDoubleApply) {
   EXPECT_EQ(result, "ok:1");
 }
 
+TEST(MinBftCommitRepair, LostCommitVotesHealInPlaceWithoutViewChange) {
+  // Same wedge as the rollback test above — follower<->follower links
+  // blocked at n=5 leave every follower 2 of the f+1 = 3 required commit
+  // votes — but here the leader STAYS UP and the commit-repair clock is
+  // turned on.  Once the links heal, each follower's repair nudge
+  // re-broadcasts its own (re-signed) vote; the other followers count the
+  // fresh vote and the wedge closes in view 0.  No crash, no view change:
+  // the repair path is the only healer.  (With commit_repair_timeout = 0 —
+  // the sim-lane default — the followers stay wedged forever and the
+  // committed_log_size assertions below fail.)
+  MinBftConfig cfg = fast_config(2);
+  cfg.commit_repair_timeout = 0.2;
+  MinBftCluster cluster(5, cfg, 37, fast_link());
+  for (ReplicaId a = 1; a <= 4; ++a) {
+    for (ReplicaId b = static_cast<ReplicaId>(a + 1); b <= 4; ++b) {
+      cluster.network().set_blocked(a, b, true);
+    }
+  }
+  auto& client = cluster.add_client();
+  client.submit("repair-w", [](std::uint64_t, const std::string&, double) {});
+  cluster.run_for(1.0);
+  for (ReplicaId id = 1; id <= 4; ++id) {
+    EXPECT_EQ(cluster.replica(id).committed_log_size(), 0u)
+        << "replica " << id << " committed through blocked links";
+  }
+  for (ReplicaId a = 1; a <= 4; ++a) {
+    for (ReplicaId b = static_cast<ReplicaId>(a + 1); b <= 4; ++b) {
+      cluster.network().set_blocked(a, b, false);
+    }
+  }
+  cluster.run_for(1.0);
+  for (ReplicaId id = 0; id <= 4; ++id) {
+    auto& replica = cluster.replica(id);
+    EXPECT_EQ(replica.view(), 0u) << "replica " << id;
+    EXPECT_EQ(replica.committed_log_size(), 1u) << "replica " << id;
+    EXPECT_EQ(replica.service().log().front(), "repair-w");
+  }
+}
+
 TEST(MinBftSpeculative, ByzantineLeaderDivergingBatchIsDenouncedNotSpeculated) {
   // Behaviour (c) as leader under the fast path: the corrupted batch fails
   // the per-request client-signature check at honest followers *before* any

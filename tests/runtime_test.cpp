@@ -17,6 +17,7 @@
 #include "tolerance/net/async_runtime.hpp"
 #include "tolerance/net/profiles.hpp"
 #include "tolerance/net/wire.hpp"
+#include "tolerance/util/rng.hpp"
 #include "tolerance/util/thread_pool.hpp"
 
 namespace tolerance {
@@ -125,12 +126,18 @@ std::vector<consensus::MinBftMsg> all_message_kinds() {
   msgs.emplace_back(nv);
   consensus::StateRequest sr;
   sr.replica = 5;
+  sr.ops_executed = 37;  // suffix-capped transfer: nonzero must round-trip
   msgs.emplace_back(sr);
   consensus::StateResponse resp;
   resp.replica = 2;
   resp.last_executed = 40;
+  resp.prefix_ops = 37;  // the committed prefix NOT shipped
   resp.log = {"a", "b", "c"};
   resp.state_digest = test_digest(0x55);
+  resp.anchor_seq = 39;
+  resp.anchor_ops = 38;
+  resp.anchor_digest = test_digest(0x56);
+  resp.anchor_cert = {test_checkpoint(1), test_checkpoint(3)};
   resp.signature = test_signature(2, 0x66);
   msgs.emplace_back(resp);
   consensus::FetchPrepare fp;
@@ -180,6 +187,36 @@ TEST(WireCodec, MalformedBuffersReturnNullopt) {
   const net::wire::Bytes bad_tag{0xff, 0x00, 0x00};
   EXPECT_FALSE(net::MinBftCodec::decode(bad_tag).has_value());
   EXPECT_FALSE(net::MinBftCodec::decode(nullptr, 0).has_value());
+}
+
+// Seeded bit-flip sweep over every message kind: a corrupted buffer either
+// fails to decode or decodes to a value the codec itself stands behind
+// (re-encodes and re-decodes cleanly) — never UB, never a throw.  In the
+// deployed path HMAC rejects flipped bundles before the codec ever runs;
+// this guards the codec itself so that property is defence in depth, not a
+// load-bearing single layer.
+TEST(WireCodec, SeededBitFlipsNeverBreakDecode) {
+  Rng rng(0xb17f11b5u);
+  for (const auto& msg : all_message_kinds()) {
+    const auto bytes = net::MinBftCodec::encode(msg);
+    for (int round = 0; round < 200; ++round) {
+      auto flipped = bytes;
+      const int flips = rng.uniform_int(1, 3);
+      for (int i = 0; i < flips; ++i) {
+        const auto at = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<int>(flipped.size())));
+        flipped[at] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(8));
+      }
+      const auto decoded = net::MinBftCodec::decode(flipped);
+      if (!decoded.has_value()) continue;
+      const auto reencoded = net::MinBftCodec::encode(*decoded);
+      const auto redecoded = net::MinBftCodec::decode(reencoded);
+      ASSERT_TRUE(redecoded.has_value())
+          << "accepted a corruption of variant " << msg.index()
+          << " that does not re-decode";
+      EXPECT_EQ(net::MinBftCodec::encode(*redecoded), reencoded);
+    }
+  }
 }
 
 // The speculative flag on a Reply is a strict boolean on the wire: both
